@@ -1,0 +1,114 @@
+// Cost-model calibration harness: analytic estimates of source accesses
+// (planner/cost_model) vs the measured accesses of the brute-force
+// evaluation, across random instances and topologies. The estimator is a
+// System-R-style cardinality model run as a fixpoint; the target is
+// order-of-magnitude fidelity — good enough to decide budgets
+// (Section 7.2) before touching any source.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/text_table.h"
+#include "exec/query_answerer.h"
+#include "planner/cost_model.h"
+#include "workload/generator.h"
+
+namespace {
+
+using limcap::workload::CatalogSpec;
+
+int failures = 0;
+
+struct RowResult {
+  std::size_t instances = 0;
+  double geo_mean_ratio = 1;  // accumulates log-ratios
+  double worst_ratio = 1;
+  double sum_actual = 0;
+  double sum_estimated = 0;
+};
+
+RowResult Sweep(CatalogSpec::Topology topology, std::size_t seeds) {
+  RowResult result;
+  double log_sum = 0;
+  for (std::size_t seed = 0; seed < seeds; ++seed) {
+    CatalogSpec spec;
+    spec.topology = topology;
+    spec.num_views = 9;
+    spec.num_attributes = 8;
+    spec.tuples_per_view = 40;
+    spec.domain_size = 15;
+    spec.seed = seed * 131 + 3;
+    auto instance = limcap::workload::GenerateInstance(spec);
+    limcap::workload::QuerySpec query_spec;
+    query_spec.num_connections = 2;
+    query_spec.views_per_connection = 2;
+    query_spec.seed = seed * 7 + 2;
+    auto query = limcap::workload::GenerateQuery(instance, query_spec);
+    if (!query.ok()) continue;
+
+    auto stats = limcap::planner::CollectCatalogStats(instance.catalog);
+    if (!stats.ok()) continue;
+    auto estimate = limcap::planner::EstimateExecution(
+        *query, instance.views, instance.domains, *stats);
+
+    limcap::exec::QueryAnswerer answerer(&instance.catalog,
+                                         instance.domains);
+    auto report = answerer.AnswerUnoptimized(*query);
+    if (!report.ok()) {
+      ++failures;
+      continue;
+    }
+    double actual = double(report->exec.log.total_queries());
+    if (actual < 3 || estimate.total_queries <= 0) continue;
+    double ratio = estimate.total_queries / actual;
+    log_sum += std::log(ratio);
+    result.worst_ratio = std::max({result.worst_ratio, ratio, 1.0 / ratio});
+    result.sum_actual += actual;
+    result.sum_estimated += estimate.total_queries;
+    ++result.instances;
+  }
+  if (result.instances > 0) {
+    result.geo_mean_ratio = std::exp(log_sum / double(result.instances));
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Cost-model calibration: estimated vs measured source "
+              "queries\n(brute-force program, random instances).\n\n");
+  limcap::TextTable table({"Topology", "Instances", "Avg actual",
+                           "Avg estimated", "Geo-mean est/actual",
+                           "Worst |ratio|"});
+  struct Named {
+    CatalogSpec::Topology topology;
+    const char* name;
+  };
+  for (const Named& row : {Named{CatalogSpec::Topology::kChain, "chain"},
+                           Named{CatalogSpec::Topology::kStar, "star"},
+                           Named{CatalogSpec::Topology::kRandom, "random"}}) {
+    RowResult result = Sweep(row.topology, 24);
+    char actual[32], estimated[32], geo[32], worst[32];
+    std::snprintf(actual, sizeof(actual), "%.1f",
+                  result.instances ? result.sum_actual / result.instances : 0);
+    std::snprintf(estimated, sizeof(estimated), "%.1f",
+                  result.instances
+                      ? result.sum_estimated / result.instances
+                      : 0);
+    std::snprintf(geo, sizeof(geo), "%.2fx", result.geo_mean_ratio);
+    std::snprintf(worst, sizeof(worst), "%.1fx", result.worst_ratio);
+    table.AddRow({row.name, std::to_string(result.instances), actual,
+                  estimated, geo, worst});
+    if (result.instances > 0 &&
+        (result.geo_mean_ratio > 10 || result.geo_mean_ratio < 0.1)) {
+      ++failures;  // estimator drifted out of its contract
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("contract: geometric-mean ratio within 10x per topology; "
+              "violations: %d\n", failures);
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,84 @@
+// Section 7.2: partial answers under a source-access budget.
+//
+// Computing the maximal obtainable answer can take many source queries —
+// the iteration keeps widening the domains. When a user only wants *some*
+// answers, the evaluator can stop after a budget of source accesses and
+// return whatever has been derived. This example sweeps the budget on a
+// synthetic chain-of-bookstores instance and prints the tradeoff curve
+// the paper discusses qualitatively: more source accesses, more answers,
+// with diminishing returns.
+
+#include <cstdio>
+
+#include "common/text_table.h"
+#include "exec/oracle.h"
+#include "exec/query_answerer.h"
+#include "workload/generator.h"
+
+int main() {
+  using limcap::workload::CatalogSpec;
+
+  CatalogSpec spec;
+  spec.topology = CatalogSpec::Topology::kChain;
+  spec.num_views = 5;
+  spec.tuples_per_view = 120;
+  spec.domain_size = 25;
+  spec.seed = 2026;
+  limcap::workload::GeneratedInstance instance =
+      limcap::workload::GenerateInstance(spec);
+
+  // One connection across the whole chain: A0 -> A5.
+  limcap::planner::Query query(
+      {{"A0", limcap::workload::GeneratedInstance::DomainValue("A0", 3)}},
+      {"A5"},
+      {limcap::planner::Connection({"v1", "v2", "v3", "v4", "v5"})});
+  if (!query.Validate(instance.catalog).ok()) {
+    std::fprintf(stderr, "query invalid\n");
+    return 1;
+  }
+
+  limcap::exec::QueryAnswerer answerer(&instance.catalog, instance.domains);
+
+  // The maximal answer, for reference.
+  auto maximal = answerer.Answer(query);
+  if (!maximal.ok()) {
+    std::fprintf(stderr, "error: %s\n", maximal.status().ToString().c_str());
+    return 1;
+  }
+  std::size_t maximal_count = maximal->exec.answer.size();
+  std::size_t maximal_queries = maximal->exec.log.total_queries();
+
+  limcap::TextTable table(
+      {"Budget (source queries)", "Answers", "% of maximal"});
+  for (std::size_t budget : {0u, 1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    if (budget > maximal_queries + 8) break;
+    limcap::exec::ExecOptions options;
+    options.max_source_queries = budget;
+    auto report = answerer.Answer(query, options);
+    if (!report.ok()) continue;
+    double percent = maximal_count == 0
+                         ? 100.0
+                         : 100.0 * double(report->exec.answer.size()) /
+                               double(maximal_count);
+    char percent_text[32];
+    std::snprintf(percent_text, sizeof(percent_text), "%5.1f%%%s", percent,
+                  report->exec.budget_exhausted ? "" : " (complete)");
+    table.AddRow({std::to_string(budget),
+                  std::to_string(report->exec.answer.size()), percent_text});
+  }
+  std::printf("chain of 5 bf-sources, input A0; maximal answer has %zu "
+              "tuples after %zu source queries\n\n",
+              maximal_count, maximal_queries);
+  std::printf("%s", table.ToString().c_str());
+
+  // Theorem 4.1 check: the chain connection is independent, so the
+  // maximal obtainable answer equals the complete answer.
+  auto complete = limcap::exec::CompleteAnswer(query, instance.full_data);
+  if (complete.ok()) {
+    std::printf("\ncomplete answer: %zu tuples — %s\n", complete->size(),
+                maximal->exec.answer == *complete
+                    ? "matches the obtainable answer (Theorem 4.1)"
+                    : "DIFFERS (unexpected)");
+  }
+  return 0;
+}

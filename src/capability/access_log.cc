@@ -1,0 +1,66 @@
+#include "capability/access_log.h"
+
+#include "common/string_util.h"
+#include "common/text_table.h"
+
+namespace limcap::capability {
+
+void AccessLog::Record(AccessRecord record) {
+  records_.push_back(std::move(record));
+}
+
+std::size_t AccessLog::QueriesTo(const std::string& source) const {
+  std::size_t count = 0;
+  for (const AccessRecord& record : records_) {
+    if (record.source == source) ++count;
+  }
+  return count;
+}
+
+std::size_t AccessLog::productive_queries() const {
+  std::size_t count = 0;
+  for (const AccessRecord& record : records_) {
+    if (record.tuples_returned > 0) ++count;
+  }
+  return count;
+}
+
+std::size_t AccessLog::failed_queries() const {
+  std::size_t count = 0;
+  for (const AccessRecord& record : records_) {
+    if (!record.error.empty()) ++count;
+  }
+  return count;
+}
+
+std::size_t AccessLog::total_tuples_returned() const {
+  std::size_t count = 0;
+  for (const AccessRecord& record : records_) {
+    count += record.tuples_returned;
+  }
+  return count;
+}
+
+std::vector<std::pair<std::string, std::size_t>> AccessLog::PerSourceCounts()
+    const {
+  std::map<std::string, std::size_t> counts;
+  for (const AccessRecord& record : records_) ++counts[record.source];
+  return std::vector<std::pair<std::string, std::size_t>>(counts.begin(),
+                                                          counts.end());
+}
+
+std::string AccessLog::ToTable(bool productive_only) const {
+  TextTable table(
+      {"Order", "Source Query", "Returned Tuple(s)", "New Binding(s)"});
+  std::size_t order = 0;
+  for (const AccessRecord& record : records_) {
+    if (productive_only && record.tuples_returned == 0) continue;
+    ++order;
+    table.AddRow({std::to_string(order), record.rendered_query,
+                  Join(record.returned_rendered, ", "),
+                  Join(record.new_bindings, ", ")});
+  }
+  return table.ToString();
+}
+
+}  // namespace limcap::capability

@@ -1,0 +1,64 @@
+#ifndef LIMCAP_CAPABILITY_ACCESS_LOG_H_
+#define LIMCAP_CAPABILITY_ACCESS_LOG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "capability/source.h"
+#include "relational/relation.h"
+
+namespace limcap::capability {
+
+/// One recorded source access — a row of the paper's Table 2.
+struct AccessRecord {
+  std::string source;                ///< view name, e.g. "v1"
+  SourceQuery query;                 ///< the bindings sent
+  std::string rendered_query;        ///< "v1(t1, C)" (paper notation)
+  std::size_t tuples_returned = 0;
+  std::size_t new_tuples = 0;        ///< tuples not previously obtained
+  std::vector<std::string> returned_rendered;  ///< "<t1, c1>" per new tuple
+  std::vector<std::string> new_bindings;       ///< "Cd = c1" style notes
+  /// Error message when the source failed to answer (empty on success).
+  std::string error;
+  /// Fetch-evaluate round in which the query was issued (0-based);
+  /// queries within one round depend only on earlier rounds' results, so
+  /// they could be issued concurrently (see exec::EstimateMakespan).
+  std::size_t round = 0;
+};
+
+/// Collects per-source access statistics and the full query trace. The
+/// execution engine writes one record per source query; benches read the
+/// counters to compare plans by their dominant cost (source accesses).
+class AccessLog {
+ public:
+  void Record(AccessRecord record);
+
+  const std::vector<AccessRecord>& records() const { return records_; }
+  std::size_t total_queries() const { return records_.size(); }
+  std::size_t QueriesTo(const std::string& source) const;
+  /// Queries that returned at least one tuple.
+  std::size_t productive_queries() const;
+  /// Queries the source failed to answer.
+  std::size_t failed_queries() const;
+  std::size_t total_tuples_returned() const;
+
+  /// Per-source query counts, sorted by source name.
+  std::vector<std::pair<std::string, std::size_t>> PerSourceCounts() const;
+
+  /// Renders the trace in the shape of the paper's Table 2
+  /// (Order | Source Query | Returned Tuple(s) | New Binding(s)).
+  /// When `productive_only` is set, rows with no returned tuples are
+  /// elided as the paper does.
+  std::string ToTable(bool productive_only) const;
+
+  void Clear() { records_.clear(); }
+
+ private:
+  std::vector<AccessRecord> records_;
+};
+
+}  // namespace limcap::capability
+
+#endif  // LIMCAP_CAPABILITY_ACCESS_LOG_H_

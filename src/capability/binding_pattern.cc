@@ -1,0 +1,49 @@
+#include "capability/binding_pattern.h"
+
+namespace limcap::capability {
+
+Result<BindingPattern> BindingPattern::Parse(std::string_view text) {
+  std::vector<Adornment> adornments;
+  adornments.reserve(text.size());
+  for (char c : text) {
+    if (c == 'b') {
+      adornments.push_back(Adornment::kBound);
+    } else if (c == 'f') {
+      adornments.push_back(Adornment::kFree);
+    } else {
+      return Status::InvalidArgument(
+          std::string("invalid adornment character '") + c +
+          "' (expected 'b' or 'f')");
+    }
+  }
+  return BindingPattern(std::move(adornments));
+}
+
+BindingPattern BindingPattern::AllFree(std::size_t arity) {
+  return BindingPattern(std::vector<Adornment>(arity, Adornment::kFree));
+}
+
+std::vector<std::size_t> BindingPattern::BoundPositions() const {
+  std::vector<std::size_t> positions;
+  for (std::size_t i = 0; i < adornments_.size(); ++i) {
+    if (adornments_[i] == Adornment::kBound) positions.push_back(i);
+  }
+  return positions;
+}
+
+std::vector<std::size_t> BindingPattern::FreePositions() const {
+  std::vector<std::size_t> positions;
+  for (std::size_t i = 0; i < adornments_.size(); ++i) {
+    if (adornments_[i] == Adornment::kFree) positions.push_back(i);
+  }
+  return positions;
+}
+
+std::string BindingPattern::ToString() const {
+  std::string out;
+  out.reserve(adornments_.size());
+  for (Adornment a : adornments_) out += static_cast<char>(a);
+  return out;
+}
+
+}  // namespace limcap::capability

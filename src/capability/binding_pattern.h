@@ -1,0 +1,57 @@
+#ifndef LIMCAP_CAPABILITY_BINDING_PATTERN_H_
+#define LIMCAP_CAPABILITY_BINDING_PATTERN_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace limcap::capability {
+
+/// Adornment of one attribute position in a source-view template
+/// (paper Section 2.1): `b` — the attribute must be bound in every query
+/// sent to the source; `f` — the attribute may be left free.
+enum class Adornment : char { kBound = 'b', kFree = 'f' };
+
+/// The adornment string of a source view, e.g. "bff" for v1(A, B, C)
+/// meaning A must be bound and B, C may be free.
+class BindingPattern {
+ public:
+  BindingPattern() = default;
+  explicit BindingPattern(std::vector<Adornment> adornments)
+      : adornments_(std::move(adornments)) {}
+
+  /// Parses "bff"; fails on any character other than 'b'/'f'.
+  static Result<BindingPattern> Parse(std::string_view text);
+
+  /// The all-free pattern of the given arity (an unrestricted source).
+  static BindingPattern AllFree(std::size_t arity);
+
+  std::size_t arity() const { return adornments_.size(); }
+  Adornment at(std::size_t i) const { return adornments_[i]; }
+  bool IsBound(std::size_t i) const { return adornments_[i] == Adornment::kBound; }
+  bool IsFree(std::size_t i) const { return adornments_[i] == Adornment::kFree; }
+
+  /// Positions adorned 'b'.
+  std::vector<std::size_t> BoundPositions() const;
+  /// Positions adorned 'f'.
+  std::vector<std::size_t> FreePositions() const;
+
+  /// Number of 'b' positions.
+  std::size_t bound_count() const { return BoundPositions().size(); }
+
+  /// "bff".
+  std::string ToString() const;
+
+  bool operator==(const BindingPattern& other) const {
+    return adornments_ == other.adornments_;
+  }
+
+ private:
+  std::vector<Adornment> adornments_;
+};
+
+}  // namespace limcap::capability
+
+#endif  // LIMCAP_CAPABILITY_BINDING_PATTERN_H_

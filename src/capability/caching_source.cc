@@ -1,0 +1,28 @@
+#include "capability/caching_source.h"
+
+namespace limcap::capability {
+
+Result<relational::Relation> CachingSource::Execute(const SourceQuery& query) {
+  auto it = cache_.find(query);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  LIMCAP_ASSIGN_OR_RETURN(relational::Relation answer,
+                          inner_->Execute(query));
+  ++misses_;
+  cache_.emplace(query, answer);
+  return answer;
+}
+
+relational::Relation CachingSource::ObservedTuples() const {
+  relational::Relation all(inner_->view().schema());
+  for (const auto& [query, answer] : cache_) {
+    for (const relational::Row& row : answer.rows()) {
+      all.InsertUnsafe(row);
+    }
+  }
+  return all;
+}
+
+}  // namespace limcap::capability

@@ -1,0 +1,40 @@
+#ifndef LIMCAP_CAPABILITY_CACHING_SOURCE_H_
+#define LIMCAP_CAPABILITY_CACHING_SOURCE_H_
+
+#include <map>
+#include <memory>
+
+#include "capability/source.h"
+
+namespace limcap::capability {
+
+/// Decorates a Source with an answer cache keyed by the query's bindings.
+/// Repeated identical queries hit the cache instead of the source —
+/// modeling the mediator-side caching Section 7.1 discusses, and letting
+/// benches separate "distinct source accesses" from "query issuances".
+class CachingSource : public Source {
+ public:
+  explicit CachingSource(std::unique_ptr<Source> inner)
+      : inner_(std::move(inner)) {}
+
+  const SourceView& view() const override { return inner_->view(); }
+
+  Result<relational::Relation> Execute(const SourceQuery& query) override;
+
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+
+  /// Tuples observed so far across all cached answers, usable as the
+  /// cached data that Section 7.1 turns into extra fact rules.
+  relational::Relation ObservedTuples() const;
+
+ private:
+  std::unique_ptr<Source> inner_;
+  std::map<SourceQuery, relational::Relation> cache_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace limcap::capability
+
+#endif  // LIMCAP_CAPABILITY_CACHING_SOURCE_H_

@@ -1,0 +1,248 @@
+#include "capability/catalog_text.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <memory>
+
+#include "capability/in_memory_source.h"
+#include "common/string_util.h"
+
+namespace limcap::capability {
+
+namespace {
+
+/// Recursive-descent parser sharing the lexical conventions of the
+/// Datalog parser (identifiers, numbers, quoted strings, %-comments).
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<ParsedCatalog> Parse() {
+    ParsedCatalog parsed;
+    SkipTrivia();
+    while (!AtEnd()) {
+      LIMCAP_RETURN_NOT_OK(ParseSource(&parsed));
+      SkipTrivia();
+    }
+    return parsed;
+  }
+
+ private:
+  Status ParseSource(ParsedCatalog* parsed) {
+    LIMCAP_ASSIGN_OR_RETURN(std::string keyword, ParseIdentifier());
+    if (keyword != "source") {
+      return Error("expected 'source', got '" + keyword + "'");
+    }
+    SkipTrivia();
+    LIMCAP_ASSIGN_OR_RETURN(std::string name, ParseIdentifier());
+    SkipTrivia();
+    if (!ConsumeIf("(")) return Error("expected '(' after source name");
+
+    std::vector<std::string> attributes;
+    SkipTrivia();
+    while (!ConsumeIf(")")) {
+      LIMCAP_ASSIGN_OR_RETURN(std::string attribute, ParseIdentifier());
+      attributes.push_back(std::move(attribute));
+      SkipTrivia();
+      if (ConsumeIf(",")) SkipTrivia();
+    }
+    SkipTrivia();
+    if (!ConsumeIf("[")) return Error("expected '[' before adornment");
+    std::vector<BindingPattern> templates;
+    while (true) {
+      SkipTrivia();
+      std::string adornment;
+      while (!AtEnd() && (text_[pos_] == 'b' || text_[pos_] == 'f')) {
+        adornment += text_[pos_++];
+      }
+      LIMCAP_ASSIGN_OR_RETURN(BindingPattern pattern,
+                              BindingPattern::Parse(adornment));
+      templates.push_back(std::move(pattern));
+      SkipTrivia();
+      if (ConsumeIf("|")) continue;
+      if (ConsumeIf("]")) break;
+      return Error("expected '|' or ']' in adornment list");
+    }
+
+    LIMCAP_ASSIGN_OR_RETURN(relational::Schema schema,
+                            relational::Schema::Make(attributes));
+    LIMCAP_ASSIGN_OR_RETURN(
+        SourceView view,
+        SourceView::Make(name, std::move(schema), std::move(templates)));
+
+    SkipTrivia();
+    if (!ConsumeIf("{")) return Error("expected '{' before tuples");
+    relational::Relation data(view.schema());
+    SkipTrivia();
+    while (!ConsumeIf("}")) {
+      if (!ConsumeIf("(")) return Error("expected '(' to start a tuple");
+      relational::Row row;
+      SkipTrivia();
+      while (!ConsumeIf(")")) {
+        LIMCAP_ASSIGN_OR_RETURN(Value value, ParseValue());
+        row.push_back(std::move(value));
+        SkipTrivia();
+        if (ConsumeIf(",")) SkipTrivia();
+      }
+      if (row.size() != view.schema().arity()) {
+        return Error("tuple arity " + std::to_string(row.size()) +
+                     " != schema arity of " + name);
+      }
+      data.InsertUnsafe(std::move(row));
+      SkipTrivia();
+      if (ConsumeIf(",")) SkipTrivia();
+    }
+
+    parsed->views.push_back(view);
+    LIMCAP_ASSIGN_OR_RETURN(InMemorySource source,
+                            InMemorySource::Make(view, std::move(data)));
+    return parsed->catalog.Register(
+        std::make_unique<InMemorySource>(std::move(source)));
+  }
+
+  Result<Value> ParseValue() {
+    if (AtEnd()) return Error("expected value");
+    char c = text_[pos_];
+    if (c == '"') {
+      ++pos_;
+      std::string out;
+      while (!AtEnd() && text_[pos_] != '"') {
+        if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+        out += text_[pos_++];
+      }
+      if (AtEnd()) return Error("unterminated string");
+      ++pos_;
+      return Value::String(std::move(out));
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+      std::size_t start = pos_;
+      if (c == '-') ++pos_;
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      bool is_double = false;
+      if (!AtEnd() && text_[pos_] == '.' && pos_ + 1 < text_.size() &&
+          std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+        is_double = true;
+        ++pos_;
+        while (!AtEnd() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+          ++pos_;
+        }
+      }
+      std::string token(text_.substr(start, pos_ - start));
+      if (is_double) {
+        return Value::Double(std::strtod(token.c_str(), nullptr));
+      }
+      return Value::Int64(std::strtoll(token.c_str(), nullptr, 10));
+    }
+    LIMCAP_ASSIGN_OR_RETURN(std::string identifier, ParseIdentifier());
+    return Value::String(std::move(identifier));
+  }
+
+  Result<std::string> ParseIdentifier() {
+    if (AtEnd() || !(std::isalpha(static_cast<unsigned char>(text_[pos_])) ||
+                     text_[pos_] == '_' || text_[pos_] == '$')) {
+      return Error("expected identifier");
+    }
+    std::size_t start = pos_;
+    while (!AtEnd() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '$')) {
+      ++pos_;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  void SkipTrivia() {
+    while (!AtEnd()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '%' || (c == '/' && pos_ + 1 < text_.size() &&
+                              text_[pos_ + 1] == '/')) {
+        while (!AtEnd() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  bool ConsumeIf(std::string_view token) {
+    if (text_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+  Status Error(std::string message) const {
+    return Status::InvalidArgument(message + " at line " +
+                                   std::to_string(line_));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+/// Renders a value in a form ParseValue reads back: bare identifiers stay
+/// bare, everything else is quoted (ints/doubles stay literal).
+std::string RenderValue(const Value& value) {
+  if (!value.is_string()) return value.ToString();
+  const std::string& text = value.str();
+  bool bare = !text.empty() &&
+              (std::isalpha(static_cast<unsigned char>(text[0])) ||
+               text[0] == '_');
+  for (char c : text) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '$')) {
+      bare = false;
+    }
+  }
+  if (bare) return text;
+  std::string quoted = "\"";
+  for (char c : text) {
+    if (c == '"' || c == '\\') quoted += '\\';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+Result<ParsedCatalog> ParseCatalog(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+Result<std::string> CatalogToText(const SourceCatalog& catalog) {
+  std::string out;
+  for (const std::string& name : catalog.ViewNames()) {
+    LIMCAP_ASSIGN_OR_RETURN(Source * source, catalog.Find(name));
+    auto* in_memory = dynamic_cast<InMemorySource*>(source);
+    if (in_memory == nullptr) {
+      return Status::Unsupported("source " + name +
+                                 " is not an InMemorySource");
+    }
+    const SourceView& view = in_memory->view();
+    out += "source " + name + "(" +
+           Join(view.schema().attributes(), ", ") + ") [" +
+           JoinMapped(view.templates(), "|",
+                      [](const BindingPattern& p) { return p.ToString(); }) +
+           "] {\n";
+    for (const relational::Row& row : in_memory->data().SortedRows()) {
+      out += "  (" +
+             JoinMapped(row, ", ",
+                        [](const Value& v) { return RenderValue(v); }) +
+             ")\n";
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace limcap::capability

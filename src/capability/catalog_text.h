@@ -1,0 +1,41 @@
+#ifndef LIMCAP_CAPABILITY_CATALOG_TEXT_H_
+#define LIMCAP_CAPABILITY_CATALOG_TEXT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "capability/source_catalog.h"
+#include "common/result.h"
+
+namespace limcap::capability {
+
+/// A catalog parsed from text, with live in-memory sources.
+struct ParsedCatalog {
+  SourceCatalog catalog;
+  std::vector<SourceView> views;
+};
+
+/// Parses the catalog description language:
+///
+///   % Example 2.1's first two sources
+///   source v1(Song, Cd) [bf] {
+///     (t1, c1)
+///     (t2, c3)
+///   }
+///   source v4(Cd, Artist, Price) [fbf] { (c1, a1, "$13") }
+///   source book(Author, Title, Price) [bff|fbf] {}   % multi-template
+///
+/// Attribute names are identifiers; adornments are '|'-separated b/f
+/// strings; tuple values are identifiers (strings), integer or floating
+/// literals, or quoted strings. '%' and '//' start comments. Every view
+/// is registered as an InMemorySource holding its tuples.
+Result<ParsedCatalog> ParseCatalog(std::string_view text);
+
+/// Serializes a catalog of InMemorySources back to the text format
+/// (round-trips with ParseCatalog). Fails on non-InMemory sources.
+Result<std::string> CatalogToText(const SourceCatalog& catalog);
+
+}  // namespace limcap::capability
+
+#endif  // LIMCAP_CAPABILITY_CATALOG_TEXT_H_

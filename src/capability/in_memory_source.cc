@@ -1,0 +1,58 @@
+#include "capability/in_memory_source.h"
+
+#include <cstdlib>
+
+namespace limcap::capability {
+
+Result<InMemorySource> InMemorySource::Make(SourceView view,
+                                            relational::Relation data) {
+  if (!(data.schema() == view.schema())) {
+    return Status::InvalidArgument("data schema " + data.schema().ToString() +
+                                   " != view schema " +
+                                   view.schema().ToString() + " for " +
+                                   view.name());
+  }
+  return InMemorySource(std::move(view), std::move(data));
+}
+
+InMemorySource InMemorySource::MakeUnsafe(SourceView view,
+                                          relational::Relation data) {
+  auto source = Make(std::move(view), std::move(data));
+  if (!source.ok()) std::abort();
+  return std::move(source).value();
+}
+
+Result<relational::Relation> InMemorySource::Execute(
+    const SourceQuery& query) {
+  // Validate attributes.
+  for (const auto& [attribute, value] : query.bindings) {
+    if (!view_.schema().Contains(attribute)) {
+      return Status::InvalidArgument("query binds unknown attribute " +
+                                     attribute + " of view " + view_.name());
+    }
+  }
+  // Enforce the binding patterns: some template must be satisfied.
+  AttributeSet bound;
+  for (const auto& [attribute, value] : query.bindings) {
+    bound.insert(attribute);
+  }
+  if (!view_.RequirementsSatisfiedBy(bound)) {
+    return Status::CapabilityViolation(
+        "query to " + view_.name() +
+        " satisfies none of its templates: " + view_.ToString());
+  }
+  // Answer by selection.
+  std::vector<std::size_t> columns;
+  relational::Row key;
+  for (const auto& [attribute, value] : query.bindings) {
+    columns.push_back(*view_.schema().IndexOf(attribute));
+    key.push_back(value);
+  }
+  relational::Relation out(view_.schema());
+  for (std::size_t pos : data_.Probe(columns, key)) {
+    out.InsertUnsafe(data_.row(pos));
+  }
+  return out;
+}
+
+}  // namespace limcap::capability

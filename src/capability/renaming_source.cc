@@ -1,0 +1,54 @@
+#include "capability/renaming_source.h"
+
+namespace limcap::capability {
+
+Result<RenamingSource> RenamingSource::Make(
+    std::unique_ptr<Source> inner, std::map<std::string, std::string> renaming,
+    std::string exported_name) {
+  const SourceView& local = inner->view();
+  std::vector<std::string> global_attributes;
+  std::map<std::string, std::string> to_local;
+  for (const std::string& attribute : local.schema().attributes()) {
+    auto it = renaming.find(attribute);
+    const std::string& global =
+        it == renaming.end() ? attribute : it->second;
+    if (!to_local.emplace(global, attribute).second) {
+      return Status::InvalidArgument(
+          "renaming maps two attributes of " + local.name() + " to " +
+          global);
+    }
+    global_attributes.push_back(global);
+  }
+  LIMCAP_ASSIGN_OR_RETURN(relational::Schema schema,
+                          relational::Schema::Make(global_attributes));
+  LIMCAP_ASSIGN_OR_RETURN(
+      SourceView view,
+      SourceView::Make(
+          exported_name.empty() ? local.name() : std::move(exported_name),
+          std::move(schema), local.templates()));
+  return RenamingSource(std::move(inner), std::move(view),
+                        std::move(to_local));
+}
+
+Result<relational::Relation> RenamingSource::Execute(
+    const SourceQuery& query) {
+  SourceQuery local_query;
+  for (const auto& [attribute, value] : query.bindings) {
+    auto it = to_local_.find(attribute);
+    if (it == to_local_.end()) {
+      return Status::InvalidArgument("query binds unknown attribute " +
+                                     attribute + " of view " + view_.name());
+    }
+    local_query.bindings.emplace(it->second, value);
+  }
+  LIMCAP_ASSIGN_OR_RETURN(relational::Relation local_result,
+                          inner_->Execute(local_query));
+  // Positions are unchanged; only the schema is renamed.
+  relational::Relation renamed(view_.schema());
+  for (const relational::Row& row : local_result.rows()) {
+    renamed.InsertUnsafe(row);
+  }
+  return renamed;
+}
+
+}  // namespace limcap::capability

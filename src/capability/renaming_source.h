@@ -1,0 +1,46 @@
+#ifndef LIMCAP_CAPABILITY_RENAMING_SOURCE_H_
+#define LIMCAP_CAPABILITY_RENAMING_SOURCE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "capability/source.h"
+
+namespace limcap::capability {
+
+/// The wrapper layer of the paper's Section 2.1: sources use their own
+/// vocabularies; wrappers resolve them to the global attribute set. A
+/// RenamingSource presents an inner source under renamed attributes
+/// (binding patterns unchanged): queries arrive in global names and are
+/// translated to the source's local names; answers come back under the
+/// global schema.
+class RenamingSource : public Source {
+ public:
+  /// `renaming` maps local attribute names to global ones; attributes
+  /// not mentioned keep their name. Fails when the renamed schema is
+  /// invalid (e.g. two locals map to one global). `exported_name`
+  /// optionally renames the view itself (empty keeps the inner name).
+  static Result<RenamingSource> Make(std::unique_ptr<Source> inner,
+                                     std::map<std::string, std::string> renaming,
+                                     std::string exported_name = "");
+
+  const SourceView& view() const override { return view_; }
+
+  Result<relational::Relation> Execute(const SourceQuery& query) override;
+
+ private:
+  RenamingSource(std::unique_ptr<Source> inner, SourceView view,
+                 std::map<std::string, std::string> to_local)
+      : inner_(std::move(inner)),
+        view_(std::move(view)),
+        to_local_(std::move(to_local)) {}
+
+  std::unique_ptr<Source> inner_;
+  SourceView view_;                              // global names
+  std::map<std::string, std::string> to_local_;  // global -> local
+};
+
+}  // namespace limcap::capability
+
+#endif  // LIMCAP_CAPABILITY_RENAMING_SOURCE_H_

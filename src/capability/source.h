@@ -1,0 +1,46 @@
+#ifndef LIMCAP_CAPABILITY_SOURCE_H_
+#define LIMCAP_CAPABILITY_SOURCE_H_
+
+#include <map>
+#include <string>
+
+#include "capability/source_view.h"
+#include "common/result.h"
+#include "common/value.h"
+#include "relational/relation.h"
+
+namespace limcap::capability {
+
+/// A query sent to one source: values for a subset of the view's
+/// attributes. To be executable it must bind (at least) every attribute
+/// the view's template adorns 'b'.
+struct SourceQuery {
+  std::map<std::string, Value> bindings;
+
+  bool operator==(const SourceQuery& other) const {
+    return bindings == other.bindings;
+  }
+  bool operator<(const SourceQuery& other) const {
+    return bindings < other.bindings;
+  }
+};
+
+/// An autonomous source exporting a single relational view with limited
+/// query capabilities. Implementations must reject queries that violate
+/// the view's binding requirements with StatusCode::kCapabilityViolation —
+/// the integration system never sees the full extent of a source with a
+/// 'b' adornment.
+class Source {
+ public:
+  virtual ~Source() = default;
+
+  virtual const SourceView& view() const = 0;
+
+  /// Executes `query`; on success returns the matching tuples with the
+  /// view's full schema.
+  virtual Result<relational::Relation> Execute(const SourceQuery& query) = 0;
+};
+
+}  // namespace limcap::capability
+
+#endif  // LIMCAP_CAPABILITY_SOURCE_H_

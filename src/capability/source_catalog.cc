@@ -1,0 +1,67 @@
+#include "capability/source_catalog.h"
+
+#include <cstdlib>
+
+namespace limcap::capability {
+
+Status SourceCatalog::Register(std::unique_ptr<Source> source) {
+  const std::string& name = source->view().name();
+  if (by_name_.count(name) > 0) {
+    return Status::AlreadyExists("source view already registered: " + name);
+  }
+  by_name_.emplace(name, sources_.size());
+  sources_.push_back(std::move(source));
+  return Status::OK();
+}
+
+void SourceCatalog::RegisterUnsafe(std::unique_ptr<Source> source) {
+  if (!Register(std::move(source)).ok()) std::abort();
+}
+
+std::vector<SourceView> SourceCatalog::Views() const {
+  std::vector<SourceView> views;
+  views.reserve(sources_.size());
+  for (const auto& source : sources_) views.push_back(source->view());
+  return views;
+}
+
+std::vector<std::string> SourceCatalog::ViewNames() const {
+  std::vector<std::string> names;
+  names.reserve(sources_.size());
+  for (const auto& source : sources_) names.push_back(source->view().name());
+  return names;
+}
+
+Result<Source*> SourceCatalog::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no source view named " + name);
+  }
+  return sources_[it->second].get();
+}
+
+Result<const SourceView*> SourceCatalog::FindView(
+    const std::string& name) const {
+  LIMCAP_ASSIGN_OR_RETURN(Source * source, Find(name));
+  return &source->view();
+}
+
+AttributeSet SourceCatalog::AllAttributes() const {
+  AttributeSet all;
+  for (const auto& source : sources_) {
+    AttributeSet attrs = source->view().Attributes();
+    all.insert(attrs.begin(), attrs.end());
+  }
+  return all;
+}
+
+std::string SourceCatalog::ToString() const {
+  std::string out;
+  for (const auto& source : sources_) {
+    out += source->view().ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace limcap::capability

@@ -1,0 +1,59 @@
+#ifndef LIMCAP_CAPABILITY_SOURCE_CATALOG_H_
+#define LIMCAP_CAPABILITY_SOURCE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "capability/source.h"
+#include "common/result.h"
+
+namespace limcap::capability {
+
+/// The integration system's registry of sources: `V`, the source views
+/// with their adornments, each backed by a live Source. Views are kept in
+/// registration order (the paper indexes them v1..vn).
+class SourceCatalog {
+ public:
+  SourceCatalog() = default;
+
+  SourceCatalog(const SourceCatalog&) = delete;
+  SourceCatalog& operator=(const SourceCatalog&) = delete;
+  SourceCatalog(SourceCatalog&&) = default;
+  SourceCatalog& operator=(SourceCatalog&&) = default;
+
+  /// Registers a source; fails when a view with the same name exists.
+  Status Register(std::unique_ptr<Source> source);
+
+  /// Aborting convenience used by static catalogs and tests.
+  void RegisterUnsafe(std::unique_ptr<Source> source);
+
+  std::size_t size() const { return sources_.size(); }
+
+  /// Views in registration order.
+  std::vector<SourceView> Views() const;
+  /// View names in registration order.
+  std::vector<std::string> ViewNames() const;
+
+  bool Contains(const std::string& name) const {
+    return by_name_.count(name) > 0;
+  }
+
+  Result<Source*> Find(const std::string& name) const;
+  Result<const SourceView*> FindView(const std::string& name) const;
+
+  /// A(V): the union of every view's attributes.
+  AttributeSet AllAttributes() const;
+
+  /// One line per view: "v1(Song, Cd) [bf]".
+  std::string ToString() const;
+
+ private:
+  std::vector<std::unique_ptr<Source>> sources_;
+  std::unordered_map<std::string, std::size_t> by_name_;
+};
+
+}  // namespace limcap::capability
+
+#endif  // LIMCAP_CAPABILITY_SOURCE_CATALOG_H_

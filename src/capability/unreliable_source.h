@@ -1,0 +1,42 @@
+#ifndef LIMCAP_CAPABILITY_UNRELIABLE_SOURCE_H_
+#define LIMCAP_CAPABILITY_UNRELIABLE_SOURCE_H_
+
+#include <memory>
+
+#include "capability/source.h"
+
+namespace limcap::capability {
+
+/// Failure-injection decorator: fails the first `fail_first` Execute
+/// calls (with kInternal, as a wrapper timeout would surface), then
+/// delegates. Deterministic, for testing the integration system's
+/// behavior when autonomous Web sources misbehave.
+class UnreliableSource : public Source {
+ public:
+  UnreliableSource(std::unique_ptr<Source> inner, std::size_t fail_first)
+      : inner_(std::move(inner)), fail_first_(fail_first) {}
+
+  const SourceView& view() const override { return inner_->view(); }
+
+  Result<relational::Relation> Execute(const SourceQuery& query) override {
+    ++attempts_;
+    if (attempts_ <= fail_first_) {
+      return Status::Internal("source " + view().name() +
+                              " unavailable (injected failure " +
+                              std::to_string(attempts_) + "/" +
+                              std::to_string(fail_first_) + ")");
+    }
+    return inner_->Execute(query);
+  }
+
+  std::size_t attempts() const { return attempts_; }
+
+ private:
+  std::unique_ptr<Source> inner_;
+  std::size_t fail_first_;
+  std::size_t attempts_ = 0;
+};
+
+}  // namespace limcap::capability
+
+#endif  // LIMCAP_CAPABILITY_UNRELIABLE_SOURCE_H_

@@ -1,0 +1,39 @@
+#ifndef LIMCAP_COMMON_HASH_H_
+#define LIMCAP_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace limcap {
+
+/// Mixes `value` into `seed` (boost::hash_combine with a 64-bit constant).
+inline void HashCombine(std::size_t& seed, std::size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// Hashes a contiguous range of hashable elements.
+template <typename It>
+std::size_t HashRange(It first, It last) {
+  std::size_t seed = 0x51ed2701a1b2c3d4ULL;
+  using ValueType = typename std::iterator_traits<It>::value_type;
+  std::hash<ValueType> hasher;
+  for (; first != last; ++first) {
+    HashCombine(seed, hasher(*first));
+  }
+  return seed;
+}
+
+/// std::hash-compatible functor for vectors of hashable elements, used for
+/// engine rows (vectors of dictionary-encoded value ids).
+template <typename T>
+struct VectorHash {
+  std::size_t operator()(const std::vector<T>& v) const {
+    return HashRange(v.begin(), v.end());
+  }
+};
+
+}  // namespace limcap
+
+#endif  // LIMCAP_COMMON_HASH_H_

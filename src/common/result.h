@@ -1,0 +1,86 @@
+#ifndef LIMCAP_COMMON_RESULT_H_
+#define LIMCAP_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace limcap {
+
+/// Result<T> carries either a value of type T or a non-OK Status, in the
+/// style of arrow::Result / absl::StatusOr. A Result is never in the OK
+/// state without a value.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit, so functions can
+  /// `return value;`).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error status. `status` must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : repr_(std::move(status)) {
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result constructed from OK status without a value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the held status: OK() when a value is present.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Accessors; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace limcap
+
+/// Assigns the value of a Result-returning expression to `lhs`, or returns
+/// the error status from the enclosing function.
+#define LIMCAP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define LIMCAP_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define LIMCAP_ASSIGN_OR_RETURN_NAME(a, b) LIMCAP_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define LIMCAP_ASSIGN_OR_RETURN(lhs, expr) \
+  LIMCAP_ASSIGN_OR_RETURN_IMPL(            \
+      LIMCAP_ASSIGN_OR_RETURN_NAME(_limcap_result_, __LINE__), lhs, expr)
+
+#endif  // LIMCAP_COMMON_RESULT_H_

@@ -1,0 +1,46 @@
+#ifndef LIMCAP_COMMON_RNG_H_
+#define LIMCAP_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace limcap {
+
+/// Deterministic splitmix64-based random number generator. Workload
+/// generators and property tests use this instead of std::mt19937 so that
+/// generated catalogs and instances are reproducible across platforms and
+/// standard-library implementations.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound); bound must be positive.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace limcap
+
+#endif  // LIMCAP_COMMON_RNG_H_

@@ -1,0 +1,103 @@
+#ifndef LIMCAP_COMMON_STATUS_H_
+#define LIMCAP_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace limcap {
+
+/// Error codes used across the library. Modeled on the Arrow/RocksDB
+/// convention: functions that can fail return a Status (or a Result<T>),
+/// and exceptions never cross the public API boundary.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kUnsupported = 5,
+  kInternal = 6,
+  /// A source query violated the source's binding-pattern requirements
+  /// (the integration-specific failure mode of this library).
+  kCapabilityViolation = 7,
+  /// A resource budget (e.g., the source-access budget of a partial-answer
+  /// execution) was exhausted before completion.
+  kBudgetExhausted = 8,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A Status holds the outcome of an operation: either OK, or an error code
+/// plus a message. Statuses are cheap to copy in the OK case (no
+/// allocation) and are ordinary value types.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status CapabilityViolation(std::string msg) {
+    return Status(StatusCode::kCapabilityViolation, std::move(msg));
+  }
+  static Status BudgetExhausted(std::string msg) {
+    return Status(StatusCode::kBudgetExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace limcap
+
+/// Evaluates an expression returning Status; returns it from the enclosing
+/// function if it is not OK.
+#define LIMCAP_RETURN_NOT_OK(expr)                 \
+  do {                                             \
+    ::limcap::Status _limcap_status = (expr);      \
+    if (!_limcap_status.ok()) return _limcap_status; \
+  } while (false)
+
+#endif  // LIMCAP_COMMON_STATUS_H_

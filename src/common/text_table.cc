@@ -1,0 +1,47 @@
+#include "common/text_table.h"
+
+#include <algorithm>
+
+namespace limcap {
+
+std::string TextTable::ToString() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row, char pad,
+                        const char* sep) {
+    std::string line;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      line += cell;
+      line.append(widths[i] - cell.size() + 1, pad);
+      if (i + 1 < widths.size()) {
+        line += sep;
+        line += pad;
+      }
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(header_, ' ', "|");
+  std::vector<std::string> dashes;
+  for (std::size_t w : widths) dashes.emplace_back(w, '-');
+  std::string sep_line;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    sep_line += dashes[i];
+    sep_line += '-';
+    if (i + 1 < widths.size()) sep_line += "+-";
+  }
+  out += sep_line + "\n";
+  for (const auto& row : rows_) out += render_row(row, ' ', "|");
+  return out;
+}
+
+}  // namespace limcap

@@ -1,0 +1,34 @@
+#ifndef LIMCAP_COMMON_TEXT_TABLE_H_
+#define LIMCAP_COMMON_TEXT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace limcap {
+
+/// Accumulates rows of strings and renders an aligned ASCII table, used by
+/// the bench harness to print the paper's tables (Table 1–3 etc.) in a
+/// shape directly comparable with the paper.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table with a header separator, e.g.
+  ///   Source | Contents       | Must Bind
+  ///   -------+----------------+----------
+  ///   s1     | v1(Song, Cd)   | Song
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace limcap
+
+#endif  // LIMCAP_COMMON_TEXT_TABLE_H_

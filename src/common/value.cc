@@ -1,0 +1,57 @@
+#include "common/value.h"
+
+#include <charconv>
+#include <cstdio>
+
+#include "common/hash.h"
+
+namespace limcap {
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case Kind::kNull:
+      return "\xE2\x8A\xA5";  // ⊥
+    case Kind::kInt64:
+      return std::to_string(int64());
+    case Kind::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", dbl());
+      // Shorten when a shorter representation round-trips.
+      for (int precision = 1; precision < 17; ++precision) {
+        char shorter[32];
+        std::snprintf(shorter, sizeof(shorter), "%.*g", precision, dbl());
+        double parsed = 0;
+        std::sscanf(shorter, "%lf", &parsed);
+        if (parsed == dbl()) return shorter;
+      }
+      return buf;
+    }
+    case Kind::kString:
+      return str();
+  }
+  return "?";
+}
+
+std::size_t Value::Hash() const {
+  std::size_t seed = static_cast<std::size_t>(kind()) * 0x9e3779b97f4a7c15ULL;
+  switch (kind()) {
+    case Kind::kNull:
+      break;
+    case Kind::kInt64:
+      HashCombine(seed, std::hash<int64_t>{}(int64()));
+      break;
+    case Kind::kDouble:
+      HashCombine(seed, std::hash<double>{}(dbl()));
+      break;
+    case Kind::kString:
+      HashCombine(seed, std::hash<std::string>{}(str()));
+      break;
+  }
+  return seed;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  return os << value.ToString();
+}
+
+}  // namespace limcap

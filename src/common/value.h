@@ -1,0 +1,76 @@
+#ifndef LIMCAP_COMMON_VALUE_H_
+#define LIMCAP_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace limcap {
+
+/// A dynamically typed scalar value: the atoms that flow through source
+/// relations, Datalog facts, and query answers. Values are ordered first
+/// by kind, then by payload, giving a total order usable for canonical
+/// printing and set containers.
+class Value {
+ public:
+  enum class Kind : uint8_t { kNull = 0, kInt64 = 1, kDouble = 2, kString = 3 };
+
+  /// Constructs a null value.
+  Value() : repr_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int64(int64_t v) { return Value(Repr(v)); }
+  static Value Double(double v) { return Value(Repr(v)); }
+  static Value String(std::string v) { return Value(Repr(std::move(v))); }
+  static Value String(std::string_view v) {
+    return Value(Repr(std::string(v)));
+  }
+  static Value String(const char* v) { return Value(Repr(std::string(v))); }
+
+  Value(const Value&) = default;
+  Value& operator=(const Value&) = default;
+  Value(Value&&) = default;
+  Value& operator=(Value&&) = default;
+
+  Kind kind() const { return static_cast<Kind>(repr_.index()); }
+  bool is_null() const { return kind() == Kind::kNull; }
+  bool is_int64() const { return kind() == Kind::kInt64; }
+  bool is_double() const { return kind() == Kind::kDouble; }
+  bool is_string() const { return kind() == Kind::kString; }
+
+  /// Payload accessors; the value must hold the requested kind.
+  int64_t int64() const { return std::get<int64_t>(repr_); }
+  double dbl() const { return std::get<double>(repr_); }
+  const std::string& str() const { return std::get<std::string>(repr_); }
+
+  /// Renders the value for display: strings bare, doubles with shortest
+  /// round-trip formatting, null as "⊥".
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return repr_ == other.repr_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const { return repr_ < other.repr_; }
+
+  std::size_t Hash() const;
+
+ private:
+  using Repr = std::variant<std::monostate, int64_t, double, std::string>;
+  explicit Value(Repr repr) : repr_(std::move(repr)) {}
+
+  Repr repr_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& value);
+
+}  // namespace limcap
+
+namespace std {
+template <>
+struct hash<limcap::Value> {
+  std::size_t operator()(const limcap::Value& v) const { return v.Hash(); }
+};
+}  // namespace std
+
+#endif  // LIMCAP_COMMON_VALUE_H_

@@ -1,0 +1,21 @@
+#include "common/value_dictionary.h"
+
+namespace limcap {
+
+ValueId ValueDictionary::Intern(const Value& value) {
+  auto it = ids_.find(value);
+  if (it != ids_.end()) return it->second;
+  ValueId id = static_cast<ValueId>(values_.size());
+  values_.push_back(value);
+  ids_.emplace(value, id);
+  return id;
+}
+
+bool ValueDictionary::Lookup(const Value& value, ValueId* id) const {
+  auto it = ids_.find(value);
+  if (it == ids_.end()) return false;
+  *id = it->second;
+  return true;
+}
+
+}  // namespace limcap

@@ -1,0 +1,47 @@
+#ifndef LIMCAP_COMMON_VALUE_DICTIONARY_H_
+#define LIMCAP_COMMON_VALUE_DICTIONARY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/value.h"
+
+namespace limcap {
+
+/// Dense id assigned to an interned Value. Ids are assigned sequentially
+/// starting at 0 and are stable for the dictionary's lifetime.
+using ValueId = uint32_t;
+
+/// Interns Values to dense ValueIds. The Datalog execution engine
+/// dictionary-encodes every constant it touches so that engine rows are
+/// flat vectors of 32-bit ids with cheap equality/hash, the standard
+/// encoding trick in analytic database executors.
+class ValueDictionary {
+ public:
+  ValueDictionary() = default;
+
+  ValueDictionary(const ValueDictionary&) = delete;
+  ValueDictionary& operator=(const ValueDictionary&) = delete;
+  ValueDictionary(ValueDictionary&&) = default;
+  ValueDictionary& operator=(ValueDictionary&&) = default;
+
+  /// Returns the id for `value`, interning it if unseen.
+  ValueId Intern(const Value& value);
+
+  /// Returns the id of `value` if already interned, or false.
+  bool Lookup(const Value& value, ValueId* id) const;
+
+  /// Returns the value for an id assigned by this dictionary.
+  const Value& Get(ValueId id) const { return values_[id]; }
+
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  std::unordered_map<Value, ValueId> ids_;
+  std::vector<Value> values_;
+};
+
+}  // namespace limcap
+
+#endif  // LIMCAP_COMMON_VALUE_DICTIONARY_H_

@@ -1,0 +1,133 @@
+#ifndef LIMCAP_DATALOG_AST_H_
+#define LIMCAP_DATALOG_AST_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace limcap::datalog {
+
+/// A term is either a variable (named, e.g. "C") or a constant Value.
+class Term {
+ public:
+  static Term Var(std::string name) { return Term(std::move(name)); }
+  static Term Constant(Value value) { return Term(std::move(value)); }
+
+  bool is_variable() const { return is_variable_; }
+  bool is_constant() const { return !is_variable_; }
+
+  /// Variable name; only valid when is_variable().
+  const std::string& var() const { return var_; }
+  /// Constant value; only valid when is_constant().
+  const Value& constant() const { return value_; }
+
+  /// Variables as "C". Constants render in re-parseable Datalog syntax:
+  /// numbers as literals, identifier-safe lower-case strings bare, and
+  /// every other string quoted (so ToString round-trips through the
+  /// parser).
+  std::string ToString() const;
+
+  bool operator==(const Term& other) const {
+    if (is_variable_ != other.is_variable_) return false;
+    return is_variable_ ? var_ == other.var_ : value_ == other.value_;
+  }
+
+ private:
+  explicit Term(std::string name) : is_variable_(true), var_(std::move(name)) {}
+  explicit Term(Value value) : is_variable_(false), value_(std::move(value)) {}
+
+  bool is_variable_;
+  std::string var_;
+  Value value_;
+};
+
+/// An atom `p(t1, ..., tk)`.
+struct Atom {
+  std::string predicate;
+  std::vector<Term> terms;
+
+  std::size_t arity() const { return terms.size(); }
+
+  /// Names of the distinct variables in this atom, in first-occurrence
+  /// order.
+  std::vector<std::string> Variables() const;
+
+  /// "p(t1, t2)".
+  std::string ToString() const;
+
+  bool operator==(const Atom& other) const {
+    return predicate == other.predicate && terms == other.terms;
+  }
+};
+
+/// A Horn rule `head :- body1, ..., bodyk.`; a fact when the body is
+/// empty.
+struct Rule {
+  Atom head;
+  std::vector<Atom> body;
+
+  bool is_fact() const { return body.empty(); }
+
+  /// Distinct variables across head and body, first-occurrence order
+  /// (head first).
+  std::vector<std::string> Variables() const;
+
+  /// "h(X) :- b(X, Y)." / "f(a)." for facts.
+  std::string ToString() const;
+
+  /// The rule with variables renamed V0, V1, ... in first-occurrence order
+  /// (head first, then body left to right), rendered as text. Two rules
+  /// are alpha-equivalent iff their canonical strings match; the figure
+  /// reproduction tests compare programs this way.
+  std::string CanonicalString() const;
+
+  bool operator==(const Rule& other) const {
+    return head == other.head && body == other.body;
+  }
+};
+
+/// A positive Datalog program: a list of rules. IDB predicates are those
+/// appearing in some head; every other predicate mentioned is EDB.
+class Program {
+ public:
+  Program() = default;
+  explicit Program(std::vector<Rule> rules) : rules_(std::move(rules)) {}
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  std::size_t size() const { return rules_.size(); }
+  void AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
+
+  /// Predicates appearing in rule heads.
+  std::set<std::string> IdbPredicates() const;
+  /// Predicates appearing only in bodies.
+  std::set<std::string> EdbPredicates() const;
+  /// All predicates mentioned.
+  std::set<std::string> AllPredicates() const;
+
+  /// Checks that each predicate is used with a single arity everywhere;
+  /// returns the arity map.
+  Result<std::vector<std::pair<std::string, std::size_t>>> PredicateArities()
+      const;
+
+  /// One rule per line, in program order.
+  std::string ToString() const;
+
+  /// The multiset of CanonicalString()s, sorted — the canonical form used
+  /// to compare a generated program against a paper figure independent of
+  /// rule order and variable naming.
+  std::vector<std::string> CanonicalRuleStrings() const;
+
+  bool operator==(const Program& other) const {
+    return CanonicalRuleStrings() == other.CanonicalRuleStrings();
+  }
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+}  // namespace limcap::datalog
+
+#endif  // LIMCAP_DATALOG_AST_H_

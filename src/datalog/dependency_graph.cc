@@ -1,0 +1,110 @@
+#include "datalog/dependency_graph.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace limcap::datalog {
+
+DependencyGraph::DependencyGraph(const Program& program) {
+  for (const Rule& rule : program.rules()) {
+    nodes_.insert(rule.head.predicate);
+    auto& deps = edges_[rule.head.predicate];
+    for (const Atom& atom : rule.body) {
+      nodes_.insert(atom.predicate);
+      deps.insert(atom.predicate);
+    }
+  }
+}
+
+const std::set<std::string>& DependencyGraph::DependsOn(
+    const std::string& from) const {
+  static const std::set<std::string>* empty = new std::set<std::string>();
+  auto it = edges_.find(from);
+  return it == edges_.end() ? *empty : it->second;
+}
+
+std::set<std::string> DependencyGraph::ReachableFrom(
+    const std::string& start) const {
+  std::set<std::string> visited;
+  if (nodes_.count(start) == 0) return visited;
+  std::vector<std::string> stack = {start};
+  visited.insert(start);
+  while (!stack.empty()) {
+    std::string current = stack.back();
+    stack.pop_back();
+    for (const std::string& next : DependsOn(current)) {
+      if (visited.insert(next).second) stack.push_back(next);
+    }
+  }
+  return visited;
+}
+
+std::vector<std::vector<std::string>>
+DependencyGraph::StronglyConnectedComponents() const {
+  // Tarjan's algorithm, iterative on the node list with a recursive lambda
+  // (programs here are small; recursion depth equals the longest
+  // dependency chain).
+  std::vector<std::vector<std::string>> components;
+  std::map<std::string, int> index;
+  std::map<std::string, int> lowlink;
+  std::map<std::string, bool> on_stack;
+  std::vector<std::string> stack;
+  int next_index = 0;
+
+  std::function<void(const std::string&)> strongconnect =
+      [&](const std::string& v) {
+        index[v] = next_index;
+        lowlink[v] = next_index;
+        ++next_index;
+        stack.push_back(v);
+        on_stack[v] = true;
+        for (const std::string& w : DependsOn(v)) {
+          if (index.find(w) == index.end()) {
+            strongconnect(w);
+            lowlink[v] = std::min(lowlink[v], lowlink[w]);
+          } else if (on_stack[w]) {
+            lowlink[v] = std::min(lowlink[v], index[w]);
+          }
+        }
+        if (lowlink[v] == index[v]) {
+          std::vector<std::string> component;
+          while (true) {
+            std::string w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            component.push_back(w);
+            if (w == v) break;
+          }
+          std::sort(component.begin(), component.end());
+          components.push_back(std::move(component));
+        }
+      };
+
+  for (const std::string& node : nodes_) {
+    if (index.find(node) == index.end()) strongconnect(node);
+  }
+  return components;
+}
+
+bool DependencyGraph::IsRecursive() const {
+  for (const std::string& node : nodes_) {
+    if (IsRecursivePredicate(node)) return true;
+  }
+  return false;
+}
+
+bool DependencyGraph::IsRecursivePredicate(const std::string& predicate) const {
+  // Self-loop?
+  if (DependsOn(predicate).count(predicate) > 0) return true;
+  // In a nontrivial SCC?
+  for (const auto& component : StronglyConnectedComponents()) {
+    if (component.size() > 1 &&
+        std::find(component.begin(), component.end(), predicate) !=
+            component.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace limcap::datalog

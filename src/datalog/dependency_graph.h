@@ -1,0 +1,46 @@
+#ifndef LIMCAP_DATALOG_DEPENDENCY_GRAPH_H_
+#define LIMCAP_DATALOG_DEPENDENCY_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+
+namespace limcap::datalog {
+
+/// The predicate dependency graph of a program: an edge p -> q for every
+/// rule with head p and body atom q. Used for recursion detection (the
+/// paper's programs are recursive even though queries are not) and for the
+/// dead-rule elimination of Section 6, which removes rules whose heads are
+/// unreachable from the goal predicate.
+class DependencyGraph {
+ public:
+  explicit DependencyGraph(const Program& program);
+
+  /// Predicates `from` depends on directly (its rules' body predicates).
+  const std::set<std::string>& DependsOn(const std::string& from) const;
+
+  /// All predicates reachable from `start` by following dependency edges,
+  /// including `start` itself if present in the program.
+  std::set<std::string> ReachableFrom(const std::string& start) const;
+
+  /// Strongly connected components in reverse topological order
+  /// (dependencies before dependents), computed with Tarjan's algorithm.
+  std::vector<std::vector<std::string>> StronglyConnectedComponents() const;
+
+  /// True when some predicate transitively depends on itself.
+  bool IsRecursive() const;
+
+  /// True when `predicate` is in a nontrivial SCC or has a self-loop.
+  bool IsRecursivePredicate(const std::string& predicate) const;
+
+ private:
+  std::map<std::string, std::set<std::string>> edges_;
+  std::set<std::string> nodes_;
+};
+
+}  // namespace limcap::datalog
+
+#endif  // LIMCAP_DATALOG_DEPENDENCY_GRAPH_H_

@@ -1,0 +1,299 @@
+#include "datalog/evaluator.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "datalog/safety.h"
+
+namespace limcap::datalog {
+
+Result<std::unique_ptr<Evaluator>> Evaluator::Create(const Program& program,
+                                                     FactStore* store,
+                                                     Mode mode) {
+  LIMCAP_RETURN_NOT_OK(CheckSafety(program));
+  // Pre-declare every predicate's arity so facts arriving from outside
+  // (source results) are arity-checked against the program instead of
+  // silently defining a conflicting shape.
+  LIMCAP_ASSIGN_OR_RETURN(auto arities, program.PredicateArities());
+  for (const auto& [predicate, arity] : arities) {
+    LIMCAP_RETURN_NOT_OK(store->Declare(predicate, arity));
+  }
+  auto evaluator = std::unique_ptr<Evaluator>(new Evaluator(store, mode));
+
+  for (const Rule& rule : program.rules()) {
+    // Variable name -> dense index within the rule.
+    std::unordered_map<std::string, uint32_t> var_ids;
+    auto compile_atom = [&](const Atom& atom) {
+      CompiledAtom compiled;
+      compiled.predicate = atom.predicate;
+      for (const Term& term : atom.terms) {
+        CompiledTerm ct;
+        if (term.is_variable()) {
+          ct.is_var = true;
+          auto [it, inserted] = var_ids.emplace(
+              term.var(), static_cast<uint32_t>(var_ids.size()));
+          ct.var = it->second;
+          ct.constant = 0;
+        } else {
+          ct.is_var = false;
+          ct.var = 0;
+          ct.constant = store->dict().Intern(term.constant());
+        }
+        compiled.terms.push_back(ct);
+      }
+      return compiled;
+    };
+
+    if (rule.is_fact()) {
+      // Ground facts are seeded directly; safety guarantees groundness.
+      IdRow row;
+      row.reserve(rule.head.terms.size());
+      for (const Term& term : rule.head.terms) {
+        row.push_back(store->dict().Intern(term.constant()));
+      }
+      evaluator->ground_facts_.emplace_back(rule.head.predicate,
+                                            std::move(row));
+      continue;
+    }
+
+    CompiledRule compiled;
+    compiled.body.reserve(rule.body.size());
+    for (const Atom& atom : rule.body) {
+      compiled.body.push_back(compile_atom(atom));
+    }
+    compiled.head = compile_atom(rule.head);
+    compiled.num_vars = static_cast<uint32_t>(var_ids.size());
+    for (std::size_t d = 0; d < compiled.body.size(); ++d) {
+      compiled.orders.push_back(GreedyOrder(compiled, d));
+    }
+    compiled.orders.push_back(GreedyOrder(compiled, compiled.body.size()));
+    evaluator->rules_.push_back(std::move(compiled));
+  }
+  return evaluator;
+}
+
+std::vector<std::size_t> Evaluator::GreedyOrder(const CompiledRule& rule,
+                                                std::size_t first_atom) {
+  std::vector<std::size_t> order;
+  std::vector<bool> used(rule.body.size(), false);
+  std::vector<bool> bound(rule.num_vars, false);
+
+  auto bind_atom = [&](std::size_t index) {
+    for (const CompiledTerm& term : rule.body[index].terms) {
+      if (term.is_var) bound[term.var] = true;
+    }
+  };
+  if (first_atom < rule.body.size()) {
+    order.push_back(first_atom);
+    used[first_atom] = true;
+    bind_atom(first_atom);
+  }
+  while (order.size() < rule.body.size()) {
+    // Pick the unused atom with the most bound argument positions
+    // (constants count as bound); ties resolve to program order.
+    std::size_t best = rule.body.size();
+    std::size_t best_score = 0;
+    for (std::size_t i = 0; i < rule.body.size(); ++i) {
+      if (used[i]) continue;
+      std::size_t score = 1;  // so the first candidate wins over "none"
+      for (const CompiledTerm& term : rule.body[i].terms) {
+        if (!term.is_var || bound[term.var]) ++score;
+      }
+      if (best == rule.body.size() || score > best_score) {
+        best = i;
+        best_score = score;
+      }
+    }
+    order.push_back(best);
+    used[best] = true;
+    bind_atom(best);
+  }
+  return order;
+}
+
+void Evaluator::SeedFacts() {
+  if (facts_seeded_) return;
+  for (const auto& [predicate, row] : ground_facts_) {
+    auto inserted = store_->InsertIds(predicate, row);
+    if (inserted.ok() && inserted.value()) ++stats_.facts_derived;
+  }
+  facts_seeded_ = true;
+}
+
+Status Evaluator::Run() {
+  SeedFacts();
+  return mode_ == Mode::kNaive ? RunNaive() : RunSemiNaive();
+}
+
+Status Evaluator::RunNaive() {
+  while (true) {
+    ++stats_.iterations;
+    std::map<std::string, std::size_t> snapshot;
+    for (const CompiledRule& rule : rules_) {
+      for (const CompiledAtom& atom : rule.body) {
+        snapshot[atom.predicate] = store_->Count(atom.predicate);
+      }
+    }
+    bool derived_new = false;
+    for (const CompiledRule& rule : rules_) {
+      ++stats_.rule_activations;
+      LIMCAP_RETURN_NOT_OK(MatchRule(rule, rule.orders.back(),
+                                     /*use_delta=*/false, 0, 0, snapshot,
+                                     &derived_new));
+    }
+    if (!derived_new) return Status::OK();
+  }
+}
+
+Status Evaluator::RunSemiNaive() {
+  while (true) {
+    // Snapshot the extent of every body predicate; rows at positions
+    // [processed, snapshot) are this round's delta.
+    std::map<std::string, std::size_t> snapshot;
+    for (const CompiledRule& rule : rules_) {
+      for (const CompiledAtom& atom : rule.body) {
+        snapshot[atom.predicate] = store_->Count(atom.predicate);
+      }
+    }
+    bool has_delta = false;
+    for (const auto& [predicate, size] : snapshot) {
+      if (processed_[predicate] < size) {
+        has_delta = true;
+        break;
+      }
+    }
+    if (!has_delta) return Status::OK();
+    ++stats_.iterations;
+
+    bool derived_new = false;
+    for (const CompiledRule& rule : rules_) {
+      for (std::size_t d = 0; d < rule.body.size(); ++d) {
+        const std::string& predicate = rule.body[d].predicate;
+        std::size_t lo = processed_[predicate];
+        std::size_t hi = snapshot[predicate];
+        if (lo >= hi) continue;
+        ++stats_.rule_activations;
+        LIMCAP_RETURN_NOT_OK(MatchRule(rule, rule.orders[d],
+                                       /*use_delta=*/true, lo, hi, snapshot,
+                                       &derived_new));
+      }
+    }
+    for (const auto& [predicate, size] : snapshot) {
+      processed_[predicate] = std::max(processed_[predicate], size);
+    }
+  }
+}
+
+Status Evaluator::MatchRule(const CompiledRule& rule,
+                            const std::vector<std::size_t>& order,
+                            bool use_delta, std::size_t delta_lo,
+                            std::size_t delta_hi,
+                            const std::map<std::string, std::size_t>& snapshot,
+                            bool* derived_new) {
+  std::vector<ValueId> binding(rule.num_vars, 0);
+  std::vector<bool> bound(rule.num_vars, false);
+  Status status = Status::OK();
+
+  // Unifies `row` with `atom` under the current binding; on success,
+  // records newly bound variables in `newly_bound` and returns true.
+  auto try_unify = [&](const CompiledAtom& atom, const IdRow& row,
+                       std::vector<uint32_t>* newly_bound) {
+    for (std::size_t i = 0; i < atom.terms.size(); ++i) {
+      const CompiledTerm& term = atom.terms[i];
+      if (!term.is_var) {
+        if (row[i] != term.constant) return false;
+      } else if (bound[term.var]) {
+        if (row[i] != binding[term.var]) return false;
+      } else {
+        bound[term.var] = true;
+        binding[term.var] = row[i];
+        newly_bound->push_back(term.var);
+      }
+    }
+    return true;
+  };
+  auto undo = [&](const std::vector<uint32_t>& newly_bound) {
+    for (uint32_t var : newly_bound) bound[var] = false;
+  };
+
+  std::function<void(std::size_t)> recurse = [&](std::size_t k) {
+    if (!status.ok()) return;
+    if (k == order.size()) {
+      ++stats_.matches;
+      IdRow head_row;
+      head_row.reserve(rule.head.terms.size());
+      for (const CompiledTerm& term : rule.head.terms) {
+        head_row.push_back(term.is_var ? binding[term.var] : term.constant);
+      }
+      auto inserted = store_->InsertIds(rule.head.predicate,
+                                        std::move(head_row));
+      if (!inserted.ok()) {
+        status = inserted.status();
+        return;
+      }
+      if (inserted.value()) {
+        ++stats_.facts_derived;
+        *derived_new = true;
+      }
+      return;
+    }
+
+    const CompiledAtom& atom = rule.body[order[k]];
+    const bool is_delta_atom = use_delta && k == 0;
+    auto snap_it = snapshot.find(atom.predicate);
+    const std::size_t limit =
+        snap_it == snapshot.end() ? store_->Count(atom.predicate)
+                                  : snap_it->second;
+
+    if (is_delta_atom) {
+      // Delta ranges are contiguous; scan them linearly.
+      const std::vector<IdRow>& facts = store_->Facts(atom.predicate);
+      for (std::size_t i = delta_lo; i < delta_hi && status.ok(); ++i) {
+        std::vector<uint32_t> newly_bound;
+        if (try_unify(atom, facts[i], &newly_bound)) recurse(k + 1);
+        undo(newly_bound);
+      }
+      return;
+    }
+
+    // Collect bound argument positions to probe the hash index.
+    std::vector<std::size_t> columns;
+    IdRow key;
+    for (std::size_t i = 0; i < atom.terms.size(); ++i) {
+      const CompiledTerm& term = atom.terms[i];
+      if (!term.is_var) {
+        columns.push_back(i);
+        key.push_back(term.constant);
+      } else if (bound[term.var]) {
+        columns.push_back(i);
+        key.push_back(binding[term.var]);
+      }
+    }
+
+    if (columns.empty()) {
+      const std::vector<IdRow>& facts = store_->Facts(atom.predicate);
+      for (std::size_t i = 0; i < limit && status.ok(); ++i) {
+        std::vector<uint32_t> newly_bound;
+        if (try_unify(atom, facts[i], &newly_bound)) recurse(k + 1);
+        undo(newly_bound);
+      }
+      return;
+    }
+
+    std::vector<std::size_t> positions =
+        store_->Probe(atom.predicate, columns, key, limit);
+    const std::vector<IdRow>& facts = store_->Facts(atom.predicate);
+    for (std::size_t pos : positions) {
+      if (!status.ok()) break;
+      std::vector<uint32_t> newly_bound;
+      if (try_unify(atom, facts[pos], &newly_bound)) recurse(k + 1);
+      undo(newly_bound);
+    }
+  };
+
+  recurse(0);
+  return status;
+}
+
+}  // namespace limcap::datalog

@@ -1,0 +1,147 @@
+#include "datalog/fact_store.h"
+
+#include <algorithm>
+
+namespace limcap::datalog {
+
+namespace {
+
+IdRow ExtractKey(const IdRow& row, const std::vector<std::size_t>& columns) {
+  IdRow key;
+  key.reserve(columns.size());
+  for (std::size_t c : columns) key.push_back(row[c]);
+  return key;
+}
+
+const std::vector<IdRow>& EmptyFacts() {
+  static const std::vector<IdRow>* empty = new std::vector<IdRow>();
+  return *empty;
+}
+
+}  // namespace
+
+Status FactStore::Declare(const std::string& predicate, std::size_t arity) {
+  auto [it, inserted] = predicates_.try_emplace(predicate);
+  if (inserted) {
+    it->second.arity = arity;
+    return Status::OK();
+  }
+  if (it->second.arity != arity) {
+    return Status::InvalidArgument(
+        "predicate " + predicate + " declared with arity " +
+        std::to_string(it->second.arity) + ", redeclared with " +
+        std::to_string(arity));
+  }
+  return Status::OK();
+}
+
+Result<std::size_t> FactStore::Arity(const std::string& predicate) const {
+  auto it = predicates_.find(predicate);
+  if (it == predicates_.end()) {
+    return Status::NotFound("predicate not declared: " + predicate);
+  }
+  return it->second.arity;
+}
+
+Result<bool> FactStore::Insert(const std::string& predicate,
+                               const relational::Row& row) {
+  IdRow encoded;
+  encoded.reserve(row.size());
+  for (const Value& value : row) encoded.push_back(dict_.Intern(value));
+  return InsertIds(predicate, std::move(encoded));
+}
+
+Result<bool> FactStore::InsertIds(const std::string& predicate, IdRow row) {
+  LIMCAP_RETURN_NOT_OK(Declare(predicate, row.size()));
+  PredicateFacts& facts = predicates_.at(predicate);
+  if (row.size() != facts.arity) {
+    return Status::InvalidArgument(
+        "fact arity " + std::to_string(row.size()) + " != declared arity " +
+        std::to_string(facts.arity) + " for predicate " + predicate);
+  }
+  if (facts.row_set.count(row) > 0) return false;
+  for (auto& [columns, index] : facts.indexes) {
+    index[ExtractKey(row, columns)].push_back(facts.rows.size());
+  }
+  facts.row_set.insert(row);
+  facts.rows.push_back(std::move(row));
+  return true;
+}
+
+bool FactStore::Contains(const std::string& predicate, const IdRow& row) const {
+  auto it = predicates_.find(predicate);
+  return it != predicates_.end() && it->second.row_set.count(row) > 0;
+}
+
+std::size_t FactStore::Count(const std::string& predicate) const {
+  auto it = predicates_.find(predicate);
+  return it == predicates_.end() ? 0 : it->second.rows.size();
+}
+
+std::size_t FactStore::TotalCount() const {
+  std::size_t total = 0;
+  for (const auto& [name, facts] : predicates_) total += facts.rows.size();
+  return total;
+}
+
+const std::vector<IdRow>& FactStore::Facts(const std::string& predicate) const {
+  auto it = predicates_.find(predicate);
+  return it == predicates_.end() ? EmptyFacts() : it->second.rows;
+}
+
+std::vector<std::size_t> FactStore::Probe(
+    const std::string& predicate, const std::vector<std::size_t>& columns,
+    const IdRow& key, std::size_t limit) const {
+  auto pred_it = predicates_.find(predicate);
+  if (pred_it == predicates_.end()) return {};
+  const PredicateFacts& facts = pred_it->second;
+
+  auto index_it = facts.indexes.find(columns);
+  if (index_it == facts.indexes.end()) {
+    std::unordered_map<IdRow, std::vector<std::size_t>, VectorHash<ValueId>>
+        index;
+    for (std::size_t i = 0; i < facts.rows.size(); ++i) {
+      index[ExtractKey(facts.rows[i], columns)].push_back(i);
+    }
+    index_it = facts.indexes.emplace(columns, std::move(index)).first;
+  }
+  auto match = index_it->second.find(key);
+  if (match == index_it->second.end()) return {};
+  const std::vector<std::size_t>& positions = match->second;
+  // Positions are ascending; cut at `limit`.
+  auto end = std::lower_bound(positions.begin(), positions.end(), limit);
+  return std::vector<std::size_t>(positions.begin(), end);
+}
+
+Result<relational::Relation> FactStore::ToRelation(
+    const std::string& predicate, const relational::Schema& schema) const {
+  auto it = predicates_.find(predicate);
+  relational::Relation relation(schema);
+  if (it == predicates_.end()) return relation;
+  if (it->second.arity != schema.arity()) {
+    return Status::InvalidArgument(
+        "schema arity " + std::to_string(schema.arity()) +
+        " != predicate arity " + std::to_string(it->second.arity));
+  }
+  for (const IdRow& row : it->second.rows) {
+    relation.InsertUnsafe(Decode(row));
+  }
+  return relation;
+}
+
+relational::Row FactStore::Decode(const IdRow& row) const {
+  relational::Row decoded;
+  decoded.reserve(row.size());
+  for (ValueId id : row) decoded.push_back(dict_.Get(id));
+  return decoded;
+}
+
+std::vector<std::string> FactStore::Predicates() const {
+  std::vector<std::string> names;
+  names.reserve(predicates_.size());
+  for (const auto& [name, facts] : predicates_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace limcap::datalog

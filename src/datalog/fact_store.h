@@ -1,0 +1,104 @@
+#ifndef LIMCAP_DATALOG_FACT_STORE_H_
+#define LIMCAP_DATALOG_FACT_STORE_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/result.h"
+#include "common/value.h"
+#include "common/value_dictionary.h"
+#include "relational/relation.h"
+
+namespace limcap::datalog {
+
+/// A fact row with dictionary-encoded values.
+using IdRow = std::vector<ValueId>;
+
+/// Holds the extensional and derived facts of a Datalog evaluation, one
+/// fact set per predicate. Values are interned into a shared dictionary so
+/// engine rows are flat id vectors; facts are appended (never removed), so
+/// a row-count watermark identifies a predicate's delta — exactly what
+/// semi-naive iteration and the resumable source-driven evaluation need.
+class FactStore {
+ public:
+  FactStore() = default;
+
+  FactStore(const FactStore&) = delete;
+  FactStore& operator=(const FactStore&) = delete;
+  FactStore(FactStore&&) = default;
+  FactStore& operator=(FactStore&&) = default;
+
+  ValueDictionary& dict() { return dict_; }
+  const ValueDictionary& dict() const { return dict_; }
+
+  /// Declares `predicate` with the given arity (idempotent; fails on a
+  /// conflicting arity).
+  Status Declare(const std::string& predicate, std::size_t arity);
+
+  bool IsDeclared(const std::string& predicate) const {
+    return predicates_.count(predicate) > 0;
+  }
+  Result<std::size_t> Arity(const std::string& predicate) const;
+
+  /// Interns `row` and inserts it; returns true when new. Declares the
+  /// predicate implicitly with the row's arity.
+  Result<bool> Insert(const std::string& predicate,
+                      const relational::Row& row);
+
+  /// Inserts an already-encoded row; true when new.
+  Result<bool> InsertIds(const std::string& predicate, IdRow row);
+
+  bool Contains(const std::string& predicate, const IdRow& row) const;
+
+  /// Number of facts for `predicate` (0 when undeclared).
+  std::size_t Count(const std::string& predicate) const;
+
+  /// Total facts across predicates.
+  std::size_t TotalCount() const;
+
+  /// All facts of `predicate` in insertion order. The reference is stable
+  /// across inserts for the duration of iteration only if no insert
+  /// happens; callers capture sizes instead of iterators.
+  const std::vector<IdRow>& Facts(const std::string& predicate) const;
+
+  /// Row positions in [0, limit) whose values at `columns` equal `key`.
+  /// Builds a hash index per column subset on first use and maintains it
+  /// incrementally. Returned indices are ascending.
+  std::vector<std::size_t> Probe(const std::string& predicate,
+                                 const std::vector<std::size_t>& columns,
+                                 const IdRow& key, std::size_t limit) const;
+
+  /// Decodes the facts of `predicate` into a Relation with `schema`
+  /// (arity must match).
+  Result<relational::Relation> ToRelation(const std::string& predicate,
+                                          const relational::Schema& schema) const;
+
+  /// Decodes one fact row.
+  relational::Row Decode(const IdRow& row) const;
+
+  /// Declared predicates, sorted.
+  std::vector<std::string> Predicates() const;
+
+ private:
+  struct PredicateFacts {
+    std::size_t arity = 0;
+    std::vector<IdRow> rows;
+    std::unordered_set<IdRow, VectorHash<ValueId>> row_set;
+    // column subset -> key -> ascending row positions
+    mutable std::map<std::vector<std::size_t>,
+                     std::unordered_map<IdRow, std::vector<std::size_t>,
+                                        VectorHash<ValueId>>>
+        indexes;
+  };
+
+  ValueDictionary dict_;
+  std::unordered_map<std::string, PredicateFacts> predicates_;
+};
+
+}  // namespace limcap::datalog
+
+#endif  // LIMCAP_DATALOG_FACT_STORE_H_

@@ -1,0 +1,207 @@
+#include "datalog/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace limcap::datalog {
+
+namespace {
+
+/// Hand-written lexer/recursive-descent parser with line/column tracking
+/// for error messages.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Program> ParseProgram() {
+    Program program;
+    SkipTrivia();
+    while (!AtEnd()) {
+      LIMCAP_ASSIGN_OR_RETURN(Rule rule, ParseOneRule());
+      program.AddRule(std::move(rule));
+      SkipTrivia();
+    }
+    return program;
+  }
+
+  Result<Rule> ParseSingleRule() {
+    SkipTrivia();
+    LIMCAP_ASSIGN_OR_RETURN(Rule rule, ParseOneRule());
+    SkipTrivia();
+    if (!AtEnd()) return Error("trailing input after rule");
+    return rule;
+  }
+
+ private:
+  Result<Rule> ParseOneRule() {
+    Rule rule;
+    LIMCAP_ASSIGN_OR_RETURN(rule.head, ParseAtom());
+    SkipTrivia();
+    if (ConsumeIf(":-")) {
+      SkipTrivia();
+      // Allow an empty body: `f(a) :- .`
+      if (!Peek('.')) {
+        while (true) {
+          LIMCAP_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+          rule.body.push_back(std::move(atom));
+          SkipTrivia();
+          if (!ConsumeIf(",")) break;
+          SkipTrivia();
+        }
+      }
+    }
+    SkipTrivia();
+    if (!ConsumeIf(".")) return Error("expected '.' at end of rule");
+    return rule;
+  }
+
+  Result<Atom> ParseAtom() {
+    SkipTrivia();
+    LIMCAP_ASSIGN_OR_RETURN(std::string name, ParseIdentifier());
+    Atom atom;
+    atom.predicate = std::move(name);
+    SkipTrivia();
+    if (!ConsumeIf("(")) return Error("expected '(' after predicate name");
+    SkipTrivia();
+    if (!ConsumeIf(")")) {
+      while (true) {
+        LIMCAP_ASSIGN_OR_RETURN(Term term, ParseTerm());
+        atom.terms.push_back(std::move(term));
+        SkipTrivia();
+        if (ConsumeIf(")")) break;
+        if (!ConsumeIf(",")) return Error("expected ',' or ')' in atom");
+        SkipTrivia();
+      }
+    }
+    return atom;
+  }
+
+  Result<Term> ParseTerm() {
+    SkipTrivia();
+    if (AtEnd()) return Error("expected term");
+    char c = text_[pos_];
+    if (c == '"') return ParseQuotedString();
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+      return ParseNumber();
+    }
+    if (IsIdentStart(c)) {
+      LIMCAP_ASSIGN_OR_RETURN(std::string name, ParseIdentifier());
+      if (std::isupper(static_cast<unsigned char>(name[0])) || name[0] == '_') {
+        return Term::Var(std::move(name));
+      }
+      return Term::Constant(Value::String(std::move(name)));
+    }
+    return Error(std::string("unexpected character '") + c + "' in term");
+  }
+
+  Result<Term> ParseQuotedString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (!AtEnd() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+      out += text_[pos_++];
+    }
+    if (AtEnd()) return Error("unterminated string literal");
+    ++pos_;  // closing quote
+    return Term::Constant(Value::String(std::move(out)));
+  }
+
+  Result<Term> ParseNumber() {
+    std::size_t start = pos_;
+    if (text_[pos_] == '-') ++pos_;
+    if (AtEnd() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Error("expected digits after '-'");
+    }
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    bool is_double = false;
+    // A '.' is part of the number only when followed by a digit; otherwise
+    // it terminates the rule.
+    if (!AtEnd() && text_[pos_] == '.' && pos_ + 1 < text_.size() &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+      is_double = true;
+      ++pos_;
+      while (!AtEnd() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    if (is_double) return Term::Constant(Value::Double(std::strtod(token.c_str(), nullptr)));
+    return Term::Constant(
+        Value::Int64(std::strtoll(token.c_str(), nullptr, 10)));
+  }
+
+  Result<std::string> ParseIdentifier() {
+    if (AtEnd() || !IsIdentStart(text_[pos_])) {
+      return Error("expected identifier");
+    }
+    std::size_t start = pos_;
+    while (!AtEnd() && IsIdentChar(text_[pos_])) ++pos_;
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  static bool IsIdentStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '$';
+  }
+  static bool IsIdentChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '^' || c == '$';
+  }
+
+  void SkipTrivia() {
+    while (!AtEnd()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        line_start_ = pos_ + 1;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '%' ||
+                 (c == '/' && pos_ + 1 < text_.size() &&
+                  text_[pos_ + 1] == '/')) {
+        while (!AtEnd() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  bool Peek(char c) const { return !AtEnd() && text_[pos_] == c; }
+
+  bool ConsumeIf(std::string_view token) {
+    if (text_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(std::string message) const {
+    return Status::InvalidArgument(
+        message + " at line " + std::to_string(line_) + ", column " +
+        std::to_string(pos_ - line_start_ + 1));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t line_start_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view text) {
+  return Parser(text).ParseProgram();
+}
+
+Result<Rule> ParseRule(std::string_view text) {
+  return Parser(text).ParseSingleRule();
+}
+
+}  // namespace limcap::datalog

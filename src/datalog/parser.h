@@ -1,0 +1,33 @@
+#ifndef LIMCAP_DATALOG_PARSER_H_
+#define LIMCAP_DATALOG_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "datalog/ast.h"
+
+namespace limcap::datalog {
+
+/// Parses Datalog text into a Program. The grammar follows the paper's
+/// notation:
+///
+///   ans(P) :- v1^(t1, C), v3^(C, A, P).
+///   song(t1).
+///   % comment (also //)
+///
+/// * Identifiers beginning with an upper-case letter are variables; all
+///   others are string constants (paper convention).
+/// * `^` is allowed inside identifiers so alpha-predicates print/parse as
+///   `v1^`.
+/// * A token beginning with `$` is a string constant (e.g. `$15`).
+/// * Integer and floating-point literals become Int64/Double values.
+/// * Quoted strings ("...") are string constants regardless of case.
+/// * Facts may be written `f(a).` or `f(a) :- .`.
+Result<Program> ParseProgram(std::string_view text);
+
+/// Parses a single rule (same syntax, one rule, trailing '.').
+Result<Rule> ParseRule(std::string_view text);
+
+}  // namespace limcap::datalog
+
+#endif  // LIMCAP_DATALOG_PARSER_H_

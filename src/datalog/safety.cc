@@ -1,0 +1,32 @@
+#include "datalog/safety.h"
+
+#include <unordered_set>
+
+namespace limcap::datalog {
+
+Status CheckRuleSafety(const Rule& rule) {
+  std::unordered_set<std::string> body_vars;
+  for (const Atom& atom : rule.body) {
+    for (const Term& term : atom.terms) {
+      if (term.is_variable()) body_vars.insert(term.var());
+    }
+  }
+  for (const Term& term : rule.head.terms) {
+    if (term.is_variable() && body_vars.count(term.var()) == 0) {
+      return Status::InvalidArgument(
+          "unsafe rule (head variable " + term.var() +
+          " not bound in body): " + rule.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckSafety(const Program& program) {
+  LIMCAP_RETURN_NOT_OK(program.PredicateArities().status());
+  for (const Rule& rule : program.rules()) {
+    LIMCAP_RETURN_NOT_OK(CheckRuleSafety(rule));
+  }
+  return Status::OK();
+}
+
+}  // namespace limcap::datalog

@@ -1,0 +1,20 @@
+#ifndef LIMCAP_DATALOG_SAFETY_H_
+#define LIMCAP_DATALOG_SAFETY_H_
+
+#include "common/status.h"
+#include "datalog/ast.h"
+
+namespace limcap::datalog {
+
+/// Checks range-restriction safety (Ullman's definition, used by the
+/// paper's Proposition 3.1): every variable in a rule head must occur in
+/// the rule's (positive) body. Facts must be ground. Also validates that
+/// every predicate is used with a consistent arity.
+Status CheckSafety(const Program& program);
+
+/// Safety of a single rule.
+Status CheckRuleSafety(const Rule& rule);
+
+}  // namespace limcap::datalog
+
+#endif  // LIMCAP_DATALOG_SAFETY_H_

@@ -1,0 +1,67 @@
+#include "exec/baseline_executor.h"
+
+#include <map>
+
+#include "exec/bind_join.h"
+#include "planner/closure.h"
+
+namespace limcap::exec {
+
+namespace {
+
+using capability::SourceView;
+using relational::Relation;
+
+}  // namespace
+
+Result<BaselineResult> BaselineExecutor::Execute(const planner::Query& query) {
+  BaselineResult result;
+  LIMCAP_ASSIGN_OR_RETURN(relational::Schema out_schema,
+                          relational::Schema::Make(query.outputs()));
+  result.answer = Relation(out_schema);
+
+  // Input-value combinations (one value per attribute per pass).
+  std::map<std::string, std::vector<Value>> input_values;
+  for (const planner::InputAssignment& input : query.inputs()) {
+    input_values[input.attribute].push_back(input.value);
+  }
+  std::vector<std::pair<std::string, std::vector<Value>>> choices(
+      input_values.begin(), input_values.end());
+
+  for (const planner::Connection& connection : query.connections()) {
+    // Resolve the connection's adorned views.
+    std::vector<SourceView> views;
+    for (const std::string& name : connection.view_names()) {
+      LIMCAP_ASSIGN_OR_RETURN(const SourceView* view,
+                              catalog_->FindView(name));
+      views.push_back(*view);
+    }
+    auto sequence =
+        planner::ExecutableSequence(query.InputAttributes(), views);
+    if (!sequence.ok()) {
+      // Not independent: the baseline gives up on this connection.
+      result.skipped_connections.push_back(connection);
+      continue;
+    }
+
+    std::vector<std::size_t> pick(choices.size(), 0);
+    while (true) {
+      std::map<std::string, Value> combo;
+      for (std::size_t i = 0; i < choices.size(); ++i) {
+        combo.emplace(choices[i].first, choices[i].second[pick[i]]);
+      }
+      LIMCAP_RETURN_NOT_OK(ExecuteBindJoinChain(*catalog_, sequence.value(),
+                                                combo, query.outputs(),
+                                                &result.log, &result.answer));
+      std::size_t i = 0;
+      for (; i < pick.size(); ++i) {
+        if (++pick[i] < choices[i].second.size()) break;
+        pick[i] = 0;
+      }
+      if (i == pick.size()) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace limcap::exec

@@ -1,0 +1,49 @@
+#ifndef LIMCAP_EXEC_BASELINE_EXECUTOR_H_
+#define LIMCAP_EXEC_BASELINE_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "capability/access_log.h"
+#include "capability/source_catalog.h"
+#include "common/result.h"
+#include "planner/query.h"
+#include "relational/relation.h"
+
+namespace limcap::exec {
+
+/// Result of a baseline (per-connection) execution.
+struct BaselineResult {
+  relational::Relation answer;
+  capability::AccessLog log;
+  /// Connections skipped because no executable sequence exists using only
+  /// the connection's own views — the prior systems' "give up" case
+  /// (Theorem 4.1 discussion; [8, 16]).
+  std::vector<planner::Connection> skipped_connections;
+};
+
+/// The comparison baseline from the paper's Section 2 discussion
+/// ([10, 14, 16]): each connection (join) is processed on its own, using
+/// only the views it mentions. If the connection is independent —
+/// f-closure(I(Q), T) = T — it is executed as a chain of bind-joins along
+/// the executable sequence; otherwise it is skipped entirely. In
+/// Example 2.1 this returns {$15} where the paper's framework obtains
+/// {$15, $13, $10}.
+///
+/// For an independent connection the bind-join chain retrieves the
+/// complete answer (Theorem 4.1), so on fully independent queries the
+/// baseline and the framework agree.
+class BaselineExecutor {
+ public:
+  explicit BaselineExecutor(const capability::SourceCatalog* catalog)
+      : catalog_(catalog) {}
+
+  Result<BaselineResult> Execute(const planner::Query& query);
+
+ private:
+  const capability::SourceCatalog* catalog_;
+};
+
+}  // namespace limcap::exec
+
+#endif  // LIMCAP_EXEC_BASELINE_EXECUTOR_H_

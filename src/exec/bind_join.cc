@@ -1,0 +1,126 @@
+#include "exec/bind_join.h"
+
+#include <set>
+
+#include "capability/source.h"
+#include "relational/operators.h"
+
+namespace limcap::exec {
+
+namespace {
+
+using capability::AccessRecord;
+using capability::AttributeSet;
+using capability::Source;
+using capability::SourceQuery;
+using capability::SourceView;
+using relational::Relation;
+using relational::Row;
+
+}  // namespace
+
+Status ExecuteBindJoinChain(const capability::SourceCatalog& catalog,
+                            const std::vector<std::string>& sequence,
+                            const std::map<std::string, Value>& inputs,
+                            const std::vector<std::string>& outputs,
+                            capability::AccessLog* log,
+                            relational::Relation* answer) {
+  // The running intermediate result; starts as the join identity.
+  Relation intermediate{relational::Schema::MakeUnsafe({})};
+  intermediate.InsertUnsafe({});
+
+  for (const std::string& view_name : sequence) {
+    LIMCAP_ASSIGN_OR_RETURN(Source * source, catalog.Find(view_name));
+    const SourceView& view = source->view();
+
+    // Pick the first template satisfiable from the attributes available
+    // at this point of the sequence (the executable sequence guarantees
+    // one exists).
+    AttributeSet available;
+    for (const auto& [attribute, value] : inputs) available.insert(attribute);
+    for (const std::string& attribute :
+         intermediate.schema().attributes()) {
+      available.insert(attribute);
+    }
+    auto template_index = view.SatisfiedTemplate(available);
+    if (!template_index.has_value()) {
+      return Status::Internal("executable sequence broken: no template of " +
+                              view_name + " satisfiable");
+    }
+
+    // Bound attributes take their value from the inputs or from the
+    // intermediate result.
+    std::vector<std::string> bound_from_inputs;
+    std::vector<std::size_t> bound_columns;   // columns of intermediate
+    std::vector<std::string> bound_from_rows; // their attribute names
+    for (std::size_t i :
+         view.templates()[*template_index].BoundPositions()) {
+      const std::string& attribute = view.schema().attribute(i);
+      if (inputs.count(attribute) > 0) {
+        bound_from_inputs.push_back(attribute);
+      } else {
+        auto column = intermediate.schema().IndexOf(attribute);
+        if (!column.has_value()) {
+          return Status::Internal(
+              "executable sequence broken: attribute " + attribute +
+              " of view " + view_name + " is not bound");
+        }
+        bound_columns.push_back(*column);
+        bound_from_rows.push_back(attribute);
+      }
+    }
+
+    // Issue one source query per distinct binding combination.
+    Relation fetched(view.schema());
+    std::set<Row> asked;
+    for (const Row& row : intermediate.rows()) {
+      Row key;
+      key.reserve(bound_columns.size());
+      for (std::size_t c : bound_columns) key.push_back(row[c]);
+      if (!asked.insert(key).second) continue;
+
+      SourceQuery query;
+      for (const std::string& attribute : bound_from_inputs) {
+        query.bindings.emplace(attribute, inputs.at(attribute));
+      }
+      for (std::size_t i = 0; i < bound_from_rows.size(); ++i) {
+        query.bindings.emplace(bound_from_rows[i], key[i]);
+      }
+      LIMCAP_ASSIGN_OR_RETURN(Relation tuples, source->Execute(query));
+
+      AccessRecord record;
+      record.source = view_name;
+      record.query = query;
+      record.rendered_query = view.FormatQuery(query.bindings);
+      record.tuples_returned = tuples.size();
+      for (const Row& tuple : tuples.rows()) {
+        // Enforce input assignments on the view's other attributes (the
+        // source query only bound B(v)).
+        bool matches = true;
+        for (const auto& [attribute, value] : inputs) {
+          auto column = view.schema().IndexOf(attribute);
+          if (column.has_value() && tuple[*column] != value) {
+            matches = false;
+            break;
+          }
+        }
+        if (matches && fetched.InsertUnsafe(tuple)) {
+          ++record.new_tuples;
+          record.returned_rendered.push_back(relational::RowToString(tuple));
+        }
+      }
+      log->Record(std::move(record));
+    }
+
+    intermediate = relational::NaturalJoin(intermediate, fetched);
+    if (intermediate.empty()) break;
+  }
+
+  if (intermediate.empty()) return Status::OK();
+  LIMCAP_ASSIGN_OR_RETURN(Relation projected,
+                          relational::Project(intermediate, outputs));
+  for (const Row& row : projected.rows()) answer->InsertUnsafe(row);
+  return Status::OK();
+}
+
+}  // namespace limcap::exec

@@ -1,0 +1,39 @@
+#ifndef LIMCAP_EXEC_BIND_JOIN_H_
+#define LIMCAP_EXEC_BIND_JOIN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "capability/access_log.h"
+#include "capability/source_catalog.h"
+#include "common/result.h"
+#include "common/value.h"
+#include "relational/relation.h"
+
+namespace limcap::exec {
+
+/// Executes an *executable sequence* of views (the witness of an
+/// independent connection, Section 4.2) as a chain of bind-joins: walk
+/// the sequence, issuing one source query per distinct combination of
+/// the current view's bound attributes drawn from the inputs and the
+/// intermediate result, and natural-joining the fetched tuples in.
+///
+/// For an independent connection this retrieves the complete answer for
+/// the connection (Theorem 4.1). Preconditions: `sequence` is executable
+/// from `inputs`' attributes (each view — under some template — has its
+/// bound attributes covered by the inputs plus earlier views' attributes).
+///
+/// Appends the produced output rows (projected onto `outputs`, filtered
+/// by the input assignments) to `answer` and one record per source query
+/// to `log`.
+Status ExecuteBindJoinChain(const capability::SourceCatalog& catalog,
+                            const std::vector<std::string>& sequence,
+                            const std::map<std::string, Value>& inputs,
+                            const std::vector<std::string>& outputs,
+                            capability::AccessLog* log,
+                            relational::Relation* answer);
+
+}  // namespace limcap::exec
+
+#endif  // LIMCAP_EXEC_BIND_JOIN_H_

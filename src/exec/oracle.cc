@@ -1,0 +1,101 @@
+#include "exec/oracle.h"
+
+#include <vector>
+
+#include "capability/in_memory_source.h"
+#include "relational/operators.h"
+
+namespace limcap::exec {
+
+namespace {
+
+using relational::Relation;
+
+/// Selections for one combination of input values, restricted to the
+/// attributes present in `schema`.
+std::vector<relational::EqualityCondition> ConditionsFor(
+    const std::map<std::string, Value>& combo,
+    const relational::Schema& schema) {
+  std::vector<relational::EqualityCondition> conditions;
+  for (const auto& [attribute, value] : combo) {
+    if (schema.Contains(attribute)) conditions.push_back({attribute, value});
+  }
+  return conditions;
+}
+
+}  // namespace
+
+Result<Relation> CompleteAnswer(
+    const planner::Query& query,
+    const std::map<std::string, Relation>& full_data) {
+  LIMCAP_ASSIGN_OR_RETURN(relational::Schema out_schema,
+                          relational::Schema::Make(query.outputs()));
+  Relation answer(out_schema);
+
+  // Enumerate input-value combinations (one per attribute at a time);
+  // almost always a single combination.
+  std::map<std::string, std::vector<Value>> input_values;
+  for (const planner::InputAssignment& input : query.inputs()) {
+    input_values[input.attribute].push_back(input.value);
+  }
+  std::vector<std::pair<std::string, std::vector<Value>>> choices(
+      input_values.begin(), input_values.end());
+  std::vector<std::size_t> pick(choices.size(), 0);
+
+  while (true) {
+    std::map<std::string, Value> combo;
+    for (std::size_t i = 0; i < choices.size(); ++i) {
+      combo.emplace(choices[i].first, choices[i].second[pick[i]]);
+    }
+
+    for (const planner::Connection& connection : query.connections()) {
+      std::vector<const Relation*> joined;
+      for (const std::string& name : connection.view_names()) {
+        auto it = full_data.find(name);
+        if (it == full_data.end()) {
+          return Status::InvalidArgument("no full data for view " + name);
+        }
+        joined.push_back(&it->second);
+      }
+      Relation join = relational::NaturalJoinAll(joined);
+      LIMCAP_ASSIGN_OR_RETURN(
+          Relation selected,
+          relational::Select(join, ConditionsFor(combo, join.schema())));
+      LIMCAP_ASSIGN_OR_RETURN(Relation projected,
+                              relational::Project(selected, query.outputs()));
+      for (const relational::Row& row : projected.rows()) {
+        answer.InsertUnsafe(row);
+      }
+    }
+
+    std::size_t i = 0;
+    for (; i < pick.size(); ++i) {
+      if (++pick[i] < choices[i].second.size()) break;
+      pick[i] = 0;
+    }
+    if (i == pick.size()) break;
+  }
+  return answer;
+}
+
+Result<Relation> CompleteAnswer(const planner::Query& query,
+                                const capability::SourceCatalog& catalog) {
+  std::map<std::string, Relation> full_data;
+  for (const planner::Connection& connection : query.connections()) {
+    for (const std::string& name : connection.view_names()) {
+      if (full_data.count(name) > 0) continue;
+      LIMCAP_ASSIGN_OR_RETURN(capability::Source * source,
+                              catalog.Find(name));
+      auto* in_memory = dynamic_cast<capability::InMemorySource*>(source);
+      if (in_memory == nullptr) {
+        return Status::Unsupported(
+            "oracle needs InMemorySource full extents; view " + name +
+            " is backed by a different source type");
+      }
+      full_data.emplace(name, in_memory->data());
+    }
+  }
+  return CompleteAnswer(query, full_data);
+}
+
+}  // namespace limcap::exec

@@ -1,0 +1,38 @@
+#ifndef LIMCAP_EXEC_ORACLE_H_
+#define LIMCAP_EXEC_ORACLE_H_
+
+#include <map>
+#include <string>
+
+#include "capability/source_catalog.h"
+#include "common/result.h"
+#include "planner/query.h"
+#include "relational/relation.h"
+
+namespace limcap::exec {
+
+/// Computes the *complete* answer to a query (Section 2.3) — the answer
+/// the sources would give if they had no capability restrictions: for each
+/// connection, the natural join of the full source relations, selected on
+/// the input assignments and projected onto the outputs; unioned across
+/// connections. This is the ground truth the obtainable answer is
+/// compared against (obtainable ⊆ complete always; equality iff nothing
+/// was lost to the restrictions).
+///
+/// `full_data` maps each view name mentioned by the query to the full
+/// extent of the source relation — information the integration system
+/// cannot see in production, which is exactly why this is an oracle for
+/// tests and benches.
+Result<relational::Relation> CompleteAnswer(
+    const planner::Query& query,
+    const std::map<std::string, relational::Relation>& full_data);
+
+/// Convenience: extracts the full extents from a catalog of
+/// InMemorySources. Fails if some source backing a queried view is not an
+/// InMemorySource.
+Result<relational::Relation> CompleteAnswer(
+    const planner::Query& query, const capability::SourceCatalog& catalog);
+
+}  // namespace limcap::exec
+
+#endif  // LIMCAP_EXEC_ORACLE_H_

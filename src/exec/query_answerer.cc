@@ -1,0 +1,165 @@
+#include "exec/query_answerer.h"
+
+#include "exec/bind_join.h"
+#include "planner/closure.h"
+
+namespace limcap::exec {
+
+Result<AnswerReport> QueryAnswerer::Answer(const planner::Query& query,
+                                           const ExecOptions& options) const {
+  LIMCAP_RETURN_NOT_OK(query.Validate(*catalog_, domains_));
+  AnswerReport report;
+  LIMCAP_ASSIGN_OR_RETURN(
+      report.plan, planner::PlanQuery(query, catalog_->Views(), domains_,
+                                      options.builder));
+  SourceDrivenEvaluator evaluator(catalog_, domains_, options);
+  LIMCAP_ASSIGN_OR_RETURN(
+      report.exec, evaluator.Execute(report.plan.optimized_program, query));
+  return report;
+}
+
+Result<AnswerReport> QueryAnswerer::AnswerHybrid(
+    const planner::Query& query, const ExecOptions& options) const {
+  LIMCAP_RETURN_NOT_OK(query.Validate(*catalog_, domains_));
+  AnswerReport report;
+  LIMCAP_ASSIGN_OR_RETURN(
+      report.plan, planner::PlanQuery(query, catalog_->Views(), domains_,
+                                      options.builder));
+
+  // Partition the queryable connections by (attribute-level)
+  // independence.
+  std::vector<planner::Connection> independent;
+  std::vector<planner::Connection> dependent;
+  std::map<std::string, std::vector<std::string>> sequences;
+  for (const planner::Connection& connection :
+       report.plan.relevance.queryable_connections) {
+    std::vector<capability::SourceView> views;
+    for (const std::string& name : connection.view_names()) {
+      LIMCAP_ASSIGN_OR_RETURN(const capability::SourceView* view,
+                              catalog_->FindView(name));
+      views.push_back(*view);
+    }
+    auto sequence =
+        planner::ExecutableSequence(query.InputAttributes(), views);
+    if (sequence.ok()) {
+      sequences.emplace(connection.ToString(), *sequence);
+      independent.push_back(connection);
+    } else {
+      dependent.push_back(connection);
+    }
+  }
+
+  // Datalog part for the dependent connections.
+  if (!dependent.empty()) {
+    planner::Query sub(query.inputs(), query.outputs(), dependent);
+    LIMCAP_ASSIGN_OR_RETURN(
+        planner::PlanResult subplan,
+        planner::PlanQuery(sub, catalog_->Views(), domains_,
+                           options.builder));
+    SourceDrivenEvaluator evaluator(catalog_, domains_, options);
+    LIMCAP_ASSIGN_OR_RETURN(report.exec,
+                            evaluator.Execute(subplan.optimized_program, sub));
+  } else {
+    LIMCAP_ASSIGN_OR_RETURN(relational::Schema out_schema,
+                            relational::Schema::Make(query.outputs()));
+    report.exec.answer = relational::Relation(std::move(out_schema));
+  }
+
+  // Bind-join part for the independent connections, per input
+  // combination (Theorem 4.1: this retrieves their complete answers).
+  std::map<std::string, std::vector<Value>> input_values;
+  for (const planner::InputAssignment& input : query.inputs()) {
+    input_values[input.attribute].push_back(input.value);
+  }
+  std::vector<std::pair<std::string, std::vector<Value>>> choices(
+      input_values.begin(), input_values.end());
+  for (const planner::Connection& connection : independent) {
+    const std::vector<std::string>& sequence =
+        sequences.at(connection.ToString());
+    std::vector<std::size_t> pick(choices.size(), 0);
+    while (true) {
+      std::map<std::string, Value> combo;
+      for (std::size_t i = 0; i < choices.size(); ++i) {
+        combo.emplace(choices[i].first, choices[i].second[pick[i]]);
+      }
+      LIMCAP_RETURN_NOT_OK(
+          ExecuteBindJoinChain(*catalog_, sequence, combo, query.outputs(),
+                               &report.exec.log, &report.exec.answer));
+      std::size_t i = 0;
+      for (; i < pick.size(); ++i) {
+        if (++pick[i] < choices[i].second.size()) break;
+        pick[i] = 0;
+      }
+      if (i == pick.size()) break;
+    }
+  }
+  return report;
+}
+
+Result<AnswerReport> QueryAnswerer::AnswerWithCache(
+    const planner::Query& query,
+    const std::map<std::string, relational::Relation>& cached,
+    const ExecOptions& options) const {
+  LIMCAP_RETURN_NOT_OK(query.Validate(*catalog_, domains_));
+  AnswerReport report;
+  // Cached views seed their attributes' domains, which can make views —
+  // and whole connections — queryable that a cold start would drop.
+  capability::AttributeSet seeded;
+  for (const auto& [name, tuples] : cached) {
+    if (tuples.empty()) continue;
+    LIMCAP_ASSIGN_OR_RETURN(const capability::SourceView* view,
+                            catalog_->FindView(name));
+    capability::AttributeSet attrs = view->Attributes();
+    seeded.insert(attrs.begin(), attrs.end());
+  }
+  LIMCAP_ASSIGN_OR_RETURN(
+      report.plan, planner::PlanQuery(query, catalog_->Views(), domains_,
+                                      options.builder, seeded));
+  // Fold the cached tuples into the optimized program as fact rules
+  // (Section 7.1). Facts only add derivations, so the relevance analysis
+  // computed without them stays sound.
+  datalog::Program program = report.plan.optimized_program;
+  for (const auto& [name, tuples] : cached) {
+    LIMCAP_ASSIGN_OR_RETURN(const capability::SourceView* view,
+                            catalog_->FindView(name));
+    for (const relational::Row& row : tuples.rows()) {
+      LIMCAP_RETURN_NOT_OK(planner::AddCachedTupleRules(
+          *view, row, domains_, options.builder, &program));
+    }
+  }
+  SourceDrivenEvaluator evaluator(catalog_, domains_, options);
+  LIMCAP_ASSIGN_OR_RETURN(report.exec, evaluator.Execute(program, query));
+  return report;
+}
+
+Result<AnswerReport> QueryAnswerer::AnswerUnoptimized(
+    const planner::Query& query, const ExecOptions& options) const {
+  LIMCAP_RETURN_NOT_OK(query.Validate(*catalog_, domains_));
+  AnswerReport report;
+  LIMCAP_ASSIGN_OR_RETURN(
+      report.plan, planner::PlanQuery(query, catalog_->Views(), domains_,
+                                      options.builder));
+  SourceDrivenEvaluator evaluator(catalog_, domains_, options);
+  LIMCAP_ASSIGN_OR_RETURN(report.exec,
+                          evaluator.Execute(report.plan.full_program, query));
+  return report;
+}
+
+Result<std::map<std::string, relational::Relation>> PerConnectionAnswers(
+    const ExecResult& exec,
+    const std::vector<planner::Connection>& connections,
+    const planner::Query& query, const planner::BuilderOptions& options) {
+  LIMCAP_ASSIGN_OR_RETURN(relational::Schema out_schema,
+                          relational::Schema::Make(query.outputs()));
+  std::map<std::string, relational::Relation> per_connection;
+  for (std::size_t k = 0; k < connections.size(); ++k) {
+    std::string predicate =
+        options.goal_predicate + "$c" + std::to_string(k);
+    LIMCAP_ASSIGN_OR_RETURN(relational::Relation answers,
+                            exec.store.ToRelation(predicate, out_schema));
+    per_connection.emplace(connections[k].ToString(), std::move(answers));
+  }
+  return per_connection;
+}
+
+}  // namespace limcap::exec

@@ -1,0 +1,86 @@
+#ifndef LIMCAP_EXEC_QUERY_ANSWERER_H_
+#define LIMCAP_EXEC_QUERY_ANSWERER_H_
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "exec/source_driven_evaluator.h"
+#include "planner/program_optimizer.h"
+#include "relational/relation.h"
+
+namespace limcap::exec {
+
+/// Everything produced by answering one query end-to-end.
+struct AnswerReport {
+  /// The plan: FIND_REL analysis, Π(Q, V), Π(Q, V_r), optimized program.
+  planner::PlanResult plan;
+  /// Execution of the optimized program against the sources.
+  ExecResult exec;
+};
+
+/// The mediator facade: plan with FIND_REL + useless-rule removal
+/// (Section 6), then evaluate the optimized program against the sources
+/// (Section 3.3). This is the paper's full pipeline and the library's
+/// front door:
+///
+///   QueryAnswerer answerer(&catalog, domains);
+///   auto report = answerer.Answer(query);
+///   report->exec.answer;  // the maximal obtainable answer
+class QueryAnswerer {
+ public:
+  /// `catalog` must outlive the answerer.
+  QueryAnswerer(const capability::SourceCatalog* catalog,
+                planner::DomainMap domains)
+      : catalog_(catalog), domains_(std::move(domains)) {}
+
+  /// Validates, plans, and executes `query`.
+  Result<AnswerReport> Answer(const planner::Query& query,
+                              const ExecOptions& options = {}) const;
+
+  /// Plans and executes the *unoptimized* Π(Q, V) — used by benches to
+  /// measure what FIND_REL saves.
+  Result<AnswerReport> AnswerUnoptimized(const planner::Query& query,
+                                         const ExecOptions& options = {}) const;
+
+  /// Hybrid strategy exploiting Theorem 4.1: independent connections are
+  /// executed directly as bind-join chains (their complete answer needs
+  /// no domain exploration), while the remaining connections run through
+  /// the Datalog evaluator; the answers are unioned. Produces the same
+  /// answer as Answer(). `options.max_source_queries` / `min_answers`
+  /// apply to the Datalog part only.
+  Result<AnswerReport> AnswerHybrid(const planner::Query& query,
+                                    const ExecOptions& options = {}) const;
+
+  /// Section 7.1: answers `query` with cached data folded in. Each entry
+  /// of `cached` maps a view name to previously obtained tuples of that
+  /// view (e.g. CachingSource::ObservedTuples() from an earlier session);
+  /// every tuple becomes an alpha-predicate fact plus domain facts in the
+  /// program, potentially unlocking sources and answers the cold start
+  /// cannot reach. Fails when a cached view is unknown or a tuple's arity
+  /// mismatches.
+  Result<AnswerReport> AnswerWithCache(
+      const planner::Query& query,
+      const std::map<std::string, relational::Relation>& cached,
+      const ExecOptions& options = {}) const;
+
+ private:
+  const capability::SourceCatalog* catalog_;
+  planner::DomainMap domains_;
+};
+
+/// Reads back per-connection answers from an execution whose program was
+/// built with options.builder.per_connection_goals: maps each
+/// connection's ToString() to the relation of answers that connection
+/// contributed. `connections` must be the list the program was built
+/// from — for QueryAnswerer::Answer that is
+/// report.plan.relevance.queryable_connections.
+Result<std::map<std::string, relational::Relation>> PerConnectionAnswers(
+    const ExecResult& exec,
+    const std::vector<planner::Connection>& connections,
+    const planner::Query& query,
+    const planner::BuilderOptions& options = {});
+
+}  // namespace limcap::exec
+
+#endif  // LIMCAP_EXEC_QUERY_ANSWERER_H_

@@ -1,0 +1,215 @@
+#include "exec/source_driven_evaluator.h"
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "capability/source.h"
+#include "relational/schema.h"
+
+namespace limcap::exec {
+
+namespace {
+
+using capability::AccessRecord;
+using capability::Source;
+using capability::SourceQuery;
+using datalog::IdRow;
+using relational::Relation;
+using relational::Row;
+
+/// Per-(view, template) fetch state: which queries have been issued.
+struct FetchSpec {
+  Source* source = nullptr;
+  std::size_t template_index = 0;
+  // The template's bound attribute names in schema order, with their
+  // domain predicates.
+  std::vector<std::string> bound_attributes;
+  std::vector<std::string> bound_domains;
+  std::set<std::vector<ValueId>> asked;
+};
+
+}  // namespace
+
+Result<ExecResult> SourceDrivenEvaluator::Execute(
+    const datalog::Program& program, const planner::Query& query) {
+  ExecResult result;
+  LIMCAP_ASSIGN_OR_RETURN(
+      auto evaluator,
+      datalog::Evaluator::Create(program, &result.store, options_.mode));
+
+  // Identify the views the program reads and prepare their fetch state.
+  std::set<std::string> mentioned = program.AllPredicates();
+  std::vector<FetchSpec> specs;
+  for (const std::string& name : catalog_->ViewNames()) {
+    if (mentioned.count(name) == 0) continue;
+    LIMCAP_ASSIGN_OR_RETURN(Source * source, catalog_->Find(name));
+    const capability::SourceView& view = source->view();
+    for (std::size_t t = 0; t < view.templates().size(); ++t) {
+      FetchSpec spec;
+      spec.source = source;
+      spec.template_index = t;
+      for (std::size_t i : view.templates()[t].BoundPositions()) {
+        const std::string& attribute = view.schema().attribute(i);
+        spec.bound_attributes.push_back(attribute);
+        spec.bound_domains.push_back(domains_.DomainOf(attribute));
+      }
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  // Tracks the domain values already seen, for the "New Binding(s)"
+  // column of the trace (updated eagerly as queries return, ahead of the
+  // Datalog round that formally derives them).
+  std::map<std::string, std::set<ValueId>> seen_domain_values;
+  auto domain_seen = [&](const std::string& domain, ValueId id) {
+    auto [it, inserted] = seen_domain_values[domain].insert(id);
+    return !inserted;
+  };
+  auto sync_domains = [&]() {
+    for (const std::string& predicate : result.store.Predicates()) {
+      for (const IdRow& row : result.store.Facts(predicate)) {
+        if (row.size() == 1) seen_domain_values[predicate].insert(row[0]);
+      }
+    }
+  };
+
+  // Issues one source query for `combo` against `spec`, folding the
+  // returned tuples into the store and the trace.
+  auto issue = [&](FetchSpec& spec,
+                   const std::vector<ValueId>& combo) -> Status {
+    const capability::SourceView& view = spec.source->view();
+    SourceQuery source_query;
+    for (std::size_t i = 0; i < combo.size(); ++i) {
+      source_query.bindings.emplace(spec.bound_attributes[i],
+                                    result.store.dict().Get(combo[i]));
+    }
+    auto answered = spec.source->Execute(source_query);
+    AccessRecord record;
+    record.source = view.name();
+    record.query = source_query;
+    record.rendered_query = view.FormatQuery(source_query.bindings);
+    record.round = result.rounds;
+    const bool source_failed = !answered.ok();
+    if (source_failed && !options_.continue_on_source_error) {
+      return answered.status();
+    }
+    if (source_failed) record.error = answered.status().ToString();
+    Relation tuples = source_failed ? Relation(view.schema())
+                                    : std::move(answered).value();
+    record.tuples_returned = tuples.size();
+    for (const Row& row : tuples.rows()) {
+      LIMCAP_ASSIGN_OR_RETURN(bool inserted,
+                              result.store.Insert(view.name(), row));
+      if (!inserted) continue;
+      ++record.new_tuples;
+      record.returned_rendered.push_back(relational::RowToString(row));
+      // Report first-seen values of free attributes as new bindings.
+      for (std::size_t i :
+           view.templates()[spec.template_index].FreePositions()) {
+        const std::string& attribute = view.schema().attribute(i);
+        ValueId id = result.store.dict().Intern(row[i]);
+        if (!domain_seen(domains_.DomainOf(attribute), id)) {
+          record.new_bindings.push_back(attribute + " = " +
+                                        row[i].ToString());
+        }
+      }
+    }
+    result.log.Record(std::move(record));
+    return Status::OK();
+  };
+
+  // Runs `fn(spec, combo)` for each not-yet-asked binding combination of
+  // `spec` (marking it asked); `fn` returns false to stop enumerating.
+  auto for_each_unasked =
+      [&](FetchSpec& spec,
+          const std::function<Result<bool>(FetchSpec&,
+                                           const std::vector<ValueId>&)>& fn)
+      -> Result<bool> {  // false when fn stopped the enumeration
+    std::vector<const std::vector<IdRow>*> domain_facts;
+    for (const std::string& domain : spec.bound_domains) {
+      const std::vector<IdRow>& facts = result.store.Facts(domain);
+      if (facts.empty()) return true;
+      domain_facts.push_back(&facts);
+    }
+    std::vector<std::size_t> pick(spec.bound_domains.size(), 0);
+    while (true) {
+      std::vector<ValueId> combo;
+      combo.reserve(pick.size());
+      for (std::size_t i = 0; i < pick.size(); ++i) {
+        combo.push_back((*domain_facts[i])[pick[i]][0]);
+      }
+      if (spec.asked.insert(combo).second) {
+        LIMCAP_ASSIGN_OR_RETURN(bool keep_going, fn(spec, combo));
+        if (!keep_going) return false;
+      }
+      // Advance the odometer; a view with no bound attribute has exactly
+      // one (empty) query, and the odometer exhausts immediately.
+      std::size_t i = 0;
+      for (; i < pick.size(); ++i) {
+        if (++pick[i] < domain_facts[i]->size()) break;
+        pick[i] = 0;
+      }
+      if (i == pick.size()) break;
+    }
+    return true;
+  };
+
+  const std::string& goal = options_.builder.goal_predicate;
+  const bool eager = options_.strategy == FetchStrategy::kEager;
+  bool done = false;
+  while (!done) {
+    LIMCAP_RETURN_NOT_OK(evaluator->Run());
+    sync_domains();
+    if (result.store.Count(goal) >= options_.min_answers) {
+      // Enough results for the user (Section 7.2); stop fetching.
+      result.budget_exhausted = true;
+      break;
+    }
+
+    bool issued_any = false;
+    for (FetchSpec& spec : specs) {
+      LIMCAP_ASSIGN_OR_RETURN(
+          bool exhausted,
+          for_each_unasked(
+              spec,
+              [&](FetchSpec& s,
+                  const std::vector<ValueId>& combo) -> Result<bool> {
+                if (result.log.total_queries() >=
+                    options_.max_source_queries) {
+                  result.budget_exhausted = true;
+                  done = true;
+                  return false;
+                }
+                LIMCAP_RETURN_NOT_OK(issue(s, combo));
+                issued_any = true;
+                // Eager strategy: stop after one query and go derive.
+                return !eager;
+              }));
+      if (!exhausted || done) break;
+    }
+    if (done) {
+      // Budget exhausted: derive what we can from the facts on hand.
+      LIMCAP_RETURN_NOT_OK(evaluator->Run());
+      break;
+    }
+    if (!issued_any) {
+      done = true;
+    } else {
+      ++result.rounds;
+    }
+  }
+
+  result.datalog_stats = evaluator->stats();
+
+  // Decode the goal predicate into the answer relation.
+  LIMCAP_ASSIGN_OR_RETURN(relational::Schema out_schema,
+                          relational::Schema::Make(query.outputs()));
+  LIMCAP_ASSIGN_OR_RETURN(
+      result.answer,
+      result.store.ToRelation(options_.builder.goal_predicate, out_schema));
+  return result;
+}
+
+}  // namespace limcap::exec

@@ -1,0 +1,111 @@
+#ifndef LIMCAP_EXEC_SOURCE_DRIVEN_EVALUATOR_H_
+#define LIMCAP_EXEC_SOURCE_DRIVEN_EVALUATOR_H_
+
+#include <cstddef>
+#include <limits>
+#include <string>
+
+#include "capability/access_log.h"
+#include "capability/source_catalog.h"
+#include "common/result.h"
+#include "datalog/ast.h"
+#include "datalog/evaluator.h"
+#include "datalog/fact_store.h"
+#include "planner/domain_map.h"
+#include "planner/program_builder.h"
+#include "planner/query.h"
+#include "relational/relation.h"
+
+namespace limcap::exec {
+
+/// How the evaluator schedules source queries between Datalog rounds.
+enum class FetchStrategy {
+  /// Each round issues every currently formable query, then derives —
+  /// maximizes per-round parallelism (see exec/latency_model.h).
+  kRoundBased,
+  /// Issue one query, immediately derive, repeat — the depth-first style
+  /// of the paper's Table 2 narration. Same fixpoint, different order;
+  /// with early stopping (budgets, min_answers) it can need fewer
+  /// queries, at the price of fully sequential rounds.
+  kEager,
+};
+
+/// Execution knobs.
+struct ExecOptions {
+  planner::BuilderOptions builder;
+  datalog::Evaluator::Mode mode = datalog::Evaluator::Mode::kSemiNaive;
+  FetchStrategy strategy = FetchStrategy::kRoundBased;
+  /// Source-access budget (Section 7.2 partial answers): the evaluator
+  /// stops issuing source queries once this many have been sent and
+  /// finishes deriving from what it has.
+  std::size_t max_source_queries = std::numeric_limits<std::size_t>::max();
+  /// Result target (Section 7.2: "we decide how many source queries to
+  /// send based on how many results the user is interested in"): stop
+  /// fetching as soon as the goal predicate holds at least this many
+  /// facts. The final answer may exceed the target (a fetch round can
+  /// add several answers at once).
+  std::size_t min_answers = std::numeric_limits<std::size_t>::max();
+  /// When true, a source query that fails (e.g. the source is down) is
+  /// logged with its error and treated as returning no tuples, and the
+  /// evaluation continues — the answer is then a sound partial answer.
+  /// When false (default) the failure aborts the evaluation. Failed
+  /// queries are not retried either way.
+  bool continue_on_source_error = false;
+};
+
+/// What an execution produced.
+struct ExecResult {
+  /// The obtainable answer: the goal predicate's facts, with the query's
+  /// output attributes as schema.
+  relational::Relation answer;
+  /// The full source-access trace (the paper's Table 2).
+  capability::AccessLog log;
+  /// All derived facts — the alpha-predicates, domain predicates and goal
+  /// (the paper's Table 3).
+  datalog::FactStore store;
+  datalog::EvalStats datalog_stats;
+  /// Fetch-evaluate rounds executed.
+  std::size_t rounds = 0;
+  /// True when max_source_queries or min_answers stopped fetching early,
+  /// making `answer` a (possibly) partial answer.
+  bool budget_exhausted = false;
+};
+
+/// Evaluates a program Π(Q, V) against live capability-restricted sources
+/// (Section 3.3). The program's EDB predicates are the view predicates;
+/// they cannot be scanned, so the evaluator alternates:
+///
+///   1. run the Datalog program to fixpoint over the facts obtained so
+///      far (deriving alpha-predicate facts, domain values, and answers);
+///   2. for every view whose EDB predicate the program uses, form each
+///      not-yet-issued source query from the current values of the bound
+///      attributes' domain predicates, send it, and add the returned
+///      tuples as EDB facts.
+///
+/// Every issued query satisfies the source's binding requirements by
+/// construction. The loop ends when a fetch pass issues no new query —
+/// then the goal predicate holds the maximal obtainable answer
+/// (Proposition 3.2).
+class SourceDrivenEvaluator {
+ public:
+  /// `catalog` must outlive the evaluator.
+  SourceDrivenEvaluator(const capability::SourceCatalog* catalog,
+                        planner::DomainMap domains, ExecOptions options = {})
+      : catalog_(catalog),
+        domains_(std::move(domains)),
+        options_(std::move(options)) {}
+
+  /// Runs `program` to completion. `query` supplies the goal's output
+  /// schema.
+  Result<ExecResult> Execute(const datalog::Program& program,
+                             const planner::Query& query);
+
+ private:
+  const capability::SourceCatalog* catalog_;
+  planner::DomainMap domains_;
+  ExecOptions options_;
+};
+
+}  // namespace limcap::exec
+
+#endif  // LIMCAP_EXEC_SOURCE_DRIVEN_EVALUATOR_H_

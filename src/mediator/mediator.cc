@@ -1,0 +1,108 @@
+#include "mediator/mediator.h"
+
+#include <algorithm>
+#include <set>
+
+namespace limcap::mediator {
+
+Status Mediator::Define(MediatorView view) {
+  if (view.name.empty()) {
+    return Status::InvalidArgument("mediator view name is empty");
+  }
+  if (views_.count(view.name) > 0) {
+    return Status::AlreadyExists("mediator view already defined: " +
+                                 view.name);
+  }
+  if (view.definitions.empty()) {
+    return Status::InvalidArgument("mediator view " + view.name +
+                                   " has no definitions");
+  }
+  std::set<std::string> exported(view.exported_attributes.begin(),
+                                 view.exported_attributes.end());
+  if (exported.size() != view.exported_attributes.size()) {
+    return Status::InvalidArgument("mediator view " + view.name +
+                                   " exports a duplicate attribute");
+  }
+  if (exported.empty()) {
+    return Status::InvalidArgument("mediator view " + view.name +
+                                   " exports no attributes");
+  }
+  for (const planner::Connection& definition : view.definitions) {
+    if (definition.size() == 0) {
+      return Status::InvalidArgument("mediator view " + view.name +
+                                     " has an empty definition");
+    }
+    std::set<std::string> seen;
+    for (const std::string& source : definition.view_names()) {
+      if (!catalog_->Contains(source)) {
+        return Status::InvalidArgument(
+            "mediator view " + view.name +
+            " references unknown source view: " + source);
+      }
+      if (!seen.insert(source).second) {
+        return Status::InvalidArgument("mediator view " + view.name +
+                                       " repeats source view " + source +
+                                       " within a definition");
+      }
+    }
+    LIMCAP_ASSIGN_OR_RETURN(
+        capability::AttributeSet attrs,
+        planner::ConnectionAttributes(definition, *catalog_));
+    for (const std::string& attribute : view.exported_attributes) {
+      if (attrs.count(attribute) == 0) {
+        return Status::InvalidArgument(
+            "definition " + definition.ToString() + " of mediator view " +
+            view.name + " does not cover exported attribute " + attribute);
+      }
+    }
+  }
+  views_.emplace(view.name, std::move(view));
+  return Status::OK();
+}
+
+Result<const MediatorView*> Mediator::Find(const std::string& name) const {
+  auto it = views_.find(name);
+  if (it == views_.end()) {
+    return Status::NotFound("no mediator view named " + name);
+  }
+  return &it->second;
+}
+
+Result<planner::Query> Mediator::Expand(const MediatorQuery& query) const {
+  LIMCAP_ASSIGN_OR_RETURN(const MediatorView* view, Find(query.view));
+  std::set<std::string> exported(view->exported_attributes.begin(),
+                                 view->exported_attributes.end());
+  std::set<std::string> selected;
+  for (const planner::InputAssignment& selection : query.selections) {
+    if (exported.count(selection.attribute) == 0) {
+      return Status::InvalidArgument("view " + query.view +
+                                     " does not export selected attribute " +
+                                     selection.attribute);
+    }
+    selected.insert(selection.attribute);
+  }
+  if (query.outputs.empty()) {
+    return Status::InvalidArgument("mediator query returns no attributes");
+  }
+  for (const std::string& output : query.outputs) {
+    if (exported.count(output) == 0) {
+      return Status::InvalidArgument("view " + query.view +
+                                     " does not export output attribute " +
+                                     output);
+    }
+    if (selected.count(output) > 0) {
+      return Status::InvalidArgument(
+          "attribute both selected and returned: " + output);
+    }
+  }
+  return planner::Query(query.selections, query.outputs, view->definitions);
+}
+
+Result<exec::AnswerReport> Mediator::Answer(
+    const MediatorQuery& query, const exec::ExecOptions& options) const {
+  LIMCAP_ASSIGN_OR_RETURN(planner::Query expanded, Expand(query));
+  exec::QueryAnswerer answerer(catalog_, domains_);
+  return answerer.Answer(expanded, options);
+}
+
+}  // namespace limcap::mediator

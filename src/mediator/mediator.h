@@ -1,0 +1,81 @@
+#ifndef LIMCAP_MEDIATOR_MEDIATOR_H_
+#define LIMCAP_MEDIATOR_MEDIATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "capability/source_catalog.h"
+#include "common/result.h"
+#include "exec/query_answerer.h"
+#include "planner/domain_map.h"
+#include "planner/query.h"
+
+namespace limcap::mediator {
+
+/// A mediator view (the query-centric approach of Section 1.1, as in
+/// TSIMMIS): a named virtual relation exported to users, defined by one
+/// or more conjunctions of source views. A user query against the view
+/// expands (Section 2.2, generation option 1) into a connection query
+/// with one connection per definition.
+///
+/// Example 2.1 in mediator terms: a view cd_info(Song, Cd, Artist, Price)
+/// defined by the four conjunctions {v1,v3}, {v1,v4}, {v2,v3}, {v2,v4};
+/// the user asks cd_info for Price where Song = t1.
+struct MediatorView {
+  std::string name;
+  /// Attributes the view exports; every definition must cover them.
+  std::vector<std::string> exported_attributes;
+  /// Each definition is a set of source views whose natural join (then
+  /// projected onto the exported attributes) is one way to compute the
+  /// view; the view's extent is the union over definitions.
+  std::vector<planner::Connection> definitions;
+};
+
+/// A user query against one mediator view: selections on exported
+/// attributes and a list of exported attributes to return.
+struct MediatorQuery {
+  std::string view;
+  std::vector<planner::InputAssignment> selections;
+  std::vector<std::string> outputs;
+};
+
+/// The mediator: holds view definitions over a source catalog, expands
+/// user queries into connection queries, and answers them through the
+/// planner/exec pipeline.
+class Mediator {
+ public:
+  /// `catalog` must outlive the mediator.
+  Mediator(const capability::SourceCatalog* catalog,
+           planner::DomainMap domains)
+      : catalog_(catalog), domains_(std::move(domains)) {}
+
+  /// Registers a view after validating it: non-empty definitions, source
+  /// views exist, every exported attribute appears in every definition,
+  /// name unused.
+  Status Define(MediatorView view);
+
+  bool Contains(const std::string& name) const {
+    return views_.count(name) > 0;
+  }
+  Result<const MediatorView*> Find(const std::string& name) const;
+
+  /// View expansion: the mediator query becomes
+  ///   ⟨selections, outputs, definitions-of-the-view⟩.
+  /// Fails when the query selects or returns attributes the view does not
+  /// export, or overlaps selections with outputs.
+  Result<planner::Query> Expand(const MediatorQuery& query) const;
+
+  /// Expand + plan + execute in one call.
+  Result<exec::AnswerReport> Answer(const MediatorQuery& query,
+                                    const exec::ExecOptions& options = {}) const;
+
+ private:
+  const capability::SourceCatalog* catalog_;
+  planner::DomainMap domains_;
+  std::map<std::string, MediatorView> views_;
+};
+
+}  // namespace limcap::mediator
+
+#endif  // LIMCAP_MEDIATOR_MEDIATOR_H_

@@ -1,0 +1,117 @@
+#include "paperdata/paper_examples.h"
+
+#include <memory>
+#include <string>
+
+#include "capability/in_memory_source.h"
+
+namespace limcap::paperdata {
+
+namespace {
+
+using capability::InMemorySource;
+using capability::SourceView;
+using relational::Relation;
+using relational::Row;
+
+Value S(const char* text) { return Value::String(text); }
+
+/// Builds a view, fills it with rows, and registers it.
+void AddSource(PaperExample* example, const char* name,
+               std::vector<std::string> attributes, const char* pattern,
+               const std::vector<Row>& rows) {
+  SourceView view = SourceView::MakeUnsafe(name, std::move(attributes),
+                                           pattern);
+  Relation data(view.schema());
+  for (const Row& row : rows) data.InsertUnsafe(row);
+  example->views.push_back(view);
+  example->catalog.RegisterUnsafe(std::make_unique<InMemorySource>(
+      InMemorySource::MakeUnsafe(view, std::move(data))));
+}
+
+}  // namespace
+
+PaperExample MakeExample21() {
+  PaperExample example;
+  AddSource(&example, "v1", {"Song", "Cd"}, "bf",
+            {{S("t1"), S("c1")}, {S("t2"), S("c3")}});
+  AddSource(&example, "v2", {"Song", "Cd"}, "fb",
+            {{S("t1"), S("c4")}, {S("t2"), S("c2")}, {S("t1"), S("c5")}});
+  AddSource(&example, "v3", {"Cd", "Artist", "Price"}, "bff",
+            {{S("c1"), S("a1"), S("$15")}, {S("c3"), S("a3"), S("$14")}});
+  AddSource(&example, "v4", {"Cd", "Artist", "Price"}, "fbf",
+            {{S("c1"), S("a1"), S("$13")},
+             {S("c2"), S("a1"), S("$12")},
+             {S("c4"), S("a3"), S("$10")},
+             {S("c5"), S("a5"), S("$11")}});
+
+  example.domains.SetDomain("Song", "song");
+  example.domains.SetDomain("Cd", "cd");
+  example.domains.SetDomain("Artist", "artist");
+  example.domains.SetDomain("Price", "price");
+
+  example.query = planner::Query(
+      {{"Song", S("t1")}}, {"Price"},
+      {planner::Connection({"v1", "v3"}), planner::Connection({"v1", "v4"}),
+       planner::Connection({"v2", "v3"}), planner::Connection({"v2", "v4"})});
+  return example;
+}
+
+PaperExample MakeExample41() {
+  PaperExample example;
+  AddSource(&example, "v1", {"A", "C"}, "bf", {{S("a0"), S("c1")}});
+  AddSource(&example, "v2", {"A", "B", "C"}, "ffb",
+            {{S("a0"), S("b1"), S("c2")},
+             {S("a9"), S("b2"), S("c3")},
+             // Only reachable in the complete answer: c9 never enters
+             // domC under the source restrictions.
+             {S("a0"), S("b5"), S("c9")}});
+  AddSource(&example, "v3", {"C", "D"}, "bf",
+            {{S("c1"), S("d1")},
+             {S("c2"), S("d2")},
+             {S("c3"), S("d3")},
+             {S("c9"), S("d9")}});
+  AddSource(&example, "v4", {"C", "E"}, "ff",
+            {{S("c2"), S("e1")}, {S("c4"), S("e2")}});
+  AddSource(&example, "v5", {"E", "F"}, "bf", {{S("e1"), S("f1")}});
+
+  example.query = planner::Query(
+      {{"A", S("a0")}}, {"D"},
+      {planner::Connection({"v1", "v3"}), planner::Connection({"v2", "v3"})});
+  return example;
+}
+
+PaperExample MakeExample51() {
+  PaperExample example;
+  AddSource(&example, "v1", {"A", "B", "C"}, "bff",
+            {{S("a"), S("b"), S("c")}});
+  AddSource(&example, "v2", {"B", "D", "E", "F"}, "bbbf",
+            {{S("b"), S("d"), S("e"), S("f")}});
+  AddSource(&example, "v3", {"C", "D", "E", "G"}, "bbff",
+            {{S("c"), S("d"), S("e"), S("g")}});
+  AddSource(&example, "v4", {"D", "H"}, "ff", {{S("d"), S("h1")}});
+  AddSource(&example, "v5", {"E", "I"}, "ff", {{S("e"), S("i1")}});
+
+  example.query =
+      planner::Query({{"A", S("a")}}, {"F", "G"},
+                     {planner::Connection({"v1", "v2", "v3"})});
+  return example;
+}
+
+PaperExample MakeExample52() {
+  PaperExample example;
+  AddSource(&example, "v1", {"A", "B", "C"}, "bff",
+            {{S("a1"), S("b0"), S("c1")}, {S("a2"), S("b9"), S("c2")}});
+  AddSource(&example, "v2", {"C", "D", "E"}, "bff",
+            {{S("c1"), S("d1"), S("e1")}});
+  AddSource(&example, "v3", {"E", "F", "A"}, "bff",
+            {{S("e1"), S("f1"), S("a1")}});
+  AddSource(&example, "v4", {"E", "G"}, "ff", {{S("e1"), S("g1")}});
+
+  example.query =
+      planner::Query({{"B", S("b0")}}, {"A", "C", "E"},
+                     {planner::Connection({"v1", "v2", "v3"})});
+  return example;
+}
+
+}  // namespace limcap::paperdata

@@ -1,0 +1,70 @@
+#ifndef LIMCAP_PAPERDATA_PAPER_EXAMPLES_H_
+#define LIMCAP_PAPERDATA_PAPER_EXAMPLES_H_
+
+#include <vector>
+
+#include "capability/source_catalog.h"
+#include "capability/source_view.h"
+#include "planner/domain_map.h"
+#include "planner/query.h"
+
+namespace limcap::paperdata {
+
+/// One of the paper's worked examples, fully materialized: the adorned
+/// views, live in-memory sources holding the instance data, the domain
+/// map, and the example's query.
+struct PaperExample {
+  capability::SourceCatalog catalog;
+  std::vector<capability::SourceView> views;
+  planner::DomainMap domains;
+  planner::Query query;
+};
+
+/// Example 2.1 (Table 1 / Figure 1): four musical-CD sources.
+///
+///   v1(Song, Cd)            [bf]   {<t1,c1>, <t2,c3>}
+///   v2(Song, Cd)            [fb]   {<t1,c4>, <t2,c2>, <t1,c5>}
+///   v3(Cd, Artist, Price)   [bff]  {<c1,a1,$15>, <c3,a3,$14>}
+///   v4(Cd, Artist, Price)   [fbf]  {<c1,a1,$13>, <c2,a1,$12>,
+///                                   <c4,a3,$10>, <c5,a5,$11>}
+///
+/// Query: <{Song = t1}, {Price}, {{v1,v3},{v1,v4},{v2,v3},{v2,v4}}>.
+/// Expected: obtainable answer {$15, $13, $10}; complete answer
+/// {$15, $13, $11, $10}; the per-join baseline obtains only {$15}.
+/// Domain predicates are named song/cd/artist/price as in Figure 2.
+PaperExample MakeExample21();
+
+/// Example 4.1 (Figures 3/4): five views
+///
+///   v1(A, C)    [bf]    v2(A, B, C) [ffb]   v3(C, D) [bf]
+///   v4(C, E)    [ff]    v5(E, F)    [bf]
+///
+/// Query: <{A = a0}, {D}, {T1 = {v1,v3}, T2 = {v2,v3}}>. T1 is
+/// independent; T2 is not (kernel {C}, b-closure {v1,v2,v4}); v5 is
+/// irrelevant to both. The instance data makes T2 contribute an answer
+/// that needs v4's bindings, plus a complete-only tuple unobtainable
+/// under the restrictions.
+PaperExample MakeExample41();
+
+/// Example 5.1 (Figure 5): connection T = {v1,v2,v3} with kernel {D};
+/// v4(D, H) [ff] is relevant (only view with D free), v5(E, I) [ff] binds
+/// E but is irrelevant (Theorem 5.1).
+///
+///   v1(A, B, C)    [bff]   v2(B, D, E, F) [bbbf]
+///   v3(C, D, E, G) [bbff]  v4(D, H) [ff]   v5(E, I) [ff]
+///
+/// Query: <{A = a}, {F, G}, {T}>.
+PaperExample MakeExample51();
+
+/// Example 5.2 (Figure 6): the multiple-kernel connection.
+///
+///   v1(A, B, C) [bff]   v2(C, D, E) [bff]
+///   v3(E, F, A) [bff]   v4(E, G)    [ff]
+///
+/// Query: <{B = b0}, {A, C, E}, {T = {v1,v2,v3}}>. T has kernels {A},
+/// {C}, {E}, all with backward-closure {v1,v2,v3,v4} (Lemma 5.3).
+PaperExample MakeExample52();
+
+}  // namespace limcap::paperdata
+
+#endif  // LIMCAP_PAPERDATA_PAPER_EXAMPLES_H_

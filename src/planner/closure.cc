@@ -1,0 +1,274 @@
+#include "planner/closure.h"
+
+#include <algorithm>
+
+namespace limcap::planner {
+
+namespace {
+
+std::vector<Adorned> ToAdorned(const std::vector<SourceView>& views) {
+  std::vector<Adorned> out;
+  out.reserve(views.size());
+  for (const SourceView& view : views) {
+    std::vector<Adorned> expanded = Adorned::FromView(view);
+    out.insert(out.end(), expanded.begin(), expanded.end());
+  }
+  return out;
+}
+
+std::set<std::string> NamesOf(const std::vector<Adorned>& views) {
+  std::set<std::string> names;
+  for (const Adorned& view : views) names.insert(view.name);
+  return names;
+}
+
+AttributeSet AttributesOf(const std::vector<Adorned>& views) {
+  AttributeSet attributes;
+  for (const Adorned& view : views) {
+    AttributeSet all = view.All();
+    attributes.insert(all.begin(), all.end());
+  }
+  return attributes;
+}
+
+bool IsSubset(const AttributeSet& inner, const AttributeSet& outer) {
+  return std::includes(outer.begin(), outer.end(), inner.begin(),
+                       inner.end());
+}
+
+bool ClosureCoversAll(const AttributeSet& initial,
+                      const std::vector<Adorned>& views) {
+  return ComputeFClosure(initial, views).views == NamesOf(views);
+}
+
+}  // namespace
+
+AttributeSet Adorned::All() const {
+  AttributeSet all = bound;
+  all.insert(free.begin(), free.end());
+  return all;
+}
+
+std::vector<Adorned> Adorned::FromView(const SourceView& view) {
+  return FromView(view, [](const std::string& a) { return a; });
+}
+
+FClosure ComputeFClosure(const AttributeSet& initial,
+                         const std::vector<Adorned>& candidates) {
+  FClosure closure;
+  closure.bound_attributes = initial;
+  std::vector<bool> added(candidates.size(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (added[i]) continue;
+      const Adorned& view = candidates[i];
+      if (IsSubset(view.bound, closure.bound_attributes)) {
+        added[i] = true;
+        changed = true;
+        // Multi-template views appear as several same-named candidates;
+        // record the view once.
+        if (closure.views.insert(view.name).second) {
+          closure.order.push_back(view.name);
+        }
+        // Every attribute of the view becomes bound (its tuples supply
+        // values for both its bound and free attributes).
+        AttributeSet attributes = view.All();
+        closure.bound_attributes.insert(attributes.begin(), attributes.end());
+      }
+    }
+  }
+  return closure;
+}
+
+FClosure ComputeFClosure(const AttributeSet& initial,
+                         const std::vector<SourceView>& candidates) {
+  return ComputeFClosure(initial, ToAdorned(candidates));
+}
+
+bool IsIndependent(const AttributeSet& inputs,
+                   const std::vector<SourceView>& connection_views) {
+  return ClosureCoversAll(inputs, ToAdorned(connection_views));
+}
+
+Result<std::vector<std::string>> ExecutableSequence(
+    const AttributeSet& inputs,
+    const std::vector<SourceView>& connection_views) {
+  std::vector<Adorned> adorned = ToAdorned(connection_views);
+  FClosure closure = ComputeFClosure(inputs, adorned);
+  if (closure.views != NamesOf(adorned)) {
+    return Status::NotFound(
+        "connection is not independent: no executable sequence exists");
+  }
+  return closure.order;
+}
+
+AttributeSet ComputeKernel(const AttributeSet& inputs,
+                           const std::vector<Adorned>& connection_views) {
+  AttributeSet kernel = AttributesOf(connection_views);
+  for (const std::string& input : inputs) kernel.erase(input);
+
+  // Greedy shrink in attribute order. Removal feasibility is monotone in
+  // the remaining set, so one pass yields a minimal kernel.
+  for (auto it = kernel.begin(); it != kernel.end();) {
+    AttributeSet without = kernel;
+    without.erase(*it);
+    AttributeSet start = without;
+    start.insert(inputs.begin(), inputs.end());
+    if (ClosureCoversAll(start, connection_views)) {
+      it = kernel.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return kernel;
+}
+
+AttributeSet ComputeKernel(const AttributeSet& inputs,
+                           const std::vector<SourceView>& connection_views) {
+  return ComputeKernel(inputs, ToAdorned(connection_views));
+}
+
+std::vector<AttributeSet> AllKernels(
+    const AttributeSet& inputs,
+    const std::vector<SourceView>& connection_views) {
+  std::vector<Adorned> adorned = ToAdorned(connection_views);
+  AttributeSet candidate_set = AttributesOf(adorned);
+  for (const std::string& input : inputs) candidate_set.erase(input);
+  std::vector<std::string> candidates(candidate_set.begin(),
+                                      candidate_set.end());
+  if (candidates.size() > 20) {
+    // Exhaustive search is infeasible; return the greedy kernel.
+    return {ComputeKernel(inputs, adorned)};
+  }
+
+  std::vector<AttributeSet> satisfying;
+  const std::size_t total = std::size_t{1} << candidates.size();
+  for (std::size_t mask = 0; mask < total; ++mask) {
+    AttributeSet subset;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (mask & (std::size_t{1} << i)) subset.insert(candidates[i]);
+    }
+    AttributeSet start = subset;
+    start.insert(inputs.begin(), inputs.end());
+    if (ClosureCoversAll(start, adorned)) {
+      satisfying.push_back(std::move(subset));
+    }
+  }
+  // Keep the minimal satisfying sets.
+  std::vector<AttributeSet> kernels;
+  for (const AttributeSet& a : satisfying) {
+    bool minimal = true;
+    for (const AttributeSet& b : satisfying) {
+      if (b.size() < a.size() && IsSubset(b, a)) {
+        minimal = false;
+        break;
+      }
+    }
+    if (minimal) kernels.push_back(a);
+  }
+  std::sort(kernels.begin(), kernels.end());
+  return kernels;
+}
+
+bool IsBFChain(const std::vector<SourceView>& chain) {
+  if (chain.empty()) return false;
+  // For multi-template views, "contributes bindings" is taken over any
+  // pair of templates: some template of the first frees an attribute some
+  // template of the second binds.
+  auto union_free = [](const SourceView& view) {
+    AttributeSet out;
+    for (std::size_t t = 0; t < view.templates().size(); ++t) {
+      AttributeSet free_attrs = view.FreeAttributes(t);
+      out.insert(free_attrs.begin(), free_attrs.end());
+    }
+    return out;
+  };
+  auto union_bound = [](const SourceView& view) {
+    AttributeSet out;
+    for (std::size_t t = 0; t < view.templates().size(); ++t) {
+      AttributeSet bound_attrs = view.BoundAttributes(t);
+      out.insert(bound_attrs.begin(), bound_attrs.end());
+    }
+    return out;
+  };
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    AttributeSet free_attrs = union_free(chain[i]);
+    AttributeSet bound_next = union_bound(chain[i + 1]);
+    bool overlap = false;
+    for (const std::string& attribute : free_attrs) {
+      if (bound_next.count(attribute) > 0) {
+        overlap = true;
+        break;
+      }
+    }
+    if (!overlap) return false;
+  }
+  return true;
+}
+
+std::set<std::string> ComputeBClosure(
+    const std::string& attribute, const std::vector<Adorned>& queryable_views) {
+  // Bound attributes per view name, unioned across templates. When a
+  // multi-template view joins the closure we add every template's bound
+  // set — a conservative over-approximation (relevance may keep an extra
+  // view, never drop a useful one).
+  std::map<std::string, AttributeSet> bound_by_name;
+  for (const Adorned& view : queryable_views) {
+    bound_by_name[view.name].insert(view.bound.begin(), view.bound.end());
+  }
+
+  std::set<std::string> closure;
+  AttributeSet closure_bound;
+  auto join = [&](const std::string& name) {
+    closure.insert(name);
+    const AttributeSet& bound = bound_by_name[name];
+    closure_bound.insert(bound.begin(), bound.end());
+  };
+
+  // Seed: queryable views with a template taking `attribute` as free.
+  for (const Adorned& view : queryable_views) {
+    if (view.free.count(attribute) > 0) join(view.name);
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Adorned& view : queryable_views) {
+      if (closure.count(view.name) > 0) continue;
+      bool overlaps = std::any_of(
+          view.free.begin(), view.free.end(),
+          [&](const std::string& a) { return closure_bound.count(a) > 0; });
+      if (overlaps) {
+        join(view.name);
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+std::set<std::string> ComputeBClosure(
+    const std::string& attribute,
+    const std::vector<SourceView>& queryable_views) {
+  return ComputeBClosure(attribute, ToAdorned(queryable_views));
+}
+
+std::set<std::string> ComputeBClosure(
+    const AttributeSet& attributes,
+    const std::vector<Adorned>& queryable_views) {
+  std::set<std::string> closure;
+  for (const std::string& attribute : attributes) {
+    std::set<std::string> single = ComputeBClosure(attribute, queryable_views);
+    closure.insert(single.begin(), single.end());
+  }
+  return closure;
+}
+
+std::set<std::string> ComputeBClosure(
+    const AttributeSet& attributes,
+    const std::vector<SourceView>& queryable_views) {
+  return ComputeBClosure(attributes, ToAdorned(queryable_views));
+}
+
+}  // namespace limcap::planner

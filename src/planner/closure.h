@@ -1,0 +1,136 @@
+#ifndef LIMCAP_PLANNER_CLOSURE_H_
+#define LIMCAP_PLANNER_CLOSURE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "capability/source_view.h"
+#include "planner/query.h"
+
+namespace limcap::planner {
+
+using capability::SourceView;
+
+/// The abstract input of the closure algorithms: a named view reduced to
+/// its bound / free sets. For the paper's Section 5 setting these sets
+/// hold attribute names; when a DomainMap groups attributes (Section 3's
+/// shared domains), FIND_REL maps attributes to domain names first —
+/// binding flow follows domains, so the closures must too. `bound` and
+/// `free` may overlap after such mapping (one attribute of a view bound,
+/// another with the same domain free).
+struct Adorned {
+  std::string name;
+  AttributeSet bound;  ///< B(v): names that must be bound to query v
+  AttributeSet free;   ///< F(v): names v can supply new values for
+
+  /// A(v) = bound ∪ free.
+  AttributeSet All() const;
+
+  /// Reduces a source view to its attribute-level adornments — one
+  /// Adorned per template, all sharing the view's name. The closure
+  /// algorithms treat same-named entries as alternatives: a view joins a
+  /// closure when any of its templates qualifies.
+  static std::vector<Adorned> FromView(const SourceView& view);
+  /// Same, mapped to domain space under `map_name` (any callable
+  /// std::string -> std::string).
+  template <typename Fn>
+  static std::vector<Adorned> FromView(const SourceView& view, Fn map_name) {
+    std::vector<Adorned> out;
+    for (std::size_t t = 0; t < view.templates().size(); ++t) {
+      Adorned adorned;
+      adorned.name = view.name();
+      for (const std::string& a : view.BoundAttributes(t)) {
+        adorned.bound.insert(map_name(a));
+      }
+      for (const std::string& a : view.FreeAttributes(t)) {
+        adorned.free.insert(map_name(a));
+      }
+      out.push_back(std::move(adorned));
+    }
+    return out;
+  }
+};
+
+/// The result of a forward-closure computation (paper Definition 4.1).
+struct FClosure {
+  /// Views added to the closure, in addition order. This order is an
+  /// executable sequence: each view's binding requirements are satisfied
+  /// by the initial attributes plus the views before it.
+  std::vector<std::string> order;
+  /// The closure as a set of view names.
+  std::set<std::string> views;
+  /// All attributes bound at the end: the initial set X plus every
+  /// attribute of every view in the closure (a superset of the paper's
+  /// A(f-closure(X, W)) by the initial X).
+  AttributeSet bound_attributes;
+
+  bool Contains(const std::string& view) const {
+    return views.count(view) > 0;
+  }
+};
+
+/// f-closure(X, W): the views of `candidates` whose binding requirements
+/// can eventually be satisfied starting from the attributes in `initial`,
+/// using only views in `candidates`. Deterministic: each round scans
+/// `candidates` in order and admits every view whose requirements are met.
+FClosure ComputeFClosure(const AttributeSet& initial,
+                         const std::vector<SourceView>& candidates);
+FClosure ComputeFClosure(const AttributeSet& initial,
+                         const std::vector<Adorned>& candidates);
+
+/// True when connection views `connection_views` form an independent
+/// connection for initial bindings `inputs` (Section 4.2):
+/// f-closure(I(Q), T) = T.
+bool IsIndependent(const AttributeSet& inputs,
+                   const std::vector<SourceView>& connection_views);
+
+/// The executable sequence witnessing independence (every view's B(v) is
+/// covered by I(Q) plus all attributes of earlier views), or NotFound when
+/// the connection is not independent.
+Result<std::vector<std::string>> ExecutableSequence(
+    const AttributeSet& inputs,
+    const std::vector<SourceView>& connection_views);
+
+/// A kernel of connection T (Definition 5.1): a minimal K ⊆ A(T) − I(Q)
+/// with f-closure(K ∪ I(Q), T) = T. Computed by shrinking A(T) − I(Q)
+/// greedily in attribute order; deterministic. The empty set is returned
+/// exactly when the connection is independent.
+AttributeSet ComputeKernel(const AttributeSet& inputs,
+                           const std::vector<SourceView>& connection_views);
+AttributeSet ComputeKernel(const AttributeSet& inputs,
+                           const std::vector<Adorned>& connection_views);
+
+/// Every kernel of the connection, by exhaustive minimal-subset search —
+/// exponential in |A(T) − I(Q)|, intended for analysis and tests of
+/// Lemma 5.3 (all kernels share one backward-closure). Kernels are sorted.
+std::vector<AttributeSet> AllKernels(
+    const AttributeSet& inputs,
+    const std::vector<SourceView>& connection_views);
+
+/// True when `chain` is a BF-chain (Definition 5.2): for every adjacent
+/// pair, the free attributes of the first overlap the bound attributes of
+/// the second.
+bool IsBFChain(const std::vector<SourceView>& chain);
+
+/// b-closure(A) (Definition 5.3): the queryable views backtrackable from
+/// attribute `attribute` along BF-chains in reverse — seeded with the
+/// views taking `attribute` as a free attribute, then closed under
+/// "F(v) ∩ B(w) ≠ ∅ for some w already in the closure".
+std::set<std::string> ComputeBClosure(
+    const std::string& attribute,
+    const std::vector<SourceView>& queryable_views);
+std::set<std::string> ComputeBClosure(
+    const std::string& attribute, const std::vector<Adorned>& queryable_views);
+
+/// b-closure(X) = ∪_{A ∈ X} b-closure(A).
+std::set<std::string> ComputeBClosure(
+    const AttributeSet& attributes,
+    const std::vector<SourceView>& queryable_views);
+std::set<std::string> ComputeBClosure(
+    const AttributeSet& attributes,
+    const std::vector<Adorned>& queryable_views);
+
+}  // namespace limcap::planner
+
+#endif  // LIMCAP_PLANNER_CLOSURE_H_

@@ -1,0 +1,177 @@
+#include "planner/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "capability/in_memory_source.h"
+
+namespace limcap::planner {
+
+ViewStats CollectStats(const capability::SourceView& view,
+                       const relational::Relation& data) {
+  ViewStats stats;
+  stats.tuple_count = data.size();
+  for (std::size_t i = 0; i < view.schema().arity(); ++i) {
+    stats.distinct_values[view.schema().attribute(i)] =
+        data.ColumnValues(i).size();
+  }
+  return stats;
+}
+
+Result<std::map<std::string, ViewStats>> CollectCatalogStats(
+    const capability::SourceCatalog& catalog) {
+  std::map<std::string, ViewStats> stats;
+  for (const std::string& name : catalog.ViewNames()) {
+    LIMCAP_ASSIGN_OR_RETURN(capability::Source * source, catalog.Find(name));
+    auto* in_memory = dynamic_cast<capability::InMemorySource*>(source);
+    if (in_memory == nullptr) {
+      return Status::Unsupported("cannot collect exact stats for " + name +
+                                 ": not an InMemorySource");
+    }
+    stats.emplace(name, CollectStats(in_memory->view(), in_memory->data()));
+  }
+  return stats;
+}
+
+std::string CostEstimate::ToString() const {
+  std::string out = "estimated total source queries: " +
+                    std::to_string(total_queries) + " (" +
+                    std::to_string(iterations) + " fixpoint rounds)\n";
+  for (const auto& [view, queries] : source_queries) {
+    out += "  " + view + ": ~" + std::to_string(queries) + " queries, ~" +
+           std::to_string(tuples_fetched.at(view)) + " tuples\n";
+  }
+  for (const auto& [domain, values] : domain_values) {
+    out += "  domain " + domain + ": ~" + std::to_string(values) +
+           " values\n";
+  }
+  return out;
+}
+
+CostEstimate EstimateExecution(const Query& query,
+                               const std::vector<capability::SourceView>& views,
+                               const DomainMap& domains,
+                               const std::map<std::string, ViewStats>& stats,
+                               const std::map<std::string, double>& seeded_values,
+                               std::size_t max_iterations, double epsilon) {
+  CostEstimate estimate;
+
+  // Domain universes: the largest distinct count seen for any attribute
+  // of the domain across the catalog (at least 1).
+  std::map<std::string, double> universe;
+  for (const capability::SourceView& view : views) {
+    auto it = stats.find(view.name());
+    if (it == stats.end()) continue;
+    for (const auto& [attribute, distinct] : it->second.distinct_values) {
+      std::string domain = domains.DomainOf(attribute);
+      universe[domain] =
+          std::max(universe[domain], static_cast<double>(distinct));
+    }
+  }
+
+  // Initial domain values: input assignments (one value each; duplicates
+  // per attribute add up, capped by the universe later) + seeded counts.
+  std::map<std::string, double> k;
+  for (const InputAssignment& input : query.inputs()) {
+    k[domains.DomainOf(input.attribute)] += 1.0;
+  }
+  for (const auto& [domain, count] : seeded_values) {
+    k[domain] += count;
+  }
+  for (auto& [domain, value] : k) {
+    auto u = universe.find(domain);
+    // Inputs may lie outside every view's active domain; keep them.
+    if (u != universe.end()) value = std::min(value, std::max(u->second, 1.0));
+  }
+
+  // Fixpoint over cardinalities, mirroring the evaluator's rounds.
+  std::size_t round = 0;
+  for (; round < max_iterations; ++round) {
+    double delta = 0;
+
+    // Fresh per-round accumulators for per-view quantities.
+    std::map<std::string, double> queries;
+    std::map<std::string, double> tuples;
+    // Per-domain "miss probability" accumulator for the occupancy union:
+    // start from the already-obtained fraction.
+    std::map<std::string, double> miss;
+    for (const auto& [domain, u] : universe) {
+      double have = 0;
+      auto it = k.find(domain);
+      if (it != k.end()) have = std::min(it->second, u);
+      miss[domain] = u > 0 ? 1.0 - have / u : 1.0;
+    }
+
+    for (const capability::SourceView& view : views) {
+      auto stat_it = stats.find(view.name());
+      if (stat_it == stats.end()) continue;
+      const ViewStats& view_stats = stat_it->second;
+
+      double view_queries = 0;
+      double view_tuples = 0;
+      for (std::size_t t = 0; t < view.templates().size(); ++t) {
+        double combos = 1;
+        double fraction = 1;
+        for (const std::string& attribute : view.BoundAttributes(t)) {
+          std::string domain = domains.DomainOf(attribute);
+          double values = 0;
+          auto it = k.find(domain);
+          if (it != k.end()) values = it->second;
+          combos *= values;
+          double u = std::max(universe[domain], 1.0);
+          fraction *= std::min(1.0, values / u);
+        }
+        view_queries += combos;
+        view_tuples = std::max(
+            view_tuples,
+            static_cast<double>(view_stats.tuple_count) * fraction);
+      }
+      queries[view.name()] = view_queries;
+      tuples[view.name()] = view_tuples;
+
+      // Free attributes contribute values (occupancy), folded into the
+      // union via miss probabilities.
+      for (std::size_t t = 0; t < view.templates().size(); ++t) {
+        for (const std::string& attribute : view.FreeAttributes(t)) {
+          auto d_it = view_stats.distinct_values.find(attribute);
+          if (d_it == view_stats.distinct_values.end()) continue;
+          double distinct = static_cast<double>(d_it->second);
+          if (distinct <= 0) continue;
+          double contributed =
+              distinct * (1.0 - std::exp(-tuples[view.name()] / distinct));
+          std::string domain = domains.DomainOf(attribute);
+          double u = std::max(universe[domain], 1.0);
+          miss[domain] *= std::max(0.0, 1.0 - contributed / u);
+        }
+      }
+    }
+
+    // New domain estimates from the union.
+    for (const auto& [domain, u] : universe) {
+      double updated = u * (1.0 - miss[domain]);
+      double previous = 0;
+      auto it = k.find(domain);
+      if (it != k.end()) previous = it->second;
+      updated = std::max(updated, previous);  // monotone
+      delta = std::max(delta, updated - previous);
+      k[domain] = updated;
+    }
+
+    estimate.source_queries = std::move(queries);
+    estimate.tuples_fetched = std::move(tuples);
+    if (delta < epsilon) {
+      ++round;
+      break;
+    }
+  }
+
+  estimate.iterations = round;
+  estimate.domain_values = k;
+  estimate.total_queries = 0;
+  for (const auto& [view, count] : estimate.source_queries) {
+    estimate.total_queries += count;
+  }
+  return estimate;
+}
+
+}  // namespace limcap::planner

@@ -1,0 +1,76 @@
+#ifndef LIMCAP_PLANNER_COST_MODEL_H_
+#define LIMCAP_PLANNER_COST_MODEL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "capability/source_catalog.h"
+#include "capability/source_view.h"
+#include "common/result.h"
+#include "planner/domain_map.h"
+#include "planner/query.h"
+
+namespace limcap::planner {
+
+/// Per-view statistics the estimator consumes — the usual catalog
+/// statistics (cardinality, per-attribute distinct counts).
+struct ViewStats {
+  std::size_t tuple_count = 0;
+  std::map<std::string, std::size_t> distinct_values;
+};
+
+/// Computes exact statistics from a view's extent.
+ViewStats CollectStats(const capability::SourceView& view,
+                       const relational::Relation& data);
+
+/// Exact statistics for every InMemorySource in the catalog; fails on
+/// other source types (real deployments would import estimates instead).
+Result<std::map<std::string, ViewStats>> CollectCatalogStats(
+    const capability::SourceCatalog& catalog);
+
+/// The estimator's output.
+struct CostEstimate {
+  /// Estimated count of obtainable distinct values per domain predicate.
+  std::map<std::string, double> domain_values;
+  /// Estimated source queries issued per view over the whole evaluation
+  /// (the paper's cost unit: source accesses).
+  std::map<std::string, double> source_queries;
+  /// Estimated obtainable tuples per view.
+  std::map<std::string, double> tuples_fetched;
+  double total_queries = 0;
+  /// Fixpoint rounds the estimation ran.
+  std::size_t iterations = 0;
+
+  std::string ToString() const;
+};
+
+/// Analytically predicts the cost of the Section 3.3 source-driven
+/// evaluation without touching any source, by running the same fixpoint
+/// the evaluator runs — over cardinalities instead of values:
+///
+///  * a domain's obtainable-value count starts from the query's input
+///    assignments (plus `seeded_values` for cached data),
+///  * a view is queried once per combination of its bound attributes'
+///    obtainable values: Q_v = Π k(dom(a)),
+///  * a fraction ≈ Π min(1, k/U) of the view's tuples becomes obtainable
+///    (uniformity: obtained values are uniform over the domain universe U,
+///    taken as the max distinct count over the catalog),
+///  * an obtained tuple set of size T contributes ≈ D·(1 − e^{−T/D})
+///    distinct values of a free attribute with D distinct values
+///    (occupancy), and contributions union as occupancy over U.
+///
+/// The fixpoint is monotone and bounded, so it converges; `epsilon` stops
+/// it early. Estimates are heuristic (containment + uniformity
+/// assumptions — the standard System-R-style caveats) and are meant for
+/// plan-level decisions such as "is the maximal answer affordable or
+/// should a budget be set" (Section 7.2).
+CostEstimate EstimateExecution(
+    const Query& query, const std::vector<capability::SourceView>& views,
+    const DomainMap& domains, const std::map<std::string, ViewStats>& stats,
+    const std::map<std::string, double>& seeded_values = {},
+    std::size_t max_iterations = 200, double epsilon = 1e-6);
+
+}  // namespace limcap::planner
+
+#endif  // LIMCAP_PLANNER_COST_MODEL_H_

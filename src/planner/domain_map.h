@@ -1,0 +1,47 @@
+#ifndef LIMCAP_PLANNER_DOMAIN_MAP_H_
+#define LIMCAP_PLANNER_DOMAIN_MAP_H_
+
+#include <map>
+#include <string>
+
+namespace limcap::planner {
+
+/// Maps each global attribute to the name of its domain predicate
+/// (paper Section 3.1). By default every attribute gets its own domain
+/// named "dom" + attribute (the paper's Figure 4 style: domA, domB, ...).
+/// Attributes may share a domain (Section 3's generality: grouping
+/// attributes with the same domain); Section 5's analysis assumes the
+/// default one-domain-per-attribute setting.
+///
+/// Note the contrast the paper draws with Duschka/Levy [7]: there a single
+/// domain predicate serves every attribute; here domains are separate, so
+/// a Song value is never used to bind a Cd argument (binding assumption 1,
+/// Section 3.2).
+class DomainMap {
+ public:
+  DomainMap() = default;
+
+  /// Assigns `attribute` to domain predicate `domain`.
+  void SetDomain(const std::string& attribute, std::string domain) {
+    overrides_[attribute] = std::move(domain);
+  }
+
+  /// The domain predicate name for `attribute`.
+  std::string DomainOf(const std::string& attribute) const {
+    auto it = overrides_.find(attribute);
+    if (it != overrides_.end()) return it->second;
+    return "dom" + attribute;
+  }
+
+  /// True when the two attributes share a domain.
+  bool SameDomain(const std::string& a, const std::string& b) const {
+    return DomainOf(a) == DomainOf(b);
+  }
+
+ private:
+  std::map<std::string, std::string> overrides_;
+};
+
+}  // namespace limcap::planner
+
+#endif  // LIMCAP_PLANNER_DOMAIN_MAP_H_

@@ -1,0 +1,229 @@
+#include "planner/find_rel.h"
+
+#include <map>
+
+#include "common/string_util.h"
+
+namespace limcap::planner {
+
+namespace {
+
+/// Maps every attribute appearing in `views` or `query` to one canonical
+/// representative of its domain (the lexicographically smallest attribute
+/// sharing the domain). With distinct domains this is the identity, so
+/// the analysis matches the paper's attribute-level algorithm; with
+/// grouped domains it folds same-domain attributes together, since source
+/// bindings flow through domain predicates.
+std::map<std::string, std::string> DomainRepresentatives(
+    const Query& query, const std::vector<SourceView>& views,
+    const DomainMap& domains) {
+  AttributeSet attributes = query.InputAttributes();
+  for (const SourceView& view : views) {
+    AttributeSet view_attributes = view.Attributes();
+    attributes.insert(view_attributes.begin(), view_attributes.end());
+  }
+  // std::set iterates in sorted order, so the first attribute seen per
+  // domain is the lexicographic representative.
+  std::map<std::string, std::string> domain_rep;
+  std::map<std::string, std::string> rep;
+  for (const std::string& attribute : attributes) {
+    auto [it, inserted] =
+        domain_rep.emplace(domains.DomainOf(attribute), attribute);
+    rep.emplace(attribute, it->second);
+  }
+  return rep;
+}
+
+AttributeSet MapSet(const AttributeSet& attributes,
+                    const std::map<std::string, std::string>& rep) {
+  AttributeSet out;
+  for (const std::string& attribute : attributes) {
+    auto it = rep.find(attribute);
+    out.insert(it == rep.end() ? attribute : it->second);
+  }
+  return out;
+}
+
+Result<std::vector<Adorned>> ResolveAdorned(
+    const Connection& connection, const std::vector<SourceView>& views,
+    const std::map<std::string, std::string>& rep) {
+  std::vector<Adorned> resolved;
+  for (const std::string& name : connection.view_names()) {
+    bool found = false;
+    for (const SourceView& view : views) {
+      if (view.name() == name) {
+        std::vector<Adorned> expanded = Adorned::FromView(
+            view, [&rep](const std::string& a) { return rep.at(a); });
+        resolved.insert(resolved.end(), expanded.begin(), expanded.end());
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("connection " + connection.ToString() +
+                                     " references unknown view: " + name);
+    }
+  }
+  return resolved;
+}
+
+std::string SetToString(const std::set<std::string>& items) {
+  return "{" + JoinMapped(items, ", ", [](const std::string& s) { return s; }) +
+         "}";
+}
+
+}  // namespace
+
+std::string FindRelReport::ToString() const {
+  std::string out;
+  out += "queryable views (V_q): {" + Join(queryable_views, ", ") + "}\n";
+  if (!connection_queryable) {
+    out += "connection is NOT queryable: no answers obtainable\n";
+    return out;
+  }
+  out += std::string("independent: ") + (independent ? "yes" : "no") + "\n";
+  out += "kernel: " + SetToString(kernel) + "\n";
+  out += "b-closure(kernel): " + SetToString(kernel_bclosure) + "\n";
+  out += "relevant views: " + SetToString(relevant_views) + "\n";
+  return out;
+}
+
+Result<FindRelReport> FindRelevantViews(const Query& query,
+                                        const Connection& connection,
+                                        const std::vector<SourceView>& views,
+                                        const DomainMap& domains,
+                                        const AttributeSet& seeded_attributes) {
+  FindRelReport report;
+  std::map<std::string, std::string> rep =
+      DomainRepresentatives(query, views, domains);
+  for (const std::string& attribute : seeded_attributes) {
+    rep.emplace(attribute, attribute);
+  }
+  auto map_name = [&rep](const std::string& a) { return rep.at(a); };
+  AttributeSet inputs = MapSet(query.InputAttributes(), rep);
+  AttributeSet seeded = MapSet(seeded_attributes, rep);
+  inputs.insert(seeded.begin(), seeded.end());
+
+  std::vector<Adorned> all_adorned;
+  all_adorned.reserve(views.size());
+  for (const SourceView& view : views) {
+    std::vector<Adorned> expanded = Adorned::FromView(view, map_name);
+    all_adorned.insert(all_adorned.end(), expanded.begin(), expanded.end());
+  }
+
+  // Step 1: V_q = f-closure(I(Q), V).
+  FClosure queryable = ComputeFClosure(inputs, all_adorned);
+  report.queryable_views = queryable.order;
+
+  report.connection_queryable = true;
+  for (const std::string& name : connection.view_names()) {
+    if (!queryable.Contains(name)) report.connection_queryable = false;
+  }
+  LIMCAP_ASSIGN_OR_RETURN(std::vector<Adorned> connection_adorned,
+                          ResolveAdorned(connection, views, rep));
+  if (!report.connection_queryable) return report;
+
+  // Step 2: a kernel of the connection.
+  //
+  // The kernel's input set is subtler than queryability's: an input
+  // assignment a = c pins attribute a in the complete answer, so a's
+  // domain needs no further external values — *unless* the domain also
+  // occurs in the connection as a different attribute b. Then b is not
+  // pinned by the selection, extra domain values retrieve extra answer
+  // tuples, and the domain must stay kernel-eligible (its feeders are
+  // relevant). Under Section 5's distinct-domain assumption this reduces
+  // to I(Q) exactly.
+  AttributeSet connection_attributes;  // original attribute names
+  for (const std::string& name : connection.view_names()) {
+    for (const SourceView& view : views) {
+      if (view.name() == name) {
+        AttributeSet attrs = view.Attributes();
+        connection_attributes.insert(attrs.begin(), attrs.end());
+      }
+    }
+  }
+  AttributeSet kernel_inputs;
+  for (const std::string& input : query.InputAttributes()) {
+    bool constrains = true;
+    for (const std::string& attribute : connection_attributes) {
+      if (attribute != input && rep.at(attribute) == rep.at(input)) {
+        constrains = false;
+        break;
+      }
+    }
+    if (constrains) kernel_inputs.insert(rep.at(input));
+  }
+  report.kernel = ComputeKernel(kernel_inputs, connection_adorned);
+  report.independent = report.kernel.empty();
+
+  // Step 3: its backward-closure over the queryable views.
+  std::vector<Adorned> queryable_adorned;
+  for (const Adorned& adorned : all_adorned) {
+    if (queryable.Contains(adorned.name)) queryable_adorned.push_back(adorned);
+  }
+  report.kernel_bclosure = ComputeBClosure(report.kernel, queryable_adorned);
+
+  // Step 4: relevant = b-closure(kernel) ∪ T.
+  report.relevant_views = report.kernel_bclosure;
+  for (const std::string& name : connection.view_names()) {
+    report.relevant_views.insert(name);
+  }
+  return report;
+}
+
+std::string QueryRelevance::ToString() const {
+  std::string out;
+  out += "queryable views: {" + Join(queryable_views, ", ") + "}\n";
+  for (const Connection& connection : dropped_connections) {
+    out += "dropped (nonqueryable): " + connection.ToString() + "\n";
+  }
+  for (const Connection& connection : queryable_connections) {
+    const FindRelReport& report = reports.at(connection.ToString());
+    out += "connection " + connection.ToString() +
+           (report.independent ? " [independent]" : "") + ": relevant = " +
+           SetToString(report.relevant_views) + "\n";
+  }
+  out += "V_r = " + SetToString(relevant_union) + "\n";
+  return out;
+}
+
+Result<QueryRelevance> AnalyzeQueryRelevance(const Query& query,
+                                             const std::vector<SourceView>& views,
+                                             const DomainMap& domains,
+                                             const AttributeSet& seeded_attributes) {
+  QueryRelevance relevance;
+  std::map<std::string, std::string> rep =
+      DomainRepresentatives(query, views, domains);
+  for (const std::string& attribute : seeded_attributes) {
+    rep.emplace(attribute, attribute);
+  }
+  std::vector<Adorned> all_adorned;
+  for (const SourceView& view : views) {
+    std::vector<Adorned> expanded = Adorned::FromView(
+        view, [&rep](const std::string& a) { return rep.at(a); });
+    all_adorned.insert(all_adorned.end(), expanded.begin(), expanded.end());
+  }
+  AttributeSet initial = MapSet(query.InputAttributes(), rep);
+  AttributeSet seeded = MapSet(seeded_attributes, rep);
+  initial.insert(seeded.begin(), seeded.end());
+  FClosure queryable = ComputeFClosure(initial, all_adorned);
+  relevance.queryable_views = queryable.order;
+
+  for (const Connection& connection : query.connections()) {
+    LIMCAP_ASSIGN_OR_RETURN(
+        FindRelReport report,
+        FindRelevantViews(query, connection, views, domains,
+                          seeded_attributes));
+    if (!report.connection_queryable) {
+      relevance.dropped_connections.push_back(connection);
+      continue;
+    }
+    relevance.queryable_connections.push_back(connection);
+    relevance.relevant_union.insert(report.relevant_views.begin(),
+                                    report.relevant_views.end());
+    relevance.reports.emplace(connection.ToString(), std::move(report));
+  }
+  return relevance;
+}
+
+}  // namespace limcap::planner

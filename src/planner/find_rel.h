@@ -1,0 +1,82 @@
+#ifndef LIMCAP_PLANNER_FIND_REL_H_
+#define LIMCAP_PLANNER_FIND_REL_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "capability/source_view.h"
+#include "common/result.h"
+#include "planner/closure.h"
+#include "planner/domain_map.h"
+#include "planner/query.h"
+
+namespace limcap::planner {
+
+/// The output of FIND_REL (paper Figure 7) for one connection, with every
+/// intermediate exposed so callers can explain the plan.
+struct FindRelReport {
+  /// V_q = f-closure(I(Q), V), in executable order.
+  std::vector<std::string> queryable_views;
+  /// Whether every view of the connection is queryable; when false the
+  /// connection can yield no tuples and the remaining fields are empty.
+  bool connection_queryable = false;
+  /// Whether the connection is independent (empty kernel).
+  bool independent = false;
+  /// The kernel computed for the connection (Definition 5.1).
+  AttributeSet kernel;
+  /// b-closure(kernel) over the queryable views.
+  std::set<std::string> kernel_bclosure;
+  /// The relevant views: b-closure(kernel) ∪ T (Theorem 5.1). Empty when
+  /// the connection is not queryable.
+  std::set<std::string> relevant_views;
+
+  std::string ToString() const;
+};
+
+/// Runs FIND_REL for `connection` of `query` over all views `views`.
+/// Fails when the connection names a view absent from `views`.
+///
+/// `domains` generalizes the analysis beyond Section 5's distinct-domain
+/// assumption: binding flow follows domains, so when the map groups
+/// attributes (Section 3), every same-domain attribute is folded to one
+/// canonical representative before the closures run. With the default
+/// one-domain-per-attribute map this is exactly the paper's algorithm.
+///
+/// `seeded_attributes` are attributes whose domains already hold values
+/// from outside the query — e.g. the attributes of views with cached
+/// tuples (Section 7.1). They widen the queryability closure, but — like
+/// a shared-domain input — they seed values rather than constrain the
+/// answer, so they do not shrink kernels.
+Result<FindRelReport> FindRelevantViews(
+    const Query& query, const Connection& connection,
+    const std::vector<SourceView>& views,
+    const DomainMap& domains = DomainMap(),
+    const AttributeSet& seeded_attributes = {});
+
+/// The Section 6 pre-construction analysis of a whole query: queryable
+/// views, per-connection FIND_REL reports, the queryable connections, and
+/// V_r — the union of every queryable connection's relevant views.
+struct QueryRelevance {
+  std::vector<std::string> queryable_views;
+  /// Connections that survive (no nonqueryable view), in query order.
+  std::vector<Connection> queryable_connections;
+  /// Connections dropped because they contain a nonqueryable view.
+  std::vector<Connection> dropped_connections;
+  /// FIND_REL report per connection (keyed by Connection::ToString()).
+  std::map<std::string, FindRelReport> reports;
+  /// V_r: the union of relevant views across queryable connections.
+  std::set<std::string> relevant_union;
+
+  std::string ToString() const;
+};
+
+Result<QueryRelevance> AnalyzeQueryRelevance(
+    const Query& query, const std::vector<SourceView>& views,
+    const DomainMap& domains = DomainMap(),
+    const AttributeSet& seeded_attributes = {});
+
+}  // namespace limcap::planner
+
+#endif  // LIMCAP_PLANNER_FIND_REL_H_

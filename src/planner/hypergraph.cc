@@ -1,0 +1,196 @@
+#include "planner/hypergraph.h"
+
+#include <algorithm>
+
+namespace limcap::planner {
+
+Hypergraph::Hypergraph(const std::vector<SourceView>& views) : views_(views) {
+  std::set<std::string> attribute_set;
+  for (const SourceView& view : views_) {
+    for (const std::string& attribute : view.schema().attributes()) {
+      attribute_set.insert(attribute);
+      views_by_attribute_[attribute].push_back(view.name());
+    }
+  }
+  attributes_.assign(attribute_set.begin(), attribute_set.end());
+}
+
+const SourceView* Hypergraph::Find(const std::string& name) const {
+  for (const SourceView& view : views_) {
+    if (view.name() == name) return &view;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Hypergraph::ViewsContaining(
+    const std::string& attribute) const {
+  auto it = views_by_attribute_.find(attribute);
+  return it == views_by_attribute_.end() ? std::vector<std::string>{}
+                                         : it->second;
+}
+
+bool Hypergraph::IsConnected(const std::set<std::string>& view_names) const {
+  if (view_names.size() <= 1) return true;
+  // BFS over views, stepping through shared attributes.
+  std::set<std::string> visited;
+  std::vector<std::string> frontier = {*view_names.begin()};
+  visited.insert(frontier.front());
+  while (!frontier.empty()) {
+    std::string current = frontier.back();
+    frontier.pop_back();
+    const SourceView* view = Find(current);
+    if (view == nullptr) continue;
+    for (const std::string& attribute : view->schema().attributes()) {
+      for (const std::string& neighbor : ViewsContaining(attribute)) {
+        if (view_names.count(neighbor) > 0 &&
+            visited.insert(neighbor).second) {
+          frontier.push_back(neighbor);
+        }
+      }
+    }
+  }
+  return visited.size() == view_names.size();
+}
+
+std::vector<std::vector<std::string>> Hypergraph::ConnectedComponents()
+    const {
+  std::set<std::string> remaining;
+  for (const SourceView& view : views_) remaining.insert(view.name());
+  std::vector<std::vector<std::string>> components;
+  while (!remaining.empty()) {
+    std::set<std::string> component;
+    std::vector<std::string> frontier = {*remaining.begin()};
+    component.insert(frontier.front());
+    while (!frontier.empty()) {
+      std::string current = frontier.back();
+      frontier.pop_back();
+      const SourceView* view = Find(current);
+      for (const std::string& attribute : view->schema().attributes()) {
+        for (const std::string& neighbor : ViewsContaining(attribute)) {
+          if (remaining.count(neighbor) > 0 &&
+              component.insert(neighbor).second) {
+            frontier.push_back(neighbor);
+          }
+        }
+      }
+    }
+    for (const std::string& name : component) remaining.erase(name);
+    components.emplace_back(component.begin(), component.end());
+  }
+  std::sort(components.begin(), components.end());
+  return components;
+}
+
+std::string Hypergraph::ToDot() const {
+  std::string out = "graph catalog {\n";
+  for (const std::string& attribute : attributes_) {
+    out += "  \"" + attribute + "\" [shape=circle];\n";
+  }
+  for (const SourceView& view : views_) {
+    out += "  \"" + view.name() + "\" [shape=box, label=\"" +
+           view.ToString() + "\"];\n";
+    for (std::size_t i = 0; i < view.schema().arity(); ++i) {
+      out += "  \"" + view.name() + "\" -- \"" + view.schema().attribute(i) +
+             "\" [label=\"" +
+             (view.pattern().IsBound(i) ? std::string("b")
+                                        : std::string("f")) +
+             "\"];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::vector<Connection> FindMinimalConnections(
+    const std::vector<SourceView>& views,
+    const AttributeSet& required_attributes, std::size_t max_connection_size,
+    std::size_t max_connections) {
+  Hypergraph hypergraph(views);
+  std::vector<Connection> found;
+  std::vector<std::set<std::string>> found_sets;
+
+  // Pre-filter: attributes nobody covers make the result empty.
+  for (const std::string& attribute : required_attributes) {
+    if (hypergraph.ViewsContaining(attribute).empty()) return found;
+  }
+
+  const std::size_t n = views.size();
+  std::size_t size_cap = std::min(max_connection_size, n);
+  // Enumerate subsets by increasing size; minimality is then a subset
+  // check against already-found connections.
+  std::vector<std::size_t> combination;
+  for (std::size_t size = 1;
+       size <= size_cap && found.size() < max_connections; ++size) {
+    combination.assign(size, 0);
+    for (std::size_t i = 0; i < size; ++i) combination[i] = i;
+    while (true) {
+      std::set<std::string> candidate;
+      for (std::size_t i : combination) candidate.insert(views[i].name());
+
+      bool superset_of_found = false;
+      for (const std::set<std::string>& existing : found_sets) {
+        if (std::includes(candidate.begin(), candidate.end(),
+                          existing.begin(), existing.end())) {
+          superset_of_found = true;
+          break;
+        }
+      }
+      if (!superset_of_found) {
+        AttributeSet covered;
+        for (std::size_t i : combination) {
+          AttributeSet attrs = views[i].Attributes();
+          covered.insert(attrs.begin(), attrs.end());
+        }
+        bool covers = std::includes(covered.begin(), covered.end(),
+                                    required_attributes.begin(),
+                                    required_attributes.end());
+        if (covers && hypergraph.IsConnected(candidate)) {
+          found.emplace_back(std::vector<std::string>(candidate.begin(),
+                                                      candidate.end()));
+          found_sets.push_back(std::move(candidate));
+          if (found.size() >= max_connections) break;
+        }
+      }
+
+      // Next combination (lexicographic): position i ranges up to
+      // n - size + i.
+      bool advanced = false;
+      std::size_t i = size;
+      while (i-- > 0) {
+        if (combination[i] != i + n - size) {
+          ++combination[i];
+          for (std::size_t j = i + 1; j < size; ++j) {
+            combination[j] = combination[j - 1] + 1;
+          }
+          advanced = true;
+          break;
+        }
+      }
+      if (!advanced) break;
+    }
+  }
+  return found;
+}
+
+Result<Query> BuildQueryFromAttributes(const std::vector<SourceView>& views,
+                                       std::vector<InputAssignment> inputs,
+                                       std::vector<std::string> outputs,
+                                       std::size_t max_connection_size,
+                                       std::size_t max_connections) {
+  AttributeSet required(outputs.begin(), outputs.end());
+  for (const InputAssignment& input : inputs) {
+    required.insert(input.attribute);
+  }
+  std::vector<Connection> connections = FindMinimalConnections(
+      views, required, max_connection_size, max_connections);
+  // A connection must cover every output for its rule to be safe; the
+  // finder requires I ∪ O so this always holds here.
+  if (connections.empty()) {
+    return Status::NotFound(
+        "no connection covers the requested attributes");
+  }
+  return Query(std::move(inputs), std::move(outputs),
+               std::move(connections));
+}
+
+}  // namespace limcap::planner

@@ -1,0 +1,76 @@
+#ifndef LIMCAP_PLANNER_HYPERGRAPH_H_
+#define LIMCAP_PLANNER_HYPERGRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "capability/source_view.h"
+#include "planner/query.h"
+
+namespace limcap::planner {
+
+using capability::SourceView;
+
+/// The hypergraph of a source-view catalog (paper Section 2, Figure 1):
+/// each node is a global attribute, each hyperedge is a source view over
+/// its attributes. Used to generate connections (Section 2.2, option 2 —
+/// the universal-relation approach) and for catalog diagnostics.
+class Hypergraph {
+ public:
+  explicit Hypergraph(const std::vector<SourceView>& views);
+
+  const std::vector<SourceView>& views() const { return views_; }
+  /// All attributes, sorted.
+  const std::vector<std::string>& attributes() const { return attributes_; }
+
+  /// Names of the views whose schema contains `attribute`.
+  std::vector<std::string> ViewsContaining(const std::string& attribute) const;
+
+  /// True when the sub-hypergraph induced by `view_names` is connected:
+  /// any two of its views are linked by a chain of views sharing
+  /// attributes. The empty set and singletons are connected.
+  bool IsConnected(const std::set<std::string>& view_names) const;
+
+  /// Partitions the whole catalog into maximal connected groups of views,
+  /// each sorted; groups ordered by first view name.
+  std::vector<std::vector<std::string>> ConnectedComponents() const;
+
+  /// Graphviz rendering: attributes as circles, views as boxes, an edge
+  /// between a view and each of its attributes (adornment shown on the
+  /// edge label: 'b' or 'f' under the primary template).
+  std::string ToDot() const;
+
+ private:
+  const SourceView* Find(const std::string& name) const;
+
+  std::vector<SourceView> views_;
+  std::vector<std::string> attributes_;
+  std::map<std::string, std::vector<std::string>> views_by_attribute_;
+};
+
+/// Enumerates the minimal connections over `views` that cover
+/// `required_attributes` (typically I(Q) ∪ O(Q)): sets T of views such
+/// that every required attribute appears in some view of T, T is
+/// connected in the hypergraph, and no proper subset of T qualifies.
+/// Enumeration is by increasing |T| (so minimality is a subset check
+/// against earlier results), capped by `max_connection_size` and
+/// `max_connections`; views within each connection are sorted by name.
+std::vector<Connection> FindMinimalConnections(
+    const std::vector<SourceView>& views,
+    const AttributeSet& required_attributes,
+    std::size_t max_connection_size = 6, std::size_t max_connections = 64);
+
+/// Universal-relation front door: builds a connection query from input
+/// assignments and output attributes alone, generating the connections
+/// with FindMinimalConnections. Fails when no connection covers the
+/// attributes.
+Result<Query> BuildQueryFromAttributes(
+    const std::vector<SourceView>& views,
+    std::vector<InputAssignment> inputs, std::vector<std::string> outputs,
+    std::size_t max_connection_size = 6, std::size_t max_connections = 64);
+
+}  // namespace limcap::planner
+
+#endif  // LIMCAP_PLANNER_HYPERGRAPH_H_

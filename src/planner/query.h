@@ -1,0 +1,97 @@
+#ifndef LIMCAP_PLANNER_QUERY_H_
+#define LIMCAP_PLANNER_QUERY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "capability/source_catalog.h"
+#include "capability/source_view.h"
+#include "common/result.h"
+#include "common/value.h"
+#include "planner/domain_map.h"
+
+namespace limcap::planner {
+
+using capability::AttributeSet;
+
+/// One input assignment `attribute = constant` from the query's I list.
+struct InputAssignment {
+  std::string attribute;
+  Value value;
+};
+
+/// A connection: a set of distinct source views (by name) interpreted as
+/// their natural join (paper Section 2.2). Order is kept for display but
+/// is semantically irrelevant.
+class Connection {
+ public:
+  Connection() = default;
+  explicit Connection(std::vector<std::string> view_names)
+      : view_names_(std::move(view_names)) {}
+
+  const std::vector<std::string>& view_names() const { return view_names_; }
+  std::size_t size() const { return view_names_.size(); }
+  bool ContainsView(const std::string& name) const;
+
+  /// "{v1, v3}".
+  std::string ToString() const;
+
+  bool operator==(const Connection& other) const {
+    return view_names_ == other.view_names_;
+  }
+
+ private:
+  std::vector<std::string> view_names_;
+};
+
+/// A connection query Q = <I, O, C> (paper Section 2.2): input
+/// assignments, output attributes, and connections linking them.
+class Query {
+ public:
+  Query() = default;
+  Query(std::vector<InputAssignment> inputs, std::vector<std::string> outputs,
+        std::vector<Connection> connections)
+      : inputs_(std::move(inputs)),
+        outputs_(std::move(outputs)),
+        connections_(std::move(connections)) {}
+
+  const std::vector<InputAssignment>& inputs() const { return inputs_; }
+  const std::vector<std::string>& outputs() const { return outputs_; }
+  const std::vector<Connection>& connections() const { return connections_; }
+
+  /// I(Q): the set of input attributes.
+  AttributeSet InputAttributes() const;
+  /// O(Q): the set of output attributes.
+  AttributeSet OutputAttributes() const;
+
+  /// Values assigned to `attribute` in I, in list order.
+  std::vector<Value> InputValuesFor(const std::string& attribute) const;
+
+  /// Validates the query against a catalog: connections name registered
+  /// views, views within a connection are distinct, I and O are disjoint,
+  /// every output attribute appears in every connection (required for the
+  /// connection rules to be safe), and input/output attributes exist in
+  /// the catalog. An input attribute outside the catalog is accepted when
+  /// `domains` maps it to the domain of some catalog attribute (a
+  /// user-side attribute feeding a shared domain, e.g. Home -> city).
+  Status Validate(const capability::SourceCatalog& catalog,
+                  const DomainMap& domains = DomainMap()) const;
+
+  /// "<{Song = t1}, {Price}, {{v1, v3}, ...}>".
+  std::string ToString() const;
+
+ private:
+  std::vector<InputAssignment> inputs_;
+  std::vector<std::string> outputs_;
+  std::vector<Connection> connections_;
+};
+
+/// A(T): the attributes of the views of connection `T`, resolved against
+/// `catalog`. Fails on unknown views.
+Result<AttributeSet> ConnectionAttributes(
+    const Connection& connection, const capability::SourceCatalog& catalog);
+
+}  // namespace limcap::planner
+
+#endif  // LIMCAP_PLANNER_QUERY_H_

@@ -1,0 +1,178 @@
+#include "planner/query_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace limcap::planner {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Query> Parse() {
+    SkipTrivia();
+    if (!ConsumeIf("<")) return Error("expected '<' opening the query");
+
+    // Inputs.
+    std::vector<InputAssignment> inputs;
+    SkipTrivia();
+    if (!ConsumeIf("{")) return Error("expected '{' opening the inputs");
+    SkipTrivia();
+    while (!ConsumeIf("}")) {
+      LIMCAP_ASSIGN_OR_RETURN(std::string attribute, ParseIdentifier());
+      SkipTrivia();
+      if (!ConsumeIf("=")) return Error("expected '=' in input assignment");
+      SkipTrivia();
+      LIMCAP_ASSIGN_OR_RETURN(Value value, ParseValue());
+      inputs.push_back({std::move(attribute), std::move(value)});
+      SkipTrivia();
+      if (ConsumeIf(",")) SkipTrivia();
+    }
+    SkipTrivia();
+    if (!ConsumeIf(",")) return Error("expected ',' after the inputs");
+
+    // Outputs.
+    std::vector<std::string> outputs;
+    SkipTrivia();
+    if (!ConsumeIf("{")) return Error("expected '{' opening the outputs");
+    SkipTrivia();
+    while (!ConsumeIf("}")) {
+      LIMCAP_ASSIGN_OR_RETURN(std::string attribute, ParseIdentifier());
+      outputs.push_back(std::move(attribute));
+      SkipTrivia();
+      if (ConsumeIf(",")) SkipTrivia();
+    }
+    SkipTrivia();
+    if (!ConsumeIf(",")) return Error("expected ',' after the outputs");
+
+    // Connections.
+    std::vector<Connection> connections;
+    SkipTrivia();
+    if (!ConsumeIf("{")) {
+      return Error("expected '{' opening the connection list");
+    }
+    SkipTrivia();
+    while (!ConsumeIf("}")) {
+      if (!ConsumeIf("{")) return Error("expected '{' opening a connection");
+      std::vector<std::string> names;
+      SkipTrivia();
+      while (!ConsumeIf("}")) {
+        LIMCAP_ASSIGN_OR_RETURN(std::string name, ParseIdentifier());
+        names.push_back(std::move(name));
+        SkipTrivia();
+        if (ConsumeIf(",")) SkipTrivia();
+      }
+      connections.emplace_back(std::move(names));
+      SkipTrivia();
+      if (ConsumeIf(",")) SkipTrivia();
+    }
+    SkipTrivia();
+    if (!ConsumeIf(">")) return Error("expected '>' closing the query");
+    SkipTrivia();
+    if (!AtEnd()) return Error("trailing input after query");
+    return Query(std::move(inputs), std::move(outputs),
+                 std::move(connections));
+  }
+
+ private:
+  Result<Value> ParseValue() {
+    if (AtEnd()) return Error("expected value");
+    char c = text_[pos_];
+    if (c == '"') {
+      ++pos_;
+      std::string out;
+      while (!AtEnd() && text_[pos_] != '"') {
+        if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+        out += text_[pos_++];
+      }
+      if (AtEnd()) return Error("unterminated string");
+      ++pos_;
+      return Value::String(std::move(out));
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+      std::size_t start = pos_;
+      if (c == '-') ++pos_;
+      while (!AtEnd() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      bool is_double = false;
+      if (!AtEnd() && text_[pos_] == '.' && pos_ + 1 < text_.size() &&
+          std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+        is_double = true;
+        ++pos_;
+        while (!AtEnd() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+          ++pos_;
+        }
+      }
+      std::string token(text_.substr(start, pos_ - start));
+      if (is_double) {
+        return Value::Double(std::strtod(token.c_str(), nullptr));
+      }
+      return Value::Int64(std::strtoll(token.c_str(), nullptr, 10));
+    }
+    LIMCAP_ASSIGN_OR_RETURN(std::string identifier, ParseIdentifier());
+    return Value::String(std::move(identifier));
+  }
+
+  Result<std::string> ParseIdentifier() {
+    if (AtEnd() || !(std::isalpha(static_cast<unsigned char>(text_[pos_])) ||
+                     text_[pos_] == '_' || text_[pos_] == '$')) {
+      return Error("expected identifier");
+    }
+    std::size_t start = pos_;
+    while (!AtEnd() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '$' ||
+            text_[pos_] == '^')) {
+      ++pos_;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  void SkipTrivia() {
+    while (!AtEnd()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '%' || (c == '/' && pos_ + 1 < text_.size() &&
+                              text_[pos_ + 1] == '/')) {
+        while (!AtEnd() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  bool ConsumeIf(std::string_view token) {
+    if (text_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+  Status Error(std::string message) const {
+    return Status::InvalidArgument(message + " at line " +
+                                   std::to_string(line_));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace limcap::planner

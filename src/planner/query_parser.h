@@ -1,0 +1,28 @@
+#ifndef LIMCAP_PLANNER_QUERY_PARSER_H_
+#define LIMCAP_PLANNER_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "planner/query.h"
+
+namespace limcap::planner {
+
+/// Parses the paper's connection-query notation — exactly the form
+/// Query::ToString() prints, so queries round-trip through text:
+///
+///   <{Song = t1}, {Price}, {{v1, v3}, {v1, v4}, {v2, v3}, {v2, v4}}>
+///
+/// * the first braces hold the input assignments I (comma-separated
+///   `Attribute = value`; empty `{}` allowed; an attribute may repeat),
+/// * the second the output attributes O,
+/// * the third the connections C, each itself a braced view list.
+///
+/// Values lex like Datalog constants: bare identifiers are strings,
+/// integer/floating literals are numbers, quoted strings allow anything.
+/// '%' and '//' start comments.
+Result<Query> ParseQuery(std::string_view text);
+
+}  // namespace limcap::planner
+
+#endif  // LIMCAP_PLANNER_QUERY_PARSER_H_

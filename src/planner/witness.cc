@@ -1,0 +1,56 @@
+#include "planner/witness.h"
+
+#include "planner/closure.h"
+
+namespace limcap::planner {
+
+Result<NonIndependenceWitness> ConstructNonIndependenceWitness(
+    const Query& query, const Connection& connection,
+    const std::vector<SourceView>& views) {
+  std::vector<SourceView> connection_views;
+  for (const std::string& name : connection.view_names()) {
+    bool found = false;
+    for (const SourceView& view : views) {
+      if (view.name() == name) {
+        connection_views.push_back(view);
+        found = true;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("connection references unknown view: " +
+                                     name);
+    }
+  }
+  FClosure closure =
+      ComputeFClosure(query.InputAttributes(), connection_views);
+  if (closure.views.size() == connection_views.size()) {
+    return Status::InvalidArgument(
+        "connection " + connection.ToString() +
+        " is independent; by Theorem 4.1 no witness instance exists");
+  }
+
+  NonIndependenceWitness witness;
+  for (const SourceView& view : connection_views) {
+    relational::Relation relation(view.schema());
+    relational::Row row;
+    for (const std::string& attribute : view.schema().attributes()) {
+      row.push_back(Value::String("w_" + attribute));
+    }
+    relation.InsertUnsafe(std::move(row));
+    witness.data.emplace(view.name(), std::move(relation));
+    if (!closure.Contains(view.name())) {
+      witness.unreachable_views.push_back(view.name());
+    }
+  }
+
+  // Re-anchor the query's input constants at the witness values so the
+  // witness tuple satisfies the selection.
+  std::vector<InputAssignment> inputs;
+  for (const InputAssignment& input : query.inputs()) {
+    inputs.push_back({input.attribute, Value::String("w_" + input.attribute)});
+  }
+  witness.query = Query(std::move(inputs), query.outputs(), {connection});
+  return witness;
+}
+
+}  // namespace limcap::planner

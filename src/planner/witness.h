@@ -1,0 +1,47 @@
+#ifndef LIMCAP_PLANNER_WITNESS_H_
+#define LIMCAP_PLANNER_WITNESS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "capability/source_view.h"
+#include "common/result.h"
+#include "planner/query.h"
+#include "relational/relation.h"
+
+namespace limcap::planner {
+
+using capability::SourceView;
+
+/// The constructive content of Theorem 4.2: for a *non-independent*
+/// connection T there exists an instance of T's source relations on which
+/// some complete-answer tuples cannot be obtained using only T's views.
+struct NonIndependenceWitness {
+  /// One relation per view of the connection. Each holds a single tuple
+  /// assigning every attribute A the value "w_A", so the natural join is
+  /// the single full-width tuple.
+  std::map<std::string, relational::Relation> data;
+  /// The original query with its input constants replaced by the witness
+  /// values (so the witness tuple passes the input selection) and its
+  /// connections restricted to T.
+  Query query;
+  /// The views of T that can never be queried from I(Q) within T — the
+  /// reason the witness tuple is unobtainable.
+  std::vector<std::string> unreachable_views;
+};
+
+/// Builds the witness. Fails with InvalidArgument when the connection is
+/// independent (Theorem 4.1 then guarantees no witness exists) or names a
+/// view absent from `views`.
+///
+/// Properties (verified by the property tests): on the witness instance,
+/// the complete answer for T has exactly one tuple, and the obtainable
+/// answer using only T's views is empty.
+Result<NonIndependenceWitness> ConstructNonIndependenceWitness(
+    const Query& query, const Connection& connection,
+    const std::vector<SourceView>& views);
+
+}  // namespace limcap::planner
+
+#endif  // LIMCAP_PLANNER_WITNESS_H_

@@ -1,0 +1,140 @@
+#include "relational/operators.h"
+
+namespace limcap::relational {
+
+Result<Relation> Select(const Relation& input,
+                        const std::vector<EqualityCondition>& conditions) {
+  std::vector<std::pair<std::size_t, Value>> resolved;
+  resolved.reserve(conditions.size());
+  for (const EqualityCondition& cond : conditions) {
+    auto index = input.schema().IndexOf(cond.attribute);
+    if (!index.has_value()) {
+      return Status::InvalidArgument("selection attribute not in schema: " +
+                                     cond.attribute);
+    }
+    resolved.emplace_back(*index, cond.value);
+  }
+  Relation output(input.schema());
+  for (const Row& row : input.rows()) {
+    bool keep = true;
+    for (const auto& [index, value] : resolved) {
+      if (row[index] != value) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) output.InsertUnsafe(row);
+  }
+  return output;
+}
+
+Result<Relation> Project(const Relation& input,
+                         const std::vector<std::string>& attributes) {
+  std::vector<std::size_t> positions;
+  positions.reserve(attributes.size());
+  for (const std::string& name : attributes) {
+    auto index = input.schema().IndexOf(name);
+    if (!index.has_value()) {
+      return Status::InvalidArgument("projection attribute not in schema: " +
+                                     name);
+    }
+    positions.push_back(*index);
+  }
+  LIMCAP_ASSIGN_OR_RETURN(Schema schema, Schema::Make(attributes));
+  Relation output(std::move(schema));
+  for (const Row& row : input.rows()) {
+    Row projected;
+    projected.reserve(positions.size());
+    for (std::size_t p : positions) projected.push_back(row[p]);
+    output.InsertUnsafe(std::move(projected));
+  }
+  return output;
+}
+
+Relation NaturalJoin(const Relation& left, const Relation& right) {
+  // Probe with the larger side into an index on the smaller side.
+  const bool left_is_build = left.size() <= right.size();
+  const Relation& build = left_is_build ? left : right;
+  const Relation& probe = left_is_build ? right : left;
+
+  std::vector<std::string> shared =
+      build.schema().CommonAttributes(probe.schema());
+  std::vector<std::size_t> build_cols;
+  std::vector<std::size_t> probe_cols;
+  for (const std::string& name : shared) {
+    build_cols.push_back(*build.schema().IndexOf(name));
+    probe_cols.push_back(*probe.schema().IndexOf(name));
+  }
+  // Output schema per the public contract: left's attributes then right's
+  // new attributes.
+  Schema out_schema = left.schema().NaturalJoinSchema(right.schema());
+  Relation output(out_schema);
+
+  // Positions in (left row, right row) for each output attribute.
+  struct SourcePos {
+    bool from_left;
+    std::size_t index;
+  };
+  std::vector<SourcePos> mapping;
+  for (const std::string& name : out_schema.attributes()) {
+    if (auto li = left.schema().IndexOf(name); li.has_value()) {
+      mapping.push_back({true, *li});
+    } else {
+      mapping.push_back({false, *right.schema().IndexOf(name)});
+    }
+  }
+
+  for (const Row& probe_row : probe.rows()) {
+    Row key;
+    key.reserve(probe_cols.size());
+    for (std::size_t c : probe_cols) key.push_back(probe_row[c]);
+    for (std::size_t build_pos : build.Probe(build_cols, key)) {
+      const Row& build_row = build.row(build_pos);
+      const Row& left_row = left_is_build ? build_row : probe_row;
+      const Row& right_row = left_is_build ? probe_row : build_row;
+      Row out;
+      out.reserve(mapping.size());
+      for (const SourcePos& pos : mapping) {
+        out.push_back(pos.from_left ? left_row[pos.index]
+                                    : right_row[pos.index]);
+      }
+      output.InsertUnsafe(std::move(out));
+    }
+  }
+  return output;
+}
+
+Relation NaturalJoinAll(const std::vector<const Relation*>& inputs) {
+  Relation acc{Schema::MakeUnsafe({})};
+  acc.InsertUnsafe({});
+  for (const Relation* input : inputs) {
+    acc = NaturalJoin(acc, *input);
+  }
+  return acc;
+}
+
+Result<Relation> Union(const Relation& left, const Relation& right) {
+  if (!(left.schema() == right.schema())) {
+    return Status::InvalidArgument("union schemas differ: " +
+                                   left.schema().ToString() + " vs " +
+                                   right.schema().ToString());
+  }
+  Relation output = left;
+  for (const Row& row : right.rows()) output.InsertUnsafe(row);
+  return output;
+}
+
+Result<Relation> Difference(const Relation& left, const Relation& right) {
+  if (!(left.schema() == right.schema())) {
+    return Status::InvalidArgument("difference schemas differ: " +
+                                   left.schema().ToString() + " vs " +
+                                   right.schema().ToString());
+  }
+  Relation output(left.schema());
+  for (const Row& row : left.rows()) {
+    if (!right.Contains(row)) output.InsertUnsafe(row);
+  }
+  return output;
+}
+
+}  // namespace limcap::relational

@@ -1,0 +1,49 @@
+#ifndef LIMCAP_RELATIONAL_OPERATORS_H_
+#define LIMCAP_RELATIONAL_OPERATORS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/relation.h"
+
+namespace limcap::relational {
+
+/// An equality predicate `attribute = value` (the only selection form
+/// connection queries need; paper Section 2.2).
+struct EqualityCondition {
+  std::string attribute;
+  Value value;
+};
+
+/// σ: rows of `input` satisfying every condition. Fails if a condition
+/// names an attribute absent from the schema.
+Result<Relation> Select(const Relation& input,
+                        const std::vector<EqualityCondition>& conditions);
+
+/// π: projection onto `attributes` (in the given order) with set-semantics
+/// deduplication. Fails on unknown attributes.
+Result<Relation> Project(const Relation& input,
+                         const std::vector<std::string>& attributes);
+
+/// ⋈: natural join equating attributes by name. A hash join: builds a hash
+/// index on the smaller input's shared attributes and probes with the
+/// larger. When the inputs share no attributes this degenerates to a
+/// cartesian product, as natural join requires.
+Relation NaturalJoin(const Relation& left, const Relation& right);
+
+/// Natural join of a list of relations, joined left to right; an empty
+/// list yields the zero-column relation with one (empty) row, the join
+/// identity.
+Relation NaturalJoinAll(const std::vector<const Relation*>& inputs);
+
+/// ∪: set union. Fails if schemas differ.
+Result<Relation> Union(const Relation& left, const Relation& right);
+
+/// Rows of `left` absent from `right` (schemas must match).
+Result<Relation> Difference(const Relation& left, const Relation& right);
+
+}  // namespace limcap::relational
+
+#endif  // LIMCAP_RELATIONAL_OPERATORS_H_

@@ -1,0 +1,100 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace limcap::relational {
+
+namespace {
+
+Row ExtractKey(const Row& row, const std::vector<std::size_t>& columns) {
+  Row key;
+  key.reserve(columns.size());
+  for (std::size_t c : columns) key.push_back(row[c]);
+  return key;
+}
+
+const std::vector<std::size_t>& EmptyMatches() {
+  static const std::vector<std::size_t>* empty = new std::vector<std::size_t>();
+  return *empty;
+}
+
+}  // namespace
+
+Result<bool> Relation::Insert(Row row) {
+  if (row.size() != schema_.arity()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) +
+        " does not match schema arity " + std::to_string(schema_.arity()));
+  }
+  if (row_set_.count(row) > 0) return false;
+  // Keep existing lazy indexes consistent with the new row.
+  for (auto& [columns, index] : indexes_) {
+    index[ExtractKey(row, columns)].push_back(rows_.size());
+  }
+  row_set_.insert(row);
+  rows_.push_back(std::move(row));
+  return true;
+}
+
+bool Relation::InsertUnsafe(Row row) {
+  auto result = Insert(std::move(row));
+  if (!result.ok()) std::abort();
+  return result.value();
+}
+
+const std::vector<std::size_t>& Relation::Probe(
+    const std::vector<std::size_t>& columns, const Row& key) const {
+  auto it = indexes_.find(columns);
+  if (it == indexes_.end()) {
+    HashIndex index;
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      index[ExtractKey(rows_[i], columns)].push_back(i);
+    }
+    it = indexes_.emplace(columns, std::move(index)).first;
+  }
+  auto match = it->second.find(key);
+  if (match == it->second.end()) return EmptyMatches();
+  return match->second;
+}
+
+std::vector<Value> Relation::ColumnValues(std::size_t index) const {
+  std::vector<Value> values;
+  std::unordered_set<Value> seen;
+  for (const Row& row : rows_) {
+    if (seen.insert(row[index]).second) values.push_back(row[index]);
+  }
+  return values;
+}
+
+std::vector<Row> Relation::SortedRows() const {
+  std::vector<Row> sorted = rows_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+std::string Relation::ToString() const {
+  return "{" +
+         JoinMapped(SortedRows(), ", ",
+                    [](const Row& row) { return RowToString(row); }) +
+         "}";
+}
+
+bool Relation::operator==(const Relation& other) const {
+  if (!(schema_ == other.schema_)) return false;
+  if (rows_.size() != other.rows_.size()) return false;
+  for (const Row& row : rows_) {
+    if (!other.Contains(row)) return false;
+  }
+  return true;
+}
+
+std::string RowToString(const Row& row) {
+  return "<" +
+         JoinMapped(row, ", ", [](const Value& v) { return v.ToString(); }) +
+         ">";
+}
+
+}  // namespace limcap::relational

@@ -1,0 +1,90 @@
+#ifndef LIMCAP_RELATIONAL_RELATION_H_
+#define LIMCAP_RELATIONAL_RELATION_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/result.h"
+#include "common/value.h"
+#include "relational/schema.h"
+
+namespace limcap::relational {
+
+/// A row of values, positionally aligned with a Schema.
+using Row = std::vector<Value>;
+
+/// A set-semantics relation: a schema plus deduplicated rows in insertion
+/// order. Lazily builds hash indexes keyed by column subsets to support
+/// the bound-attribute probes that dominate capability-restricted
+/// execution (a source query binds a subset of columns and scans the
+/// matches).
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  Relation(const Relation&) = default;
+  Relation& operator=(const Relation&) = default;
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
+
+  const Schema& schema() const { return schema_; }
+  std::size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  const std::vector<Row>& rows() const { return rows_; }
+  const Row& row(std::size_t i) const { return rows_[i]; }
+
+  /// Inserts a row; returns true when the row was new. Fails when the
+  /// arity does not match the schema.
+  Result<bool> Insert(Row row);
+
+  /// Insert for static data; aborts on arity mismatch.
+  bool InsertUnsafe(Row row);
+
+  bool Contains(const Row& row) const { return row_set_.count(row) > 0; }
+
+  /// Rows whose values at `columns` equal `key` (positionally). Uses (and
+  /// builds on first use) a hash index on `columns`. Returned indices are
+  /// positions into rows().
+  const std::vector<std::size_t>& Probe(const std::vector<std::size_t>& columns,
+                                        const Row& key) const;
+
+  /// Distinct values of the column at `index`.
+  std::vector<Value> ColumnValues(std::size_t index) const;
+
+  /// Rows sorted by value order — canonical order for printing and tests.
+  std::vector<Row> SortedRows() const;
+
+  /// Renders "{<a, b>, <c, d>}" in sorted order.
+  std::string ToString() const;
+
+  bool operator==(const Relation& other) const;
+
+ private:
+  struct IndexKeyHash {
+    std::size_t operator()(const Row& row) const {
+      std::size_t seed = 0x51ed2701a1b2c3d4ULL;
+      for (const Value& v : row) HashCombine(seed, v.Hash());
+      return seed;
+    }
+  };
+  using HashIndex = std::unordered_map<Row, std::vector<std::size_t>, IndexKeyHash>;
+
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::unordered_set<Row, IndexKeyHash> row_set_;
+  // Lazy indexes: column subset -> (key -> row positions). Mutable because
+  // Probe is logically const.
+  mutable std::map<std::vector<std::size_t>, HashIndex> indexes_;
+};
+
+/// Renders a row as "<a, b, c>".
+std::string RowToString(const Row& row);
+
+}  // namespace limcap::relational
+
+#endif  // LIMCAP_RELATIONAL_RELATION_H_

@@ -1,0 +1,212 @@
+#include <cctype>
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+namespace limcap::workload {
+
+namespace {
+
+using capability::BindingPattern;
+using capability::InMemorySource;
+using capability::SourceView;
+using relational::Relation;
+using relational::Row;
+using relational::Schema;
+
+std::string AttributeName(std::size_t i) { return "A" + std::to_string(i); }
+
+BindingPattern RandomPattern(std::size_t arity, double bound_probability,
+                             Rng* rng) {
+  std::vector<capability::Adornment> adornments;
+  adornments.reserve(arity);
+  std::size_t bound = 0;
+  for (std::size_t i = 0; i < arity; ++i) {
+    bool b = rng->Chance(bound_probability);
+    adornments.push_back(b ? capability::Adornment::kBound
+                           : capability::Adornment::kFree);
+    if (b) ++bound;
+  }
+  if (bound == arity && arity > 1) {
+    adornments[rng->Below(arity)] = capability::Adornment::kFree;
+  }
+  return BindingPattern(std::move(adornments));
+}
+
+}  // namespace
+
+Value GeneratedInstance::DomainValue(const std::string& attribute,
+                                     std::size_t k) {
+  std::string lowered = attribute;
+  if (!lowered.empty()) {
+    lowered[0] = static_cast<char>(std::tolower(lowered[0]));
+  }
+  return Value::String(lowered + "_" + std::to_string(k));
+}
+
+GeneratedInstance GenerateInstance(const CatalogSpec& spec) {
+  GeneratedInstance instance;
+  Rng rng(spec.seed);
+
+  const std::size_t attribute_count =
+      spec.topology == CatalogSpec::Topology::kChain ? spec.num_views + 1
+                                                     : spec.num_attributes;
+  for (std::size_t i = 0; i < attribute_count; ++i) {
+    instance.attributes.push_back(AttributeName(i));
+  }
+
+  for (std::size_t v = 0; v < spec.num_views; ++v) {
+    std::vector<std::string> schema_attributes;
+    BindingPattern pattern;
+    switch (spec.topology) {
+      case CatalogSpec::Topology::kChain: {
+        schema_attributes = {AttributeName(v), AttributeName(v + 1)};
+        pattern = *BindingPattern::Parse("bf");
+        break;
+      }
+      case CatalogSpec::Topology::kStar: {
+        std::size_t spoke = 1 + rng.Below(attribute_count - 1);
+        schema_attributes = {AttributeName(0), AttributeName(spoke)};
+        pattern = RandomPattern(2, spec.bound_probability, &rng);
+        break;
+      }
+      case CatalogSpec::Topology::kRandom: {
+        std::size_t arity = spec.min_arity +
+                            rng.Below(spec.max_arity - spec.min_arity + 1);
+        arity = std::min(arity, attribute_count);
+        std::set<std::size_t> chosen;
+        while (chosen.size() < arity) {
+          chosen.insert(rng.Below(attribute_count));
+        }
+        for (std::size_t a : chosen) {
+          schema_attributes.push_back(AttributeName(a));
+        }
+        pattern =
+            RandomPattern(schema_attributes.size(), spec.bound_probability,
+                          &rng);
+        break;
+      }
+    }
+
+    SourceView view = *SourceView::Make(
+        "v" + std::to_string(v + 1),
+        Schema::MakeUnsafe(schema_attributes), pattern);
+
+    Relation data(view.schema());
+    for (std::size_t t = 0; t < spec.tuples_per_view; ++t) {
+      Row row;
+      row.reserve(schema_attributes.size());
+      for (const std::string& attribute : schema_attributes) {
+        row.push_back(GeneratedInstance::DomainValue(
+            attribute, rng.Below(spec.domain_size)));
+      }
+      data.InsertUnsafe(std::move(row));
+    }
+
+    instance.views.push_back(view);
+    instance.full_data.emplace(view.name(), data);
+    instance.catalog.RegisterUnsafe(std::make_unique<InMemorySource>(
+        InMemorySource::MakeUnsafe(view, std::move(data))));
+  }
+  return instance;
+}
+
+Result<planner::Query> GenerateQuery(const GeneratedInstance& instance,
+                                     const QuerySpec& spec) {
+  Rng rng(spec.seed);
+  const std::size_t view_count = instance.views.size();
+  if (view_count == 0) return Status::InvalidArgument("empty instance");
+
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    // Grow each connection by an attribute-sharing random walk so the
+    // natural joins are meaningful.
+    std::vector<planner::Connection> connections;
+    bool failed = false;
+    for (std::size_t c = 0; c < spec.num_connections && !failed; ++c) {
+      std::vector<std::string> names;
+      std::set<std::string> used;
+      capability::AttributeSet attributes;
+      std::size_t first = rng.Below(view_count);
+      names.push_back(instance.views[first].name());
+      used.insert(names.back());
+      {
+        auto attrs = instance.views[first].Attributes();
+        attributes.insert(attrs.begin(), attrs.end());
+      }
+      for (std::size_t step = 1; step < spec.views_per_connection; ++step) {
+        // Candidates sharing an attribute with the walk so far.
+        std::vector<std::size_t> candidates;
+        for (std::size_t i = 0; i < view_count; ++i) {
+          if (used.count(instance.views[i].name()) > 0) continue;
+          auto attrs = instance.views[i].Attributes();
+          if (std::any_of(attrs.begin(), attrs.end(),
+                          [&](const std::string& a) {
+                            return attributes.count(a) > 0;
+                          })) {
+            candidates.push_back(i);
+          }
+        }
+        if (candidates.empty()) {
+          failed = true;
+          break;
+        }
+        std::size_t next = candidates[rng.Below(candidates.size())];
+        names.push_back(instance.views[next].name());
+        used.insert(names.back());
+        auto attrs = instance.views[next].Attributes();
+        attributes.insert(attrs.begin(), attrs.end());
+      }
+      if (!failed) connections.emplace_back(std::move(names));
+    }
+    if (failed) continue;
+
+    // Outputs: attributes common to every connection.
+    capability::AttributeSet common;
+    for (std::size_t c = 0; c < connections.size(); ++c) {
+      auto attrs =
+          planner::ConnectionAttributes(connections[c], instance.catalog);
+      if (!attrs.ok()) return attrs.status();
+      if (c == 0) {
+        common = *attrs;
+      } else {
+        capability::AttributeSet next;
+        for (const std::string& a : *attrs) {
+          if (common.count(a) > 0) next.insert(a);
+        }
+        common = std::move(next);
+      }
+    }
+    if (common.size() < spec.num_outputs + 1) continue;  // need an input too
+
+    std::vector<std::string> pool(common.begin(), common.end());
+    // Shuffle deterministically.
+    for (std::size_t i = pool.size(); i > 1; --i) {
+      std::swap(pool[i - 1], pool[rng.Below(i)]);
+    }
+    std::vector<std::string> outputs(pool.begin(),
+                                     pool.begin() + spec.num_outputs);
+    std::string input_attribute = pool[spec.num_outputs];
+    // Pick a domain value that actually occurs in some source tuple for
+    // the attribute, so the query has a chance of non-empty answers.
+    std::vector<Value> present;
+    for (const auto& [name, data] : instance.full_data) {
+      auto column = data.schema().IndexOf(input_attribute);
+      if (!column.has_value()) continue;
+      for (const Value& value : data.ColumnValues(*column)) {
+        present.push_back(value);
+      }
+    }
+    if (present.empty()) continue;
+    Value input_value = present[rng.Below(present.size())];
+
+    planner::Query query({{input_attribute, input_value}}, outputs,
+                         connections);
+    if (query.Validate(instance.catalog).ok()) return query;
+  }
+  return Status::NotFound(
+      "could not generate a valid query for the requested shape");
+}
+
+}  // namespace limcap::workload

@@ -1,0 +1,84 @@
+#ifndef LIMCAP_WORKLOAD_GENERATOR_H_
+#define LIMCAP_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "capability/in_memory_source.h"
+#include "capability/source_catalog.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "planner/domain_map.h"
+#include "planner/query.h"
+
+namespace limcap::workload {
+
+/// Shape of a synthetic source catalog.
+struct CatalogSpec {
+  enum class Topology {
+    /// v_i(A_i, A_{i+1}) with pattern "bf": a pipeline where each view
+    /// feeds bindings to the next — the worst case for per-join baselines
+    /// and the shape behind the paper's repeated-access examples.
+    kChain,
+    /// v_i(A_0, A_i): every view shares the hub attribute A_0; adornments
+    /// randomized.
+    kStar,
+    /// Views draw their schemas uniformly from the attribute pool;
+    /// adornments randomized.
+    kRandom,
+  };
+
+  Topology topology = Topology::kRandom;
+  std::size_t num_views = 10;
+  /// Size of the global attribute pool (A0..A{n-1}).
+  std::size_t num_attributes = 8;
+  std::size_t min_arity = 2;
+  std::size_t max_arity = 4;
+  /// Probability that a position is adorned 'b' (kStar/kRandom). A view
+  /// that would come out all-bound with arity > 1 gets one position
+  /// flipped to 'f' so it can contribute bindings.
+  double bound_probability = 0.4;
+  std::size_t tuples_per_view = 50;
+  /// Distinct values per attribute domain; smaller values join more.
+  std::size_t domain_size = 30;
+  uint64_t seed = 42;
+};
+
+/// A fully materialized synthetic integration instance.
+struct GeneratedInstance {
+  capability::SourceCatalog catalog;
+  std::vector<capability::SourceView> views;
+  planner::DomainMap domains;  // default: one domain per attribute
+  /// Ground-truth extents for the oracle.
+  std::map<std::string, relational::Relation> full_data;
+  /// The attribute pool, "A0".."A{n-1}".
+  std::vector<std::string> attributes;
+
+  /// The k-th value of `attribute`'s domain ("a3_17" style).
+  static Value DomainValue(const std::string& attribute, std::size_t k);
+};
+
+/// Generates a catalog with data, deterministically from spec.seed.
+GeneratedInstance GenerateInstance(const CatalogSpec& spec);
+
+/// Shape of a synthetic connection query.
+struct QuerySpec {
+  std::size_t num_connections = 2;
+  std::size_t views_per_connection = 2;
+  std::size_t num_outputs = 1;
+  uint64_t seed = 7;
+};
+
+/// Generates a valid connection query over `instance`: each connection is
+/// grown by a random attribute-sharing walk, outputs are attributes common
+/// to every connection, and the input is an attribute of the first
+/// connection assigned a random domain value. Fails (NotFound) when no
+/// valid query exists for the requested shape after bounded retries.
+Result<planner::Query> GenerateQuery(const GeneratedInstance& instance,
+                                     const QuerySpec& spec);
+
+}  // namespace limcap::workload
+
+#endif  // LIMCAP_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "capability/access_log.h"
+#include "capability/binding_pattern.h"
+#include "capability/caching_source.h"
+#include "capability/in_memory_source.h"
+#include "capability/source_catalog.h"
+#include "capability/source_view.h"
+
+namespace limcap::capability {
+namespace {
+
+Value S(const char* text) { return Value::String(text); }
+
+relational::Relation CdData() {
+  relational::Relation data(
+      relational::Schema::MakeUnsafe({"Cd", "Artist", "Price"}));
+  data.InsertUnsafe({S("c1"), S("a1"), S("$15")});
+  data.InsertUnsafe({S("c3"), S("a3"), S("$14")});
+  return data;
+}
+
+TEST(BindingPatternTest, ParseAndPrint) {
+  auto pattern = BindingPattern::Parse("bff");
+  ASSERT_TRUE(pattern.ok());
+  EXPECT_EQ(pattern->arity(), 3u);
+  EXPECT_TRUE(pattern->IsBound(0));
+  EXPECT_TRUE(pattern->IsFree(1));
+  EXPECT_EQ(pattern->ToString(), "bff");
+  EXPECT_EQ(pattern->BoundPositions(), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(pattern->FreePositions(), (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(pattern->bound_count(), 1u);
+}
+
+TEST(BindingPatternTest, ParseRejectsBadChars) {
+  EXPECT_FALSE(BindingPattern::Parse("bxf").ok());
+  EXPECT_TRUE(BindingPattern::Parse("").ok());
+}
+
+TEST(BindingPatternTest, AllFree) {
+  BindingPattern pattern = BindingPattern::AllFree(3);
+  EXPECT_EQ(pattern.ToString(), "fff");
+  EXPECT_TRUE(pattern.BoundPositions().empty());
+}
+
+TEST(SourceViewTest, MakeChecksArity) {
+  auto bad = SourceView::Make("v1", relational::Schema::MakeUnsafe({"A"}),
+                              *BindingPattern::Parse("bf"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_FALSE(SourceView::Make("", relational::Schema::MakeUnsafe({"A"}),
+                                *BindingPattern::Parse("b"))
+                   .ok());
+}
+
+TEST(SourceViewTest, AttributeSets) {
+  SourceView view =
+      SourceView::MakeUnsafe("v3", {"Cd", "Artist", "Price"}, "bff");
+  EXPECT_EQ(view.BoundAttributes(), (AttributeSet{"Cd"}));
+  EXPECT_EQ(view.FreeAttributes(), (AttributeSet{"Artist", "Price"}));
+  EXPECT_EQ(view.Attributes(), (AttributeSet{"Artist", "Cd", "Price"}));
+  EXPECT_EQ(view.ToString(), "v3(Cd, Artist, Price) [bff]");
+}
+
+TEST(SourceViewTest, RequirementsSatisfiedBy) {
+  SourceView view = SourceView::MakeUnsafe("v4", {"Cd", "Artist"}, "fb");
+  EXPECT_TRUE(view.RequirementsSatisfiedBy({"Artist"}));
+  EXPECT_TRUE(view.RequirementsSatisfiedBy({"Artist", "Cd", "X"}));
+  EXPECT_FALSE(view.RequirementsSatisfiedBy({"Cd"}));
+  EXPECT_FALSE(view.RequirementsSatisfiedBy({}));
+}
+
+TEST(SourceViewTest, FormatQuery) {
+  SourceView view =
+      SourceView::MakeUnsafe("v3", {"Cd", "Artist", "Price"}, "bff");
+  EXPECT_EQ(view.FormatQuery({{"Cd", S("c1")}}), "v3(c1, A, P)");
+  EXPECT_EQ(view.FormatQuery({}), "v3(C, A, P)");
+}
+
+TEST(InMemorySourceTest, EnforcesBindingPattern) {
+  InMemorySource source = InMemorySource::MakeUnsafe(
+      SourceView::MakeUnsafe("v3", {"Cd", "Artist", "Price"}, "bff"),
+      CdData());
+  // Missing the must-bind attribute.
+  auto denied = source.Execute(SourceQuery{{{"Artist", S("a1")}}});
+  EXPECT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kCapabilityViolation);
+  // Unknown attribute.
+  auto unknown = source.Execute(SourceQuery{{{"Xyz", S("a")}}});
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+  // Satisfying query returns matching tuples.
+  auto ok = source.Execute(SourceQuery{{{"Cd", S("c1")}}});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->size(), 1u);
+  EXPECT_TRUE(ok->Contains({S("c1"), S("a1"), S("$15")}));
+}
+
+TEST(InMemorySourceTest, OverBindingIsAllowed) {
+  InMemorySource source = InMemorySource::MakeUnsafe(
+      SourceView::MakeUnsafe("v3", {"Cd", "Artist", "Price"}, "bff"),
+      CdData());
+  auto result = source.Execute(
+      SourceQuery{{{"Cd", S("c1")}, {"Artist", S("a9")}}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(InMemorySourceTest, AllFreeSourceReturnsEverything) {
+  InMemorySource source = InMemorySource::MakeUnsafe(
+      SourceView::MakeUnsafe("v3", {"Cd", "Artist", "Price"}, "fff"),
+      CdData());
+  auto result = source.Execute(SourceQuery{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST(InMemorySourceTest, MakeRejectsSchemaMismatch) {
+  auto bad = InMemorySource::Make(
+      SourceView::MakeUnsafe("v1", {"A", "B"}, "bf"),
+      relational::Relation(relational::Schema::MakeUnsafe({"A"})));
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(SourceCatalogTest, RegisterAndFind) {
+  SourceCatalog catalog;
+  catalog.RegisterUnsafe(
+      std::make_unique<InMemorySource>(InMemorySource::MakeUnsafe(
+          SourceView::MakeUnsafe("v3", {"Cd", "Artist", "Price"}, "bff"),
+          CdData())));
+  EXPECT_EQ(catalog.size(), 1u);
+  EXPECT_TRUE(catalog.Contains("v3"));
+  EXPECT_FALSE(catalog.Contains("v9"));
+  ASSERT_TRUE(catalog.Find("v3").ok());
+  EXPECT_FALSE(catalog.Find("v9").ok());
+  EXPECT_EQ(catalog.ViewNames(), (std::vector<std::string>{"v3"}));
+  EXPECT_EQ(catalog.AllAttributes(),
+            (AttributeSet{"Artist", "Cd", "Price"}));
+}
+
+TEST(SourceCatalogTest, RejectsDuplicateNames) {
+  SourceCatalog catalog;
+  auto make = [] {
+    return std::make_unique<InMemorySource>(InMemorySource::MakeUnsafe(
+        SourceView::MakeUnsafe("v3", {"Cd", "Artist", "Price"}, "bff"),
+        CdData()));
+  };
+  ASSERT_TRUE(catalog.Register(make()).ok());
+  EXPECT_EQ(catalog.Register(make()).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CachingSourceTest, MemoizesByBindings) {
+  CachingSource source(
+      std::make_unique<InMemorySource>(InMemorySource::MakeUnsafe(
+          SourceView::MakeUnsafe("v3", {"Cd", "Artist", "Price"}, "bff"),
+          CdData())));
+  ASSERT_TRUE(source.Execute(SourceQuery{{{"Cd", S("c1")}}}).ok());
+  ASSERT_TRUE(source.Execute(SourceQuery{{{"Cd", S("c1")}}}).ok());
+  ASSERT_TRUE(source.Execute(SourceQuery{{{"Cd", S("c3")}}}).ok());
+  EXPECT_EQ(source.hits(), 1u);
+  EXPECT_EQ(source.misses(), 2u);
+  EXPECT_EQ(source.ObservedTuples().size(), 2u);
+}
+
+TEST(CachingSourceTest, DoesNotCacheErrors) {
+  CachingSource source(
+      std::make_unique<InMemorySource>(InMemorySource::MakeUnsafe(
+          SourceView::MakeUnsafe("v3", {"Cd", "Artist", "Price"}, "bff"),
+          CdData())));
+  EXPECT_FALSE(source.Execute(SourceQuery{}).ok());
+  EXPECT_EQ(source.misses(), 0u);
+}
+
+TEST(AccessLogTest, CountersAndTrace) {
+  AccessLog log;
+  AccessRecord r1;
+  r1.source = "v1";
+  r1.rendered_query = "v1(t1, C)";
+  r1.tuples_returned = 1;
+  r1.new_tuples = 1;
+  r1.returned_rendered = {"<t1, c1>"};
+  r1.new_bindings = {"Cd = c1"};
+  log.Record(r1);
+  AccessRecord r2;
+  r2.source = "v3";
+  r2.rendered_query = "v3(c9, A, P)";
+  r2.tuples_returned = 0;
+  log.Record(r2);
+  AccessRecord r3 = r1;
+  log.Record(r3);
+
+  EXPECT_EQ(log.total_queries(), 3u);
+  EXPECT_EQ(log.QueriesTo("v1"), 2u);
+  EXPECT_EQ(log.QueriesTo("v3"), 1u);
+  EXPECT_EQ(log.productive_queries(), 2u);
+  EXPECT_EQ(log.total_tuples_returned(), 2u);
+  auto counts = log.PerSourceCounts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0].first, "v1");
+  EXPECT_EQ(counts[0].second, 2u);
+
+  std::string full = log.ToTable(/*productive_only=*/false);
+  std::string productive = log.ToTable(/*productive_only=*/true);
+  EXPECT_NE(full.find("v3(c9, A, P)"), std::string::npos);
+  EXPECT_EQ(productive.find("v3(c9, A, P)"), std::string::npos);
+  EXPECT_NE(productive.find("Cd = c1"), std::string::npos);
+
+  log.Clear();
+  EXPECT_EQ(log.total_queries(), 0u);
+}
+
+}  // namespace
+}  // namespace limcap::capability

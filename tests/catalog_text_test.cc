@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "capability/catalog_text.h"
+#include "capability/in_memory_source.h"
+#include "exec/query_answerer.h"
+#include "paperdata/paper_examples.h"
+
+namespace limcap::capability {
+namespace {
+
+constexpr const char* kExample21Text = R"(
+% Example 2.1 — four sources of musical CDs (paper Table 1 / Figure 1)
+source v1(Song, Cd) [bf] {
+  (t1, c1)
+  (t2, c3)
+}
+source v2(Song, Cd) [fb] { (t1, c4), (t2, c2), (t1, c5) }
+source v3(Cd, Artist, Price) [bff] {
+  (c1, a1, "$15")
+  (c3, a3, "$14")
+}
+source v4(Cd, Artist, Price) [fbf] {
+  (c1, a1, "$13") (c2, a1, "$12") (c4, a3, "$10") (c5, a5, "$11")
+}
+)";
+
+TEST(CatalogTextTest, ParsesExample21) {
+  auto parsed = ParseCatalog(kExample21Text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->views.size(), 4u);
+  EXPECT_EQ(parsed->views[0].ToString(), "v1(Song, Cd) [bf]");
+  EXPECT_EQ(parsed->views[3].pattern().ToString(), "fbf");
+  auto* v4 = dynamic_cast<InMemorySource*>(
+      parsed->catalog.Find("v4").value());
+  ASSERT_NE(v4, nullptr);
+  EXPECT_EQ(v4->data().size(), 4u);
+  EXPECT_TRUE(v4->data().Contains({Value::String("c5"), Value::String("a5"),
+                                   Value::String("$11")}));
+}
+
+TEST(CatalogTextTest, ParsedCatalogAnswersThePaperQuery) {
+  auto parsed = ParseCatalog(kExample21Text);
+  ASSERT_TRUE(parsed.ok());
+  auto example = paperdata::MakeExample21();  // for the query + domains
+  exec::QueryAnswerer answerer(&parsed->catalog, example.domains);
+  auto report = answerer.Answer(example.query);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->exec.answer.size(), 3u);
+}
+
+TEST(CatalogTextTest, MultiTemplateAndTypedValues) {
+  auto parsed = ParseCatalog(
+      "source book(Author, Title, Price) [bff|fbf] {\n"
+      "  (ullman, \"DB Systems\", 95)\n"
+      "  (widom, intro, 70.5)\n"
+      "}\n"
+      "source empty(A) [f] {}\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->views[0].templates().size(), 2u);
+  auto* book =
+      dynamic_cast<InMemorySource*>(parsed->catalog.Find("book").value());
+  EXPECT_TRUE(book->data().Contains({Value::String("ullman"),
+                                     Value::String("DB Systems"),
+                                     Value::Int64(95)}));
+  EXPECT_TRUE(book->data().Contains({Value::String("widom"),
+                                     Value::String("intro"),
+                                     Value::Double(70.5)}));
+  auto* empty =
+      dynamic_cast<InMemorySource*>(parsed->catalog.Find("empty").value());
+  EXPECT_TRUE(empty->data().empty());
+}
+
+TEST(CatalogTextTest, Errors) {
+  EXPECT_FALSE(ParseCatalog("view v1(A) [f] {}").ok());    // keyword
+  EXPECT_FALSE(ParseCatalog("source v1(A) [x] {}").ok());  // adornment
+  EXPECT_FALSE(ParseCatalog("source v1(A) [ff] {}").ok()); // arity
+  EXPECT_FALSE(ParseCatalog("source v1(A) [f] { (a, b) }").ok());  // tuple
+  EXPECT_FALSE(ParseCatalog("source v1(A) [f] { (a) ").ok());  // unclosed
+  EXPECT_FALSE(
+      ParseCatalog("source v1(A) [f] {}\nsource v1(A) [f] {}").ok());
+  EXPECT_FALSE(ParseCatalog("source v1(A, A) [ff] {}").ok());  // dup attr
+  // Errors carry a line number.
+  auto bad = ParseCatalog("source v1(A) [f] {\n  (a, b)\n}");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line"), std::string::npos);
+}
+
+TEST(CatalogTextTest, RoundTrip) {
+  auto parsed = ParseCatalog(kExample21Text);
+  ASSERT_TRUE(parsed.ok());
+  auto text = CatalogToText(parsed->catalog);
+  ASSERT_TRUE(text.ok()) << text.status();
+  auto reparsed = ParseCatalog(*text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << *text;
+  ASSERT_EQ(reparsed->views.size(), parsed->views.size());
+  for (std::size_t i = 0; i < parsed->views.size(); ++i) {
+    EXPECT_EQ(reparsed->views[i].ToString(), parsed->views[i].ToString());
+    auto* a = dynamic_cast<InMemorySource*>(
+        parsed->catalog.Find(parsed->views[i].name()).value());
+    auto* b = dynamic_cast<InMemorySource*>(
+        reparsed->catalog.Find(parsed->views[i].name()).value());
+    EXPECT_TRUE(a->data() == b->data()) << parsed->views[i].name();
+  }
+}
+
+TEST(CatalogTextTest, SerializeQuotesNonBareStrings) {
+  SourceCatalog catalog;
+  SourceView view = SourceView::MakeUnsafe("v", {"A"}, "f");
+  relational::Relation data(view.schema());
+  data.InsertUnsafe({Value::String("has space")});
+  data.InsertUnsafe({Value::String("quote\"inside")});
+  data.InsertUnsafe({Value::String("bare_ok")});
+  catalog.RegisterUnsafe(std::make_unique<InMemorySource>(
+      InMemorySource::MakeUnsafe(view, std::move(data))));
+  auto text = CatalogToText(catalog);
+  ASSERT_TRUE(text.ok());
+  auto reparsed = ParseCatalog(*text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << *text;
+  auto* source =
+      dynamic_cast<InMemorySource*>(reparsed->catalog.Find("v").value());
+  EXPECT_TRUE(source->data().Contains({Value::String("has space")}));
+  EXPECT_TRUE(source->data().Contains({Value::String("quote\"inside")}));
+}
+
+}  // namespace
+}  // namespace limcap::capability

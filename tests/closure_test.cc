@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "paperdata/paper_examples.h"
+#include "planner/closure.h"
+
+namespace limcap::planner {
+namespace {
+
+using capability::SourceView;
+using paperdata::MakeExample21;
+using paperdata::MakeExample41;
+using paperdata::MakeExample51;
+using paperdata::MakeExample52;
+using paperdata::PaperExample;
+
+std::vector<SourceView> ViewsNamed(const PaperExample& example,
+                                   const std::vector<std::string>& names) {
+  std::vector<SourceView> out;
+  for (const std::string& name : names) {
+    for (const SourceView& view : example.views) {
+      if (view.name() == name) out.push_back(view);
+    }
+  }
+  return out;
+}
+
+TEST(FClosureTest, PaperExample42FirstCase) {
+  // Example 4.2: f-closure({A}, {v1, v2, v3}) = {v1, v2, v3}.
+  PaperExample example = MakeExample41();
+  auto views = ViewsNamed(example, {"v1", "v2", "v3"});
+  FClosure closure = ComputeFClosure({"A"}, views);
+  EXPECT_EQ(closure.views,
+            (std::set<std::string>{"v1", "v2", "v3"}));
+  // v1 must come first: it is the only view whose requirement {A} is met
+  // initially.
+  EXPECT_EQ(closure.order.front(), "v1");
+  EXPECT_TRUE(closure.bound_attributes.count("D"));
+}
+
+TEST(FClosureTest, PaperExample42SecondCase) {
+  // Example 4.2: f-closure({Song}, {v1, v4}) = {v1} and
+  // f-closure({Song}, {v1, v3}) = {v1, v3}.
+  PaperExample example = MakeExample21();
+  FClosure c14 = ComputeFClosure({"Song"}, ViewsNamed(example, {"v1", "v4"}));
+  EXPECT_EQ(c14.views, (std::set<std::string>{"v1"}));
+  FClosure c13 = ComputeFClosure({"Song"}, ViewsNamed(example, {"v1", "v3"}));
+  EXPECT_EQ(c13.views, (std::set<std::string>{"v1", "v3"}));
+}
+
+TEST(FClosureTest, EmptyInitialBindsOnlyFreeSources) {
+  PaperExample example = MakeExample41();
+  FClosure closure = ComputeFClosure({}, example.views);
+  // Only v4 [ff] is immediately queryable; it binds C and E, unlocking
+  // v2, v3, v5; nothing binds A for v1 except v2's free A.
+  EXPECT_TRUE(closure.Contains("v4"));
+  EXPECT_TRUE(closure.Contains("v2"));
+  EXPECT_TRUE(closure.Contains("v3"));
+  EXPECT_TRUE(closure.Contains("v5"));
+  EXPECT_TRUE(closure.Contains("v1"));  // via v2's free A
+}
+
+TEST(FClosureTest, MonotoneInInitialSet) {
+  PaperExample example = MakeExample21();
+  FClosure small = ComputeFClosure({"Song"}, example.views);
+  FClosure large = ComputeFClosure({"Song", "Artist"}, example.views);
+  for (const std::string& view : small.views) {
+    EXPECT_TRUE(large.Contains(view));
+  }
+}
+
+TEST(FClosureTest, Idempotent) {
+  PaperExample example = MakeExample21();
+  FClosure once = ComputeFClosure({"Song"}, example.views);
+  FClosure twice = ComputeFClosure(once.bound_attributes, example.views);
+  EXPECT_EQ(once.views, twice.views);
+}
+
+TEST(IndependenceTest, Example41Connections) {
+  PaperExample example = MakeExample41();
+  // T1 = {v1, v3} is independent; T2 = {v2, v3} is not.
+  EXPECT_TRUE(IsIndependent({"A"}, ViewsNamed(example, {"v1", "v3"})));
+  EXPECT_FALSE(IsIndependent({"A"}, ViewsNamed(example, {"v2", "v3"})));
+}
+
+TEST(IndependenceTest, Example21OnlyT1Independent) {
+  PaperExample example = MakeExample21();
+  EXPECT_TRUE(IsIndependent({"Song"}, ViewsNamed(example, {"v1", "v3"})));
+  EXPECT_FALSE(IsIndependent({"Song"}, ViewsNamed(example, {"v1", "v4"})));
+  EXPECT_FALSE(IsIndependent({"Song"}, ViewsNamed(example, {"v2", "v3"})));
+  EXPECT_FALSE(IsIndependent({"Song"}, ViewsNamed(example, {"v2", "v4"})));
+}
+
+TEST(IndependenceTest, ExecutableSequenceOrder) {
+  PaperExample example = MakeExample41();
+  auto sequence = ExecutableSequence({"A"}, ViewsNamed(example, {"v3", "v1"}));
+  ASSERT_TRUE(sequence.ok());
+  EXPECT_EQ(*sequence, (std::vector<std::string>{"v1", "v3"}));
+  EXPECT_FALSE(
+      ExecutableSequence({"A"}, ViewsNamed(example, {"v2", "v3"})).ok());
+}
+
+TEST(KernelTest, IndependentConnectionHasEmptyKernel) {
+  PaperExample example = MakeExample41();
+  EXPECT_TRUE(ComputeKernel({"A"}, ViewsNamed(example, {"v1", "v3"})).empty());
+}
+
+TEST(KernelTest, Example41T2KernelIsC) {
+  PaperExample example = MakeExample41();
+  EXPECT_EQ(ComputeKernel({"A"}, ViewsNamed(example, {"v2", "v3"})),
+            (AttributeSet{"C"}));
+}
+
+TEST(KernelTest, Example51KernelIsD) {
+  PaperExample example = MakeExample51();
+  EXPECT_EQ(ComputeKernel({"A"}, ViewsNamed(example, {"v1", "v2", "v3"})),
+            (AttributeSet{"D"}));
+}
+
+TEST(KernelTest, KernelSatisfiesDefinition) {
+  // Definition 5.1 on Example 5.2: f-closure(K ∪ I, T) = T and removal of
+  // any attribute breaks it.
+  PaperExample example = MakeExample52();
+  auto views = ViewsNamed(example, {"v1", "v2", "v3"});
+  AttributeSet kernel = ComputeKernel({"B"}, views);
+  AttributeSet start = kernel;
+  start.insert("B");
+  EXPECT_EQ(ComputeFClosure(start, views).views.size(), views.size());
+  for (const std::string& attribute : kernel) {
+    AttributeSet smaller = start;
+    smaller.erase(attribute);
+    EXPECT_LT(ComputeFClosure(smaller, views).views.size(), views.size())
+        << "kernel not minimal: " << attribute << " removable";
+  }
+}
+
+TEST(KernelTest, Example52HasThreeKernels) {
+  PaperExample example = MakeExample52();
+  auto views = ViewsNamed(example, {"v1", "v2", "v3"});
+  std::vector<AttributeSet> kernels = AllKernels({"B"}, views);
+  EXPECT_EQ(kernels, (std::vector<AttributeSet>{{"A"}, {"C"}, {"E"}}));
+}
+
+TEST(KernelTest, AllKernelsOfIndependentConnectionIsEmptySet) {
+  PaperExample example = MakeExample41();
+  auto kernels = AllKernels({"A"}, ViewsNamed(example, {"v1", "v3"}));
+  ASSERT_EQ(kernels.size(), 1u);
+  EXPECT_TRUE(kernels[0].empty());
+}
+
+TEST(BFChainTest, Example41Chain) {
+  // (v4, v2, v1, v3) is a BF-chain in Example 4.1.
+  PaperExample example = MakeExample41();
+  EXPECT_TRUE(IsBFChain(ViewsNamed(example, {"v4", "v2", "v1", "v3"})));
+  // (v3, v4) is not: F(v3) = {D} does not meet B(v4) = {}.
+  EXPECT_FALSE(IsBFChain(ViewsNamed(example, {"v3", "v4"})));
+  EXPECT_FALSE(IsBFChain({}));
+  EXPECT_TRUE(IsBFChain(ViewsNamed(example, {"v1"})));
+}
+
+TEST(BClosureTest, Example41BClosureOfC) {
+  // The paper: b-closure(C) = {v1, v2, v4}.
+  PaperExample example = MakeExample41();
+  EXPECT_EQ(ComputeBClosure(std::string("C"), example.views),
+            (std::set<std::string>{"v1", "v2", "v4"}));
+}
+
+TEST(BClosureTest, Example52AllKernelsShareBClosure) {
+  // Lemma 5.3 on Example 5.2: the kernels {A}, {C}, {E} all have
+  // backward-closure {v1, v2, v3, v4}.
+  PaperExample example = MakeExample52();
+  auto views = ViewsNamed(example, {"v1", "v2", "v3"});
+  std::set<std::string> expected{"v1", "v2", "v3", "v4"};
+  for (const AttributeSet& kernel : AllKernels({"B"}, views)) {
+    EXPECT_EQ(ComputeBClosure(kernel, example.views), expected);
+  }
+}
+
+TEST(BClosureTest, Lemma52ChainContainment) {
+  // Lemma 5.2: a BF-chain from a view binding A1 to a view freeing A2
+  // implies b-closure(A1) ⊆ b-closure(A2). Exercise it on Example 4.1
+  // with the chain (v1, v3): A1 = A (bound by head v1), A2 = D (freed by
+  // tail v3).
+  PaperExample example = MakeExample41();
+  auto a_closure = ComputeBClosure(std::string("A"), example.views);
+  auto d_closure = ComputeBClosure(std::string("D"), example.views);
+  for (const std::string& view : a_closure) {
+    EXPECT_TRUE(d_closure.count(view)) << view;
+  }
+}
+
+TEST(BClosureTest, UnionOverAttributes) {
+  PaperExample example = MakeExample41();
+  auto combined = ComputeBClosure(AttributeSet{"C", "F"}, example.views);
+  auto c_only = ComputeBClosure(std::string("C"), example.views);
+  auto f_only = ComputeBClosure(std::string("F"), example.views);
+  std::set<std::string> expected = c_only;
+  expected.insert(f_only.begin(), f_only.end());
+  EXPECT_EQ(combined, expected);
+}
+
+}  // namespace
+}  // namespace limcap::planner

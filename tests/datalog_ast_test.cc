@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "datalog/ast.h"
+#include "datalog/dependency_graph.h"
+#include "datalog/parser.h"
+#include "datalog/safety.h"
+
+namespace limcap::datalog {
+namespace {
+
+Rule R(const char* text) {
+  auto rule = ParseRule(text);
+  EXPECT_TRUE(rule.ok()) << rule.status();
+  return rule.value_or(Rule{});
+}
+
+TEST(TermTest, VariableAndConstant) {
+  Term var = Term::Var("C");
+  EXPECT_TRUE(var.is_variable());
+  EXPECT_EQ(var.var(), "C");
+  EXPECT_EQ(var.ToString(), "C");
+
+  Term constant = Term::Constant(Value::String("t1"));
+  EXPECT_TRUE(constant.is_constant());
+  EXPECT_EQ(constant.ToString(), "t1");
+  EXPECT_NE(var, constant);
+  EXPECT_EQ(Term::Var("C"), Term::Var("C"));
+}
+
+TEST(AtomTest, VariablesFirstOccurrenceOrder) {
+  Atom atom{"p", {Term::Var("B"), Term::Constant(Value::Int64(1)),
+                  Term::Var("A"), Term::Var("B")}};
+  EXPECT_EQ(atom.Variables(), (std::vector<std::string>{"B", "A"}));
+  EXPECT_EQ(atom.ToString(), "p(B, 1, A, B)");
+}
+
+TEST(RuleTest, ToStringRoundTrip) {
+  Rule rule = R("ans(P) :- v1^(t1, C), v3^(C, A, P).");
+  EXPECT_EQ(rule.ToString(), "ans(P) :- v1^(t1, C), v3^(C, A, P).");
+  Rule fact = R("song(t1).");
+  EXPECT_TRUE(fact.is_fact());
+  EXPECT_EQ(fact.ToString(), "song(t1).");
+}
+
+TEST(RuleTest, CanonicalStringIsAlphaInvariant) {
+  Rule a = R("ans(P) :- v1^(t1, C), v3^(C, A, P).");
+  Rule b = R("ans(X) :- v1^(t1, Y), v3^(Y, Z, X).");
+  Rule c = R("ans(X) :- v1^(t2, Y), v3^(Y, Z, X).");  // different constant
+  EXPECT_EQ(a.CanonicalString(), b.CanonicalString());
+  EXPECT_NE(a.CanonicalString(), c.CanonicalString());
+}
+
+TEST(ProgramTest, IdbEdbClassification) {
+  auto program = ParseProgram(
+      "ans(P) :- v1^(t1, C), v3^(C, A, P).\n"
+      "v1^(S, C) :- song(S), v1(S, C).\n"
+      "v3^(C, A, P) :- cd(C), v3(C, A, P).\n"
+      "cd(C) :- song(S), v1(S, C).\n"
+      "song(t1).\n");
+  ASSERT_TRUE(program.ok()) << program.status();
+  auto idb = program->IdbPredicates();
+  auto edb = program->EdbPredicates();
+  EXPECT_TRUE(idb.count("ans"));
+  EXPECT_TRUE(idb.count("v1^"));
+  EXPECT_TRUE(idb.count("song"));
+  EXPECT_TRUE(edb.count("v1"));
+  EXPECT_TRUE(edb.count("v3"));
+  EXPECT_FALSE(edb.count("song"));
+  EXPECT_EQ(program->AllPredicates().size(), 7u);
+}
+
+TEST(ProgramTest, ArityConsistency) {
+  auto bad = ParseProgram("p(X) :- q(X).\nq(X, Y) :- p(X).\n");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->PredicateArities().ok());
+
+  auto good = ParseProgram("p(X) :- q(X, X).\nq(X, Y) :- r(X, Y).\n");
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good->PredicateArities().ok());
+}
+
+TEST(ProgramTest, CanonicalComparisonIgnoresOrderAndNames) {
+  auto a = ParseProgram("p(X) :- q(X).\nr(Y) :- p(Y).\n");
+  auto b = ParseProgram("r(Z) :- p(Z).\np(W) :- q(W).\n");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(*a == *b);
+}
+
+TEST(ParserTest, ConstantsAndVariables) {
+  Rule rule = R("p(X, t1, 42, 2.5, \"Hello World\", $15) :- q(X).");
+  ASSERT_EQ(rule.head.terms.size(), 6u);
+  EXPECT_TRUE(rule.head.terms[0].is_variable());
+  EXPECT_EQ(rule.head.terms[1].constant(), Value::String("t1"));
+  EXPECT_EQ(rule.head.terms[2].constant(), Value::Int64(42));
+  EXPECT_EQ(rule.head.terms[3].constant(), Value::Double(2.5));
+  EXPECT_EQ(rule.head.terms[4].constant(), Value::String("Hello World"));
+  EXPECT_EQ(rule.head.terms[5].constant(), Value::String("$15"));
+}
+
+TEST(ParserTest, NegativeNumbers) {
+  Rule rule = R("p(-3).");
+  EXPECT_EQ(rule.head.terms[0].constant(), Value::Int64(-3));
+}
+
+TEST(ParserTest, EmptyBodyFactForms) {
+  EXPECT_TRUE(R("song(t1).").is_fact());
+  EXPECT_TRUE(R("song(t1) :- .").is_fact());
+}
+
+TEST(ParserTest, CommentsAndWhitespace) {
+  auto program = ParseProgram(
+      "% a comment\n"
+      "p(X) :- q(X). // trailing\n"
+      "\n"
+      "q(a).\n");
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_EQ(program->size(), 2u);
+}
+
+TEST(ParserTest, HatPredicates) {
+  Rule rule = R("v1^(S, C) :- song(S), v1(S, C).");
+  EXPECT_EQ(rule.head.predicate, "v1^");
+}
+
+TEST(ParserTest, ErrorsCarryPosition) {
+  auto bad = ParseProgram("p(X) :- q(X)\nr(a).\n");  // missing '.'
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(ParseRule("p(a). extra").ok());
+  EXPECT_FALSE(ParseProgram("p(a,).").ok());
+  EXPECT_FALSE(ParseProgram("p(.").ok());
+  EXPECT_FALSE(ParseProgram("(a).").ok());
+}
+
+TEST(ParserTest, ZeroArityAtom) {
+  Rule rule = R("done() :- p(X).");
+  EXPECT_EQ(rule.head.arity(), 0u);
+}
+
+TEST(SafetyTest, HeadVariableMustAppearInBody) {
+  EXPECT_TRUE(CheckRuleSafety(R("p(X) :- q(X).")).ok());
+  EXPECT_FALSE(CheckRuleSafety(R("p(X, Y) :- q(X).")).ok());
+  EXPECT_TRUE(CheckRuleSafety(R("p(a).")).ok());
+  EXPECT_FALSE(CheckRuleSafety(R("p(X).")).ok());
+}
+
+TEST(SafetyTest, ProgramSafety) {
+  auto safe = ParseProgram("p(X) :- q(X).\nq(a).\n");
+  ASSERT_TRUE(safe.ok());
+  EXPECT_TRUE(CheckSafety(*safe).ok());
+
+  auto unsafe_program = ParseProgram("p(X) :- q(X).\nq(Y).\n");
+  ASSERT_TRUE(unsafe_program.ok());
+  EXPECT_FALSE(CheckSafety(*unsafe_program).ok());
+}
+
+TEST(DependencyGraphTest, ReachableFrom) {
+  auto program = ParseProgram(
+      "ans(X) :- a(X).\n"
+      "a(X) :- b(X), e1(X).\n"
+      "b(X) :- a(X).\n"
+      "c(X) :- e2(X).\n");
+  ASSERT_TRUE(program.ok());
+  DependencyGraph graph(*program);
+  auto reachable = graph.ReachableFrom("ans");
+  EXPECT_TRUE(reachable.count("a"));
+  EXPECT_TRUE(reachable.count("b"));
+  EXPECT_TRUE(reachable.count("e1"));
+  EXPECT_FALSE(reachable.count("c"));
+  EXPECT_FALSE(reachable.count("e2"));
+  EXPECT_TRUE(graph.ReachableFrom("nonexistent").empty());
+}
+
+TEST(DependencyGraphTest, RecursionDetection) {
+  auto recursive = ParseProgram(
+      "tc(X, Y) :- e(X, Y).\n"
+      "tc(X, Z) :- tc(X, Y), e(Y, Z).\n");
+  ASSERT_TRUE(recursive.ok());
+  DependencyGraph graph(*recursive);
+  EXPECT_TRUE(graph.IsRecursive());
+  EXPECT_TRUE(graph.IsRecursivePredicate("tc"));
+  EXPECT_FALSE(graph.IsRecursivePredicate("e"));
+
+  auto flat = ParseProgram("p(X) :- q(X).\n");
+  ASSERT_TRUE(flat.ok());
+  EXPECT_FALSE(DependencyGraph(*flat).IsRecursive());
+}
+
+TEST(DependencyGraphTest, MutualRecursionScc) {
+  auto program = ParseProgram(
+      "a(X) :- b(X).\n"
+      "b(X) :- a(X).\n"
+      "c(X) :- a(X), e(X).\n");
+  ASSERT_TRUE(program.ok());
+  DependencyGraph graph(*program);
+  EXPECT_TRUE(graph.IsRecursivePredicate("a"));
+  EXPECT_TRUE(graph.IsRecursivePredicate("b"));
+  EXPECT_FALSE(graph.IsRecursivePredicate("c"));
+  bool found_pair = false;
+  for (const auto& scc : graph.StronglyConnectedComponents()) {
+    if (scc == std::vector<std::string>{"a", "b"}) found_pair = true;
+  }
+  EXPECT_TRUE(found_pair);
+}
+
+}  // namespace
+}  // namespace limcap::datalog

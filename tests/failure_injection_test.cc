@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "capability/in_memory_source.h"
+#include "capability/unreliable_source.h"
+#include "exec/query_answerer.h"
+#include "paperdata/paper_examples.h"
+
+namespace limcap::exec {
+namespace {
+
+using capability::InMemorySource;
+using capability::SourceCatalog;
+using capability::UnreliableSource;
+
+Value S(const char* text) { return Value::String(text); }
+
+/// Example 2.1's catalog with `fail_first` injected failures on v3.
+struct FlakySetup {
+  SourceCatalog catalog;
+  paperdata::PaperExample example;
+};
+
+FlakySetup MakeFlaky(std::size_t fail_first) {
+  FlakySetup setup{SourceCatalog(), paperdata::MakeExample21()};
+  for (const auto& view : setup.example.views) {
+    auto* source = dynamic_cast<InMemorySource*>(
+        setup.example.catalog.Find(view.name()).value());
+    auto copy = std::make_unique<InMemorySource>(
+        InMemorySource::MakeUnsafe(view, source->data()));
+    if (view.name() == "v4") {
+      setup.catalog.RegisterUnsafe(std::make_unique<UnreliableSource>(
+          std::move(copy), fail_first));
+    } else {
+      setup.catalog.RegisterUnsafe(std::move(copy));
+    }
+  }
+  return setup;
+}
+
+TEST(UnreliableSourceTest, FailsThenRecovers) {
+  auto inner = std::make_unique<InMemorySource>(InMemorySource::MakeUnsafe(
+      capability::SourceView::MakeUnsafe("v", {"A"}, "f"),
+      relational::Relation(relational::Schema::MakeUnsafe({"A"}))));
+  UnreliableSource source(std::move(inner), 2);
+  EXPECT_FALSE(source.Execute({}).ok());
+  EXPECT_FALSE(source.Execute({}).ok());
+  EXPECT_TRUE(source.Execute({}).ok());
+  EXPECT_EQ(source.attempts(), 3u);
+}
+
+TEST(FailureInjectionTest, DefaultAbortsOnSourceError) {
+  FlakySetup setup = MakeFlaky(100);
+  QueryAnswerer answerer(&setup.catalog, setup.example.domains);
+  auto report = answerer.Answer(setup.example.query);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInternal);
+}
+
+TEST(FailureInjectionTest, ContinueYieldsSoundPartialAnswer) {
+  // v4 permanently down: $13 and $10 are lost, and so is the whole
+  // binding chain that ran through v4's answers (c2 -> t2 -> ...), but
+  // the v1-v3 path still yields $15, and every failure is in the log.
+  FlakySetup setup = MakeFlaky(100);
+  QueryAnswerer answerer(&setup.catalog, setup.example.domains);
+  ExecOptions options;
+  options.continue_on_source_error = true;
+  auto report = answerer.Answer(setup.example.query, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->exec.answer.Contains({S("$15")}));
+  EXPECT_FALSE(report->exec.answer.Contains({S("$13")}));
+  EXPECT_FALSE(report->exec.answer.Contains({S("$10")}));
+  EXPECT_GT(report->exec.log.failed_queries(), 0u);
+  // Sound: everything obtained is in the healthy run's answer.
+  auto healthy_setup = MakeFlaky(0);
+  QueryAnswerer healthy(&healthy_setup.catalog, setup.example.domains);
+  auto full = healthy.Answer(setup.example.query);
+  ASSERT_TRUE(full.ok());
+  for (const auto& row : report->exec.answer.rows()) {
+    EXPECT_TRUE(full->exec.answer.Contains(row));
+  }
+}
+
+TEST(FailureInjectionTest, TransientFailureLosesDependentBindings) {
+  // v4's first query fails and is not retried (documented semantics):
+  // everything downstream of that one answer — c2, hence t2, c3, a3 and
+  // the $10 — is lost with it, while the v1-v3 path is unaffected.
+  FlakySetup setup = MakeFlaky(1);
+  QueryAnswerer answerer(&setup.catalog, setup.example.domains);
+  ExecOptions options;
+  options.continue_on_source_error = true;
+  auto report = answerer.Answer(setup.example.query, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->exec.log.failed_queries(), 1u);
+  EXPECT_TRUE(report->exec.answer.Contains({S("$15")}));
+  EXPECT_FALSE(report->exec.answer.Contains({S("$13")}));
+}
+
+}  // namespace
+}  // namespace limcap::exec

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "capability/in_memory_source.h"
+#include "exec/oracle.h"
+#include "exec/query_answerer.h"
+#include "planner/find_rel.h"
+#include "planner/program_builder.h"
+
+namespace limcap {
+namespace {
+
+using capability::InMemorySource;
+using capability::SourceCatalog;
+using capability::SourceView;
+using relational::Relation;
+using relational::Row;
+
+Value S(const char* text) { return Value::String(text); }
+
+/// The bookstore scenario with attributes sharing a domain (Section 3's
+/// grouped domains, in contrast to Section 5's distinct-domain
+/// assumption): bn lists a *co-author* for each title; CoAuthor and
+/// Author share the "person" domain, so co-authors discovered at bn can
+/// be used as Author bindings at amazon.
+struct GroupedCatalog {
+  SourceCatalog catalog;
+  std::vector<SourceView> views;
+  planner::DomainMap domains;
+};
+
+GroupedCatalog MakeGroupedCatalog() {
+  GroupedCatalog out;
+  SourceView prenhall =
+      SourceView::MakeUnsafe("prenhall", {"Publisher", "Author"}, "bf");
+  Relation prenhall_data(prenhall.schema());
+  prenhall_data.InsertUnsafe({S("ph"), S("ullman")});
+
+  SourceView amazon =
+      SourceView::MakeUnsafe("amazon", {"Author", "Title", "PriceA"}, "bff");
+  Relation amazon_data(amazon.schema());
+  amazon_data.InsertUnsafe({S("ullman"), S("db_systems"), S("95")});
+  amazon_data.InsertUnsafe({S("garcia"), S("distributed_dbs"), S("110")});
+
+  SourceView bn =
+      SourceView::MakeUnsafe("bn", {"Title", "CoAuthor", "PriceB"}, "bff");
+  Relation bn_data(bn.schema());
+  bn_data.InsertUnsafe({S("db_systems"), S("garcia"), S("89")});
+  bn_data.InsertUnsafe({S("distributed_dbs"), S("garcia"), S("99")});
+
+  out.views = {prenhall, amazon, bn};
+  out.catalog.RegisterUnsafe(std::make_unique<InMemorySource>(
+      InMemorySource::MakeUnsafe(prenhall, std::move(prenhall_data))));
+  out.catalog.RegisterUnsafe(std::make_unique<InMemorySource>(
+      InMemorySource::MakeUnsafe(amazon, std::move(amazon_data))));
+  out.catalog.RegisterUnsafe(std::make_unique<InMemorySource>(
+      InMemorySource::MakeUnsafe(bn, std::move(bn_data))));
+  out.domains.SetDomain("Author", "person");
+  out.domains.SetDomain("CoAuthor", "person");
+  return out;
+}
+
+planner::Query PriceQuery() {
+  // Prices at both stores for every reachable title; amazon ⋈ bn joins
+  // on Title only (CoAuthor ≠ Author as attributes).
+  return planner::Query({{"Publisher", S("ph")}}, {"Title", "PriceA", "PriceB"},
+                        {planner::Connection({"amazon", "bn"})});
+}
+
+TEST(GroupedDomainTest, DomainMapBasics) {
+  planner::DomainMap domains;
+  EXPECT_EQ(domains.DomainOf("Author"), "domAuthor");
+  domains.SetDomain("Author", "person");
+  domains.SetDomain("CoAuthor", "person");
+  EXPECT_EQ(domains.DomainOf("Author"), "person");
+  EXPECT_TRUE(domains.SameDomain("Author", "CoAuthor"));
+  EXPECT_FALSE(domains.SameDomain("Author", "Title"));
+}
+
+TEST(GroupedDomainTest, BuilderSharesDomainPredicates) {
+  GroupedCatalog grouped = MakeGroupedCatalog();
+  auto program = planner::BuildProgram(PriceQuery(), grouped.views,
+                                       grouped.domains);
+  ASSERT_TRUE(program.ok()) << program.status();
+  // bn's CoAuthor domain rule and amazon's Author requirement both use
+  // the shared predicate "person".
+  bool person_head = false;
+  bool person_body = false;
+  for (const auto& rule : program->rules()) {
+    if (rule.head.predicate == "person") person_head = true;
+    for (const auto& atom : rule.body) {
+      if (atom.predicate == "person") person_body = true;
+    }
+  }
+  EXPECT_TRUE(person_head);
+  EXPECT_TRUE(person_body);
+}
+
+TEST(GroupedDomainTest, CoAuthorBindingsUnlockAmazon) {
+  // garcia only ever appears as a CoAuthor at bn; with the shared domain
+  // the framework queries amazon(garcia, ...) and reaches
+  // distributed_dbs — its price pair is in the answer.
+  GroupedCatalog grouped = MakeGroupedCatalog();
+  exec::QueryAnswerer answerer(&grouped.catalog, grouped.domains);
+  auto report = answerer.Answer(PriceQuery());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(std::set<Row>(report->exec.answer.rows().begin(),
+                          report->exec.answer.rows().end()),
+            (std::set<Row>{{S("db_systems"), S("95"), S("89")},
+                           {S("distributed_dbs"), S("110"), S("99")}}));
+  // And the obtainable answer equals the complete answer here.
+  auto complete = exec::CompleteAnswer(PriceQuery(), grouped.catalog);
+  ASSERT_TRUE(complete.ok());
+  EXPECT_TRUE(report->exec.answer == *complete);
+}
+
+TEST(GroupedDomainTest, WithoutGroupingTheChainBreaks) {
+  // Same catalog, default one-domain-per-attribute map: CoAuthor values
+  // never reach the Author domain, so amazon(garcia) is never asked and
+  // distributed_dbs has no PriceA.
+  GroupedCatalog grouped = MakeGroupedCatalog();
+  exec::QueryAnswerer answerer(&grouped.catalog, planner::DomainMap());
+  auto report = answerer.Answer(PriceQuery());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(std::set<Row>(report->exec.answer.rows().begin(),
+                          report->exec.answer.rows().end()),
+            (std::set<Row>{{S("db_systems"), S("95"), S("89")}}));
+}
+
+TEST(GroupedDomainTest, FindRelRunsInDomainSpace) {
+  // With grouping, bn is relevant to the {amazon} connection: amazon's
+  // kernel {Author} folds to the person domain, which bn frees (via
+  // CoAuthor). Without grouping, bn cannot contribute Author bindings
+  // and is correctly excluded.
+  GroupedCatalog grouped = MakeGroupedCatalog();
+  planner::Query query({{"Publisher", S("ph")}}, {"PriceA"},
+                       {planner::Connection({"amazon"})});
+  auto with_grouping = planner::FindRelevantViews(
+      query, query.connections()[0], grouped.views, grouped.domains);
+  ASSERT_TRUE(with_grouping.ok());
+  EXPECT_TRUE(with_grouping->relevant_views.count("bn"))
+      << with_grouping->ToString();
+
+  auto without_grouping = planner::FindRelevantViews(
+      query, query.connections()[0], grouped.views, planner::DomainMap());
+  ASSERT_TRUE(without_grouping.ok());
+  EXPECT_FALSE(without_grouping->relevant_views.count("bn"))
+      << without_grouping->ToString();
+}
+
+TEST(GroupedDomainTest, OptimizedPlanStillFindsEverything) {
+  // The planner's trimming must stay sound under grouping: optimized and
+  // unoptimized executions agree.
+  GroupedCatalog grouped = MakeGroupedCatalog();
+  exec::QueryAnswerer answerer(&grouped.catalog, grouped.domains);
+  auto optimized = answerer.Answer(PriceQuery());
+  auto unoptimized = answerer.AnswerUnoptimized(PriceQuery());
+  ASSERT_TRUE(optimized.ok());
+  ASSERT_TRUE(unoptimized.ok());
+  EXPECT_TRUE(optimized->exec.answer == unoptimized->exec.answer);
+}
+
+TEST(MinAnswersTest, StopsEarlyOnceTargetReached) {
+  GroupedCatalog grouped = MakeGroupedCatalog();
+  exec::QueryAnswerer answerer(&grouped.catalog, grouped.domains);
+  exec::ExecOptions options;
+  options.min_answers = 1;
+  auto report = answerer.Answer(PriceQuery(), options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GE(report->exec.answer.size(), 1u);
+  EXPECT_TRUE(report->exec.budget_exhausted);
+
+  auto full = answerer.Answer(PriceQuery());
+  ASSERT_TRUE(full.ok());
+  EXPECT_LE(report->exec.log.total_queries(),
+            full->exec.log.total_queries());
+  for (const Row& row : report->exec.answer.rows()) {
+    EXPECT_TRUE(full->exec.answer.Contains(row));
+  }
+}
+
+TEST(MinAnswersTest, UnreachableTargetRunsToFixpoint) {
+  GroupedCatalog grouped = MakeGroupedCatalog();
+  exec::QueryAnswerer answerer(&grouped.catalog, grouped.domains);
+  exec::ExecOptions options;
+  options.min_answers = 1000;
+  auto report = answerer.Answer(PriceQuery(), options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->exec.answer.size(), 2u);
+  EXPECT_FALSE(report->exec.budget_exhausted);
+}
+
+}  // namespace
+}  // namespace limcap

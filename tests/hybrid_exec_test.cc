@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "exec/oracle.h"
+#include "exec/query_answerer.h"
+#include "paperdata/paper_examples.h"
+#include "workload/generator.h"
+
+namespace limcap::exec {
+namespace {
+
+using paperdata::MakeExample21;
+using paperdata::MakeExample41;
+using relational::Row;
+
+std::set<Row> Rows(const relational::Relation& relation) {
+  return std::set<Row>(relation.rows().begin(), relation.rows().end());
+}
+
+TEST(HybridExecTest, Example21SameAnswerAsDatalog) {
+  auto example = MakeExample21();
+  QueryAnswerer answerer(&example.catalog, example.domains);
+  auto datalog = answerer.Answer(example.query);
+  auto hybrid = answerer.AnswerHybrid(example.query);
+  ASSERT_TRUE(datalog.ok());
+  ASSERT_TRUE(hybrid.ok()) << hybrid.status();
+  EXPECT_EQ(Rows(datalog->exec.answer), Rows(hybrid->exec.answer));
+}
+
+TEST(HybridExecTest, Example41MixesStrategies) {
+  // T1 = {v1, v3} is independent (bind-join); T2 = {v2, v3} runs through
+  // the Datalog loop. The union matches the pure-Datalog answer.
+  auto example = MakeExample41();
+  QueryAnswerer answerer(&example.catalog, example.domains);
+  auto datalog = answerer.Answer(example.query);
+  auto hybrid = answerer.AnswerHybrid(example.query);
+  ASSERT_TRUE(datalog.ok());
+  ASSERT_TRUE(hybrid.ok()) << hybrid.status();
+  EXPECT_EQ(Rows(hybrid->exec.answer),
+            (std::set<Row>{{Value::String("d1")}, {Value::String("d2")}}));
+  EXPECT_EQ(Rows(datalog->exec.answer), Rows(hybrid->exec.answer));
+}
+
+TEST(HybridExecTest, PureIndependentQueryUsesOnlyBindJoins) {
+  // A query with only the independent connection: the hybrid path issues
+  // exactly the chain's queries (2) and matches the oracle.
+  auto example = MakeExample41();
+  planner::Query t1_only(example.query.inputs(), example.query.outputs(),
+                         {example.query.connections()[0]});
+  QueryAnswerer answerer(&example.catalog, example.domains);
+  auto hybrid = answerer.AnswerHybrid(t1_only);
+  ASSERT_TRUE(hybrid.ok());
+  EXPECT_EQ(hybrid->exec.log.total_queries(), 2u);  // v1(a0), v3(c1)
+  auto complete = CompleteAnswer(t1_only, example.catalog);
+  ASSERT_TRUE(complete.ok());
+  EXPECT_EQ(Rows(hybrid->exec.answer), Rows(*complete));
+}
+
+class HybridAgreement : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HybridAgreement, MatchesDatalogOnRandomInstances) {
+  workload::CatalogSpec spec;
+  spec.topology = workload::CatalogSpec::Topology::kRandom;
+  spec.num_views = 8;
+  spec.num_attributes = 7;
+  spec.tuples_per_view = 25;
+  spec.domain_size = 12;
+  spec.seed = GetParam() * 41 + 19;
+  auto instance = workload::GenerateInstance(spec);
+  workload::QuerySpec query_spec;
+  query_spec.num_connections = 3;
+  query_spec.views_per_connection = 2;
+  query_spec.seed = GetParam() * 11 + 1;
+  auto query = workload::GenerateQuery(instance, query_spec);
+  if (!query.ok()) GTEST_SKIP();
+
+  QueryAnswerer answerer(&instance.catalog, instance.domains);
+  auto datalog = answerer.Answer(*query);
+  auto hybrid = answerer.AnswerHybrid(*query);
+  ASSERT_TRUE(datalog.ok());
+  ASSERT_TRUE(hybrid.ok()) << hybrid.status();
+  EXPECT_EQ(Rows(datalog->exec.answer), Rows(hybrid->exec.answer))
+      << query->ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HybridAgreement,
+                         ::testing::Range(uint64_t{0}, uint64_t{16}));
+
+}  // namespace
+}  // namespace limcap::exec

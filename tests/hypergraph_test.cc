@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "exec/oracle.h"
+#include "exec/query_answerer.h"
+#include "paperdata/paper_examples.h"
+#include "planner/hypergraph.h"
+
+namespace limcap::planner {
+namespace {
+
+using capability::SourceView;
+using paperdata::MakeExample21;
+using paperdata::MakeExample41;
+
+TEST(HypergraphTest, NodesAndEdges) {
+  auto example = MakeExample21();
+  Hypergraph hypergraph(example.views);
+  EXPECT_EQ(hypergraph.attributes(),
+            (std::vector<std::string>{"Artist", "Cd", "Price", "Song"}));
+  EXPECT_EQ(hypergraph.ViewsContaining("Song"),
+            (std::vector<std::string>{"v1", "v2"}));
+  EXPECT_EQ(hypergraph.ViewsContaining("Price").size(), 2u);
+  EXPECT_TRUE(hypergraph.ViewsContaining("Nope").empty());
+}
+
+TEST(HypergraphTest, Connectivity) {
+  auto example = MakeExample21();
+  Hypergraph hypergraph(example.views);
+  EXPECT_TRUE(hypergraph.IsConnected({}));
+  EXPECT_TRUE(hypergraph.IsConnected({"v1"}));
+  EXPECT_TRUE(hypergraph.IsConnected({"v1", "v3"}));   // share Cd
+  EXPECT_TRUE(hypergraph.IsConnected({"v1", "v2"}));   // share Song, Cd
+  EXPECT_TRUE(hypergraph.IsConnected({"v1", "v2", "v3", "v4"}));
+}
+
+TEST(HypergraphTest, DisconnectedSets) {
+  std::vector<SourceView> views = {
+      SourceView::MakeUnsafe("p", {"A", "B"}, "bf"),
+      SourceView::MakeUnsafe("q", {"B", "C"}, "bf"),
+      SourceView::MakeUnsafe("r", {"X", "Y"}, "bf"),
+  };
+  Hypergraph hypergraph(views);
+  EXPECT_FALSE(hypergraph.IsConnected({"p", "r"}));
+  EXPECT_TRUE(hypergraph.IsConnected({"p", "q"}));
+  EXPECT_FALSE(hypergraph.IsConnected({"p", "q", "r"}));
+  EXPECT_EQ(hypergraph.ConnectedComponents(),
+            (std::vector<std::vector<std::string>>{{"p", "q"}, {"r"}}));
+}
+
+TEST(HypergraphTest, DotRendering) {
+  auto example = MakeExample41();
+  Hypergraph hypergraph(example.views);
+  std::string dot = hypergraph.ToDot();
+  EXPECT_NE(dot.find("graph catalog"), std::string::npos);
+  EXPECT_NE(dot.find("\"v1\" -- \"A\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"b\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"f\""), std::string::npos);
+}
+
+TEST(FindMinimalConnectionsTest, RecoversExample21Connections) {
+  // From {Song, Price} alone the minimal connections are exactly the four
+  // two-view joins the paper's query lists.
+  auto example = MakeExample21();
+  auto connections =
+      FindMinimalConnections(example.views, {"Song", "Price"});
+  ASSERT_EQ(connections.size(), 4u);
+  std::set<std::string> rendered;
+  for (const Connection& connection : connections) {
+    rendered.insert(connection.ToString());
+  }
+  EXPECT_EQ(rendered, (std::set<std::string>{"{v1, v3}", "{v1, v4}",
+                                             "{v2, v3}", "{v2, v4}"}));
+}
+
+TEST(FindMinimalConnectionsTest, SingleViewWhenItCovers) {
+  auto example = MakeExample21();
+  auto connections =
+      FindMinimalConnections(example.views, {"Cd", "Price"});
+  // v3 and v4 each cover both attributes alone; no two-view set is
+  // minimal on top of them... except pairs not containing v3/v4 — {v1,
+  // v2} does not cover Price, so exactly the two singletons remain.
+  ASSERT_EQ(connections.size(), 2u);
+  EXPECT_EQ(connections[0].size(), 1u);
+  EXPECT_EQ(connections[1].size(), 1u);
+}
+
+TEST(FindMinimalConnectionsTest, UncoverableAttributeYieldsNothing) {
+  auto example = MakeExample21();
+  EXPECT_TRUE(FindMinimalConnections(example.views, {"Song", "Genre"})
+                  .empty());
+}
+
+TEST(FindMinimalConnectionsTest, ConnectednessRequired) {
+  std::vector<SourceView> views = {
+      SourceView::MakeUnsafe("p", {"A", "B"}, "ff"),
+      SourceView::MakeUnsafe("r", {"X", "Y"}, "ff"),
+  };
+  // {p, r} covers {A, X} but is disconnected: no connection exists.
+  EXPECT_TRUE(FindMinimalConnections(views, {"A", "X"}).empty());
+  // A bridging view makes {p, bridge} the unique minimal connection (the
+  // bridge itself carries X, so r is not needed — and {p, bridge, r}
+  // would not be minimal).
+  views.push_back(SourceView::MakeUnsafe("bridge", {"B", "X"}, "ff"));
+  auto connections = FindMinimalConnections(views, {"A", "X"});
+  ASSERT_EQ(connections.size(), 1u);
+  EXPECT_EQ(connections[0].ToString(), "{bridge, p}");
+  // Require an r-only attribute and the three-view set is forced.
+  auto three = FindMinimalConnections(views, {"A", "Y"});
+  ASSERT_EQ(three.size(), 1u);
+  EXPECT_EQ(three[0].ToString(), "{bridge, p, r}");
+}
+
+TEST(FindMinimalConnectionsTest, RespectsCaps) {
+  auto example = MakeExample21();
+  EXPECT_EQ(
+      FindMinimalConnections(example.views, {"Song", "Price"}, 6, 2).size(),
+      2u);
+  EXPECT_TRUE(
+      FindMinimalConnections(example.views, {"Song", "Price"}, 1, 64)
+          .empty());
+}
+
+TEST(BuildQueryFromAttributesTest, UniversalRelationFrontDoor) {
+  // The paper's Example 2.1 query, generated from attributes alone
+  // (Section 2.2, generation option 2) and answered end to end.
+  auto example = MakeExample21();
+  auto query = BuildQueryFromAttributes(
+      example.views, {{"Song", Value::String("t1")}}, {"Price"});
+  ASSERT_TRUE(query.ok()) << query.status();
+  ASSERT_TRUE(query->Validate(example.catalog).ok());
+  EXPECT_EQ(query->connections().size(), 4u);
+
+  exec::QueryAnswerer answerer(&example.catalog, example.domains);
+  auto report = answerer.Answer(*query);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->exec.answer.size(), 3u);  // {$15, $13, $10}
+}
+
+TEST(BuildQueryFromAttributesTest, FailsWhenUncoverable) {
+  auto example = MakeExample21();
+  EXPECT_FALSE(BuildQueryFromAttributes(example.views, {},
+                                        {"Genre"})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace limcap::planner

@@ -1,0 +1,215 @@
+// A realistic end-to-end integration scenario: travel sources with
+// binding restrictions, shared domains (Home/City are both cities;
+// Airport/From/To are all airports), a multi-template source, budget
+// knobs, and baseline comparison. Every expectation is hand-computed.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "capability/in_memory_source.h"
+#include "exec/baseline_executor.h"
+#include "exec/query_answerer.h"
+#include "mediator/mediator.h"
+
+namespace limcap {
+namespace {
+
+using capability::InMemorySource;
+using capability::SourceCatalog;
+using capability::SourceView;
+using relational::Relation;
+using relational::Row;
+
+Value S(const char* text) { return Value::String(text); }
+Value I(int64_t v) { return Value::Int64(v); }
+
+class TravelIntegration : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Add("airports", {"City", "Airport"}, {"bf"},
+        {{S("sf"), S("sfo")},
+         {S("nyc"), S("jfk")},
+         {S("nyc"), S("lga")},
+         {S("chi"), S("ord")}});
+    Add("airlines_from", {"Airport", "Airline"}, {"bf"},
+        {{S("sfo"), S("ua")}, {S("jfk"), S("aa")}});
+    Add("flights", {"Airline", "From", "To", "Fare"}, {"bbff"},
+        {{S("ua"), S("sfo"), S("jfk"), I(300)},
+         {S("ua"), S("sfo"), S("ord"), I(250)},
+         {S("aa"), S("jfk"), S("sfo"), I(320)},
+         {S("aa"), S("jfk"), S("mia"), I(180)}});
+    Add("city_of", {"To", "City"}, {"bf"},
+        {{S("jfk"), S("nyc")},
+         {S("ord"), S("chi")},
+         {S("mia"), S("miami")},
+         {S("sfo"), S("sf")}});
+    // hotels can be searched by city or by hotel name (multi-template).
+    Add("hotels", {"City", "Hotel", "Rate"}, {"bff", "fbf"},
+        {{S("nyc"), S("plaza"), I(200)},
+         {S("chi"), S("drake"), I(150)},
+         {S("miami"), S("beach"), I(120)},
+         {S("sf"), S("nikko"), I(180)}});
+    Add("reviews", {"Hotel", "Stars"}, {"bf"},
+        {{S("plaza"), I(4)},
+         {S("drake"), I(5)},
+         {S("beach"), I(3)},
+         {S("nikko"), I(4)}});
+
+    // Shared domains: the binding chains run through them.
+    domains_.SetDomain("Home", "city");
+    domains_.SetDomain("City", "city");
+    domains_.SetDomain("Airport", "airport");
+    domains_.SetDomain("From", "airport");
+    domains_.SetDomain("To", "airport");
+  }
+
+  void Add(const char* name, std::vector<std::string> attributes,
+           std::vector<std::string> patterns, std::vector<Row> rows) {
+    SourceView view = SourceView::MakeUnsafe(name, std::move(attributes),
+                                             std::move(patterns));
+    Relation data(view.schema());
+    for (Row& row : rows) data.InsertUnsafe(std::move(row));
+    views_.push_back(view);
+    catalog_.RegisterUnsafe(std::make_unique<InMemorySource>(
+        InMemorySource::MakeUnsafe(view, std::move(data))));
+  }
+
+  std::set<Row> Answer(const planner::Query& query,
+                       const exec::ExecOptions& options = {}) {
+    exec::QueryAnswerer answerer(&catalog_, domains_);
+    auto report = answerer.Answer(query, options);
+    EXPECT_TRUE(report.ok()) << report.status();
+    if (!report.ok()) return {};
+    last_queries_ = report->exec.log.total_queries();
+    return std::set<Row>(report->exec.answer.rows().begin(),
+                         report->exec.answer.rows().end());
+  }
+
+  SourceCatalog catalog_;
+  std::vector<SourceView> views_;
+  planner::DomainMap domains_;
+  std::size_t last_queries_ = 0;
+};
+
+TEST_F(TravelIntegration, HotelsEverywhereReachable) {
+  // Starting from Home = sf, the chain airports -> airlines_from ->
+  // flights -> city_of widens the city domain to {sf, nyc, chi, miami};
+  // hotels + reviews then cover all four.
+  planner::Query query({{"Home", S("sf")}}, {"City", "Hotel", "Stars"},
+                       {planner::Connection({"hotels", "reviews"})});
+  ASSERT_TRUE(query.Validate(catalog_, domains_).ok());
+  EXPECT_EQ(Answer(query),
+            (std::set<Row>{{S("nyc"), S("plaza"), I(4)},
+                           {S("chi"), S("drake"), I(5)},
+                           {S("miami"), S("beach"), I(3)},
+                           {S("sf"), S("nikko"), I(4)}}));
+}
+
+TEST_F(TravelIntegration, FaresPerDestinationCity) {
+  planner::Query query({{"Home", S("sf")}}, {"To", "City", "Fare"},
+                       {planner::Connection({"flights", "city_of"})});
+  ASSERT_TRUE(query.Validate(catalog_, domains_).ok());
+  EXPECT_EQ(Answer(query),
+            (std::set<Row>{{S("jfk"), S("nyc"), I(300)},
+                           {S("ord"), S("chi"), I(250)},
+                           {S("sfo"), S("sf"), I(320)},
+                           {S("mia"), S("miami"), I(180)}}));
+}
+
+TEST_F(TravelIntegration, BaselineSkipsEverything) {
+  // At the attribute level nothing in {hotels, reviews} is executable
+  // from Home alone, so the per-join baseline returns nothing where the
+  // framework finds four hotels.
+  planner::Query query({{"Home", S("sf")}}, {"City", "Hotel", "Stars"},
+                       {planner::Connection({"hotels", "reviews"})});
+  exec::BaselineExecutor baseline(&catalog_);
+  auto result = baseline.Execute(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->answer.empty());
+  EXPECT_EQ(result->skipped_connections.size(), 1u);
+}
+
+TEST_F(TravelIntegration, FiveHopBindingChain) {
+  // Stars of hotels in cities served by airlines flying out of the home
+  // airports — one connection spanning five sources, none of which is
+  // directly queryable except through the chain.
+  planner::Query query(
+      {{"Home", S("sf")}}, {"Fare", "Stars"},
+      {planner::Connection({"flights", "city_of", "hotels", "reviews"})});
+  ASSERT_TRUE(query.Validate(catalog_, domains_).ok());
+  // Join: flights ⋈ city_of (on To) ⋈ hotels (on City) ⋈ reviews (on
+  // Hotel): (300,nyc,plaza,4), (250,chi,drake,5), (320,sf,nikko,4),
+  // (180,miami,beach,3).
+  EXPECT_EQ(Answer(query), (std::set<Row>{{I(300), I(4)},
+                                          {I(250), I(5)},
+                                          {I(320), I(4)},
+                                          {I(180), I(3)}}));
+}
+
+TEST_F(TravelIntegration, MultiTemplateHotelLookupByName) {
+  // Entering hotels by name (its second template): no flights needed.
+  planner::Query query({{"Hotel", S("plaza")}}, {"City", "Rate"},
+                       {planner::Connection({"hotels"})});
+  ASSERT_TRUE(query.Validate(catalog_, domains_).ok());
+  EXPECT_EQ(Answer(query), (std::set<Row>{{S("nyc"), I(200)}}));
+  EXPECT_EQ(last_queries_, 2u);  // hotels(plaza) + hotels(nyc, ...)
+}
+
+TEST_F(TravelIntegration, RelevanceTrimsTheFlightSubsystem) {
+  // For the by-name lookup, the whole flight subsystem is irrelevant.
+  planner::Query query({{"Hotel", S("plaza")}}, {"City", "Rate"},
+                       {planner::Connection({"hotels"})});
+  auto plan = planner::PlanQuery(query, views_, domains_);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->relevance.relevant_union.count("flights"), 0u);
+  EXPECT_EQ(plan->relevance.relevant_union.count("airlines_from"), 0u);
+  // hotels is there; reviews frees nothing hotels needs... reviews frees
+  // Stars only, so it is irrelevant too.
+  EXPECT_TRUE(plan->relevance.relevant_union.count("hotels"));
+  EXPECT_EQ(plan->relevance.relevant_union.count("reviews"), 0u);
+}
+
+TEST_F(TravelIntegration, BudgetedTripPlanning) {
+  planner::Query query({{"Home", S("sf")}}, {"City", "Hotel", "Stars"},
+                       {planner::Connection({"hotels", "reviews"})});
+  exec::ExecOptions options;
+  options.min_answers = 1;
+  std::set<Row> some = Answer(query, options);
+  EXPECT_GE(some.size(), 1u);
+  std::size_t targeted_queries = last_queries_;
+  std::set<Row> all = Answer(query);
+  EXPECT_EQ(all.size(), 4u);
+  EXPECT_LE(targeted_queries, last_queries_);
+  for (const Row& row : some) EXPECT_TRUE(all.count(row));
+}
+
+TEST_F(TravelIntegration, MediatorTripView) {
+  mediator::Mediator mediator(&catalog_, domains_);
+  mediator::MediatorView trips;
+  trips.name = "trips";
+  trips.exported_attributes = {"To", "City", "Fare", "Hotel", "Rate"};
+  trips.definitions = {
+      planner::Connection({"flights", "city_of", "hotels"})};
+  ASSERT_TRUE(mediator.Define(trips).ok());
+  auto report = mediator.Answer(
+      {"trips", {{"Fare", I(250)}}, {"City", "Hotel", "Rate"}});
+  ASSERT_TRUE(report.ok()) << report.status();
+  // Fare 250 is the ord flight -> chi -> drake at 150... but the query
+  // needs Home bindings to get anywhere: no Home input here, so the only
+  // initial binding is Fare = 250, which unlocks nothing.
+  EXPECT_TRUE(report->exec.answer.empty());
+
+  // With the mediator view exporting Home... it cannot (Home is not a
+  // source attribute); instead give the answerer the home city as domain
+  // knowledge via a direct query.
+  planner::Query query({{"Home", S("sf")}}, {"City", "Hotel", "Rate"},
+                       {planner::Connection({"flights", "city_of",
+                                             "hotels"})});
+  auto full = Answer(query);
+  EXPECT_EQ(full.size(), 4u);
+}
+
+}  // namespace
+}  // namespace limcap

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "exec/oracle.h"
+#include "mediator/mediator.h"
+#include "paperdata/paper_examples.h"
+
+namespace limcap::mediator {
+namespace {
+
+using paperdata::MakeExample21;
+using paperdata::PaperExample;
+using planner::Connection;
+
+MediatorView CdInfoView() {
+  MediatorView view;
+  view.name = "cd_info";
+  view.exported_attributes = {"Song", "Cd", "Price"};
+  view.definitions = {Connection({"v1", "v3"}), Connection({"v1", "v4"}),
+                      Connection({"v2", "v3"}), Connection({"v2", "v4"})};
+  return view;
+}
+
+TEST(MediatorTest, DefineValidates) {
+  PaperExample example = MakeExample21();
+  Mediator mediator(&example.catalog, example.domains);
+
+  ASSERT_TRUE(mediator.Define(CdInfoView()).ok());
+  EXPECT_TRUE(mediator.Contains("cd_info"));
+  EXPECT_TRUE(mediator.Find("cd_info").ok());
+  EXPECT_FALSE(mediator.Find("other").ok());
+
+  // Duplicate name.
+  EXPECT_EQ(mediator.Define(CdInfoView()).code(),
+            StatusCode::kAlreadyExists);
+
+  // Unknown source view.
+  MediatorView bad = CdInfoView();
+  bad.name = "bad1";
+  bad.definitions.push_back(Connection({"v9"}));
+  EXPECT_FALSE(mediator.Define(bad).ok());
+
+  // Exported attribute not covered by a definition.
+  bad = CdInfoView();
+  bad.name = "bad2";
+  bad.definitions.push_back(Connection({"v1"}));  // v1 has no Price
+  EXPECT_FALSE(mediator.Define(bad).ok());
+
+  // No definitions / no exports / duplicate export / repeated source.
+  bad = MediatorView{"bad3", {"Song"}, {}};
+  EXPECT_FALSE(mediator.Define(bad).ok());
+  bad = MediatorView{"bad4", {}, {Connection({"v1"})}};
+  EXPECT_FALSE(mediator.Define(bad).ok());
+  bad = MediatorView{"bad5", {"Song", "Song"}, {Connection({"v1"})}};
+  EXPECT_FALSE(mediator.Define(bad).ok());
+  bad = MediatorView{"bad6", {"Song"}, {Connection({"v1", "v1"})}};
+  EXPECT_FALSE(mediator.Define(bad).ok());
+}
+
+TEST(MediatorTest, ExpandValidates) {
+  PaperExample example = MakeExample21();
+  Mediator mediator(&example.catalog, example.domains);
+  ASSERT_TRUE(mediator.Define(CdInfoView()).ok());
+
+  // Valid expansion: one connection per definition.
+  MediatorQuery query{"cd_info", {{"Song", Value::String("t1")}}, {"Price"}};
+  auto expanded = mediator.Expand(query);
+  ASSERT_TRUE(expanded.ok()) << expanded.status();
+  EXPECT_EQ(expanded->connections().size(), 4u);
+  EXPECT_TRUE(expanded->Validate(example.catalog).ok());
+
+  // Unknown view, unexported selection/output, overlap, no outputs.
+  EXPECT_FALSE(mediator.Expand({"nope", {}, {"Price"}}).ok());
+  EXPECT_FALSE(mediator
+                   .Expand({"cd_info", {{"Artist", Value::String("a1")}},
+                            {"Price"}})
+                   .ok());
+  EXPECT_FALSE(mediator.Expand({"cd_info", {}, {"Artist"}}).ok());
+  EXPECT_FALSE(mediator
+                   .Expand({"cd_info", {{"Price", Value::String("$1")}},
+                            {"Price"}})
+                   .ok());
+  EXPECT_FALSE(mediator.Expand({"cd_info", {}, {}}).ok());
+}
+
+TEST(MediatorTest, AnswerMatchesPaperExample) {
+  // The mediator front end reproduces Example 2.1's headline numbers.
+  PaperExample example = MakeExample21();
+  Mediator mediator(&example.catalog, example.domains);
+  ASSERT_TRUE(mediator.Define(CdInfoView()).ok());
+
+  auto report = mediator.Answer(
+      {"cd_info", {{"Song", Value::String("t1")}}, {"Price"}});
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->exec.answer.size(), 3u);
+  EXPECT_TRUE(report->exec.answer.Contains({Value::String("$10")}));
+
+  // A different projection through the same view: which CDs carry t2?
+  auto cds = mediator.Answer(
+      {"cd_info", {{"Song", Value::String("t2")}}, {"Cd", "Price"}});
+  ASSERT_TRUE(cds.ok()) << cds.status();
+  // t2 is on c3 ($14 via v3) and on c2 ($12 via v4).
+  EXPECT_EQ(cds->exec.answer.size(), 2u);
+  EXPECT_TRUE(cds->exec.answer.Contains(
+      {Value::String("c3"), Value::String("$14")}));
+  EXPECT_TRUE(cds->exec.answer.Contains(
+      {Value::String("c2"), Value::String("$12")}));
+}
+
+TEST(MediatorTest, MultipleViewsCoexist) {
+  PaperExample example = MakeExample21();
+  Mediator mediator(&example.catalog, example.domains);
+  ASSERT_TRUE(mediator.Define(CdInfoView()).ok());
+  MediatorView artists;
+  artists.name = "artist_prices";
+  artists.exported_attributes = {"Artist", "Price"};
+  artists.definitions = {Connection({"v3"}), Connection({"v4"})};
+  ASSERT_TRUE(mediator.Define(artists).ok());
+
+  auto report = mediator.Answer(
+      {"artist_prices", {{"Artist", Value::String("a1")}}, {"Price"}});
+  ASSERT_TRUE(report.ok()) << report.status();
+  // a1's obtainable prices require Cd/Artist bindings; with no song given
+  // nothing can be queried... except v4 takes Artist bound directly.
+  EXPECT_TRUE(report->exec.answer.Contains({Value::String("$13")}));
+  EXPECT_TRUE(report->exec.answer.Contains({Value::String("$12")}));
+}
+
+}  // namespace
+}  // namespace limcap::mediator

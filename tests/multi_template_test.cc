@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "capability/in_memory_source.h"
+#include "exec/baseline_executor.h"
+#include "exec/oracle.h"
+#include "exec/query_answerer.h"
+#include "planner/closure.h"
+#include "planner/find_rel.h"
+#include "planner/program_builder.h"
+
+namespace limcap {
+namespace {
+
+using capability::AttributeSet;
+using capability::BindingPattern;
+using capability::InMemorySource;
+using capability::SourceCatalog;
+using capability::SourceQuery;
+using capability::SourceView;
+using relational::Relation;
+using relational::Row;
+
+Value S(const char* text) { return Value::String(text); }
+
+/// book(Author, Title, Price) answering either author-bound or
+/// title-bound queries — the paper's amazon.com (Example 1.1) accepts
+/// several search forms.
+SourceView BookView() {
+  return SourceView::MakeUnsafe("book", {"Author", "Title", "Price"},
+                                std::vector<std::string>{"bff", "fbf"});
+}
+
+Relation BookData() {
+  Relation data(BookView().schema());
+  data.InsertUnsafe({S("ullman"), S("db_systems"), S("$95")});
+  data.InsertUnsafe({S("ullman"), S("automata"), S("$88")});
+  data.InsertUnsafe({S("widom"), S("db_systems"), S("$95")});
+  return data;
+}
+
+TEST(MultiTemplateViewTest, MakeValidation) {
+  auto schema = relational::Schema::MakeUnsafe({"A", "B"});
+  auto bf = *BindingPattern::Parse("bf");
+  auto fb = *BindingPattern::Parse("fb");
+  auto bb = *BindingPattern::Parse("bb");
+  auto b = *BindingPattern::Parse("b");
+
+  EXPECT_TRUE(SourceView::Make("v", schema,
+                               std::vector<BindingPattern>{bf, fb})
+                  .ok());
+  // No templates.
+  EXPECT_FALSE(
+      SourceView::Make("v", schema, std::vector<BindingPattern>{}).ok());
+  // Arity mismatch in the second template.
+  EXPECT_FALSE(SourceView::Make("v", schema,
+                                std::vector<BindingPattern>{bf, b})
+                   .ok());
+  // Duplicate templates.
+  EXPECT_FALSE(SourceView::Make("v", schema,
+                                std::vector<BindingPattern>{bf, bf})
+                   .ok());
+  // bb is redundant given bf (anything satisfying bb satisfies bf).
+  EXPECT_FALSE(SourceView::Make("v", schema,
+                                std::vector<BindingPattern>{bf, bb})
+                   .ok());
+}
+
+TEST(MultiTemplateViewTest, SatisfiedTemplate) {
+  SourceView view = BookView();
+  EXPECT_TRUE(view.has_multiple_templates());
+  EXPECT_EQ(view.SatisfiedTemplate({"Author"}), 0u);
+  EXPECT_EQ(view.SatisfiedTemplate({"Title"}), 1u);
+  EXPECT_EQ(view.SatisfiedTemplate({"Author", "Title"}), 0u);
+  EXPECT_FALSE(view.SatisfiedTemplate({"Price"}).has_value());
+  EXPECT_TRUE(view.RequirementsSatisfiedBy({"Title", "Price"}));
+  EXPECT_FALSE(view.RequirementsSatisfiedBy({}));
+  EXPECT_EQ(view.ToString(), "book(Author, Title, Price) [bff|fbf]");
+  EXPECT_EQ(view.BoundAttributes(0), (AttributeSet{"Author"}));
+  EXPECT_EQ(view.BoundAttributes(1), (AttributeSet{"Title"}));
+}
+
+TEST(MultiTemplateViewTest, SourceAcceptsEitherForm) {
+  InMemorySource source =
+      InMemorySource::MakeUnsafe(BookView(), BookData());
+  auto by_author = source.Execute(SourceQuery{{{"Author", S("ullman")}}});
+  ASSERT_TRUE(by_author.ok());
+  EXPECT_EQ(by_author->size(), 2u);
+  auto by_title = source.Execute(SourceQuery{{{"Title", S("db_systems")}}});
+  ASSERT_TRUE(by_title.ok());
+  EXPECT_EQ(by_title->size(), 2u);
+  auto by_price = source.Execute(SourceQuery{{{"Price", S("$95")}}});
+  EXPECT_EQ(by_price.status().code(), StatusCode::kCapabilityViolation);
+}
+
+TEST(MultiTemplateViewTest, AdornedExpansion) {
+  std::vector<planner::Adorned> adorned =
+      planner::Adorned::FromView(BookView());
+  ASSERT_EQ(adorned.size(), 2u);
+  EXPECT_EQ(adorned[0].name, "book");
+  EXPECT_EQ(adorned[1].name, "book");
+  EXPECT_EQ(adorned[0].bound, (AttributeSet{"Author"}));
+  EXPECT_EQ(adorned[1].bound, (AttributeSet{"Title"}));
+  EXPECT_EQ(adorned[0].All(), adorned[1].All());
+}
+
+TEST(MultiTemplateClosureTest, QueryableThroughSecondTemplate) {
+  // With only a Title binding, book is reachable via its fbf template.
+  planner::FClosure closure =
+      planner::ComputeFClosure({"Title"}, {BookView()});
+  EXPECT_TRUE(closure.Contains("book"));
+  // The closure records the view once even though two templates match
+  // eventually.
+  EXPECT_EQ(closure.order, (std::vector<std::string>{"book"}));
+  EXPECT_TRUE(planner::ComputeFClosure({"Price"}, {BookView()})
+                  .views.empty());
+}
+
+TEST(MultiTemplateClosureTest, KernelShrinksAcrossTemplates) {
+  // {book} alone, no inputs: binding either Author or Title suffices, so
+  // kernels are {Author} and {Title}.
+  auto kernels = planner::AllKernels({}, {BookView()});
+  EXPECT_EQ(kernels,
+            (std::vector<AttributeSet>{{"Author"}, {"Title"}}));
+}
+
+TEST(MultiTemplateBuilderTest, RulesPerTemplate) {
+  planner::Query query({{"Author", S("ullman")}}, {"Price"},
+                       {planner::Connection({"book"})});
+  auto program = planner::BuildProgram(query, {BookView()},
+                                       planner::DomainMap());
+  ASSERT_TRUE(program.ok()) << program.status();
+  // 1 connection rule + (alpha + 2 domain rules) per template + 1 fact.
+  EXPECT_EQ(program->size(), 1u + 3u + 3u + 1u);
+  // Two alpha rules with different bodies.
+  std::size_t alpha_rules = 0;
+  for (const auto& rule : program->rules()) {
+    if (rule.head.predicate == "book^") ++alpha_rules;
+  }
+  EXPECT_EQ(alpha_rules, 2u);
+}
+
+struct Bookstore {
+  SourceCatalog catalog;
+  std::vector<SourceView> views;
+};
+
+/// publisher(Publisher, Author) [bf] feeds authors; book answers by
+/// author or title; review(Title, Stars) [bf] needs titles.
+Bookstore MakeBookstore() {
+  Bookstore store;
+  SourceView publisher =
+      SourceView::MakeUnsafe("publisher", {"Publisher", "Author"}, "bf");
+  Relation publisher_data(publisher.schema());
+  publisher_data.InsertUnsafe({S("ph"), S("ullman")});
+  SourceView book = BookView();
+  SourceView review =
+      SourceView::MakeUnsafe("review", {"Title", "Stars"}, "bf");
+  Relation review_data(review.schema());
+  review_data.InsertUnsafe({S("db_systems"), S("5")});
+  review_data.InsertUnsafe({S("automata"), S("4")});
+
+  store.views = {publisher, book, review};
+  store.catalog.RegisterUnsafe(std::make_unique<InMemorySource>(
+      InMemorySource::MakeUnsafe(publisher, std::move(publisher_data))));
+  store.catalog.RegisterUnsafe(std::make_unique<InMemorySource>(
+      InMemorySource::MakeUnsafe(book, BookData())));
+  store.catalog.RegisterUnsafe(std::make_unique<InMemorySource>(
+      InMemorySource::MakeUnsafe(review, std::move(review_data))));
+  return store;
+}
+
+TEST(MultiTemplateExecTest, EndToEndThroughAuthorTemplate) {
+  Bookstore store = MakeBookstore();
+  planner::Query query({{"Publisher", S("ph")}}, {"Stars"},
+                       {planner::Connection({"publisher", "book", "review"})});
+  ASSERT_TRUE(query.Validate(store.catalog).ok());
+  exec::QueryAnswerer answerer(&store.catalog, planner::DomainMap());
+  auto report = answerer.Answer(query);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(std::set<Row>(report->exec.answer.rows().begin(),
+                          report->exec.answer.rows().end()),
+            (std::set<Row>{{S("5")}, {S("4")}}));
+  auto complete = exec::CompleteAnswer(query, store.catalog);
+  ASSERT_TRUE(complete.ok());
+  EXPECT_TRUE(report->exec.answer == *complete);  // connection independent
+}
+
+TEST(MultiTemplateExecTest, SecondTemplateUnlocksReverseChain) {
+  // Input is a Title: book must be entered through its fbf template; the
+  // returned authors then re-enter book through bff, reaching the
+  // authors' other titles (repeated access through different templates).
+  // The *answer* stays constrained to Title = db_systems — the input
+  // constant is substituted into the connection rule — but the trace
+  // shows the reverse chain running.
+  Bookstore store = MakeBookstore();
+  planner::Query query({{"Title", S("db_systems")}}, {"Stars"},
+                       {planner::Connection({"book", "review"})});
+  ASSERT_TRUE(query.Validate(store.catalog).ok());
+  exec::QueryAnswerer answerer(&store.catalog, planner::DomainMap());
+  auto report = answerer.Answer(query);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(std::set<Row>(report->exec.answer.rows().begin(),
+                          report->exec.answer.rows().end()),
+            (std::set<Row>{{S("5")}}));
+  // The fbf entry produced authors; the bff re-entry produced automata,
+  // whose review was then fetched even though it cannot join the answer.
+  std::set<std::string> queries;
+  for (const auto& record : report->exec.log.records()) {
+    queries.insert(record.rendered_query);
+  }
+  EXPECT_TRUE(queries.count("book(A, db_systems, P)")) << "fbf entry";
+  EXPECT_TRUE(queries.count("book(ullman, T, P)")) << "bff re-entry";
+  EXPECT_TRUE(queries.count("review(automata, S)"))
+      << "reverse chain reached the author's other title";
+}
+
+TEST(MultiTemplateExecTest, BaselinePicksSatisfiableTemplate) {
+  Bookstore store = MakeBookstore();
+  planner::Query query({{"Title", S("db_systems")}}, {"Price"},
+                       {planner::Connection({"book"})});
+  exec::BaselineExecutor baseline(&store.catalog);
+  auto result = baseline.Execute(query);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->skipped_connections.empty());
+  EXPECT_EQ(result->answer.size(), 1u);  // $95 (both db_systems rows)
+}
+
+TEST(MultiTemplateFindRelTest, RelevanceWithTemplates) {
+  Bookstore store = MakeBookstore();
+  planner::Query query({{"Title", S("db_systems")}}, {"Stars"},
+                       {planner::Connection({"book", "review"})});
+  auto report = planner::FindRelevantViews(
+      query, query.connections()[0], store.views);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->connection_queryable);
+  // The connection is independent given a Title: book (fbf) then review.
+  EXPECT_TRUE(report->independent);
+  EXPECT_EQ(report->relevant_views,
+            (std::set<std::string>{"book", "review"}));
+}
+
+}  // namespace
+}  // namespace limcap

@@ -1,0 +1,341 @@
+#include <gtest/gtest.h>
+
+#include "datalog/dependency_graph.h"
+#include "datalog/evaluator.h"
+#include "datalog/parser.h"
+#include "datalog/safety.h"
+#include "paperdata/paper_examples.h"
+#include "planner/program_builder.h"
+#include "planner/program_optimizer.h"
+
+namespace limcap::planner {
+namespace {
+
+using paperdata::MakeExample21;
+using paperdata::MakeExample41;
+using paperdata::PaperExample;
+
+/// The paper's Figure 2: Π(Q, V) for Example 2.1.
+constexpr const char* kFigure2 = R"(
+ans(P) :- v1^(t1, C), v3^(C, A, P).
+ans(P) :- v1^(t1, C), v4^(C, A, P).
+ans(P) :- v2^(t1, C), v3^(C, A, P).
+ans(P) :- v2^(t1, C), v4^(C, A, P).
+v1^(S, C) :- song(S), v1(S, C).
+cd(C)     :- song(S), v1(S, C).
+v2^(S, C) :- cd(C), v2(S, C).
+song(S)   :- cd(C), v2(S, C).
+v3^(C, A, P) :- cd(C), v3(C, A, P).
+artist(A)    :- cd(C), v3(C, A, P).
+price(P)     :- cd(C), v3(C, A, P).
+v4^(C, A, P) :- artist(A), v4(C, A, P).
+cd(C)        :- artist(A), v4(C, A, P).
+price(P)     :- artist(A), v4(C, A, P).
+song(t1).
+)";
+
+/// The paper's Figure 4: Π(Q, V) for Example 4.1.
+constexpr const char* kFigure4 = R"(
+ans(D) :- v1^(a0, C), v3^(C, D).
+ans(D) :- v2^(a0, B, C), v3^(C, D).
+v1^(A, C) :- domA(A), v1(A, C).
+domC(C)   :- domA(A), v1(A, C).
+v2^(A, B, C) :- domC(C), v2(A, B, C).
+domA(A)      :- domC(C), v2(A, B, C).
+domB(B)      :- domC(C), v2(A, B, C).
+v3^(C, D) :- domC(C), v3(C, D).
+domD(D)   :- domC(C), v3(C, D).
+v4^(C, E) :- v4(C, E).
+domC(C)   :- v4(C, E).
+domE(E)   :- v4(C, E).
+v5^(E, F) :- domE(E), v5(E, F).
+domF(F)   :- domE(E), v5(E, F).
+domA(a0).
+)";
+
+/// The paper's Figure 8: the optimized program for Example 4.1.
+constexpr const char* kFigure8 = R"(
+ans(D) :- v1^(a0, C), v3^(C, D).
+ans(D) :- v2^(a0, B, C), v3^(C, D).
+v1^(A, C) :- domA(A), v1(A, C).
+domC(C)   :- domA(A), v1(A, C).
+v2^(A, B, C) :- domC(C), v2(A, B, C).
+domA(A)      :- domC(C), v2(A, B, C).
+v3^(C, D) :- domC(C), v3(C, D).
+domC(C)   :- v4(C, E).
+domA(a0).
+)";
+
+datalog::Program Golden(const char* text) {
+  auto program = datalog::ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status();
+  return program.value_or(datalog::Program{});
+}
+
+TEST(ProgramBuilderTest, Figure2RuleForRule) {
+  PaperExample example = MakeExample21();
+  auto program = BuildProgram(example.query, example.views, example.domains);
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_EQ(program->size(), 15u);
+  EXPECT_TRUE(*program == Golden(kFigure2))
+      << "generated:\n"
+      << program->ToString() << "\nexpected:\n"
+      << Golden(kFigure2).ToString();
+}
+
+TEST(ProgramBuilderTest, Figure4RuleForRule) {
+  PaperExample example = MakeExample41();
+  auto program = BuildProgram(example.query, example.views, example.domains);
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_EQ(program->size(), 15u);
+  EXPECT_TRUE(*program == Golden(kFigure4))
+      << "generated:\n"
+      << program->ToString() << "\nexpected:\n"
+      << Golden(kFigure4).ToString();
+}
+
+TEST(ProgramBuilderTest, GeneratedProgramsAreSafe) {
+  for (const PaperExample& example :
+       {MakeExample21(), MakeExample41(), paperdata::MakeExample51(),
+        paperdata::MakeExample52()}) {
+    auto program =
+        BuildProgram(example.query, example.views, example.domains);
+    ASSERT_TRUE(program.ok()) << program.status();
+    EXPECT_TRUE(datalog::CheckSafety(*program).ok())
+        << program->ToString();
+  }
+}
+
+TEST(ProgramBuilderTest, GeneratedProgramIsRecursiveThoughQueryIsNot) {
+  // Section 3.1: the program is recursive although the query is not —
+  // cd and song feed each other through v1/v2.
+  PaperExample example = MakeExample21();
+  auto program = BuildProgram(example.query, example.views, example.domains);
+  ASSERT_TRUE(program.ok());
+  datalog::DependencyGraph graph(*program);
+  EXPECT_TRUE(graph.IsRecursive());
+  EXPECT_TRUE(graph.IsRecursivePredicate("cd"));
+  EXPECT_TRUE(graph.IsRecursivePredicate("song"));
+}
+
+TEST(ProgramBuilderTest, EdbPredicatesAreExactlyTheViews) {
+  PaperExample example = MakeExample21();
+  auto program = BuildProgram(example.query, example.views, example.domains);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->EdbPredicates(),
+            (std::set<std::string>{"v1", "v2", "v3", "v4"}));
+}
+
+TEST(ProgramBuilderTest, ConnectionReferencingMissingViewFails) {
+  PaperExample example = MakeExample21();
+  std::vector<capability::SourceView> only_first = {example.views[0]};
+  EXPECT_FALSE(
+      BuildProgram(example.query, only_first, example.domains).ok());
+}
+
+TEST(ProgramBuilderTest, MultipleInputValuesMakeOneRulePerCombination) {
+  PaperExample example = MakeExample21();
+  Query query({{"Song", Value::String("t1")}, {"Song", Value::String("t2")}},
+              {"Price"}, {Connection({"v1", "v3"})});
+  auto program = BuildProgram(query, example.views, example.domains);
+  ASSERT_TRUE(program.ok()) << program.status();
+  // 2 connection rules (one per Song value) + 10 view rules + 2 facts.
+  std::size_t connection_rules = 0;
+  std::size_t facts = 0;
+  for (const datalog::Rule& rule : program->rules()) {
+    if (rule.head.predicate == "ans") ++connection_rules;
+    if (rule.is_fact()) ++facts;
+  }
+  EXPECT_EQ(connection_rules, 2u);
+  EXPECT_EQ(facts, 2u);
+}
+
+TEST(ProgramBuilderTest, GoalPredicateNameIsConfigurable) {
+  PaperExample example = MakeExample21();
+  BuilderOptions options;
+  options.goal_predicate = "result";
+  options.alpha_suffix = "_hat";
+  auto program =
+      BuildProgram(example.query, example.views, example.domains, options);
+  ASSERT_TRUE(program.ok());
+  EXPECT_TRUE(program->IdbPredicates().count("result"));
+  EXPECT_TRUE(program->IdbPredicates().count("v1_hat"));
+  EXPECT_FALSE(program->IdbPredicates().count("ans"));
+}
+
+TEST(ProgramBuilderTest, CachedTupleRules) {
+  // Section 7.1: a cached tuple becomes an alpha fact plus domain facts.
+  PaperExample example = MakeExample21();
+  auto program = BuildProgram(example.query, example.views, example.domains);
+  ASSERT_TRUE(program.ok());
+  std::size_t before = program->size();
+  ASSERT_TRUE(AddCachedTupleRules(
+                  example.views[2],  // v3(Cd, Artist, Price)
+                  {Value::String("c7"), Value::String("a7"),
+                   Value::String("$9")},
+                  example.domains, BuilderOptions{}, &*program)
+                  .ok());
+  EXPECT_EQ(program->size(), before + 4);  // 1 alpha fact + 3 domain facts
+  bool found_alpha = false;
+  for (const datalog::Rule& rule : program->rules()) {
+    if (rule.is_fact() && rule.head.predicate == "v3^") found_alpha = true;
+  }
+  EXPECT_TRUE(found_alpha);
+  EXPECT_TRUE(datalog::CheckSafety(*program).ok());
+}
+
+TEST(ProgramBuilderTest, CachedTupleArityChecked) {
+  PaperExample example = MakeExample21();
+  datalog::Program program;
+  EXPECT_FALSE(AddCachedTupleRules(example.views[2],
+                                   {Value::String("c7")}, example.domains,
+                                   BuilderOptions{}, &program)
+                   .ok());
+}
+
+TEST(ProgramBuilderTest, DomainKnowledgeRule) {
+  // Section 7.1: known departments become domain facts.
+  DomainMap domains;
+  datalog::Program program;
+  AddDomainKnowledgeRule("Dept", Value::String("CS"), domains, &program);
+  ASSERT_EQ(program.size(), 1u);
+  // "CS" prints quoted: bare it would re-parse as a variable.
+  EXPECT_EQ(program.rules()[0].ToString(), "domDept(\"CS\").");
+}
+
+TEST(ProgramBuilderTest, AttributeVariableEscapesLowercase) {
+  EXPECT_EQ(AttributeVariable("Song"), "Song");
+  EXPECT_EQ(AttributeVariable("dept"), "X_dept");
+}
+
+TEST(RemoveUselessRulesTest, Figure8RuleForRule) {
+  PaperExample example = MakeExample41();
+  auto plan = PlanQuery(example.query, example.views, example.domains);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->optimized_program.size(), 9u);
+  EXPECT_TRUE(plan->optimized_program == Golden(kFigure8))
+      << "generated:\n"
+      << plan->optimized_program.ToString() << "\nexpected:\n"
+      << Golden(kFigure8).ToString();
+  // Π(Q, V_r) drops exactly v5's two rules from Figure 4.
+  EXPECT_EQ(plan->relevant_program.size(), 13u);
+  // Useless-rule removal drops domB, domD, v4^, domE.
+  EXPECT_EQ(plan->removed_rules.size(), 4u);
+}
+
+TEST(RemoveUselessRulesTest, KeepsEverythingWhenAllReachable) {
+  auto program = datalog::ParseProgram(
+      "ans(X) :- p(X).\n"
+      "p(X) :- e(X).\n");
+  ASSERT_TRUE(program.ok());
+  OptimizedProgram optimized = RemoveUselessRules(*program, "ans");
+  EXPECT_EQ(optimized.program.size(), 2u);
+  EXPECT_TRUE(optimized.removed_rules.empty());
+}
+
+TEST(DecomposeWideRulesTest, ShortRulesUntouched) {
+  auto program = datalog::ParseProgram(
+      "ans(X) :- a(X, Y), b(Y, Z), c(Z, X).\n"
+      "p(X) :- q(X).\n");
+  ASSERT_TRUE(program.ok());
+  datalog::Program decomposed = DecomposeWideRules(*program, 3);
+  EXPECT_TRUE(decomposed == *program);
+  // Threshold < 2 disables decomposition entirely.
+  auto wide = datalog::ParseProgram(
+      "ans(X) :- a(X,A), b(A,B), c(B,C), d(C,X).\n");
+  ASSERT_TRUE(wide.ok());
+  EXPECT_TRUE(DecomposeWideRules(*wide, 0) == *wide);
+  EXPECT_TRUE(DecomposeWideRules(*wide, 1) == *wide);
+}
+
+TEST(DecomposeWideRulesTest, ChainBecomesBinaryJoins) {
+  auto program = datalog::ParseProgram(
+      "ans(E) :- a(x0, B), b(B, C), c(C, D), d(D, E).\n");
+  ASSERT_TRUE(program.ok());
+  datalog::Program decomposed = DecomposeWideRules(*program, 2);
+  // 4 atoms -> 3 binary rules through 2 auxiliary predicates.
+  EXPECT_EQ(decomposed.size(), 3u);
+  for (const datalog::Rule& rule : decomposed.rules()) {
+    EXPECT_LE(rule.body.size(), 2u);
+    EXPECT_TRUE(datalog::CheckRuleSafety(rule).ok()) << rule.ToString();
+  }
+  // Auxiliaries keep only the variables still needed: after a,b only C
+  // (D, E still to come; B is dead).
+  EXPECT_EQ(decomposed.rules()[0].head.arity(), 1u);
+}
+
+TEST(DecomposeWideRulesTest, SemanticsPreserved) {
+  // Evaluate the wide rule and its decomposition over the same EDB.
+  const char* wide_text =
+      "ans(A, E) :- e(A, B), e(B, C), e(C, D), e(D, E).\n";
+  auto wide = datalog::ParseProgram(wide_text);
+  ASSERT_TRUE(wide.ok());
+  datalog::Program narrow = DecomposeWideRules(*wide, 2);
+
+  auto eval = [](const datalog::Program& program) {
+    datalog::FactStore store;
+    // A small random-ish graph.
+    const char* edges[][2] = {{"a", "b"}, {"b", "c"}, {"c", "d"},
+                              {"d", "e"}, {"b", "d"}, {"a", "c"},
+                              {"d", "a"}, {"e", "b"}};
+    for (const auto& edge : edges) {
+      EXPECT_TRUE(store
+                      .Insert("e", {Value::String(edge[0]),
+                                    Value::String(edge[1])})
+                      .ok());
+    }
+    auto evaluator = datalog::Evaluator::Create(program, &store);
+    EXPECT_TRUE(evaluator.ok());
+    EXPECT_TRUE((*evaluator)->Run().ok());
+    std::set<std::vector<Value>> rows;
+    for (const auto& row : store.Facts("ans")) {
+      rows.insert(store.Decode(row));
+    }
+    return rows;
+  };
+  EXPECT_EQ(eval(*wide), eval(narrow));
+}
+
+TEST(DecomposeWideRulesTest, PlanQueryAppliesThreshold) {
+  // A 4-view connection yields a 4-atom connection rule; the planned
+  // programs must contain no body wider than the default threshold.
+  PaperExample example = MakeExample21();
+  Query query({{"Song", Value::String("t1")}}, {"Price"},
+              {Connection({"v1", "v2", "v3", "v4"})});
+  auto plan = PlanQuery(query, example.views, example.domains);
+  ASSERT_TRUE(plan.ok());
+  for (const datalog::Rule& rule : plan->optimized_program.rules()) {
+    EXPECT_LE(rule.body.size(), 3u) << rule.ToString();
+  }
+  bool has_aux = false;
+  for (const datalog::Rule& rule : plan->optimized_program.rules()) {
+    if (rule.head.predicate.rfind("aux_", 0) == 0) has_aux = true;
+  }
+  EXPECT_TRUE(has_aux);
+}
+
+TEST(RemoveUselessRulesTest, Idempotent) {
+  PaperExample example = MakeExample41();
+  auto plan = PlanQuery(example.query, example.views, example.domains);
+  ASSERT_TRUE(plan.ok());
+  OptimizedProgram again =
+      RemoveUselessRules(plan->optimized_program, "ans");
+  EXPECT_TRUE(again.removed_rules.empty());
+  EXPECT_TRUE(again.program == plan->optimized_program);
+}
+
+TEST(RemoveUselessRulesTest, RemovesCascades) {
+  // r is used only by q, q only by nothing reachable from ans.
+  auto program = datalog::ParseProgram(
+      "ans(X) :- p(X).\n"
+      "p(X) :- e(X).\n"
+      "q(X) :- r(X).\n"
+      "r(X) :- e(X).\n");
+  ASSERT_TRUE(program.ok());
+  OptimizedProgram optimized = RemoveUselessRules(*program, "ans");
+  EXPECT_EQ(optimized.program.size(), 2u);
+  EXPECT_EQ(optimized.removed_rules.size(), 2u);
+}
+
+}  // namespace
+}  // namespace limcap::planner

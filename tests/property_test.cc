@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "capability/catalog_text.h"
+#include "exec/baseline_executor.h"
+#include "exec/oracle.h"
+#include "exec/query_answerer.h"
+#include "paperdata/paper_examples.h"
+#include "planner/closure.h"
+#include "workload/generator.h"
+
+namespace limcap {
+namespace {
+
+using exec::CompleteAnswer;
+using exec::QueryAnswerer;
+using planner::AttributeSet;
+using relational::Row;
+using workload::CatalogSpec;
+using workload::GeneratedInstance;
+using workload::GenerateInstance;
+using workload::GenerateQuery;
+using workload::QuerySpec;
+
+std::set<Row> Rows(const relational::Relation& relation) {
+  return std::set<Row>(relation.rows().begin(), relation.rows().end());
+}
+
+struct Scenario {
+  CatalogSpec::Topology topology;
+  uint64_t seed;
+};
+
+std::string ScenarioName(const ::testing::TestParamInfo<Scenario>& info) {
+  const char* topology =
+      info.param.topology == CatalogSpec::Topology::kChain   ? "Chain"
+      : info.param.topology == CatalogSpec::Topology::kStar ? "Star"
+                                                             : "Random";
+  return std::string(topology) + "Seed" + std::to_string(info.param.seed);
+}
+
+std::vector<Scenario> AllScenarios() {
+  std::vector<Scenario> scenarios;
+  for (auto topology :
+       {CatalogSpec::Topology::kChain, CatalogSpec::Topology::kStar,
+        CatalogSpec::Topology::kRandom}) {
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+      scenarios.push_back({topology, seed});
+    }
+  }
+  return scenarios;
+}
+
+class RandomInstanceProperties : public ::testing::TestWithParam<Scenario> {
+ protected:
+  void SetUp() override {
+    CatalogSpec spec;
+    spec.topology = GetParam().topology;
+    spec.seed = GetParam().seed * 7919 + 13;
+    spec.num_views = 8;
+    spec.num_attributes = 7;
+    spec.tuples_per_view = 25;
+    spec.domain_size = 12;
+    instance_ = GenerateInstance(spec);
+
+    QuerySpec query_spec;
+    query_spec.seed = GetParam().seed * 104729 + 3;
+    query_spec.num_connections = 2;
+    query_spec.views_per_connection = 2;
+    auto query = GenerateQuery(instance_, query_spec);
+    if (!query.ok()) GTEST_SKIP() << "no valid query for this instance";
+    query_ = *query;
+  }
+
+  GeneratedInstance instance_;
+  planner::Query query_;
+};
+
+TEST_P(RandomInstanceProperties, ObtainableSubsetOfComplete) {
+  QueryAnswerer answerer(&instance_.catalog, instance_.domains);
+  auto report = answerer.Answer(query_);
+  ASSERT_TRUE(report.ok()) << report.status();
+  auto complete = CompleteAnswer(query_, instance_.full_data);
+  ASSERT_TRUE(complete.ok()) << complete.status();
+  for (const Row& row : report->exec.answer.rows()) {
+    EXPECT_TRUE(complete->Contains(row))
+        << "obtainable row " << relational::RowToString(row)
+        << " missing from complete answer; query " << query_.ToString();
+  }
+}
+
+TEST_P(RandomInstanceProperties, OptimizedProgramPreservesAnswer) {
+  // Theorem 5.1 + Section 6: Π(Q, V_r) with useless rules removed gives
+  // the same answer as the brute-force Π(Q, V), never with more source
+  // queries.
+  QueryAnswerer answerer(&instance_.catalog, instance_.domains);
+  auto optimized = answerer.Answer(query_);
+  auto unoptimized = answerer.AnswerUnoptimized(query_);
+  ASSERT_TRUE(optimized.ok()) << optimized.status();
+  ASSERT_TRUE(unoptimized.ok()) << unoptimized.status();
+  EXPECT_EQ(Rows(optimized->exec.answer), Rows(unoptimized->exec.answer))
+      << query_.ToString();
+  EXPECT_LE(optimized->exec.log.total_queries(),
+            unoptimized->exec.log.total_queries());
+}
+
+TEST_P(RandomInstanceProperties, BaselineSubsetOfFramework) {
+  QueryAnswerer answerer(&instance_.catalog, instance_.domains);
+  exec::BaselineExecutor baseline(&instance_.catalog);
+  auto framework = answerer.Answer(query_);
+  auto per_join = baseline.Execute(query_);
+  ASSERT_TRUE(framework.ok()) << framework.status();
+  ASSERT_TRUE(per_join.ok()) << per_join.status();
+  for (const Row& row : per_join->answer.rows()) {
+    EXPECT_TRUE(framework->exec.answer.Contains(row))
+        << relational::RowToString(row) << "; query " << query_.ToString();
+  }
+}
+
+TEST_P(RandomInstanceProperties, IndependentConnectionsComplete) {
+  // Theorem 4.1: when every connection is independent, the obtainable
+  // answer equals the complete answer and matches the baseline.
+  bool all_independent = true;
+  for (const planner::Connection& connection : query_.connections()) {
+    std::vector<capability::SourceView> views;
+    for (const std::string& name : connection.view_names()) {
+      for (const auto& view : instance_.views) {
+        if (view.name() == name) views.push_back(view);
+      }
+    }
+    if (!planner::IsIndependent(query_.InputAttributes(), views)) {
+      all_independent = false;
+    }
+  }
+  if (!all_independent) GTEST_SKIP() << "query has dependent connections";
+
+  QueryAnswerer answerer(&instance_.catalog, instance_.domains);
+  auto framework = answerer.Answer(query_);
+  auto complete = CompleteAnswer(query_, instance_.full_data);
+  exec::BaselineExecutor baseline(&instance_.catalog);
+  auto per_join = baseline.Execute(query_);
+  ASSERT_TRUE(framework.ok());
+  ASSERT_TRUE(complete.ok());
+  ASSERT_TRUE(per_join.ok());
+  EXPECT_EQ(Rows(framework->exec.answer), Rows(*complete))
+      << query_.ToString();
+  EXPECT_EQ(Rows(per_join->answer), Rows(*complete)) << query_.ToString();
+}
+
+TEST_P(RandomInstanceProperties, NaiveAndSemiNaiveExecutionsAgree) {
+  QueryAnswerer answerer(&instance_.catalog, instance_.domains);
+  exec::ExecOptions naive;
+  naive.mode = datalog::Evaluator::Mode::kNaive;
+  auto a = answerer.Answer(query_, naive);
+  auto b = answerer.Answer(query_);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(Rows(a->exec.answer), Rows(b->exec.answer));
+}
+
+TEST_P(RandomInstanceProperties, FetchStrategiesAgree) {
+  QueryAnswerer answerer(&instance_.catalog, instance_.domains);
+  exec::ExecOptions eager;
+  eager.strategy = exec::FetchStrategy::kEager;
+  auto a = answerer.Answer(query_, eager);
+  auto b = answerer.Answer(query_);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(Rows(a->exec.answer), Rows(b->exec.answer));
+  EXPECT_EQ(a->exec.log.total_queries(), b->exec.log.total_queries());
+}
+
+TEST_P(RandomInstanceProperties, BudgetedAnswersAreMonotone) {
+  QueryAnswerer answerer(&instance_.catalog, instance_.domains);
+  std::size_t previous = 0;
+  std::size_t previous_budget = 0;
+  for (std::size_t budget : {0u, 2u, 8u, 32u, 10000u}) {
+    exec::ExecOptions options;
+    options.max_source_queries = budget;
+    auto report = answerer.Answer(query_, options);
+    ASSERT_TRUE(report.ok());
+    EXPECT_GE(report->exec.answer.size(), previous)
+        << "budget " << budget << " vs " << previous_budget;
+    previous = report->exec.answer.size();
+    previous_budget = budget;
+  }
+}
+
+TEST_P(RandomInstanceProperties, FClosureOrderIsExecutable) {
+  // The f-closure's order is an executable sequence: every view's
+  // requirements are satisfied by the inputs plus all earlier views.
+  planner::FClosure closure = planner::ComputeFClosure(
+      query_.InputAttributes(), instance_.views);
+  AttributeSet bound = query_.InputAttributes();
+  for (const std::string& name : closure.order) {
+    const capability::SourceView* view =
+        instance_.catalog.FindView(name).value();
+    EXPECT_TRUE(view->RequirementsSatisfiedBy(bound)) << name;
+    AttributeSet attrs = view->Attributes();
+    bound.insert(attrs.begin(), attrs.end());
+  }
+  EXPECT_EQ(bound, closure.bound_attributes);
+  // Views outside the closure must not be satisfiable even at the end.
+  for (const auto& view : instance_.views) {
+    if (!closure.Contains(view.name())) {
+      EXPECT_FALSE(view.RequirementsSatisfiedBy(bound)) << view.name();
+    }
+  }
+}
+
+TEST_P(RandomInstanceProperties, CatalogTextRoundTrip) {
+  auto text = capability::CatalogToText(instance_.catalog);
+  ASSERT_TRUE(text.ok()) << text.status();
+  auto reparsed = capability::ParseCatalog(*text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  ASSERT_EQ(reparsed->views.size(), instance_.views.size());
+  // The reparsed catalog answers the query identically.
+  QueryAnswerer original(&instance_.catalog, instance_.domains);
+  QueryAnswerer round_tripped(&reparsed->catalog, instance_.domains);
+  auto a = original.Answer(query_);
+  auto b = round_tripped.Answer(query_);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->exec.answer == b->exec.answer);
+}
+
+TEST_P(RandomInstanceProperties, NoDuplicateSourceQueries) {
+  // The evaluator memoizes issued queries; an identical source query must
+  // never be sent twice, and every query must satisfy the source's
+  // templates (a violation would surface as an execution error, but we
+  // assert it structurally too).
+  QueryAnswerer answerer(&instance_.catalog, instance_.domains);
+  auto report = answerer.Answer(query_);
+  ASSERT_TRUE(report.ok()) << report.status();
+  std::set<std::pair<std::string, std::string>> seen;
+  for (const auto& record : report->exec.log.records()) {
+    EXPECT_TRUE(seen.emplace(record.source, record.rendered_query).second)
+        << "duplicate query " << record.rendered_query;
+    const capability::SourceView* view =
+        instance_.catalog.FindView(record.source).value();
+    capability::AttributeSet bound;
+    for (const auto& [attribute, value] : record.query.bindings) {
+      bound.insert(attribute);
+    }
+    EXPECT_TRUE(view->RequirementsSatisfiedBy(bound))
+        << record.rendered_query << " violates " << view->ToString();
+  }
+}
+
+TEST_P(RandomInstanceProperties, MinAnswersIsRespected) {
+  QueryAnswerer answerer(&instance_.catalog, instance_.domains);
+  auto full = answerer.Answer(query_);
+  ASSERT_TRUE(full.ok());
+  if (full->exec.answer.empty()) GTEST_SKIP() << "no answers to target";
+  exec::ExecOptions options;
+  options.min_answers = 1;
+  auto targeted = answerer.Answer(query_, options);
+  ASSERT_TRUE(targeted.ok());
+  EXPECT_GE(targeted->exec.answer.size(), 1u);
+  EXPECT_LE(targeted->exec.log.total_queries(),
+            full->exec.log.total_queries());
+  for (const Row& row : targeted->exec.answer.rows()) {
+    EXPECT_TRUE(full->exec.answer.Contains(row));
+  }
+}
+
+TEST_P(RandomInstanceProperties, KernelDefinitionHolds) {
+  for (const planner::Connection& connection : query_.connections()) {
+    std::vector<capability::SourceView> views;
+    for (const std::string& name : connection.view_names()) {
+      for (const auto& view : instance_.views) {
+        if (view.name() == name) views.push_back(view);
+      }
+    }
+    AttributeSet inputs = query_.InputAttributes();
+    AttributeSet kernel = planner::ComputeKernel(inputs, views);
+    AttributeSet start = kernel;
+    start.insert(inputs.begin(), inputs.end());
+    // f-closure(K ∪ I, T) = T.
+    EXPECT_EQ(planner::ComputeFClosure(start, views).views.size(),
+              views.size());
+    // Minimality.
+    for (const std::string& attribute : kernel) {
+      AttributeSet smaller = start;
+      smaller.erase(attribute);
+      EXPECT_LT(planner::ComputeFClosure(smaller, views).views.size(),
+                views.size());
+    }
+    // An independent connection iff empty kernel.
+    EXPECT_EQ(kernel.empty(), planner::IsIndependent(inputs, views));
+  }
+}
+
+TEST_P(RandomInstanceProperties, AllKernelsShareBClosure) {
+  // Lemma 5.3 on generated instances.
+  for (const planner::Connection& connection : query_.connections()) {
+    std::vector<capability::SourceView> views;
+    for (const std::string& name : connection.view_names()) {
+      for (const auto& view : instance_.views) {
+        if (view.name() == name) views.push_back(view);
+      }
+    }
+    planner::FClosure queryable = planner::ComputeFClosure(
+        query_.InputAttributes(), instance_.views);
+    // Lemma 5.3 speaks about queryable connections.
+    bool connection_queryable = true;
+    for (const std::string& name : connection.view_names()) {
+      if (!queryable.Contains(name)) connection_queryable = false;
+    }
+    if (!connection_queryable) continue;
+    std::vector<capability::SourceView> queryable_views;
+    for (const auto& view : instance_.views) {
+      if (queryable.Contains(view.name())) queryable_views.push_back(view);
+    }
+    auto kernels = planner::AllKernels(query_.InputAttributes(), views);
+    if (kernels.size() < 2) continue;
+    auto first = planner::ComputeBClosure(kernels[0], queryable_views);
+    for (std::size_t i = 1; i < kernels.size(); ++i) {
+      EXPECT_EQ(planner::ComputeBClosure(kernels[i], queryable_views), first)
+          << connection.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomInstanceProperties,
+                         ::testing::ValuesIn(AllScenarios()), ScenarioName);
+
+}  // namespace
+}  // namespace limcap

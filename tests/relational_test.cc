@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "relational/operators.h"
+#include "relational/relation.h"
+#include "relational/schema.h"
+
+namespace limcap::relational {
+namespace {
+
+Value S(const char* text) { return Value::String(text); }
+Value I(int64_t v) { return Value::Int64(v); }
+
+TEST(SchemaTest, MakeRejectsDuplicates) {
+  EXPECT_FALSE(Schema::Make({"A", "B", "A"}).ok());
+  EXPECT_FALSE(Schema::Make({"A", ""}).ok());
+  EXPECT_TRUE(Schema::Make({"A", "B"}).ok());
+  EXPECT_TRUE(Schema::Make({}).ok());
+}
+
+TEST(SchemaTest, IndexOfAndContains) {
+  Schema schema = Schema::MakeUnsafe({"Song", "Cd"});
+  EXPECT_EQ(schema.arity(), 2u);
+  EXPECT_EQ(schema.IndexOf("Cd"), 1u);
+  EXPECT_FALSE(schema.IndexOf("Price").has_value());
+  EXPECT_TRUE(schema.Contains("Song"));
+}
+
+TEST(SchemaTest, CommonAttributesInThisOrder) {
+  Schema a = Schema::MakeUnsafe({"X", "Y", "Z"});
+  Schema b = Schema::MakeUnsafe({"Z", "W", "X"});
+  EXPECT_EQ(a.CommonAttributes(b), (std::vector<std::string>{"X", "Z"}));
+}
+
+TEST(SchemaTest, NaturalJoinSchema) {
+  Schema a = Schema::MakeUnsafe({"Song", "Cd"});
+  Schema b = Schema::MakeUnsafe({"Cd", "Artist", "Price"});
+  Schema joined = a.NaturalJoinSchema(b);
+  EXPECT_EQ(joined.attributes(),
+            (std::vector<std::string>{"Song", "Cd", "Artist", "Price"}));
+}
+
+TEST(SchemaTest, ToString) {
+  EXPECT_EQ(Schema::MakeUnsafe({"A", "B"}).ToString(), "(A, B)");
+}
+
+TEST(RelationTest, InsertDeduplicates) {
+  Relation relation(Schema::MakeUnsafe({"A"}));
+  EXPECT_TRUE(relation.InsertUnsafe({S("x")}));
+  EXPECT_FALSE(relation.InsertUnsafe({S("x")}));
+  EXPECT_TRUE(relation.InsertUnsafe({S("y")}));
+  EXPECT_EQ(relation.size(), 2u);
+  EXPECT_TRUE(relation.Contains({S("x")}));
+  EXPECT_FALSE(relation.Contains({S("z")}));
+}
+
+TEST(RelationTest, InsertRejectsArityMismatch) {
+  Relation relation(Schema::MakeUnsafe({"A", "B"}));
+  EXPECT_FALSE(relation.Insert({S("x")}).ok());
+}
+
+TEST(RelationTest, ProbeFindsMatches) {
+  Relation relation(Schema::MakeUnsafe({"A", "B"}));
+  relation.InsertUnsafe({S("x"), I(1)});
+  relation.InsertUnsafe({S("x"), I(2)});
+  relation.InsertUnsafe({S("y"), I(3)});
+  const auto& matches = relation.Probe({0}, {S("x")});
+  EXPECT_EQ(matches.size(), 2u);
+  EXPECT_TRUE(relation.Probe({0}, {S("z")}).empty());
+  EXPECT_EQ(relation.Probe({0, 1}, {S("y"), I(3)}).size(), 1u);
+}
+
+TEST(RelationTest, ProbeIndexStaysConsistentAfterInsert) {
+  Relation relation(Schema::MakeUnsafe({"A", "B"}));
+  relation.InsertUnsafe({S("x"), I(1)});
+  EXPECT_EQ(relation.Probe({0}, {S("x")}).size(), 1u);  // builds the index
+  relation.InsertUnsafe({S("x"), I(2)});                // must update it
+  EXPECT_EQ(relation.Probe({0}, {S("x")}).size(), 2u);
+}
+
+TEST(RelationTest, ProbeOnEmptyColumnsReturnsAllRows) {
+  Relation relation(Schema::MakeUnsafe({"A"}));
+  relation.InsertUnsafe({S("x")});
+  relation.InsertUnsafe({S("y")});
+  EXPECT_EQ(relation.Probe({}, {}).size(), 2u);
+}
+
+TEST(RelationTest, ColumnValuesAreDistinct) {
+  Relation relation(Schema::MakeUnsafe({"A", "B"}));
+  relation.InsertUnsafe({S("x"), I(1)});
+  relation.InsertUnsafe({S("x"), I(2)});
+  EXPECT_EQ(relation.ColumnValues(0).size(), 1u);
+  EXPECT_EQ(relation.ColumnValues(1).size(), 2u);
+}
+
+TEST(RelationTest, EqualityIsSetSemantics) {
+  Relation a(Schema::MakeUnsafe({"A"}));
+  Relation b(Schema::MakeUnsafe({"A"}));
+  a.InsertUnsafe({S("x")});
+  a.InsertUnsafe({S("y")});
+  b.InsertUnsafe({S("y")});
+  b.InsertUnsafe({S("x")});
+  EXPECT_TRUE(a == b);
+  b.InsertUnsafe({S("z")});
+  EXPECT_FALSE(a == b);
+}
+
+TEST(RelationTest, ToStringSorted) {
+  Relation relation(Schema::MakeUnsafe({"A"}));
+  relation.InsertUnsafe({S("y")});
+  relation.InsertUnsafe({S("x")});
+  EXPECT_EQ(relation.ToString(), "{<x>, <y>}");
+}
+
+TEST(OperatorsTest, SelectByEquality) {
+  Relation relation(Schema::MakeUnsafe({"Song", "Cd"}));
+  relation.InsertUnsafe({S("t1"), S("c1")});
+  relation.InsertUnsafe({S("t2"), S("c2")});
+  auto selected = Select(relation, {{"Song", S("t1")}});
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->size(), 1u);
+  EXPECT_TRUE(selected->Contains({S("t1"), S("c1")}));
+}
+
+TEST(OperatorsTest, SelectUnknownAttributeFails) {
+  Relation relation(Schema::MakeUnsafe({"A"}));
+  EXPECT_FALSE(Select(relation, {{"B", S("x")}}).ok());
+}
+
+TEST(OperatorsTest, SelectMultipleConditionsAreConjunctive) {
+  Relation relation(Schema::MakeUnsafe({"A", "B"}));
+  relation.InsertUnsafe({S("x"), I(1)});
+  relation.InsertUnsafe({S("x"), I(2)});
+  auto selected = Select(relation, {{"A", S("x")}, {"B", I(2)}});
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->size(), 1u);
+}
+
+TEST(OperatorsTest, ProjectDeduplicates) {
+  Relation relation(Schema::MakeUnsafe({"Cd", "Price"}));
+  relation.InsertUnsafe({S("c1"), S("$15")});
+  relation.InsertUnsafe({S("c2"), S("$15")});
+  auto projected = Project(relation, {"Price"});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->size(), 1u);
+}
+
+TEST(OperatorsTest, ProjectReorders) {
+  Relation relation(Schema::MakeUnsafe({"A", "B"}));
+  relation.InsertUnsafe({S("x"), S("y")});
+  auto projected = Project(relation, {"B", "A"});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_TRUE(projected->Contains({S("y"), S("x")}));
+}
+
+TEST(OperatorsTest, NaturalJoinOnSharedAttribute) {
+  Relation songs(Schema::MakeUnsafe({"Song", "Cd"}));
+  songs.InsertUnsafe({S("t1"), S("c1")});
+  songs.InsertUnsafe({S("t2"), S("c3")});
+  Relation prices(Schema::MakeUnsafe({"Cd", "Price"}));
+  prices.InsertUnsafe({S("c1"), S("$15")});
+  prices.InsertUnsafe({S("c2"), S("$12")});
+
+  Relation joined = NaturalJoin(songs, prices);
+  EXPECT_EQ(joined.schema().attributes(),
+            (std::vector<std::string>{"Song", "Cd", "Price"}));
+  EXPECT_EQ(joined.size(), 1u);
+  EXPECT_TRUE(joined.Contains({S("t1"), S("c1"), S("$15")}));
+}
+
+TEST(OperatorsTest, NaturalJoinWithoutSharedAttributesIsProduct) {
+  Relation a(Schema::MakeUnsafe({"A"}));
+  a.InsertUnsafe({S("x")});
+  a.InsertUnsafe({S("y")});
+  Relation b(Schema::MakeUnsafe({"B"}));
+  b.InsertUnsafe({I(1)});
+  b.InsertUnsafe({I(2)});
+  EXPECT_EQ(NaturalJoin(a, b).size(), 4u);
+}
+
+TEST(OperatorsTest, NaturalJoinIsCommutativeUpToSchema) {
+  Relation a(Schema::MakeUnsafe({"A", "B"}));
+  a.InsertUnsafe({S("x"), S("m")});
+  a.InsertUnsafe({S("y"), S("n")});
+  Relation b(Schema::MakeUnsafe({"B", "C"}));
+  b.InsertUnsafe({S("m"), S("p")});
+
+  Relation ab = NaturalJoin(a, b);
+  Relation ba = NaturalJoin(b, a);
+  EXPECT_EQ(ab.size(), ba.size());
+  auto reordered = Project(ba, ab.schema().attributes());
+  ASSERT_TRUE(reordered.ok());
+  EXPECT_TRUE(ab == *reordered);
+}
+
+TEST(OperatorsTest, NaturalJoinAllIdentity) {
+  Relation join = NaturalJoinAll({});
+  EXPECT_EQ(join.size(), 1u);
+  EXPECT_EQ(join.schema().arity(), 0u);
+}
+
+TEST(OperatorsTest, NaturalJoinAllThreeWay) {
+  Relation r1(Schema::MakeUnsafe({"A", "B"}));
+  r1.InsertUnsafe({S("a"), S("b")});
+  Relation r2(Schema::MakeUnsafe({"B", "C"}));
+  r2.InsertUnsafe({S("b"), S("c")});
+  Relation r3(Schema::MakeUnsafe({"C", "D"}));
+  r3.InsertUnsafe({S("c"), S("d")});
+  Relation join = NaturalJoinAll({&r1, &r2, &r3});
+  EXPECT_EQ(join.size(), 1u);
+  EXPECT_TRUE(join.Contains({S("a"), S("b"), S("c"), S("d")}));
+}
+
+TEST(OperatorsTest, UnionRequiresSameSchema) {
+  Relation a(Schema::MakeUnsafe({"A"}));
+  Relation b(Schema::MakeUnsafe({"B"}));
+  EXPECT_FALSE(Union(a, b).ok());
+}
+
+TEST(OperatorsTest, UnionDeduplicates) {
+  Relation a(Schema::MakeUnsafe({"A"}));
+  a.InsertUnsafe({S("x")});
+  Relation b(Schema::MakeUnsafe({"A"}));
+  b.InsertUnsafe({S("x")});
+  b.InsertUnsafe({S("y")});
+  auto united = Union(a, b);
+  ASSERT_TRUE(united.ok());
+  EXPECT_EQ(united->size(), 2u);
+}
+
+TEST(OperatorsTest, Difference) {
+  Relation a(Schema::MakeUnsafe({"A"}));
+  a.InsertUnsafe({S("x")});
+  a.InsertUnsafe({S("y")});
+  Relation b(Schema::MakeUnsafe({"A"}));
+  b.InsertUnsafe({S("y")});
+  auto diff = Difference(a, b);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff->size(), 1u);
+  EXPECT_TRUE(diff->Contains({S("x")}));
+}
+
+TEST(OperatorsTest, RowToString) {
+  EXPECT_EQ(RowToString({S("t1"), S("c1")}), "<t1, c1>");
+}
+
+// ---- randomized algebraic properties -------------------------------------
+
+namespace {
+
+Relation RandomRelation(limcap::Rng* rng, const Schema& schema,
+                        std::size_t rows, std::size_t domain) {
+  Relation relation(schema);
+  for (std::size_t r = 0; r < rows; ++r) {
+    Row row;
+    for (std::size_t c = 0; c < schema.arity(); ++c) {
+      row.push_back(I(static_cast<int64_t>(rng->Below(domain))));
+    }
+    relation.InsertUnsafe(std::move(row));
+  }
+  return relation;
+}
+
+}  // namespace
+
+class JoinAlgebra : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JoinAlgebra, JoinIsAssociativeAndCommutative) {
+  limcap::Rng rng(GetParam() * 1237 + 5);
+  Relation a = RandomRelation(&rng, Schema::MakeUnsafe({"A", "B"}), 12, 4);
+  Relation b = RandomRelation(&rng, Schema::MakeUnsafe({"B", "C"}), 12, 4);
+  Relation c = RandomRelation(&rng, Schema::MakeUnsafe({"C", "D"}), 12, 4);
+
+  Relation left = NaturalJoin(NaturalJoin(a, b), c);
+  Relation right = NaturalJoin(a, NaturalJoin(b, c));
+  auto right_reordered = Project(right, left.schema().attributes());
+  ASSERT_TRUE(right_reordered.ok());
+  EXPECT_TRUE(left == *right_reordered);
+
+  Relation ab = NaturalJoin(a, b);
+  Relation ba = NaturalJoin(b, a);
+  auto ba_reordered = Project(ba, ab.schema().attributes());
+  ASSERT_TRUE(ba_reordered.ok());
+  EXPECT_TRUE(ab == *ba_reordered);
+}
+
+TEST_P(JoinAlgebra, JoinIsIdempotentAndSelectionCommutes) {
+  limcap::Rng rng(GetParam() * 31 + 9);
+  Relation a = RandomRelation(&rng, Schema::MakeUnsafe({"A", "B"}), 15, 5);
+  EXPECT_TRUE(NaturalJoin(a, a) == a);
+
+  // σ then π == π then σ when the selection attribute survives.
+  Value pivot = I(static_cast<int64_t>(rng.Below(5)));
+  auto selected_first = Project(*Select(a, {{"A", pivot}}), {"A"});
+  auto projected_first = Select(*Project(a, {"A"}), {{"A", pivot}});
+  ASSERT_TRUE(selected_first.ok());
+  ASSERT_TRUE(projected_first.ok());
+  EXPECT_TRUE(*selected_first == *projected_first);
+
+  // σ distributes over ∪.
+  Relation b = RandomRelation(&rng, Schema::MakeUnsafe({"A", "B"}), 15, 5);
+  auto union_then_select = Select(*Union(a, b), {{"A", pivot}});
+  auto select_then_union =
+      Union(*Select(a, {{"A", pivot}}), *Select(b, {{"A", pivot}}));
+  ASSERT_TRUE(union_then_select.ok());
+  ASSERT_TRUE(select_then_union.ok());
+  EXPECT_TRUE(*union_then_select == *select_then_union);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinAlgebra,
+                         ::testing::Range(uint64_t{0}, uint64_t{12}));
+
+}  // namespace
+}  // namespace limcap::relational

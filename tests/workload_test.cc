@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "exec/oracle.h"
+#include "exec/query_answerer.h"
+#include "workload/generator.h"
+
+namespace limcap::workload {
+namespace {
+
+TEST(GeneratorTest, DeterministicAcrossCalls) {
+  CatalogSpec spec;
+  spec.seed = 99;
+  GeneratedInstance a = GenerateInstance(spec);
+  GeneratedInstance b = GenerateInstance(spec);
+  ASSERT_EQ(a.views.size(), b.views.size());
+  for (std::size_t i = 0; i < a.views.size(); ++i) {
+    EXPECT_EQ(a.views[i].ToString(), b.views[i].ToString());
+    EXPECT_TRUE(a.full_data.at(a.views[i].name()) ==
+                b.full_data.at(b.views[i].name()));
+  }
+}
+
+TEST(GeneratorTest, SeedChangesInstance) {
+  CatalogSpec spec;
+  spec.topology = CatalogSpec::Topology::kRandom;
+  spec.seed = 1;
+  GeneratedInstance a = GenerateInstance(spec);
+  spec.seed = 2;
+  GeneratedInstance b = GenerateInstance(spec);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.views.size(); ++i) {
+    if (!(a.views[i].ToString() == b.views[i].ToString()) ||
+        !(a.full_data.at(a.views[i].name()) ==
+          b.full_data.at(b.views[i].name()))) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(GeneratorTest, ChainTopologyShape) {
+  CatalogSpec spec;
+  spec.topology = CatalogSpec::Topology::kChain;
+  spec.num_views = 5;
+  GeneratedInstance instance = GenerateInstance(spec);
+  ASSERT_EQ(instance.views.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(instance.views[i].pattern().ToString(), "bf");
+    EXPECT_EQ(instance.views[i].schema().attribute(0),
+              "A" + std::to_string(i));
+    EXPECT_EQ(instance.views[i].schema().attribute(1),
+              "A" + std::to_string(i + 1));
+  }
+}
+
+TEST(GeneratorTest, StarTopologySharesHub) {
+  CatalogSpec spec;
+  spec.topology = CatalogSpec::Topology::kStar;
+  spec.num_views = 6;
+  GeneratedInstance instance = GenerateInstance(spec);
+  for (const auto& view : instance.views) {
+    EXPECT_EQ(view.schema().attribute(0), "A0");
+  }
+}
+
+TEST(GeneratorTest, RandomViewsNeverFullyBoundAboveArityOne) {
+  CatalogSpec spec;
+  spec.topology = CatalogSpec::Topology::kRandom;
+  spec.num_views = 30;
+  spec.bound_probability = 0.95;
+  spec.seed = 5;
+  GeneratedInstance instance = GenerateInstance(spec);
+  for (const auto& view : instance.views) {
+    if (view.schema().arity() > 1) {
+      EXPECT_FALSE(view.FreeAttributes().empty()) << view.ToString();
+    }
+  }
+}
+
+TEST(GeneratorTest, DataRespectsDomains) {
+  CatalogSpec spec;
+  spec.domain_size = 4;
+  spec.seed = 3;
+  GeneratedInstance instance = GenerateInstance(spec);
+  for (const auto& view : instance.views) {
+    const auto& data = instance.full_data.at(view.name());
+    for (std::size_t col = 0; col < view.schema().arity(); ++col) {
+      EXPECT_LE(data.ColumnValues(col).size(), 4u);
+    }
+  }
+}
+
+TEST(GeneratorTest, GeneratedQueryValidates) {
+  CatalogSpec spec;
+  spec.seed = 17;
+  GeneratedInstance instance = GenerateInstance(spec);
+  QuerySpec query_spec;
+  query_spec.seed = 4;
+  auto query = GenerateQuery(instance, query_spec);
+  if (!query.ok()) GTEST_SKIP();
+  EXPECT_TRUE(query->Validate(instance.catalog).ok());
+  EXPECT_EQ(query->connections().size(), query_spec.num_connections);
+  // Deterministic.
+  auto again = GenerateQuery(instance, query_spec);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(query->ToString(), again->ToString());
+}
+
+TEST(GeneratorTest, ChainQueryEndToEnd) {
+  // A bf-chain is fully answerable from its head binding: framework and
+  // oracle must agree.
+  CatalogSpec spec;
+  spec.topology = CatalogSpec::Topology::kChain;
+  spec.num_views = 4;
+  spec.tuples_per_view = 30;
+  spec.domain_size = 10;
+  spec.seed = 23;
+  GeneratedInstance instance = GenerateInstance(spec);
+
+  planner::Query query(
+      {{"A0", GeneratedInstance::DomainValue("A0", 0)}},
+      {"A4"},
+      {planner::Connection({"v1", "v2", "v3", "v4"})});
+  ASSERT_TRUE(query.Validate(instance.catalog).ok());
+
+  exec::QueryAnswerer answerer(&instance.catalog, instance.domains);
+  auto report = answerer.Answer(query);
+  ASSERT_TRUE(report.ok()) << report.status();
+  auto complete = exec::CompleteAnswer(query, instance.full_data);
+  ASSERT_TRUE(complete.ok());
+  EXPECT_TRUE(report->exec.answer == *complete);
+}
+
+}  // namespace
+}  // namespace limcap::workload
