@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exec_scaling.dir/bench_exec_scaling.cc.o"
+  "CMakeFiles/bench_exec_scaling.dir/bench_exec_scaling.cc.o.d"
+  "bench_exec_scaling"
+  "bench_exec_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exec_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_findrel_scaling.dir/bench_findrel_scaling.cc.o"
+  "CMakeFiles/bench_findrel_scaling.dir/bench_findrel_scaling.cc.o.d"
+  "bench_findrel_scaling"
+  "bench_findrel_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_findrel_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

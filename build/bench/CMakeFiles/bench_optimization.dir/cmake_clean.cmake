@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimization.dir/bench_optimization.cc.o"
+  "CMakeFiles/bench_optimization.dir/bench_optimization.cc.o.d"
+  "bench_optimization"
+  "bench_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

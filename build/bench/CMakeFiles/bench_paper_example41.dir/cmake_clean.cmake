@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_paper_example41.dir/bench_paper_example41.cc.o"
+  "CMakeFiles/bench_paper_example41.dir/bench_paper_example41.cc.o.d"
+  "bench_paper_example41"
+  "bench_paper_example41.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_paper_example41.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_paper_example52.dir/bench_paper_example52.cc.o"
+  "CMakeFiles/bench_paper_example52.dir/bench_paper_example52.cc.o.d"
+  "bench_paper_example52"
+  "bench_paper_example52.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_paper_example52.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partial_answer.dir/bench_partial_answer.cc.o"
+  "CMakeFiles/bench_partial_answer.dir/bench_partial_answer.cc.o.d"
+  "bench_partial_answer"
+  "bench_partial_answer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partial_answer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

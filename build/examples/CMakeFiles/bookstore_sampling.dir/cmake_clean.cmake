@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bookstore_sampling.dir/bookstore_sampling.cpp.o"
+  "CMakeFiles/bookstore_sampling.dir/bookstore_sampling.cpp.o.d"
+  "bookstore_sampling"
+  "bookstore_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bookstore_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

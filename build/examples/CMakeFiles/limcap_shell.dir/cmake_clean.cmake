@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limcap_shell.dir/limcap_shell.cpp.o"
+  "CMakeFiles/limcap_shell.dir/limcap_shell.cpp.o.d"
+  "limcap_shell"
+  "limcap_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limcap_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

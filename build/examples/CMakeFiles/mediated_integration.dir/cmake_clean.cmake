@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mediated_integration.dir/mediated_integration.cpp.o"
+  "CMakeFiles/mediated_integration.dir/mediated_integration.cpp.o.d"
+  "mediated_integration"
+  "mediated_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mediated_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

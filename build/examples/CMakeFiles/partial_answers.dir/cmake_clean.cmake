@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_answers.dir/partial_answers.cpp.o"
+  "CMakeFiles/partial_answers.dir/partial_answers.cpp.o.d"
+  "partial_answers"
+  "partial_answers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_answers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

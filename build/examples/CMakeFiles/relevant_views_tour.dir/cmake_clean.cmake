@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relevant_views_tour.dir/relevant_views_tour.cpp.o"
+  "CMakeFiles/relevant_views_tour.dir/relevant_views_tour.cpp.o.d"
+  "relevant_views_tour"
+  "relevant_views_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relevant_views_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/capability/access_log.cc" "src/capability/CMakeFiles/limcap_capability.dir/access_log.cc.o" "gcc" "src/capability/CMakeFiles/limcap_capability.dir/access_log.cc.o.d"
+  "/root/repo/src/capability/binding_pattern.cc" "src/capability/CMakeFiles/limcap_capability.dir/binding_pattern.cc.o" "gcc" "src/capability/CMakeFiles/limcap_capability.dir/binding_pattern.cc.o.d"
+  "/root/repo/src/capability/caching_source.cc" "src/capability/CMakeFiles/limcap_capability.dir/caching_source.cc.o" "gcc" "src/capability/CMakeFiles/limcap_capability.dir/caching_source.cc.o.d"
+  "/root/repo/src/capability/catalog_text.cc" "src/capability/CMakeFiles/limcap_capability.dir/catalog_text.cc.o" "gcc" "src/capability/CMakeFiles/limcap_capability.dir/catalog_text.cc.o.d"
+  "/root/repo/src/capability/in_memory_source.cc" "src/capability/CMakeFiles/limcap_capability.dir/in_memory_source.cc.o" "gcc" "src/capability/CMakeFiles/limcap_capability.dir/in_memory_source.cc.o.d"
+  "/root/repo/src/capability/renaming_source.cc" "src/capability/CMakeFiles/limcap_capability.dir/renaming_source.cc.o" "gcc" "src/capability/CMakeFiles/limcap_capability.dir/renaming_source.cc.o.d"
+  "/root/repo/src/capability/source_catalog.cc" "src/capability/CMakeFiles/limcap_capability.dir/source_catalog.cc.o" "gcc" "src/capability/CMakeFiles/limcap_capability.dir/source_catalog.cc.o.d"
+  "/root/repo/src/capability/source_view.cc" "src/capability/CMakeFiles/limcap_capability.dir/source_view.cc.o" "gcc" "src/capability/CMakeFiles/limcap_capability.dir/source_view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/limcap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/limcap_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

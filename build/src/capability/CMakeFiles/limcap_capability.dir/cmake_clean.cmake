@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limcap_capability.dir/access_log.cc.o"
+  "CMakeFiles/limcap_capability.dir/access_log.cc.o.d"
+  "CMakeFiles/limcap_capability.dir/binding_pattern.cc.o"
+  "CMakeFiles/limcap_capability.dir/binding_pattern.cc.o.d"
+  "CMakeFiles/limcap_capability.dir/caching_source.cc.o"
+  "CMakeFiles/limcap_capability.dir/caching_source.cc.o.d"
+  "CMakeFiles/limcap_capability.dir/catalog_text.cc.o"
+  "CMakeFiles/limcap_capability.dir/catalog_text.cc.o.d"
+  "CMakeFiles/limcap_capability.dir/in_memory_source.cc.o"
+  "CMakeFiles/limcap_capability.dir/in_memory_source.cc.o.d"
+  "CMakeFiles/limcap_capability.dir/renaming_source.cc.o"
+  "CMakeFiles/limcap_capability.dir/renaming_source.cc.o.d"
+  "CMakeFiles/limcap_capability.dir/source_catalog.cc.o"
+  "CMakeFiles/limcap_capability.dir/source_catalog.cc.o.d"
+  "CMakeFiles/limcap_capability.dir/source_view.cc.o"
+  "CMakeFiles/limcap_capability.dir/source_view.cc.o.d"
+  "liblimcap_capability.a"
+  "liblimcap_capability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limcap_capability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limcap_common.dir/status.cc.o"
+  "CMakeFiles/limcap_common.dir/status.cc.o.d"
+  "CMakeFiles/limcap_common.dir/string_util.cc.o"
+  "CMakeFiles/limcap_common.dir/string_util.cc.o.d"
+  "CMakeFiles/limcap_common.dir/text_table.cc.o"
+  "CMakeFiles/limcap_common.dir/text_table.cc.o.d"
+  "CMakeFiles/limcap_common.dir/value.cc.o"
+  "CMakeFiles/limcap_common.dir/value.cc.o.d"
+  "CMakeFiles/limcap_common.dir/value_dictionary.cc.o"
+  "CMakeFiles/limcap_common.dir/value_dictionary.cc.o.d"
+  "liblimcap_common.a"
+  "liblimcap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limcap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

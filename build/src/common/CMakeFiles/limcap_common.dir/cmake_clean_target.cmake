@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblimcap_common.a"
+)

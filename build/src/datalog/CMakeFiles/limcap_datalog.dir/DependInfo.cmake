@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datalog/ast.cc" "src/datalog/CMakeFiles/limcap_datalog.dir/ast.cc.o" "gcc" "src/datalog/CMakeFiles/limcap_datalog.dir/ast.cc.o.d"
+  "/root/repo/src/datalog/dependency_graph.cc" "src/datalog/CMakeFiles/limcap_datalog.dir/dependency_graph.cc.o" "gcc" "src/datalog/CMakeFiles/limcap_datalog.dir/dependency_graph.cc.o.d"
+  "/root/repo/src/datalog/evaluator.cc" "src/datalog/CMakeFiles/limcap_datalog.dir/evaluator.cc.o" "gcc" "src/datalog/CMakeFiles/limcap_datalog.dir/evaluator.cc.o.d"
+  "/root/repo/src/datalog/fact_store.cc" "src/datalog/CMakeFiles/limcap_datalog.dir/fact_store.cc.o" "gcc" "src/datalog/CMakeFiles/limcap_datalog.dir/fact_store.cc.o.d"
+  "/root/repo/src/datalog/parser.cc" "src/datalog/CMakeFiles/limcap_datalog.dir/parser.cc.o" "gcc" "src/datalog/CMakeFiles/limcap_datalog.dir/parser.cc.o.d"
+  "/root/repo/src/datalog/safety.cc" "src/datalog/CMakeFiles/limcap_datalog.dir/safety.cc.o" "gcc" "src/datalog/CMakeFiles/limcap_datalog.dir/safety.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/limcap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/limcap_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limcap_datalog.dir/ast.cc.o"
+  "CMakeFiles/limcap_datalog.dir/ast.cc.o.d"
+  "CMakeFiles/limcap_datalog.dir/dependency_graph.cc.o"
+  "CMakeFiles/limcap_datalog.dir/dependency_graph.cc.o.d"
+  "CMakeFiles/limcap_datalog.dir/evaluator.cc.o"
+  "CMakeFiles/limcap_datalog.dir/evaluator.cc.o.d"
+  "CMakeFiles/limcap_datalog.dir/fact_store.cc.o"
+  "CMakeFiles/limcap_datalog.dir/fact_store.cc.o.d"
+  "CMakeFiles/limcap_datalog.dir/parser.cc.o"
+  "CMakeFiles/limcap_datalog.dir/parser.cc.o.d"
+  "CMakeFiles/limcap_datalog.dir/safety.cc.o"
+  "CMakeFiles/limcap_datalog.dir/safety.cc.o.d"
+  "liblimcap_datalog.a"
+  "liblimcap_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limcap_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/baseline_executor.cc" "src/exec/CMakeFiles/limcap_exec.dir/baseline_executor.cc.o" "gcc" "src/exec/CMakeFiles/limcap_exec.dir/baseline_executor.cc.o.d"
+  "/root/repo/src/exec/bind_join.cc" "src/exec/CMakeFiles/limcap_exec.dir/bind_join.cc.o" "gcc" "src/exec/CMakeFiles/limcap_exec.dir/bind_join.cc.o.d"
+  "/root/repo/src/exec/latency_model.cc" "src/exec/CMakeFiles/limcap_exec.dir/latency_model.cc.o" "gcc" "src/exec/CMakeFiles/limcap_exec.dir/latency_model.cc.o.d"
+  "/root/repo/src/exec/oracle.cc" "src/exec/CMakeFiles/limcap_exec.dir/oracle.cc.o" "gcc" "src/exec/CMakeFiles/limcap_exec.dir/oracle.cc.o.d"
+  "/root/repo/src/exec/query_answerer.cc" "src/exec/CMakeFiles/limcap_exec.dir/query_answerer.cc.o" "gcc" "src/exec/CMakeFiles/limcap_exec.dir/query_answerer.cc.o.d"
+  "/root/repo/src/exec/source_driven_evaluator.cc" "src/exec/CMakeFiles/limcap_exec.dir/source_driven_evaluator.cc.o" "gcc" "src/exec/CMakeFiles/limcap_exec.dir/source_driven_evaluator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/limcap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/limcap_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/limcap_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/capability/CMakeFiles/limcap_capability.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/limcap_planner.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limcap_exec.dir/baseline_executor.cc.o"
+  "CMakeFiles/limcap_exec.dir/baseline_executor.cc.o.d"
+  "CMakeFiles/limcap_exec.dir/bind_join.cc.o"
+  "CMakeFiles/limcap_exec.dir/bind_join.cc.o.d"
+  "CMakeFiles/limcap_exec.dir/latency_model.cc.o"
+  "CMakeFiles/limcap_exec.dir/latency_model.cc.o.d"
+  "CMakeFiles/limcap_exec.dir/oracle.cc.o"
+  "CMakeFiles/limcap_exec.dir/oracle.cc.o.d"
+  "CMakeFiles/limcap_exec.dir/query_answerer.cc.o"
+  "CMakeFiles/limcap_exec.dir/query_answerer.cc.o.d"
+  "CMakeFiles/limcap_exec.dir/source_driven_evaluator.cc.o"
+  "CMakeFiles/limcap_exec.dir/source_driven_evaluator.cc.o.d"
+  "liblimcap_exec.a"
+  "liblimcap_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limcap_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

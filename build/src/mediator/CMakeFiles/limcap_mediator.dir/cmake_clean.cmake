@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limcap_mediator.dir/mediator.cc.o"
+  "CMakeFiles/limcap_mediator.dir/mediator.cc.o.d"
+  "liblimcap_mediator.a"
+  "liblimcap_mediator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limcap_mediator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limcap_paperdata.dir/paper_examples.cc.o"
+  "CMakeFiles/limcap_paperdata.dir/paper_examples.cc.o.d"
+  "liblimcap_paperdata.a"
+  "liblimcap_paperdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limcap_paperdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for limcap_paperdata.
+# This may be replaced when dependencies are built.

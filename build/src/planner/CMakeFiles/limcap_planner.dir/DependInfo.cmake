@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/planner/closure.cc" "src/planner/CMakeFiles/limcap_planner.dir/closure.cc.o" "gcc" "src/planner/CMakeFiles/limcap_planner.dir/closure.cc.o.d"
+  "/root/repo/src/planner/cost_model.cc" "src/planner/CMakeFiles/limcap_planner.dir/cost_model.cc.o" "gcc" "src/planner/CMakeFiles/limcap_planner.dir/cost_model.cc.o.d"
+  "/root/repo/src/planner/find_rel.cc" "src/planner/CMakeFiles/limcap_planner.dir/find_rel.cc.o" "gcc" "src/planner/CMakeFiles/limcap_planner.dir/find_rel.cc.o.d"
+  "/root/repo/src/planner/hypergraph.cc" "src/planner/CMakeFiles/limcap_planner.dir/hypergraph.cc.o" "gcc" "src/planner/CMakeFiles/limcap_planner.dir/hypergraph.cc.o.d"
+  "/root/repo/src/planner/program_builder.cc" "src/planner/CMakeFiles/limcap_planner.dir/program_builder.cc.o" "gcc" "src/planner/CMakeFiles/limcap_planner.dir/program_builder.cc.o.d"
+  "/root/repo/src/planner/program_optimizer.cc" "src/planner/CMakeFiles/limcap_planner.dir/program_optimizer.cc.o" "gcc" "src/planner/CMakeFiles/limcap_planner.dir/program_optimizer.cc.o.d"
+  "/root/repo/src/planner/query.cc" "src/planner/CMakeFiles/limcap_planner.dir/query.cc.o" "gcc" "src/planner/CMakeFiles/limcap_planner.dir/query.cc.o.d"
+  "/root/repo/src/planner/query_parser.cc" "src/planner/CMakeFiles/limcap_planner.dir/query_parser.cc.o" "gcc" "src/planner/CMakeFiles/limcap_planner.dir/query_parser.cc.o.d"
+  "/root/repo/src/planner/witness.cc" "src/planner/CMakeFiles/limcap_planner.dir/witness.cc.o" "gcc" "src/planner/CMakeFiles/limcap_planner.dir/witness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/limcap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/limcap_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/limcap_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/capability/CMakeFiles/limcap_capability.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

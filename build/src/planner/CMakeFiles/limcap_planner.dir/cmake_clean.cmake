@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limcap_planner.dir/closure.cc.o"
+  "CMakeFiles/limcap_planner.dir/closure.cc.o.d"
+  "CMakeFiles/limcap_planner.dir/cost_model.cc.o"
+  "CMakeFiles/limcap_planner.dir/cost_model.cc.o.d"
+  "CMakeFiles/limcap_planner.dir/find_rel.cc.o"
+  "CMakeFiles/limcap_planner.dir/find_rel.cc.o.d"
+  "CMakeFiles/limcap_planner.dir/hypergraph.cc.o"
+  "CMakeFiles/limcap_planner.dir/hypergraph.cc.o.d"
+  "CMakeFiles/limcap_planner.dir/program_builder.cc.o"
+  "CMakeFiles/limcap_planner.dir/program_builder.cc.o.d"
+  "CMakeFiles/limcap_planner.dir/program_optimizer.cc.o"
+  "CMakeFiles/limcap_planner.dir/program_optimizer.cc.o.d"
+  "CMakeFiles/limcap_planner.dir/query.cc.o"
+  "CMakeFiles/limcap_planner.dir/query.cc.o.d"
+  "CMakeFiles/limcap_planner.dir/query_parser.cc.o"
+  "CMakeFiles/limcap_planner.dir/query_parser.cc.o.d"
+  "CMakeFiles/limcap_planner.dir/witness.cc.o"
+  "CMakeFiles/limcap_planner.dir/witness.cc.o.d"
+  "liblimcap_planner.a"
+  "liblimcap_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limcap_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limcap_relational.dir/operators.cc.o"
+  "CMakeFiles/limcap_relational.dir/operators.cc.o.d"
+  "CMakeFiles/limcap_relational.dir/relation.cc.o"
+  "CMakeFiles/limcap_relational.dir/relation.cc.o.d"
+  "CMakeFiles/limcap_relational.dir/schema.cc.o"
+  "CMakeFiles/limcap_relational.dir/schema.cc.o.d"
+  "liblimcap_relational.a"
+  "liblimcap_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limcap_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

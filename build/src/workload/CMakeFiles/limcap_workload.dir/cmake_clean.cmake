@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limcap_workload.dir/generator.cc.o"
+  "CMakeFiles/limcap_workload.dir/generator.cc.o.d"
+  "liblimcap_workload.a"
+  "liblimcap_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limcap_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_facade_test.dir/cache_facade_test.cc.o"
+  "CMakeFiles/cache_facade_test.dir/cache_facade_test.cc.o.d"
+  "cache_facade_test"
+  "cache_facade_test.pdb"
+  "cache_facade_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_facade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

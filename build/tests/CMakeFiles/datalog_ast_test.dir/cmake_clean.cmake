@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_ast_test.dir/datalog_ast_test.cc.o"
+  "CMakeFiles/datalog_ast_test.dir/datalog_ast_test.cc.o.d"
+  "datalog_ast_test"
+  "datalog_ast_test.pdb"
+  "datalog_ast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_ast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_evaluator_test.dir/datalog_evaluator_test.cc.o"
+  "CMakeFiles/datalog_evaluator_test.dir/datalog_evaluator_test.cc.o.d"
+  "datalog_evaluator_test"
+  "datalog_evaluator_test.pdb"
+  "datalog_evaluator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_roundtrip_test.dir/datalog_roundtrip_test.cc.o"
+  "CMakeFiles/datalog_roundtrip_test.dir/datalog_roundtrip_test.cc.o.d"
+  "datalog_roundtrip_test"
+  "datalog_roundtrip_test.pdb"
+  "datalog_roundtrip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

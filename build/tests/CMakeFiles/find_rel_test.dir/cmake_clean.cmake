@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_rel_test.dir/find_rel_test.cc.o"
+  "CMakeFiles/find_rel_test.dir/find_rel_test.cc.o.d"
+  "find_rel_test"
+  "find_rel_test.pdb"
+  "find_rel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_rel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_travel_test.dir/integration_travel_test.cc.o"
+  "CMakeFiles/integration_travel_test.dir/integration_travel_test.cc.o.d"
+  "integration_travel_test"
+  "integration_travel_test.pdb"
+  "integration_travel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_travel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/latency_model_test.cc" "tests/CMakeFiles/latency_model_test.dir/latency_model_test.cc.o" "gcc" "tests/CMakeFiles/latency_model_test.dir/latency_model_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mediator/CMakeFiles/limcap_mediator.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/limcap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/limcap_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/limcap_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/capability/CMakeFiles/limcap_capability.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/limcap_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/limcap_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/limcap_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/paperdata/CMakeFiles/limcap_paperdata.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_template_test.dir/multi_template_test.cc.o"
+  "CMakeFiles/multi_template_test.dir/multi_template_test.cc.o.d"
+  "multi_template_test"
+  "multi_template_test.pdb"
+  "multi_template_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_template_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

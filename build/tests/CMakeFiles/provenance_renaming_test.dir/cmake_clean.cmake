@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provenance_renaming_test.dir/provenance_renaming_test.cc.o"
+  "CMakeFiles/provenance_renaming_test.dir/provenance_renaming_test.cc.o.d"
+  "provenance_renaming_test"
+  "provenance_renaming_test.pdb"
+  "provenance_renaming_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provenance_renaming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
