@@ -29,32 +29,48 @@ const char* kTransitiveClosure =
     "tc(X, Y) :- e(X, Y).\n"
     "tc(X, Z) :- tc(X, Y), e(Y, Z).\n";
 
-void RunTransitiveClosure(benchmark::State& state, Evaluator::Mode mode) {
+void RunTransitiveClosure(benchmark::State& state,
+                          const Evaluator::Options& options) {
   const int n = static_cast<int>(state.range(0));
   auto program = limcap::datalog::ParseProgram(kTransitiveClosure);
+  limcap::datalog::EvalStats last_stats;
   for (auto _ : state) {
     state.PauseTiming();
     FactStore store;
     for (int i = 0; i < n - 1; ++i) {
       store.Insert("e", {Value::Int64(i), Value::Int64(i + 1)}).ok();
     }
-    auto evaluator = Evaluator::Create(*program, &store, mode);
+    auto evaluator = Evaluator::Create(*program, &store, options);
     state.ResumeTiming();
     if (!(*evaluator)->Run().ok()) state.SkipWithError("run failed");
     benchmark::DoNotOptimize(store.Count("tc"));
+    state.PauseTiming();
+    last_stats = (*evaluator)->stats();
+    state.ResumeTiming();
   }
   state.counters["derived"] = static_cast<double>(n * (n - 1) / 2);
+  state.counters["probes"] = static_cast<double>(last_stats.probes);
+  state.counters["activations"] =
+      static_cast<double>(last_stats.rule_activations);
+  state.counters["rounds"] = static_cast<double>(last_stats.iterations);
+  state.counters["eval_threads"] =
+      static_cast<double>(last_stats.threads_used);
 }
 
 void BM_TransitiveClosureNaive(benchmark::State& state) {
-  RunTransitiveClosure(state, Evaluator::Mode::kNaive);
+  RunTransitiveClosure(state, {Evaluator::Mode::kNaive, 0});
 }
 void BM_TransitiveClosureSemiNaive(benchmark::State& state) {
-  RunTransitiveClosure(state, Evaluator::Mode::kSemiNaive);
+  RunTransitiveClosure(state, {Evaluator::Mode::kSemiNaive, 0});
+}
+void BM_TransitiveClosureParallel(benchmark::State& state) {
+  RunTransitiveClosure(state, {Evaluator::Mode::kParallelSemiNaive, 4});
 }
 BENCHMARK(BM_TransitiveClosureNaive)->Arg(32)->Arg(64)->Arg(128)->Unit(
     benchmark::kMillisecond);
 BENCHMARK(BM_TransitiveClosureSemiNaive)->Arg(32)->Arg(64)->Arg(128)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_TransitiveClosureParallel)->Arg(32)->Arg(64)->Arg(128)->Unit(
     benchmark::kMillisecond);
 
 /// Evaluates a generated Π(Q, V) with the EDB fully materialized (the

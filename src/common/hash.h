@@ -34,6 +34,27 @@ struct VectorHash {
   }
 };
 
+/// Finalizes a hash with the splitmix64 mixer. HashCombine alone maps
+/// sequential inputs (dense dictionary ids) to near-sequential outputs,
+/// which degenerates open-addressing tables into long probe runs; the
+/// multiply-xorshift cascade restores uniformity.
+inline std::uint64_t Mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Hashes `count` elements starting at `data` — the flat-arena row variant
+/// of HashRange with a Mix64 finalizer, used by the open-addressing row
+/// sets and column indexes.
+template <typename T>
+std::size_t HashSpan(const T* data, std::size_t count) {
+  return static_cast<std::size_t>(Mix64(HashRange(data, data + count)));
+}
+
 }  // namespace limcap
 
 #endif  // LIMCAP_COMMON_HASH_H_

@@ -1,0 +1,65 @@
+#ifndef LIMCAP_COMMON_INTERNER_H_
+#define LIMCAP_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace limcap {
+
+/// Transparent hash/equality so interner lookups take string_views without
+/// materializing a std::string per probe.
+struct StringViewHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+/// Interns strings to dense ids of type `Id`, assigned sequentially from 0
+/// and stable for the interner's lifetime. The Datalog engine uses this to
+/// replace string predicate keys with vector indexes on every hot path
+/// (fact storage, index probes, semi-naive watermarks, dependency edges).
+template <typename Id = uint32_t>
+class Interner {
+ public:
+  Interner() = default;
+
+  Interner(const Interner&) = delete;
+  Interner& operator=(const Interner&) = delete;
+  Interner(Interner&&) = default;
+  Interner& operator=(Interner&&) = default;
+
+  /// Returns the id for `name`, interning it if unseen.
+  Id Intern(std::string_view name) {
+    auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+    Id id = static_cast<Id>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Returns the id of `name` if already interned, or false.
+  bool Lookup(std::string_view name, Id* id) const {
+    auto it = ids_.find(name);
+    if (it == ids_.end()) return false;
+    *id = it->second;
+    return true;
+  }
+
+  /// The string for an id assigned by this interner.
+  const std::string& Name(Id id) const { return names_[id]; }
+
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, Id, StringViewHash, std::equal_to<>> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace limcap
+
+#endif  // LIMCAP_COMMON_INTERNER_H_

@@ -1,0 +1,55 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace limcap {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  num_threads = std::max<std::size_t>(1, num_threads);
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPool::RunOnAll(const std::function<void(std::size_t)>& fn) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  task_ = &fn;
+  running_ = threads_.size();
+  ++generation_;
+  work_ready_.notify_all();
+  work_done_.wait(lock, [this] { return running_ == 0; });
+  task_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(std::size_t index) {
+  uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(std::size_t)>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return stop_ || (task_ != nullptr && generation_ != seen_generation);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      task = task_;
+    }
+    (*task)(index);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--running_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace limcap

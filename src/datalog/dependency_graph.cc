@@ -1,110 +1,159 @@
 #include "datalog/dependency_graph.h"
 
 #include <algorithm>
-#include <functional>
 
 namespace limcap::datalog {
 
 DependencyGraph::DependencyGraph(const Program& program) {
   for (const Rule& rule : program.rules()) {
-    nodes_.insert(rule.head.predicate);
-    auto& deps = edges_[rule.head.predicate];
+    PredicateId head = table_.Intern(rule.head.predicate);
+    if (edges_.size() < table_.size()) edges_.resize(table_.size());
     for (const Atom& atom : rule.body) {
-      nodes_.insert(atom.predicate);
-      deps.insert(atom.predicate);
+      PredicateId body = table_.Intern(atom.predicate);
+      if (edges_.size() < table_.size()) edges_.resize(table_.size());
+      edges_[head].push_back(body);
+    }
+  }
+  for (std::vector<PredicateId>& deps : edges_) {
+    std::sort(deps.begin(), deps.end());
+    deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+  }
+
+  // Tarjan's algorithm, iterative over an explicit frame stack so deep
+  // dependency chains cannot overflow the call stack.
+  const std::size_t n = table_.size();
+  constexpr int kUnvisited = -1;
+  std::vector<int> index(n, kUnvisited);
+  std::vector<int> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<PredicateId> stack;
+  int next_index = 0;
+
+  struct Frame {
+    PredicateId node;
+    std::size_t next_edge;
+  };
+  std::vector<Frame> frames;
+  for (PredicateId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    frames.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const PredicateId v = frame.node;
+      if (frame.next_edge < edges_[v].size()) {
+        const PredicateId w = edges_[v][frame.next_edge++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+        continue;
+      }
+      if (lowlink[v] == index[v]) {
+        std::vector<PredicateId> component;
+        while (true) {
+          PredicateId w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          component.push_back(w);
+          if (w == v) break;
+        }
+        components_.push_back(std::move(component));
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().node] =
+            std::min(lowlink[frames.back().node], lowlink[v]);
+      }
+    }
+  }
+
+  recursive_.assign(n, false);
+  for (const std::vector<PredicateId>& component : components_) {
+    if (component.size() > 1) {
+      for (PredicateId node : component) recursive_[node] = true;
+    }
+  }
+  for (PredicateId node = 0; node < n; ++node) {
+    // Self-loop?
+    if (std::binary_search(edges_[node].begin(), edges_[node].end(), node)) {
+      recursive_[node] = true;
     }
   }
 }
 
-const std::set<std::string>& DependencyGraph::DependsOn(
-    const std::string& from) const {
-  static const std::set<std::string>* empty = new std::set<std::string>();
-  auto it = edges_.find(from);
-  return it == edges_.end() ? *empty : it->second;
+PredicateId DependencyGraph::Find(std::string_view predicate) const {
+  PredicateId id;
+  return table_.Lookup(predicate, &id) ? id : kNoPredicate;
 }
 
-std::set<std::string> DependencyGraph::ReachableFrom(
-    const std::string& start) const {
-  std::set<std::string> visited;
-  if (nodes_.count(start) == 0) return visited;
-  std::vector<std::string> stack = {start};
-  visited.insert(start);
+std::set<std::string> DependencyGraph::DependsOn(
+    const std::string& from) const {
+  std::set<std::string> out;
+  PredicateId id = Find(from);
+  if (id == kNoPredicate) return out;
+  for (PredicateId dep : edges_[id]) out.insert(table_.Name(dep));
+  return out;
+}
+
+std::vector<bool> DependencyGraph::ReachableMask(PredicateId start) const {
+  std::vector<bool> visited(table_.size(), false);
+  std::vector<PredicateId> stack = {start};
+  visited[start] = true;
   while (!stack.empty()) {
-    std::string current = stack.back();
+    PredicateId current = stack.back();
     stack.pop_back();
-    for (const std::string& next : DependsOn(current)) {
-      if (visited.insert(next).second) stack.push_back(next);
+    for (PredicateId next : edges_[current]) {
+      if (!visited[next]) {
+        visited[next] = true;
+        stack.push_back(next);
+      }
     }
   }
   return visited;
 }
 
+std::set<std::string> DependencyGraph::ReachableFrom(
+    const std::string& start) const {
+  std::set<std::string> out;
+  PredicateId id = Find(start);
+  if (id == kNoPredicate) return out;
+  std::vector<bool> mask = ReachableMask(id);
+  for (PredicateId node = 0; node < mask.size(); ++node) {
+    if (mask[node]) out.insert(table_.Name(node));
+  }
+  return out;
+}
+
 std::vector<std::vector<std::string>>
 DependencyGraph::StronglyConnectedComponents() const {
-  // Tarjan's algorithm, iterative on the node list with a recursive lambda
-  // (programs here are small; recursion depth equals the longest
-  // dependency chain).
-  std::vector<std::vector<std::string>> components;
-  std::map<std::string, int> index;
-  std::map<std::string, int> lowlink;
-  std::map<std::string, bool> on_stack;
-  std::vector<std::string> stack;
-  int next_index = 0;
-
-  std::function<void(const std::string&)> strongconnect =
-      [&](const std::string& v) {
-        index[v] = next_index;
-        lowlink[v] = next_index;
-        ++next_index;
-        stack.push_back(v);
-        on_stack[v] = true;
-        for (const std::string& w : DependsOn(v)) {
-          if (index.find(w) == index.end()) {
-            strongconnect(w);
-            lowlink[v] = std::min(lowlink[v], lowlink[w]);
-          } else if (on_stack[w]) {
-            lowlink[v] = std::min(lowlink[v], index[w]);
-          }
-        }
-        if (lowlink[v] == index[v]) {
-          std::vector<std::string> component;
-          while (true) {
-            std::string w = stack.back();
-            stack.pop_back();
-            on_stack[w] = false;
-            component.push_back(w);
-            if (w == v) break;
-          }
-          std::sort(component.begin(), component.end());
-          components.push_back(std::move(component));
-        }
-      };
-
-  for (const std::string& node : nodes_) {
-    if (index.find(node) == index.end()) strongconnect(node);
+  std::vector<std::vector<std::string>> out;
+  out.reserve(components_.size());
+  for (const std::vector<PredicateId>& component : components_) {
+    std::vector<std::string> names;
+    names.reserve(component.size());
+    for (PredicateId node : component) names.push_back(table_.Name(node));
+    std::sort(names.begin(), names.end());
+    out.push_back(std::move(names));
   }
-  return components;
+  return out;
 }
 
 bool DependencyGraph::IsRecursive() const {
-  for (const std::string& node : nodes_) {
-    if (IsRecursivePredicate(node)) return true;
-  }
-  return false;
+  return std::find(recursive_.begin(), recursive_.end(), true) !=
+         recursive_.end();
 }
 
-bool DependencyGraph::IsRecursivePredicate(const std::string& predicate) const {
-  // Self-loop?
-  if (DependsOn(predicate).count(predicate) > 0) return true;
-  // In a nontrivial SCC?
-  for (const auto& component : StronglyConnectedComponents()) {
-    if (component.size() > 1 &&
-        std::find(component.begin(), component.end(), predicate) !=
-            component.end()) {
-      return true;
-    }
-  }
-  return false;
+bool DependencyGraph::IsRecursivePredicate(
+    const std::string& predicate) const {
+  PredicateId id = Find(predicate);
+  return id != kNoPredicate && recursive_[id];
 }
 
 }  // namespace limcap::datalog

@@ -1,12 +1,14 @@
 #ifndef LIMCAP_DATALOG_DEPENDENCY_GRAPH_H_
 #define LIMCAP_DATALOG_DEPENDENCY_GRAPH_H_
 
-#include <map>
 #include <set>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "datalog/ast.h"
+#include "datalog/fact_store.h"
 
 namespace limcap::datalog {
 
@@ -15,19 +17,40 @@ namespace limcap::datalog {
 /// paper's programs are recursive even though queries are not) and for the
 /// dead-rule elimination of Section 6, which removes rules whose heads are
 /// unreachable from the goal predicate.
+///
+/// Predicates are interned to dense ids at construction; adjacency is
+/// id-indexed vectors and strongly connected components are computed once,
+/// so reachability and recursion queries are array walks rather than
+/// string-map traversals. The string overloads remain for tests and
+/// diagnostics.
 class DependencyGraph {
  public:
   explicit DependencyGraph(const Program& program);
 
-  /// Predicates `from` depends on directly (its rules' body predicates).
-  const std::set<std::string>& DependsOn(const std::string& from) const;
+  /// The graph's predicate interner (ids are local to this graph).
+  const PredicateTable& predicates() const { return table_; }
+
+  /// The id of `predicate`, or kNoPredicate when absent.
+  PredicateId Find(std::string_view predicate) const;
+
+  /// Predicates `from` depends on directly (its rules' body predicates),
+  /// deduplicated, in id order.
+  std::span<const PredicateId> DependsOn(PredicateId from) const {
+    return edges_[from];
+  }
+  std::set<std::string> DependsOn(const std::string& from) const;
+
+  /// Bitmask over predicate ids of everything reachable from `start` by
+  /// following dependency edges, including `start` itself.
+  std::vector<bool> ReachableMask(PredicateId start) const;
 
   /// All predicates reachable from `start` by following dependency edges,
   /// including `start` itself if present in the program.
   std::set<std::string> ReachableFrom(const std::string& start) const;
 
   /// Strongly connected components in reverse topological order
-  /// (dependencies before dependents), computed with Tarjan's algorithm.
+  /// (dependencies before dependents), computed with Tarjan's algorithm
+  /// at construction; names within a component are sorted.
   std::vector<std::vector<std::string>> StronglyConnectedComponents() const;
 
   /// True when some predicate transitively depends on itself.
@@ -35,10 +58,15 @@ class DependencyGraph {
 
   /// True when `predicate` is in a nontrivial SCC or has a self-loop.
   bool IsRecursivePredicate(const std::string& predicate) const;
+  bool IsRecursivePredicate(PredicateId predicate) const {
+    return recursive_[predicate];
+  }
 
  private:
-  std::map<std::string, std::set<std::string>> edges_;
-  std::set<std::string> nodes_;
+  PredicateTable table_;
+  std::vector<std::vector<PredicateId>> edges_;
+  std::vector<std::vector<PredicateId>> components_;
+  std::vector<bool> recursive_;
 };
 
 }  // namespace limcap::datalog

@@ -1,32 +1,85 @@
 #include "datalog/evaluator.h"
 
 #include <algorithm>
-#include <functional>
+#include <atomic>
+#include <thread>
 #include <unordered_map>
 
+#include "common/hash.h"
 #include "datalog/safety.h"
 
 namespace limcap::datalog {
 
+namespace {
+
+constexpr uint32_t kEmptySlot = 0xFFFFFFFFu;
+
+}  // namespace
+
+void Evaluator::DerivedBuffer::Reset(std::size_t row_arity) {
+  arity = row_arity;
+  num_rows = 0;
+  arena.clear();
+  slots.assign(std::max<std::size_t>(16, slots.size()), kEmptySlot);
+}
+
+bool Evaluator::DerivedBuffer::Add(RowView row) {
+  const std::size_t mask = slots.size() - 1;
+  std::size_t slot = HashSpan(row.data(), row.size()) & mask;
+  while (true) {
+    const uint32_t occupant = slots[slot];
+    if (occupant == kEmptySlot) break;
+    RowView stored = RowAt(occupant);
+    if (std::equal(row.begin(), row.end(), stored.begin())) return false;
+    slot = (slot + 1) & mask;
+  }
+  slots[slot] = static_cast<uint32_t>(num_rows);
+  arena.insert(arena.end(), row.begin(), row.end());
+  ++num_rows;
+  if (10 * (num_rows + 1) > 7 * slots.size()) {
+    // Rehash at double capacity.
+    std::vector<uint32_t> grown(slots.size() * 2, kEmptySlot);
+    const std::size_t grown_mask = grown.size() - 1;
+    for (std::size_t i = 0; i < num_rows; ++i) {
+      RowView r = RowAt(i);
+      std::size_t s = HashSpan(r.data(), r.size()) & grown_mask;
+      while (grown[s] != kEmptySlot) s = (s + 1) & grown_mask;
+      grown[s] = static_cast<uint32_t>(i);
+    }
+    slots = std::move(grown);
+  }
+  return true;
+}
+
 Result<std::unique_ptr<Evaluator>> Evaluator::Create(const Program& program,
                                                      FactStore* store,
                                                      Mode mode) {
+  Options options;
+  options.mode = mode;
+  return Create(program, store, options);
+}
+
+Result<std::unique_ptr<Evaluator>> Evaluator::Create(const Program& program,
+                                                     FactStore* store,
+                                                     const Options& options) {
   LIMCAP_RETURN_NOT_OK(CheckSafety(program));
   // Pre-declare every predicate's arity so facts arriving from outside
   // (source results) are arity-checked against the program instead of
-  // silently defining a conflicting shape.
+  // silently defining a conflicting shape. This also interns every
+  // predicate to its dense id.
   LIMCAP_ASSIGN_OR_RETURN(auto arities, program.PredicateArities());
   for (const auto& [predicate, arity] : arities) {
-    LIMCAP_RETURN_NOT_OK(store->Declare(predicate, arity));
+    LIMCAP_RETURN_NOT_OK(store->DeclareId(predicate, arity).status());
   }
-  auto evaluator = std::unique_ptr<Evaluator>(new Evaluator(store, mode));
+  auto evaluator =
+      std::unique_ptr<Evaluator>(new Evaluator(store, options));
 
   for (const Rule& rule : program.rules()) {
     // Variable name -> dense index within the rule.
     std::unordered_map<std::string, uint32_t> var_ids;
     auto compile_atom = [&](const Atom& atom) {
       CompiledAtom compiled;
-      compiled.predicate = atom.predicate;
+      compiled.pred = store->FindPredicate(atom.predicate);
       for (const Term& term : atom.terms) {
         CompiledTerm ct;
         if (term.is_variable()) {
@@ -52,8 +105,8 @@ Result<std::unique_ptr<Evaluator>> Evaluator::Create(const Program& program,
       for (const Term& term : rule.head.terms) {
         row.push_back(store->dict().Intern(term.constant()));
       }
-      evaluator->ground_facts_.emplace_back(rule.head.predicate,
-                                            std::move(row));
+      evaluator->ground_facts_.emplace_back(
+          store->FindPredicate(rule.head.predicate), std::move(row));
       continue;
     }
 
@@ -64,11 +117,60 @@ Result<std::unique_ptr<Evaluator>> Evaluator::Create(const Program& program,
     }
     compiled.head = compile_atom(rule.head);
     compiled.num_vars = static_cast<uint32_t>(var_ids.size());
-    for (std::size_t d = 0; d < compiled.body.size(); ++d) {
-      compiled.orders.push_back(GreedyOrder(compiled, d));
+    for (std::size_t d = 0; d <= compiled.body.size(); ++d) {
+      compiled.plans.push_back(
+          BuildPlan(compiled, GreedyOrder(compiled, d)));
     }
-    compiled.orders.push_back(GreedyOrder(compiled, compiled.body.size()));
     evaluator->rules_.push_back(std::move(compiled));
+  }
+
+  // The set of body predicates drives snapshots and delta watermarks.
+  for (const CompiledRule& rule : evaluator->rules_) {
+    for (const CompiledAtom& atom : rule.body) {
+      evaluator->body_preds_.push_back(atom.pred);
+    }
+  }
+  std::sort(evaluator->body_preds_.begin(), evaluator->body_preds_.end());
+  evaluator->body_preds_.erase(
+      std::unique(evaluator->body_preds_.begin(),
+                  evaluator->body_preds_.end()),
+      evaluator->body_preds_.end());
+
+  // Pre-build every index the plans probe: after this, match-time probes
+  // are read-only, which is what makes the parallel workers safe.
+  std::size_t max_vars = 0, max_keys = 0, max_head = 0;
+  for (const CompiledRule& rule : evaluator->rules_) {
+    max_vars = std::max<std::size_t>(max_vars, rule.num_vars);
+    max_head = std::max<std::size_t>(max_head, rule.head.terms.size());
+    for (const MatchPlan& plan : rule.plans) {
+      max_keys = std::max<std::size_t>(max_keys, plan.key_scratch_size);
+      for (const MatchStep& step : plan.steps) {
+        if (!step.probe_cols.empty()) {
+          store->EnsureIndex(step.pred, step.probe_cols);
+        }
+      }
+    }
+  }
+
+  auto size_scratch = [&](MatchScratch& scratch) {
+    scratch.binding.assign(max_vars, 0);
+    scratch.keys.assign(max_keys, 0);
+    scratch.head_row.assign(max_head, 0);
+    evaluator->stats_.scratch_bytes +=
+        (max_vars + max_keys + max_head) * sizeof(ValueId);
+  };
+  size_scratch(evaluator->scratch_);
+  if (options.mode == Mode::kParallelSemiNaive) {
+    std::size_t threads = options.num_threads != 0
+                              ? options.num_threads
+                              : std::thread::hardware_concurrency();
+    threads = std::max<std::size_t>(1, threads);
+    evaluator->pool_ = std::make_unique<ThreadPool>(threads);
+    evaluator->worker_scratch_.resize(threads);
+    for (MatchScratch& scratch : evaluator->worker_scratch_) {
+      size_scratch(scratch);
+    }
+    evaluator->stats_.threads_used = threads;
   }
   return evaluator;
 }
@@ -112,10 +214,54 @@ std::vector<std::size_t> Evaluator::GreedyOrder(const CompiledRule& rule,
   return order;
 }
 
+Evaluator::MatchPlan Evaluator::BuildPlan(
+    const CompiledRule& rule, const std::vector<std::size_t>& order) {
+  MatchPlan plan;
+  std::vector<bool> bound(rule.num_vars, false);
+  uint32_t key_offset = 0;
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const CompiledAtom& atom = rule.body[order[k]];
+    MatchStep step;
+    step.pred = atom.pred;
+    step.key_offset = key_offset;
+    // Variables bound by earlier steps may serve as probe-key parts; a
+    // variable first bound by this very atom may not (its value comes
+    // from the row being examined), so repeats within the atom become
+    // equality checks instead.
+    const std::vector<bool> bound_before = bound;
+    for (std::size_t pos = 0; pos < atom.terms.size(); ++pos) {
+      const CompiledTerm& term = atom.terms[pos];
+      const uint32_t pos32 = static_cast<uint32_t>(pos);
+      if (!term.is_var) {
+        if (k == 0) {
+          step.checks.push_back({pos32, true, term.constant, 0});
+        } else {
+          step.probe_cols.push_back(pos32);
+          step.key_parts.push_back({true, term.constant, 0});
+        }
+      } else if (!bound[term.var]) {
+        bound[term.var] = true;
+        step.binds.push_back({pos32, term.var});
+      } else if (k > 0 && bound_before[term.var]) {
+        step.probe_cols.push_back(pos32);
+        step.key_parts.push_back({false, 0, term.var});
+      } else {
+        // Step 0 scans; and repeated variables within one atom check
+        // against the binding their first occurrence just wrote.
+        step.checks.push_back({pos32, false, 0, term.var});
+      }
+    }
+    key_offset += static_cast<uint32_t>(step.key_parts.size());
+    plan.steps.push_back(std::move(step));
+  }
+  plan.key_scratch_size = key_offset;
+  return plan;
+}
+
 void Evaluator::SeedFacts() {
   if (facts_seeded_) return;
-  for (const auto& [predicate, row] : ground_facts_) {
-    auto inserted = store_->InsertIds(predicate, row);
+  for (const auto& [pred, row] : ground_facts_) {
+    auto inserted = store_->InsertIds(pred, RowView(row));
     if (inserted.ok() && inserted.value()) ++stats_.facts_derived;
   }
   facts_seeded_ = true;
@@ -123,24 +269,157 @@ void Evaluator::SeedFacts() {
 
 Status Evaluator::Run() {
   SeedFacts();
-  return mode_ == Mode::kNaive ? RunNaive() : RunSemiNaive();
+  switch (options_.mode) {
+    case Mode::kNaive:
+      return RunNaive();
+    case Mode::kSemiNaive:
+      return RunSemiNaive();
+    case Mode::kParallelSemiNaive:
+      return RunParallelSemiNaive();
+  }
+  return Status::InvalidArgument("unknown evaluation mode");
+}
+
+void Evaluator::RefreshSnapshot() {
+  snapshot_.assign(store_->NumPredicates(), 0);
+  if (processed_.size() < snapshot_.size()) {
+    processed_.resize(snapshot_.size(), 0);
+  }
+  for (PredicateId pred : body_preds_) {
+    snapshot_[pred] = store_->Count(pred);
+  }
+}
+
+template <typename Sink>
+void Evaluator::MatchStepRec(const CompiledRule& rule, const MatchPlan& plan,
+                             std::size_t k, std::size_t scan_lo,
+                             std::size_t scan_hi, MatchScratch& scratch,
+                             Sink& sink) const {
+  if (k == plan.steps.size()) {
+    ++scratch.matches;
+    for (std::size_t i = 0; i < rule.head.terms.size(); ++i) {
+      const CompiledTerm& term = rule.head.terms[i];
+      scratch.head_row[i] =
+          term.is_var ? scratch.binding[term.var] : term.constant;
+    }
+    sink(RowView(scratch.head_row.data(), rule.head.terms.size()));
+    return;
+  }
+
+  const MatchStep& step = plan.steps[k];
+
+  // Applies one row: writes first-occurrence bindings, then verifies
+  // equality checks. Binds-before-checks is correct even for repeated
+  // variables within the atom (the check reads the binding the bind just
+  // wrote). Nothing to undo: bind sets are static per step, so stale
+  // bindings are never read.
+  auto apply_row = [&](RowView row) {
+    for (const MatchStep::Bind& bind : step.binds) {
+      scratch.binding[bind.var] = row[bind.pos];
+    }
+    for (const MatchStep::Check& check : step.checks) {
+      const ValueId expect =
+          check.is_const ? check.constant : scratch.binding[check.var];
+      if (row[check.pos] != expect) return;
+    }
+    MatchStepRec(rule, plan, k + 1, scan_lo, scan_hi, scratch, sink);
+  };
+
+  if (k == 0) {
+    // First atom: contiguous scan — the delta range for delta plans, the
+    // full snapshot extent for the naive plan.
+    const FactSpan facts = store_->Facts(step.pred);
+    for (std::size_t pos = scan_lo; pos < scan_hi; ++pos) {
+      ++scratch.scan_rows;
+      apply_row(facts[pos]);
+    }
+    return;
+  }
+
+  const std::size_t limit = snapshot_[step.pred];
+  if (step.probe_cols.empty()) {
+    const FactSpan facts = store_->Facts(step.pred);
+    const std::size_t bound = std::min(limit, facts.size());
+    for (std::size_t pos = 0; pos < bound; ++pos) {
+      ++scratch.scan_rows;
+      apply_row(facts[pos]);
+    }
+    return;
+  }
+
+  // Assemble the probe key in this step's fixed scratch slot.
+  ValueId* key = scratch.keys.data() + step.key_offset;
+  for (std::size_t i = 0; i < step.key_parts.size(); ++i) {
+    const MatchStep::KeyPart& part = step.key_parts[i];
+    key[i] = part.is_const ? part.constant : scratch.binding[part.var];
+  }
+  ++scratch.probes;
+  const FactSpan facts = store_->Facts(step.pred);
+  store_->ProbeEach(step.pred, step.probe_cols,
+                    RowView(key, step.key_parts.size()), limit,
+                    [&](std::size_t pos) {
+                      ++scratch.probe_rows;
+                      apply_row(facts[pos]);
+                      return true;
+                    });
+}
+
+void Evaluator::MatchActivation(const Activation& activation,
+                                MatchScratch& scratch,
+                                DerivedBuffer& buffer) const {
+  const CompiledRule& rule = rules_[activation.rule];
+  const MatchPlan& plan = rule.plans[activation.plan];
+  buffer.Reset(rule.head.terms.size());
+  auto sink = [&](RowView head_row) {
+    // Dedup against the frozen store first (cheap membership probe), then
+    // within the buffer; both are read paths plus thread-local writes.
+    if (store_->Contains(rule.head.pred, head_row)) return;
+    buffer.Add(head_row);
+  };
+  MatchStepRec(rule, plan, 0, activation.delta_lo, activation.delta_hi,
+               scratch, sink);
+}
+
+Status Evaluator::MergeBuffer(const CompiledRule& rule,
+                              const DerivedBuffer& buffer,
+                              bool* derived_new) {
+  for (std::size_t i = 0; i < buffer.num_rows; ++i) {
+    LIMCAP_ASSIGN_OR_RETURN(
+        bool inserted, store_->InsertIds(rule.head.pred, buffer.RowAt(i)));
+    if (inserted) {
+      ++stats_.facts_derived;
+      *derived_new = true;
+    }
+  }
+  return Status::OK();
+}
+
+void Evaluator::AbsorbScratchStats(MatchScratch& scratch) {
+  stats_.matches += scratch.matches;
+  stats_.probes += scratch.probes;
+  stats_.probe_rows += scratch.probe_rows;
+  stats_.scan_rows += scratch.scan_rows;
+  scratch.matches = scratch.probes = scratch.probe_rows = scratch.scan_rows =
+      0;
 }
 
 Status Evaluator::RunNaive() {
   while (true) {
     ++stats_.iterations;
-    std::map<std::string, std::size_t> snapshot;
-    for (const CompiledRule& rule : rules_) {
-      for (const CompiledAtom& atom : rule.body) {
-        snapshot[atom.predicate] = store_->Count(atom.predicate);
-      }
-    }
+    RefreshSnapshot();
+    stats_.round_activations.push_back(0);
     bool derived_new = false;
-    for (const CompiledRule& rule : rules_) {
+    for (uint32_t r = 0; r < rules_.size(); ++r) {
       ++stats_.rule_activations;
-      LIMCAP_RETURN_NOT_OK(MatchRule(rule, rule.orders.back(),
-                                     /*use_delta=*/false, 0, 0, snapshot,
-                                     &derived_new));
+      ++stats_.round_activations.back();
+      const Activation activation{
+          r, static_cast<uint32_t>(rules_[r].body.size()), 0,
+          rules_[r].body.empty()
+              ? 0
+              : snapshot_[rules_[r].plans.back().steps[0].pred]};
+      MatchActivation(activation, scratch_, buffer_);
+      AbsorbScratchStats(scratch_);
+      LIMCAP_RETURN_NOT_OK(MergeBuffer(rules_[r], buffer_, &derived_new));
     }
     if (!derived_new) return Status::OK();
   }
@@ -148,152 +427,92 @@ Status Evaluator::RunNaive() {
 
 Status Evaluator::RunSemiNaive() {
   while (true) {
-    // Snapshot the extent of every body predicate; rows at positions
-    // [processed, snapshot) are this round's delta.
-    std::map<std::string, std::size_t> snapshot;
-    for (const CompiledRule& rule : rules_) {
-      for (const CompiledAtom& atom : rule.body) {
-        snapshot[atom.predicate] = store_->Count(atom.predicate);
-      }
-    }
+    RefreshSnapshot();
     bool has_delta = false;
-    for (const auto& [predicate, size] : snapshot) {
-      if (processed_[predicate] < size) {
+    for (PredicateId pred : body_preds_) {
+      if (processed_[pred] < snapshot_[pred]) {
         has_delta = true;
         break;
       }
     }
     if (!has_delta) return Status::OK();
     ++stats_.iterations;
+    stats_.round_activations.push_back(0);
 
     bool derived_new = false;
-    for (const CompiledRule& rule : rules_) {
-      for (std::size_t d = 0; d < rule.body.size(); ++d) {
-        const std::string& predicate = rule.body[d].predicate;
-        std::size_t lo = processed_[predicate];
-        std::size_t hi = snapshot[predicate];
+    for (uint32_t r = 0; r < rules_.size(); ++r) {
+      const CompiledRule& rule = rules_[r];
+      for (uint32_t d = 0; d < rule.body.size(); ++d) {
+        const PredicateId pred = rule.body[d].pred;
+        const std::size_t lo = processed_[pred];
+        const std::size_t hi = snapshot_[pred];
         if (lo >= hi) continue;
         ++stats_.rule_activations;
-        LIMCAP_RETURN_NOT_OK(MatchRule(rule, rule.orders[d],
-                                       /*use_delta=*/true, lo, hi, snapshot,
-                                       &derived_new));
+        ++stats_.round_activations.back();
+        MatchActivation(Activation{r, d, lo, hi}, scratch_, buffer_);
+        AbsorbScratchStats(scratch_);
+        LIMCAP_RETURN_NOT_OK(MergeBuffer(rule, buffer_, &derived_new));
       }
     }
-    for (const auto& [predicate, size] : snapshot) {
-      processed_[predicate] = std::max(processed_[predicate], size);
+    for (PredicateId pred : body_preds_) {
+      processed_[pred] = std::max(processed_[pred], snapshot_[pred]);
     }
   }
 }
 
-Status Evaluator::MatchRule(const CompiledRule& rule,
-                            const std::vector<std::size_t>& order,
-                            bool use_delta, std::size_t delta_lo,
-                            std::size_t delta_hi,
-                            const std::map<std::string, std::size_t>& snapshot,
-                            bool* derived_new) {
-  std::vector<ValueId> binding(rule.num_vars, 0);
-  std::vector<bool> bound(rule.num_vars, false);
-  Status status = Status::OK();
-
-  // Unifies `row` with `atom` under the current binding; on success,
-  // records newly bound variables in `newly_bound` and returns true.
-  auto try_unify = [&](const CompiledAtom& atom, const IdRow& row,
-                       std::vector<uint32_t>* newly_bound) {
-    for (std::size_t i = 0; i < atom.terms.size(); ++i) {
-      const CompiledTerm& term = atom.terms[i];
-      if (!term.is_var) {
-        if (row[i] != term.constant) return false;
-      } else if (bound[term.var]) {
-        if (row[i] != binding[term.var]) return false;
-      } else {
-        bound[term.var] = true;
-        binding[term.var] = row[i];
-        newly_bound->push_back(term.var);
+Status Evaluator::RunParallelSemiNaive() {
+  std::vector<Activation> activations;
+  while (true) {
+    RefreshSnapshot();
+    activations.clear();
+    for (uint32_t r = 0; r < rules_.size(); ++r) {
+      const CompiledRule& rule = rules_[r];
+      for (uint32_t d = 0; d < rule.body.size(); ++d) {
+        const PredicateId pred = rule.body[d].pred;
+        const std::size_t lo = processed_[pred];
+        const std::size_t hi = snapshot_[pred];
+        if (lo < hi) activations.push_back(Activation{r, d, lo, hi});
       }
     }
-    return true;
-  };
-  auto undo = [&](const std::vector<uint32_t>& newly_bound) {
-    for (uint32_t var : newly_bound) bound[var] = false;
-  };
+    if (activations.empty()) return Status::OK();
+    ++stats_.iterations;
+    stats_.rule_activations += activations.size();
+    stats_.round_activations.push_back(activations.size());
 
-  std::function<void(std::size_t)> recurse = [&](std::size_t k) {
-    if (!status.ok()) return;
-    if (k == order.size()) {
-      ++stats_.matches;
-      IdRow head_row;
-      head_row.reserve(rule.head.terms.size());
-      for (const CompiledTerm& term : rule.head.terms) {
-        head_row.push_back(term.is_var ? binding[term.var] : term.constant);
+    if (activations.size() > activation_buffers_.size()) {
+      activation_buffers_.resize(activations.size());
+    }
+    // Workers pull activations off a shared counter and match against the
+    // frozen store into per-activation buffers. No store mutation happens
+    // until every worker is done.
+    std::atomic<std::size_t> next{0};
+    pool_->RunOnAll([&](std::size_t worker) {
+      MatchScratch& scratch = worker_scratch_[worker];
+      while (true) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= activations.size()) break;
+        MatchActivation(activations[i], scratch,
+                        activation_buffers_[i]);
       }
-      auto inserted = store_->InsertIds(rule.head.predicate,
-                                        std::move(head_row));
-      if (!inserted.ok()) {
-        status = inserted.status();
-        return;
-      }
-      if (inserted.value()) {
-        ++stats_.facts_derived;
-        *derived_new = true;
-      }
-      return;
+    });
+    for (MatchScratch& scratch : worker_scratch_) {
+      AbsorbScratchStats(scratch);
     }
 
-    const CompiledAtom& atom = rule.body[order[k]];
-    const bool is_delta_atom = use_delta && k == 0;
-    auto snap_it = snapshot.find(atom.predicate);
-    const std::size_t limit =
-        snap_it == snapshot.end() ? store_->Count(atom.predicate)
-                                  : snap_it->second;
-
-    if (is_delta_atom) {
-      // Delta ranges are contiguous; scan them linearly.
-      const std::vector<IdRow>& facts = store_->Facts(atom.predicate);
-      for (std::size_t i = delta_lo; i < delta_hi && status.ok(); ++i) {
-        std::vector<uint32_t> newly_bound;
-        if (try_unify(atom, facts[i], &newly_bound)) recurse(k + 1);
-        undo(newly_bound);
-      }
-      return;
+    // Round barrier: merge in activation order, which reproduces the
+    // serial insertion order exactly (first occurrence of each new fact
+    // appears at the same position), so parallel and serial runs yield
+    // bit-identical stores.
+    bool derived_new = false;
+    for (std::size_t i = 0; i < activations.size(); ++i) {
+      LIMCAP_RETURN_NOT_OK(MergeBuffer(rules_[activations[i].rule],
+                                       activation_buffers_[i],
+                                       &derived_new));
     }
-
-    // Collect bound argument positions to probe the hash index.
-    std::vector<std::size_t> columns;
-    IdRow key;
-    for (std::size_t i = 0; i < atom.terms.size(); ++i) {
-      const CompiledTerm& term = atom.terms[i];
-      if (!term.is_var) {
-        columns.push_back(i);
-        key.push_back(term.constant);
-      } else if (bound[term.var]) {
-        columns.push_back(i);
-        key.push_back(binding[term.var]);
-      }
+    for (PredicateId pred : body_preds_) {
+      processed_[pred] = std::max(processed_[pred], snapshot_[pred]);
     }
-
-    if (columns.empty()) {
-      const std::vector<IdRow>& facts = store_->Facts(atom.predicate);
-      for (std::size_t i = 0; i < limit && status.ok(); ++i) {
-        std::vector<uint32_t> newly_bound;
-        if (try_unify(atom, facts[i], &newly_bound)) recurse(k + 1);
-        undo(newly_bound);
-      }
-      return;
-    }
-
-    std::vector<std::size_t> positions =
-        store_->Probe(atom.predicate, columns, key, limit);
-    const std::vector<IdRow>& facts = store_->Facts(atom.predicate);
-    for (std::size_t pos : positions) {
-      if (!status.ok()) break;
-      std::vector<uint32_t> newly_bound;
-      if (try_unify(atom, facts[pos], &newly_bound)) recurse(k + 1);
-      undo(newly_bound);
-    }
-  };
-
-  recurse(0);
-  return status;
+  }
 }
 
 }  // namespace limcap::datalog

@@ -2,12 +2,12 @@
 #define LIMCAP_DATALOG_EVALUATOR_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "datalog/ast.h"
 #include "datalog/fact_store.h"
 
@@ -19,9 +19,19 @@ struct EvalStats {
   uint64_t rule_activations = 0; ///< (rule, delta-position) match passes
   uint64_t matches = 0;          ///< complete body substitutions found
   uint64_t facts_derived = 0;    ///< new facts inserted into the store
+  uint64_t probes = 0;           ///< index lookups issued for body atoms
+  uint64_t probe_rows = 0;       ///< rows enumerated from index chains
+  uint64_t scan_rows = 0;        ///< rows enumerated by delta/full scans
+  /// One-time bytes allocated for match scratch (bindings, probe keys,
+  /// head rows) at compile time; the match inner loop itself performs no
+  /// per-substitution heap allocation.
+  uint64_t scratch_bytes = 0;
+  uint64_t threads_used = 1;     ///< worker threads (1 in serial modes)
+  /// Activations per fixpoint round, index = round number.
+  std::vector<uint64_t> round_activations;
 };
 
-/// Bottom-up evaluator for positive (negation-free) Datalog, with two
+/// Bottom-up evaluator for positive (negation-free) Datalog, with three
 /// strategies:
 ///
 /// * kNaive — every iteration re-derives from the full relations; the
@@ -29,28 +39,49 @@ struct EvalStats {
 /// * kSemiNaive — delta-driven: each rule is re-evaluated only against the
 ///   facts that appeared since it was last processed, joining the delta of
 ///   one body atom with the full extent of the others.
+/// * kParallelSemiNaive — semi-naive with each round's (rule, delta-atom)
+///   activations partitioned across a worker pool. Workers match against
+///   the frozen store and emit into per-activation buffers; buffers merge
+///   into the store single-threaded in activation order at the round
+///   barrier, so the derived fact set AND its insertion order are
+///   bit-identical to serial semi-naive.
 ///
-/// Body atoms are matched with sideways information passing: after the
-/// delta atom, remaining atoms are ordered greedily by the number of
-/// already-bound argument positions, and each probe uses the fact store's
-/// hash indexes.
+/// Rules compile to match plans: predicate names intern to dense
+/// PredicateIds, and for each (rule, delta-atom) order the bind/check/
+/// probe structure of every step is fixed at compile time. Matching runs
+/// against the fact store's flat arenas through the allocation-free
+/// ProbeEach cursor; derived facts are buffered per activation and merged
+/// at activation (serial) or round (parallel) boundaries, so the store is
+/// never mutated mid-scan.
 ///
 /// Run() is resumable: callers may insert extensional facts into the store
 /// between calls and re-run; semi-naive watermarks persist across calls,
 /// so only new facts are reprocessed. The paper's source-driven evaluation
 /// (Section 3.3) relies on this to interleave Datalog rounds with source
-/// queries.
+/// queries. The watermark contract is identical in serial and parallel
+/// modes.
 class Evaluator {
  public:
-  enum class Mode { kNaive, kSemiNaive };
+  enum class Mode { kNaive, kSemiNaive, kParallelSemiNaive };
 
-  /// Compiles `program` against `store` (interning rule constants).
-  /// Fails if the program is unsafe (Proposition 3.1's precondition) or
-  /// has inconsistent predicate arities. `store` must outlive the
-  /// evaluator.
+  struct Options {
+    Mode mode = Mode::kSemiNaive;
+    /// Worker threads for kParallelSemiNaive; 0 means
+    /// std::thread::hardware_concurrency(). Ignored by serial modes.
+    std::size_t num_threads = 0;
+  };
+
+  /// Compiles `program` against `store` (interning rule constants and
+  /// predicate names, pre-declaring arities, and pre-building every index
+  /// the match plans probe). Fails if the program is unsafe (Proposition
+  /// 3.1's precondition) or has inconsistent predicate arities. `store`
+  /// must outlive the evaluator.
   static Result<std::unique_ptr<Evaluator>> Create(
       const Program& program, FactStore* store,
       Mode mode = Mode::kSemiNaive);
+  static Result<std::unique_ptr<Evaluator>> Create(const Program& program,
+                                                   FactStore* store,
+                                                   const Options& options);
 
   /// Runs to fixpoint over the store's current contents.
   Status Run();
@@ -64,44 +95,136 @@ class Evaluator {
     ValueId constant;  // valid when !is_var
   };
   struct CompiledAtom {
-    std::string predicate;
+    PredicateId pred = kNoPredicate;
     std::vector<CompiledTerm> terms;
+  };
+
+  /// One body atom of a match plan with its fixed runtime behavior:
+  /// `binds` writes first-occurrence variables from the row, `checks`
+  /// rejects rows that disagree with constants or already-bound
+  /// variables, and `probe_cols`/`key_parts` describe the index lookup
+  /// (empty probe_cols → scan). Which variables are bound at each step is
+  /// static for a fixed atom order, so none of this is decided per row.
+  struct MatchStep {
+    PredicateId pred = kNoPredicate;
+    struct Bind {
+      uint32_t pos;
+      uint32_t var;
+    };
+    struct Check {
+      uint32_t pos;
+      bool is_const;
+      ValueId constant;
+      uint32_t var;
+    };
+    struct KeyPart {
+      bool is_const;
+      ValueId constant;
+      uint32_t var;
+    };
+    std::vector<Bind> binds;
+    std::vector<Check> checks;
+    std::vector<uint32_t> probe_cols;
+    std::vector<KeyPart> key_parts;
+    uint32_t key_offset = 0;  // slot of this step's key in the key scratch
+  };
+  struct MatchPlan {
+    std::vector<MatchStep> steps;
+    uint32_t key_scratch_size = 0;
   };
   struct CompiledRule {
     CompiledAtom head;
     std::vector<CompiledAtom> body;
-    uint32_t num_vars;
-    // Greedy atom orders: orders[d] starts with body atom d (the delta
-    // atom); orders[body.size()] is the order used by naive evaluation.
-    std::vector<std::vector<std::size_t>> orders;
+    uint32_t num_vars = 0;
+    // plans[d] starts with body atom d (the delta atom); plans[body
+    // .size()] is the order used by naive evaluation.
+    std::vector<MatchPlan> plans;
   };
 
-  Evaluator(FactStore* store, Mode mode) : store_(store), mode_(mode) {}
+  /// Per-worker reusable buffers; sized once at compile so the match loop
+  /// never allocates.
+  struct MatchScratch {
+    std::vector<ValueId> binding;
+    std::vector<ValueId> keys;
+    std::vector<ValueId> head_row;
+    uint64_t matches = 0;
+    uint64_t probes = 0;
+    uint64_t probe_rows = 0;
+    uint64_t scan_rows = 0;
+  };
+
+  /// Arity-strided buffer of derived rows with open-addressing dedup,
+  /// reused across activations.
+  struct DerivedBuffer {
+    std::vector<ValueId> arena;
+    std::vector<uint32_t> slots;
+    std::size_t arity = 0;
+    std::size_t num_rows = 0;
+
+    void Reset(std::size_t row_arity);
+    bool Add(RowView row);  // false when already buffered
+    RowView RowAt(std::size_t i) const {
+      return RowView(arena.data() + i * arity, arity);
+    }
+  };
+
+  /// One (rule, delta-atom) unit of work within a round.
+  struct Activation {
+    uint32_t rule;
+    uint32_t plan;  // plan index: delta atom, or body.size() for naive
+    std::size_t delta_lo;
+    std::size_t delta_hi;
+  };
+
+  Evaluator(FactStore* store, const Options& options)
+      : store_(store), options_(options) {}
 
   static std::vector<std::size_t> GreedyOrder(const CompiledRule& rule,
                                               std::size_t first_atom);
+  static MatchPlan BuildPlan(const CompiledRule& rule,
+                             const std::vector<std::size_t>& order);
 
   void SeedFacts();
+  void RefreshSnapshot();
   Status RunNaive();
   Status RunSemiNaive();
+  Status RunParallelSemiNaive();
 
-  /// Matches `rule` using atom order `order`. When `use_delta` is true the
-  /// first atom in the order ranges over [delta_lo, delta_hi); every other
-  /// atom ranges over [0, snapshot[predicate]). Emits head facts into the
-  /// store.
-  Status MatchRule(const CompiledRule& rule,
-                   const std::vector<std::size_t>& order, bool use_delta,
-                   std::size_t delta_lo, std::size_t delta_hi,
-                   const std::map<std::string, std::size_t>& snapshot,
-                   bool* derived_new);
+  /// Matches one activation against the frozen store, emitting deduped
+  /// derived rows into `buffer`. Thread-safe: touches only `scratch`,
+  /// `buffer`, and read paths of the store.
+  void MatchActivation(const Activation& activation, MatchScratch& scratch,
+                       DerivedBuffer& buffer) const;
+
+  template <typename Sink>
+  void MatchStepRec(const CompiledRule& rule, const MatchPlan& plan,
+                    std::size_t k, std::size_t scan_lo, std::size_t scan_hi,
+                    MatchScratch& scratch, Sink& sink) const;
+
+  /// Inserts `buffer` into the store (single-threaded), updating
+  /// facts_derived; sets *derived_new when any row was new.
+  Status MergeBuffer(const CompiledRule& rule, const DerivedBuffer& buffer,
+                     bool* derived_new);
+
+  void AbsorbScratchStats(MatchScratch& scratch);
 
   FactStore* store_;
-  Mode mode_;
+  Options options_;
   std::vector<CompiledRule> rules_;
-  std::vector<std::pair<std::string, IdRow>> ground_facts_;
+  std::vector<std::pair<PredicateId, IdRow>> ground_facts_;
   bool facts_seeded_ = false;
-  // Semi-naive: per-predicate count of rows already processed as delta.
-  std::map<std::string, std::size_t> processed_;
+  /// Distinct body predicates, the domain of snapshots and watermarks.
+  std::vector<PredicateId> body_preds_;
+  /// Per-predicate row-count snapshot taken at the top of each round; the
+  /// limit for every non-delta atom range.
+  std::vector<std::size_t> snapshot_;
+  /// Semi-naive: per-predicate count of rows already processed as delta.
+  std::vector<std::size_t> processed_;
+  MatchScratch scratch_;
+  std::vector<MatchScratch> worker_scratch_;
+  DerivedBuffer buffer_;
+  std::vector<DerivedBuffer> activation_buffers_;
+  std::unique_ptr<ThreadPool> pool_;
   EvalStats stats_;
 };
 

@@ -6,130 +6,313 @@ namespace limcap::datalog {
 
 namespace {
 
-IdRow ExtractKey(const IdRow& row, const std::vector<std::size_t>& columns) {
-  IdRow key;
-  key.reserve(columns.size());
-  for (std::size_t c : columns) key.push_back(row[c]);
-  return key;
-}
+/// Initial power-of-two capacity for row sets and index slot arrays.
+constexpr std::size_t kInitialSlots = 16;
 
-const std::vector<IdRow>& EmptyFacts() {
-  static const std::vector<IdRow>* empty = new std::vector<IdRow>();
-  return *empty;
+/// Grow when occupancy exceeds 7/8 of this fraction denominator… i.e. we
+/// keep load factor under 0.7 (10 * n > 7 * capacity triggers growth).
+bool NeedsGrowth(std::size_t occupied, std::size_t capacity) {
+  return 10 * (occupied + 1) > 7 * capacity;
 }
 
 }  // namespace
 
+Result<PredicateId> FactStore::DeclareId(std::string_view predicate,
+                                         std::size_t arity) {
+  PredicateId id;
+  if (names_.Lookup(predicate, &id)) {
+    if (preds_[id].arity != arity) {
+      return Status::InvalidArgument(
+          "predicate " + std::string(predicate) + " declared with arity " +
+          std::to_string(preds_[id].arity) + ", redeclared with " +
+          std::to_string(arity));
+    }
+    return id;
+  }
+  id = names_.Intern(predicate);
+  preds_.emplace_back();
+  preds_.back().arity = arity;
+  return id;
+}
+
 Status FactStore::Declare(const std::string& predicate, std::size_t arity) {
-  auto [it, inserted] = predicates_.try_emplace(predicate);
-  if (inserted) {
-    it->second.arity = arity;
-    return Status::OK();
-  }
-  if (it->second.arity != arity) {
-    return Status::InvalidArgument(
-        "predicate " + predicate + " declared with arity " +
-        std::to_string(it->second.arity) + ", redeclared with " +
-        std::to_string(arity));
-  }
-  return Status::OK();
+  return DeclareId(predicate, arity).status();
+}
+
+PredicateId FactStore::FindPredicate(std::string_view predicate) const {
+  PredicateId id;
+  return names_.Lookup(predicate, &id) ? id : kNoPredicate;
 }
 
 Result<std::size_t> FactStore::Arity(const std::string& predicate) const {
-  auto it = predicates_.find(predicate);
-  if (it == predicates_.end()) {
+  PredicateId id = FindPredicate(predicate);
+  if (id == kNoPredicate) {
     return Status::NotFound("predicate not declared: " + predicate);
   }
-  return it->second.arity;
+  return preds_[id].arity;
 }
 
 Result<bool> FactStore::Insert(const std::string& predicate,
                                const relational::Row& row) {
+  LIMCAP_ASSIGN_OR_RETURN(PredicateId pred, DeclareId(predicate, row.size()));
+  // Encode into a small stack-backed scratch when possible.
   IdRow encoded;
   encoded.reserve(row.size());
   for (const Value& value : row) encoded.push_back(dict_.Intern(value));
-  return InsertIds(predicate, std::move(encoded));
+  return InsertIds(pred, RowView(encoded));
 }
 
-Result<bool> FactStore::InsertIds(const std::string& predicate, IdRow row) {
-  LIMCAP_RETURN_NOT_OK(Declare(predicate, row.size()));
-  PredicateFacts& facts = predicates_.at(predicate);
-  if (row.size() != facts.arity) {
+Result<bool> FactStore::InsertIds(const std::string& predicate,
+                                  const IdRow& row) {
+  LIMCAP_ASSIGN_OR_RETURN(PredicateId pred, DeclareId(predicate, row.size()));
+  return InsertIds(pred, RowView(row));
+}
+
+Result<bool> FactStore::InsertIds(PredicateId pred, RowView row) {
+  PredicateData& data = preds_[pred];
+  if (row.size() != data.arity) {
     return Status::InvalidArgument(
         "fact arity " + std::to_string(row.size()) + " != declared arity " +
-        std::to_string(facts.arity) + " for predicate " + predicate);
+        std::to_string(data.arity) + " for predicate " + names_.Name(pred));
   }
-  if (facts.row_set.count(row) > 0) return false;
-  for (auto& [columns, index] : facts.indexes) {
-    index[ExtractKey(row, columns)].push_back(facts.rows.size());
+  std::size_t slot;
+  if (FindRowSlot(data, row, &slot)) return false;
+  if (data.set_slots.empty() ||
+      NeedsGrowth(data.num_rows, data.set_slots.size())) {
+    GrowRowSet(data);
+    FindRowSlot(data, row, &slot);  // recompute the target slot
   }
-  facts.row_set.insert(row);
-  facts.rows.push_back(std::move(row));
+  const std::size_t pos = data.num_rows;
+  data.arena.insert(data.arena.end(), row.begin(), row.end());
+  ++data.num_rows;
+  data.set_slots[slot] = static_cast<uint32_t>(pos);
+  for (ColumnIndex& index : data.indexes) IndexInsert(data, index, pos);
   return true;
 }
 
 bool FactStore::Contains(const std::string& predicate, const IdRow& row) const {
-  auto it = predicates_.find(predicate);
-  return it != predicates_.end() && it->second.row_set.count(row) > 0;
+  PredicateId pred = FindPredicate(predicate);
+  return pred != kNoPredicate && Contains(pred, RowView(row));
+}
+
+bool FactStore::Contains(PredicateId pred, RowView row) const {
+  const PredicateData& data = preds_[pred];
+  if (row.size() != data.arity) return false;
+  std::size_t slot;
+  return FindRowSlot(data, row, &slot);
 }
 
 std::size_t FactStore::Count(const std::string& predicate) const {
-  auto it = predicates_.find(predicate);
-  return it == predicates_.end() ? 0 : it->second.rows.size();
+  PredicateId pred = FindPredicate(predicate);
+  return pred == kNoPredicate ? 0 : preds_[pred].num_rows;
 }
 
 std::size_t FactStore::TotalCount() const {
   std::size_t total = 0;
-  for (const auto& [name, facts] : predicates_) total += facts.rows.size();
+  for (const PredicateData& data : preds_) total += data.num_rows;
   return total;
 }
 
-const std::vector<IdRow>& FactStore::Facts(const std::string& predicate) const {
-  auto it = predicates_.find(predicate);
-  return it == predicates_.end() ? EmptyFacts() : it->second.rows;
+FactSpan FactStore::Facts(const std::string& predicate) const {
+  PredicateId pred = FindPredicate(predicate);
+  return pred == kNoPredicate ? FactSpan() : Facts(pred);
+}
+
+FactSpan FactStore::Facts(PredicateId pred) const {
+  const PredicateData& data = preds_[pred];
+  return FactSpan(data.arena.data(), data.arity, data.num_rows);
+}
+
+bool FactStore::FindRowSlot(const PredicateData& data, RowView row,
+                            std::size_t* out_slot) const {
+  if (data.set_slots.empty()) {
+    *out_slot = kNoSlot;
+    return false;
+  }
+  const std::size_t mask = data.set_slots.size() - 1;
+  std::size_t slot = HashSpan(row.data(), row.size()) & mask;
+  while (true) {
+    const uint32_t occupant = data.set_slots[slot];
+    if (occupant == kEmptySlot) {
+      *out_slot = slot;
+      return false;
+    }
+    RowView stored = ArenaRow(data, occupant);
+    if (std::equal(row.begin(), row.end(), stored.begin())) {
+      *out_slot = slot;
+      return true;
+    }
+    slot = (slot + 1) & mask;
+  }
+}
+
+void FactStore::GrowRowSet(PredicateData& data) {
+  const std::size_t capacity =
+      data.set_slots.empty() ? kInitialSlots : data.set_slots.size() * 2;
+  data.set_slots.assign(capacity, kEmptySlot);
+  const std::size_t mask = capacity - 1;
+  for (std::size_t pos = 0; pos < data.num_rows; ++pos) {
+    RowView row = ArenaRow(data, pos);
+    std::size_t slot = HashSpan(row.data(), row.size()) & mask;
+    while (data.set_slots[slot] != kEmptySlot) slot = (slot + 1) & mask;
+    data.set_slots[slot] = static_cast<uint32_t>(pos);
+  }
+}
+
+std::size_t FactStore::KeyHashOfRow(const PredicateData& data,
+                                    const ColumnIndex& index,
+                                    std::size_t pos) {
+  const ValueId* row = data.arena.data() + pos * data.arity;
+  std::size_t seed = 0x51ed2701a1b2c3d4ULL;
+  std::hash<ValueId> hasher;
+  for (uint32_t c : index.columns) HashCombine(seed, hasher(row[c]));
+  // Must match HashSpan over the extracted key (same combine + Mix64).
+  return static_cast<std::size_t>(Mix64(seed));
+}
+
+bool FactStore::KeyEqualsRow(const PredicateData& data,
+                             const ColumnIndex& index, std::size_t pos,
+                             RowView key) const {
+  const ValueId* row = data.arena.data() + pos * data.arity;
+  for (std::size_t c = 0; c < index.columns.size(); ++c) {
+    if (row[index.columns[c]] != key[c]) return false;
+  }
+  return true;
+}
+
+std::size_t FactStore::FindKeySlot(const PredicateData& data,
+                                   const ColumnIndex& index,
+                                   RowView key) const {
+  if (index.slots.empty()) return kNoSlot;
+  const std::size_t mask = index.slots.size() - 1;
+  const std::size_t hash = HashSpan(key.data(), key.size());
+  std::size_t slot = hash & mask;
+  while (true) {
+    const ColumnIndex::Slot& s = index.slots[slot];
+    if (s.head == kEmptySlot) return kNoSlot;
+    if (s.hash == hash &&
+        KeyEqualsRow(data, index, index.postings[s.head].pos, key)) {
+      return slot;
+    }
+    slot = (slot + 1) & mask;
+  }
+}
+
+const FactStore::ColumnIndex* FactStore::FindIndex(
+    const PredicateData& data, std::span<const uint32_t> columns) const {
+  for (const ColumnIndex& index : data.indexes) {
+    if (index.columns.size() == columns.size() &&
+        std::equal(columns.begin(), columns.end(), index.columns.begin())) {
+      return &index;
+    }
+  }
+  return nullptr;
+}
+
+void FactStore::IndexInsert(PredicateData& data, ColumnIndex& index,
+                            std::size_t pos) {
+  if (index.slots.empty() || NeedsGrowth(index.num_keys, index.slots.size())) {
+    GrowIndex(index);
+  }
+  const std::size_t mask = index.slots.size() - 1;
+  const std::size_t hash = KeyHashOfRow(data, index, pos);
+  std::size_t slot = hash & mask;
+  while (true) {
+    ColumnIndex::Slot& s = index.slots[slot];
+    if (s.head == kEmptySlot) {
+      // New key: open a chain.
+      const uint32_t posting = static_cast<uint32_t>(index.postings.size());
+      index.postings.push_back({static_cast<uint32_t>(pos), kEmptySlot});
+      s.hash = hash;
+      s.head = posting;
+      s.tail = posting;
+      ++index.num_keys;
+      return;
+    }
+    if (s.hash == hash) {
+      RowView row = ArenaRow(data, pos);
+      // Compare against the chain head's key columns.
+      const std::size_t head_pos = index.postings[s.head].pos;
+      const ValueId* head_row = data.arena.data() + head_pos * data.arity;
+      bool equal = true;
+      for (uint32_t c : index.columns) {
+        if (head_row[c] != row[c]) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) {
+        // Append at the tail so chains stay in ascending row order.
+        const uint32_t posting = static_cast<uint32_t>(index.postings.size());
+        index.postings.push_back({static_cast<uint32_t>(pos), kEmptySlot});
+        index.postings[s.tail].next = posting;
+        s.tail = posting;
+        return;
+      }
+    }
+    slot = (slot + 1) & mask;
+  }
+}
+
+void FactStore::GrowIndex(ColumnIndex& index) {
+  const std::size_t capacity =
+      index.slots.empty() ? kInitialSlots : index.slots.size() * 2;
+  std::vector<ColumnIndex::Slot> old = std::move(index.slots);
+  index.slots.assign(capacity, ColumnIndex::Slot{});
+  const std::size_t mask = capacity - 1;
+  for (const ColumnIndex::Slot& s : old) {
+    if (s.head == kEmptySlot) continue;
+    std::size_t slot = s.hash & mask;
+    while (index.slots[slot].head != kEmptySlot) slot = (slot + 1) & mask;
+    index.slots[slot] = s;
+  }
+}
+
+void FactStore::EnsureIndex(PredicateId pred,
+                            std::span<const uint32_t> columns) {
+  PredicateData& data = preds_[pred];
+  if (FindIndex(data, columns) != nullptr) return;
+  data.indexes.emplace_back();
+  ColumnIndex& index = data.indexes.back();
+  index.columns.assign(columns.begin(), columns.end());
+  index.postings.reserve(data.num_rows);
+  for (std::size_t pos = 0; pos < data.num_rows; ++pos) {
+    IndexInsert(data, index, pos);
+  }
 }
 
 std::vector<std::size_t> FactStore::Probe(
     const std::string& predicate, const std::vector<std::size_t>& columns,
-    const IdRow& key, std::size_t limit) const {
-  auto pred_it = predicates_.find(predicate);
-  if (pred_it == predicates_.end()) return {};
-  const PredicateFacts& facts = pred_it->second;
-
-  auto index_it = facts.indexes.find(columns);
-  if (index_it == facts.indexes.end()) {
-    std::unordered_map<IdRow, std::vector<std::size_t>, VectorHash<ValueId>>
-        index;
-    for (std::size_t i = 0; i < facts.rows.size(); ++i) {
-      index[ExtractKey(facts.rows[i], columns)].push_back(i);
-    }
-    index_it = facts.indexes.emplace(columns, std::move(index)).first;
-  }
-  auto match = index_it->second.find(key);
-  if (match == index_it->second.end()) return {};
-  const std::vector<std::size_t>& positions = match->second;
-  // Positions are ascending; cut at `limit`.
-  auto end = std::lower_bound(positions.begin(), positions.end(), limit);
-  return std::vector<std::size_t>(positions.begin(), end);
+    const IdRow& key, std::size_t limit) {
+  PredicateId pred = FindPredicate(predicate);
+  if (pred == kNoPredicate) return {};
+  std::vector<uint32_t> cols(columns.begin(), columns.end());
+  EnsureIndex(pred, cols);
+  std::vector<std::size_t> positions;
+  ProbeEach(pred, cols, RowView(key), limit, [&](std::size_t pos) {
+    positions.push_back(pos);
+    return true;
+  });
+  return positions;
 }
 
 Result<relational::Relation> FactStore::ToRelation(
     const std::string& predicate, const relational::Schema& schema) const {
-  auto it = predicates_.find(predicate);
+  PredicateId pred = FindPredicate(predicate);
   relational::Relation relation(schema);
-  if (it == predicates_.end()) return relation;
-  if (it->second.arity != schema.arity()) {
+  if (pred == kNoPredicate) return relation;
+  if (preds_[pred].arity != schema.arity()) {
     return Status::InvalidArgument(
         "schema arity " + std::to_string(schema.arity()) +
-        " != predicate arity " + std::to_string(it->second.arity));
+        " != predicate arity " + std::to_string(preds_[pred].arity));
   }
-  for (const IdRow& row : it->second.rows) {
+  for (RowView row : Facts(pred)) {
     relation.InsertUnsafe(Decode(row));
   }
   return relation;
 }
 
-relational::Row FactStore::Decode(const IdRow& row) const {
+relational::Row FactStore::Decode(RowView row) const {
   relational::Row decoded;
   decoded.reserve(row.size());
   for (ValueId id : row) decoded.push_back(dict_.Get(id));
@@ -138,8 +321,10 @@ relational::Row FactStore::Decode(const IdRow& row) const {
 
 std::vector<std::string> FactStore::Predicates() const {
   std::vector<std::string> names;
-  names.reserve(predicates_.size());
-  for (const auto& [name, facts] : predicates_) names.push_back(name);
+  names.reserve(preds_.size());
+  for (std::size_t i = 0; i < preds_.size(); ++i) {
+    names.push_back(names_.Name(static_cast<PredicateId>(i)));
+  }
   std::sort(names.begin(), names.end());
   return names;
 }

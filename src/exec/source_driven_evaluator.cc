@@ -35,9 +35,12 @@ struct FetchSpec {
 Result<ExecResult> SourceDrivenEvaluator::Execute(
     const datalog::Program& program, const planner::Query& query) {
   ExecResult result;
+  datalog::Evaluator::Options eval_options;
+  eval_options.mode = options_.mode;
+  eval_options.num_threads = options_.eval_threads;
   LIMCAP_ASSIGN_OR_RETURN(
       auto evaluator,
-      datalog::Evaluator::Create(program, &result.store, options_.mode));
+      datalog::Evaluator::Create(program, &result.store, eval_options));
 
   // Identify the views the program reads and prepare their fetch state.
   std::set<std::string> mentioned = program.AllPredicates();
@@ -69,7 +72,7 @@ Result<ExecResult> SourceDrivenEvaluator::Execute(
   };
   auto sync_domains = [&]() {
     for (const std::string& predicate : result.store.Predicates()) {
-      for (const IdRow& row : result.store.Facts(predicate)) {
+      for (datalog::RowView row : result.store.Facts(predicate)) {
         if (row.size() == 1) seen_domain_values[predicate].insert(row[0]);
       }
     }
@@ -127,18 +130,24 @@ Result<ExecResult> SourceDrivenEvaluator::Execute(
           const std::function<Result<bool>(FetchSpec&,
                                            const std::vector<ValueId>&)>& fn)
       -> Result<bool> {  // false when fn stopped the enumeration
-    std::vector<const std::vector<IdRow>*> domain_facts;
+    // Capture sizes, not row views: `fn` inserts source results into the
+    // store, and arenas may reallocate under a live span.
+    std::vector<datalog::PredicateId> domain_preds;
+    std::vector<std::size_t> domain_sizes;
     for (const std::string& domain : spec.bound_domains) {
-      const std::vector<IdRow>& facts = result.store.Facts(domain);
-      if (facts.empty()) return true;
-      domain_facts.push_back(&facts);
+      datalog::PredicateId pred = result.store.FindPredicate(domain);
+      if (pred == datalog::kNoPredicate || result.store.Count(pred) == 0) {
+        return true;
+      }
+      domain_preds.push_back(pred);
+      domain_sizes.push_back(result.store.Count(pred));
     }
     std::vector<std::size_t> pick(spec.bound_domains.size(), 0);
     while (true) {
       std::vector<ValueId> combo;
       combo.reserve(pick.size());
       for (std::size_t i = 0; i < pick.size(); ++i) {
-        combo.push_back((*domain_facts[i])[pick[i]][0]);
+        combo.push_back(result.store.Row(domain_preds[i], pick[i])[0]);
       }
       if (spec.asked.insert(combo).second) {
         LIMCAP_ASSIGN_OR_RETURN(bool keep_going, fn(spec, combo));
@@ -148,7 +157,7 @@ Result<ExecResult> SourceDrivenEvaluator::Execute(
       // one (empty) query, and the odometer exhausts immediately.
       std::size_t i = 0;
       for (; i < pick.size(); ++i) {
-        if (++pick[i] < domain_facts[i]->size()) break;
+        if (++pick[i] < domain_sizes[i]) break;
         pick[i] = 0;
       }
       if (i == pick.size()) break;

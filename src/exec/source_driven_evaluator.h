@@ -34,6 +34,9 @@ enum class FetchStrategy {
 struct ExecOptions {
   planner::BuilderOptions builder;
   datalog::Evaluator::Mode mode = datalog::Evaluator::Mode::kSemiNaive;
+  /// Worker threads when `mode` is kParallelSemiNaive (0 = hardware
+  /// concurrency); ignored by the serial modes.
+  std::size_t eval_threads = 0;
   FetchStrategy strategy = FetchStrategy::kRoundBased;
   /// Source-access budget (Section 7.2 partial answers): the evaluator
   /// stops issuing source queries once this many have been sent and

@@ -72,20 +72,30 @@ OptimizedProgram RemoveUselessRules(const datalog::Program& program,
   // Iterating the paper's removal step to fixpoint keeps exactly the
   // rules whose head predicate is reachable from the goal — or from a
   // tagged per-connection goal ("ans$c0", ...), which are output
-  // predicates in their own right.
+  // predicates in their own right. The dependency graph interns
+  // predicates, so reachability is a bitmask union over dense ids rather
+  // than string-set merges.
   datalog::DependencyGraph graph(program);
-  std::set<std::string> reachable = graph.ReachableFrom(goal_predicate);
+  std::vector<bool> reachable(graph.predicates().size(), false);
+  auto absorb = [&](datalog::PredicateId start) {
+    if (start == datalog::kNoPredicate) return;
+    std::vector<bool> mask = graph.ReachableMask(start);
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      if (mask[i]) reachable[i] = true;
+    }
+  };
+  absorb(graph.Find(goal_predicate));
   const std::string tagged_prefix = goal_predicate + "$";
   for (const datalog::Rule& rule : program.rules()) {
     if (rule.head.predicate.rfind(tagged_prefix, 0) == 0) {
-      std::set<std::string> more = graph.ReachableFrom(rule.head.predicate);
-      reachable.insert(more.begin(), more.end());
+      absorb(graph.Find(rule.head.predicate));
     }
   }
 
   OptimizedProgram out;
   for (const datalog::Rule& rule : program.rules()) {
-    if (reachable.count(rule.head.predicate) > 0) {
+    datalog::PredicateId head = graph.Find(rule.head.predicate);
+    if (head != datalog::kNoPredicate && reachable[head]) {
       out.program.AddRule(rule);
     } else {
       out.removed_rules.push_back(rule);

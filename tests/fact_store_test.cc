@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "datalog/fact_store.h"
+
+namespace limcap::datalog {
+namespace {
+
+Value S(const std::string& text) { return Value::String(text); }
+
+/// Scans [0, limit) of `pred` for rows matching `key` at `columns` — the
+/// trivially-correct oracle the index is checked against.
+std::vector<std::size_t> ScanProbe(const FactStore& store, PredicateId pred,
+                                   const std::vector<uint32_t>& columns,
+                                   const IdRow& key, std::size_t limit) {
+  std::vector<std::size_t> positions;
+  FactSpan facts = store.Facts(pred);
+  const std::size_t bound = std::min(limit, facts.size());
+  for (std::size_t pos = 0; pos < bound; ++pos) {
+    RowView row = facts[pos];
+    bool match = true;
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      if (row[columns[c]] != key[c]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) positions.push_back(pos);
+  }
+  return positions;
+}
+
+std::vector<std::size_t> IndexProbe(const FactStore& store, PredicateId pred,
+                                    const std::vector<uint32_t>& columns,
+                                    const IdRow& key, std::size_t limit) {
+  std::vector<std::size_t> positions;
+  store.ProbeEach(pred, columns, RowView(key), limit, [&](std::size_t pos) {
+    positions.push_back(pos);
+    return true;
+  });
+  return positions;
+}
+
+TEST(FactStoreInternTest, DeclareIdIsStableAndDense) {
+  FactStore store;
+  PredicateId p = *store.DeclareId("p", 2);
+  PredicateId q = *store.DeclareId("q", 1);
+  EXPECT_EQ(p, 0u);
+  EXPECT_EQ(q, 1u);
+  EXPECT_EQ(*store.DeclareId("p", 2), p);  // idempotent
+  EXPECT_EQ(store.FindPredicate("p"), p);
+  EXPECT_EQ(store.FindPredicate("q"), q);
+  EXPECT_EQ(store.FindPredicate("r"), kNoPredicate);
+  EXPECT_EQ(store.PredicateName(p), "p");
+  EXPECT_EQ(store.NumPredicates(), 2u);
+  EXPECT_FALSE(store.DeclareId("p", 3).ok());  // arity conflict
+}
+
+TEST(FactStoreInternTest, DuplicateDetectionSurvivesTableGrowth) {
+  FactStore store;
+  PredicateId pred = *store.DeclareId("e", 2);
+  auto encode = [&](int a, int b) {
+    return IdRow{store.dict().Intern(Value::Int64(a)),
+                 store.dict().Intern(Value::Int64(b))};
+  };
+  // Enough rows to force several row-set rehashes.
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(*store.InsertIds(pred, RowView(encode(i, i + 1))));
+  }
+  EXPECT_EQ(store.Count(pred), 500u);
+  // Every earlier row must still be detected as a duplicate.
+  for (int i = 0; i < 500; ++i) {
+    IdRow row = encode(i, i + 1);
+    EXPECT_TRUE(store.Contains(pred, RowView(row))) << i;
+    EXPECT_FALSE(*store.InsertIds(pred, RowView(row))) << i;
+  }
+  EXPECT_EQ(store.Count(pred), 500u);
+}
+
+/// Regression test for the probe-order contract: interleave inserts and
+/// probes on the same column subset and check that incremental index
+/// maintenance always agrees with a fresh scan — same positions, strictly
+/// ascending, limit respected.
+TEST(FactStoreProbeOrderTest, InterleavedInsertsAndProbesStayConsistent) {
+  FactStore store;
+  PredicateId pred = *store.DeclareId("edge", 2);
+  const std::vector<uint32_t> cols = {0};
+  store.EnsureIndex(pred, cols);
+
+  // Keys cycle over a small set so chains grow between probes.
+  std::vector<ValueId> keys;
+  for (int k = 0; k < 7; ++k) {
+    keys.push_back(store.dict().Intern(Value::Int64(k)));
+  }
+  std::size_t next_value = 100;
+  for (int round = 0; round < 40; ++round) {
+    // Insert a burst of rows (forcing index slot growth over the run).
+    for (int j = 0; j < 11; ++j) {
+      IdRow row = {keys[(round + j) % keys.size()],
+                   store.dict().Intern(Value::Int64(static_cast<int>(
+                       next_value++)))};
+      ASSERT_TRUE(store.InsertIds(pred, RowView(row)).ok());
+    }
+    // Probe every key at several limits and compare to the scan oracle.
+    const std::size_t count = store.Count(pred);
+    for (ValueId key_id : keys) {
+      IdRow key = {key_id};
+      for (std::size_t limit : {std::size_t{0}, count / 2, count,
+                                count + 100}) {
+        std::vector<std::size_t> indexed =
+            IndexProbe(store, pred, cols, key, limit);
+        EXPECT_EQ(indexed, ScanProbe(store, pred, cols, key, limit));
+        EXPECT_TRUE(std::is_sorted(indexed.begin(), indexed.end()));
+        for (std::size_t pos : indexed) {
+          EXPECT_LT(pos, std::min(limit, count));
+          EXPECT_EQ(store.Row(pred, pos)[0], key_id);
+        }
+      }
+    }
+  }
+}
+
+TEST(FactStoreProbeOrderTest, IndexBuiltLateMatchesIndexBuiltEarly) {
+  // Build the same relation twice: one store indexes before any insert,
+  // the other only after all inserts. Probes must agree exactly.
+  FactStore early;
+  FactStore late;
+  PredicateId pe = *early.DeclareId("r", 3);
+  PredicateId pl = *late.DeclareId("r", 3);
+  const std::vector<uint32_t> cols = {1, 2};
+  early.EnsureIndex(pe, cols);
+  for (int i = 0; i < 300; ++i) {
+    IdRow erow = {early.dict().Intern(Value::Int64(i)),
+                  early.dict().Intern(Value::Int64(i % 5)),
+                  early.dict().Intern(Value::Int64(i % 3))};
+    IdRow lrow = {late.dict().Intern(Value::Int64(i)),
+                  late.dict().Intern(Value::Int64(i % 5)),
+                  late.dict().Intern(Value::Int64(i % 3))};
+    ASSERT_TRUE(early.InsertIds(pe, RowView(erow)).ok());
+    ASSERT_TRUE(late.InsertIds(pl, RowView(lrow)).ok());
+  }
+  late.EnsureIndex(pl, cols);
+  for (int a = 0; a < 5; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      IdRow ekey = {early.dict().Intern(Value::Int64(a)),
+                    early.dict().Intern(Value::Int64(b))};
+      IdRow lkey = {late.dict().Intern(Value::Int64(a)),
+                    late.dict().Intern(Value::Int64(b))};
+      EXPECT_EQ(IndexProbe(early, pe, cols, ekey, 300),
+                IndexProbe(late, pl, cols, lkey, 300));
+    }
+  }
+}
+
+TEST(FactStoreProbeOrderTest, UnindexedProbeFallsBackToScan) {
+  FactStore store;
+  PredicateId pred = *store.DeclareId("p", 2);
+  ValueId a = store.dict().Intern(S("a"));
+  ValueId b = store.dict().Intern(S("b"));
+  ValueId c = store.dict().Intern(S("c"));
+  for (ValueId second : {a, b, c, a, b}) {  // duplicates are dropped
+    IdRow row = {a, second};
+    ASSERT_TRUE(store.InsertIds(pred, RowView(row)).ok());
+  }
+  EXPECT_EQ(store.Count(pred), 3u);
+  // No EnsureIndex call: ProbeEach must still answer via the linear scan.
+  const std::vector<uint32_t> cols = {0};
+  IdRow key = {a};
+  EXPECT_EQ(IndexProbe(store, pred, cols, key, 100),
+            (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(IndexProbe(store, pred, cols, key, 2),
+            (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(FactStoreProbeOrderTest, EarlyExitStopsEnumeration) {
+  FactStore store;
+  PredicateId pred = *store.DeclareId("p", 2);
+  ValueId k = store.dict().Intern(S("k"));
+  for (int i = 0; i < 50; ++i) {
+    IdRow row = {k, store.dict().Intern(Value::Int64(i))};
+    ASSERT_TRUE(store.InsertIds(pred, RowView(row)).ok());
+  }
+  const std::vector<uint32_t> cols = {0};
+  store.EnsureIndex(pred, cols);
+  IdRow key = {k};
+  std::size_t seen = 0;
+  store.ProbeEach(pred, cols, RowView(key), 50, [&](std::size_t) {
+    ++seen;
+    return seen < 5;  // stop after five rows
+  });
+  EXPECT_EQ(seen, 5u);
+}
+
+TEST(FactStoreSpanTest, FactSpanViewsMatchDecodedRows) {
+  FactStore store;
+  ASSERT_TRUE(store.Insert("p", {S("x"), S("y")}).ok());
+  ASSERT_TRUE(store.Insert("p", {S("z"), S("w")}).ok());
+  PredicateId pred = store.FindPredicate("p");
+  FactSpan facts = store.Facts(pred);
+  ASSERT_EQ(facts.size(), 2u);
+  EXPECT_EQ(store.Decode(facts[0]), (relational::Row{S("x"), S("y")}));
+  EXPECT_EQ(store.Decode(facts[1]), (relational::Row{S("z"), S("w")}));
+  std::size_t rows = 0;
+  for (RowView row : facts) {
+    EXPECT_EQ(row.size(), 2u);
+    ++rows;
+  }
+  EXPECT_EQ(rows, 2u);
+}
+
+}  // namespace
+}  // namespace limcap::datalog
