@@ -102,7 +102,7 @@ void RunPiEvaluation(benchmark::State& state, Evaluator::Mode mode) {
     state.PauseTiming();
     FactStore store;
     for (const auto& [name, data] : instance.full_data) {
-      for (const auto& row : data.rows()) store.Insert(name, row).ok();
+      for (const auto& row : data.DecodedRows()) store.Insert(name, row).ok();
     }
     auto evaluator = Evaluator::Create(*program, &store, mode);
     state.ResumeTiming();

@@ -34,7 +34,8 @@ void Check(bool ok, const char* what) {
 }
 
 std::set<Row> Rows(const limcap::relational::Relation& relation) {
-  return std::set<Row>(relation.rows().begin(), relation.rows().end());
+  auto decoded = relation.DecodedRows();
+  return std::set<Row>(decoded.begin(), decoded.end());
 }
 
 std::set<Row> Prices(std::initializer_list<const char*> prices) {
@@ -112,7 +113,7 @@ int main() {
               report->exec.log.ToTable(/*productive_only=*/true).c_str());
   std::set<std::string> productive;
   for (const auto& record : report->exec.log.records()) {
-    if (record.tuples_returned > 0) productive.insert(record.rendered_query);
+    if (record.tuples_returned > 0) productive.insert(record.RenderedQuery());
   }
   Check(productive == std::set<std::string>{
                           "v1(t1, C)", "v1(t2, C)", "v2(S, c2)", "v2(S, c4)",

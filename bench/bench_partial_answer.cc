@@ -76,7 +76,7 @@ int main() {
       fraction_sum[b] +=
           double(count) / double(maximal->exec.answer.size());
       // Partial answers must be subsets of the maximal answer.
-      for (const auto& row : report->exec.answer.rows()) {
+      for (const auto& row : report->exec.answer.DecodedRows()) {
         if (!maximal->exec.answer.Contains(row)) ++failures;
       }
     }

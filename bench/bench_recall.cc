@@ -72,10 +72,10 @@ Totals Sweep(CatalogSpec::Topology topology, double bound_probability,
       continue;
     }
     // Invariants: baseline ⊆ framework ⊆ complete.
-    for (const auto& row : baseline->answer.rows()) {
+    for (const auto& row : baseline->answer.DecodedRows()) {
       if (!framework->exec.answer.Contains(row)) ++failures;
     }
-    for (const auto& row : framework->exec.answer.rows()) {
+    for (const auto& row : framework->exec.answer.DecodedRows()) {
       if (!complete->Contains(row)) ++failures;
     }
     ++totals.instances;

@@ -44,7 +44,7 @@ void AddSource(SourceCatalog* catalog, const char* name,
 double Average(const Relation& prices) {
   if (prices.empty()) return 0;
   double sum = 0;
-  for (const Row& row : prices.rows()) sum += double(row[0].int64());
+  for (const Row& row : prices.DecodedRows()) sum += double(row[0].int64());
   return sum / double(prices.size());
 }
 

@@ -5,7 +5,43 @@
 
 namespace limcap::capability {
 
+std::string AccessRecord::RenderedQuery() const {
+  if (!rendered_query.empty()) return rendered_query;
+  if (view == nullptr || query.dict == nullptr) return "";
+  return query.Render(*view);
+}
+
+std::vector<std::string> AccessRecord::ReturnedRendered() const {
+  if (!returned_rendered.empty() || returned_ids.empty()) {
+    return returned_rendered;
+  }
+  std::vector<std::string> rendered;
+  rendered.reserve(returned_ids.size());
+  for (const relational::IdRow& row : returned_ids) {
+    std::vector<std::string> parts;
+    parts.reserve(row.size());
+    for (ValueId id : row) parts.push_back(query.dict->Get(id).ToString());
+    rendered.push_back("<" + Join(parts, ", ") + ">");
+  }
+  return rendered;
+}
+
+std::vector<std::string> AccessRecord::NewBindings() const {
+  if (!new_bindings.empty() || new_binding_ids.empty()) return new_bindings;
+  std::vector<std::string> rendered;
+  rendered.reserve(new_binding_ids.size());
+  for (const auto& [attribute, id] : new_binding_ids) {
+    rendered.push_back(attribute + " = " + query.dict->Get(id).ToString());
+  }
+  return rendered;
+}
+
 void AccessLog::Record(AccessRecord record) {
+  if (eager_render_) {
+    record.rendered_query = record.RenderedQuery();
+    record.returned_rendered = record.ReturnedRendered();
+    record.new_bindings = record.NewBindings();
+  }
   records_.push_back(std::move(record));
 }
 
@@ -56,9 +92,9 @@ std::string AccessLog::ToTable(bool productive_only) const {
   for (const AccessRecord& record : records_) {
     if (productive_only && record.tuples_returned == 0) continue;
     ++order;
-    table.AddRow({std::to_string(order), record.rendered_query,
-                  Join(record.returned_rendered, ", "),
-                  Join(record.new_bindings, ", ")});
+    table.AddRow({std::to_string(order), record.RenderedQuery(),
+                  Join(record.ReturnedRendered(), ", "),
+                  Join(record.NewBindings(), ", ")});
   }
   return table.ToString();
 }

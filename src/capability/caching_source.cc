@@ -3,23 +3,36 @@
 namespace limcap::capability {
 
 Result<relational::Relation> CachingSource::Execute(const SourceQuery& query) {
-  auto it = cache_.find(query);
+  CacheKey key;
+  key.positions = query.positions;
+  key.local_ids.reserve(query.ids.size());
+  for (ValueId id : query.ids) {
+    key.local_ids.push_back(key_dict_.Intern(query.dict->Get(id)));
+  }
+  auto it = cache_.find(key);
   if (it != cache_.end()) {
     ++hits_;
-    return it->second;
+    if (query.dict == nullptr ||
+        it->second.dict_ptr() == query.dict) {
+      return it->second;
+    }
+    // The cached answer was produced under another session's dictionary;
+    // re-key it to the requesting session (this is that session's one
+    // ingest translation for these tuples).
+    return it->second.WithDictionary(query.dict);
   }
   LIMCAP_ASSIGN_OR_RETURN(relational::Relation answer,
                           inner_->Execute(query));
   ++misses_;
-  cache_.emplace(query, answer);
+  cache_.emplace(std::move(key), answer);
   return answer;
 }
 
 relational::Relation CachingSource::ObservedTuples() const {
   relational::Relation all(inner_->view().schema());
-  for (const auto& [query, answer] : cache_) {
-    for (const relational::Row& row : answer.rows()) {
-      all.InsertUnsafe(row);
+  for (const auto& [key, answer] : cache_) {
+    for (std::size_t pos = 0; pos < answer.size(); ++pos) {
+      all.InsertUnsafe(answer.DecodeRow(pos));
     }
   }
   return all;

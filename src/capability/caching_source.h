@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "capability/source.h"
 
@@ -12,6 +13,14 @@ namespace limcap::capability {
 /// Repeated identical queries hit the cache instead of the source —
 /// modeling the mediator-side caching Section 7.1 discusses, and letting
 /// benches separate "distinct source accesses" from "query issuances".
+///
+/// Queries arrive encoded against the caller's session dictionary, which
+/// changes between answering sessions, so cache keys re-encode the bound
+/// values into a cache-local dictionary: two queries binding the same
+/// attributes to the same values collide regardless of which session (or
+/// binding-supply order) produced them. Cached answers are stored as
+/// returned and re-keyed to the requesting session's dictionary on a hit
+/// when it differs from the one the answer was produced under.
 class CachingSource : public Source {
  public:
   explicit CachingSource(std::unique_ptr<Source> inner)
@@ -25,12 +34,25 @@ class CachingSource : public Source {
   std::size_t misses() const { return misses_; }
 
   /// Tuples observed so far across all cached answers, usable as the
-  /// cached data that Section 7.1 turns into extra fact rules.
+  /// cached data that Section 7.1 turns into extra fact rules. The
+  /// returned relation owns a fresh dictionary.
   relational::Relation ObservedTuples() const;
 
  private:
+  /// Session-independent cache key: bound positions plus the bound
+  /// values' ids in the cache-local dictionary.
+  struct CacheKey {
+    std::vector<uint32_t> positions;
+    std::vector<ValueId> local_ids;
+    bool operator<(const CacheKey& other) const {
+      if (positions != other.positions) return positions < other.positions;
+      return local_ids < other.local_ids;
+    }
+  };
+
   std::unique_ptr<Source> inner_;
-  std::map<SourceQuery, relational::Relation> cache_;
+  ValueDictionary key_dict_;
+  std::map<CacheKey, relational::Relation> cache_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
 };

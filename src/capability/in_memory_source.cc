@@ -24,34 +24,55 @@ InMemorySource InMemorySource::MakeUnsafe(SourceView view,
 
 Result<relational::Relation> InMemorySource::Execute(
     const SourceQuery& query) {
-  // Validate attributes.
-  for (const auto& [attribute, value] : query.bindings) {
-    if (!view_.schema().Contains(attribute)) {
-      return Status::InvalidArgument("query binds unknown attribute " +
-                                     attribute + " of view " + view_.name());
+  // Validate positions (queries built via SourceQuery::Make always pass;
+  // engine-built queries are checked here).
+  for (uint32_t pos : query.positions) {
+    if (pos >= view_.schema().arity()) {
+      return Status::InvalidArgument(
+          "query binds position " + std::to_string(pos) +
+          " outside the schema of view " + view_.name());
     }
   }
   // Enforce the binding patterns: some template must be satisfied.
-  AttributeSet bound;
-  for (const auto& [attribute, value] : query.bindings) {
-    bound.insert(attribute);
-  }
-  if (!view_.RequirementsSatisfiedBy(bound)) {
+  if (!query.SatisfiedTemplate(view_).has_value()) {
     return Status::CapabilityViolation(
         "query to " + view_.name() +
         " satisfies none of its templates: " + view_.ToString());
   }
-  // Answer by selection.
-  std::vector<std::size_t> columns;
-  relational::Row key;
-  for (const auto& [attribute, value] : query.bindings) {
-    columns.push_back(*view_.schema().IndexOf(attribute));
-    key.push_back(value);
+  ValueDictionaryPtr out_dict =
+      query.dict != nullptr ? query.dict : std::make_shared<ValueDictionary>();
+  relational::Relation out(view_.schema(), out_dict);
+  std::vector<std::size_t> columns(query.positions.begin(),
+                                   query.positions.end());
+  relational::IdRow key;
+  key.reserve(query.ids.size());
+  if (data_.dict_ptr() == query.dict) {
+    // The source data already encodes against the caller's dictionary:
+    // the whole answer path is id-to-id.
+    key.assign(query.ids.begin(), query.ids.end());
+    relational::IdRow row;
+    data_.ProbeEachIds(columns, key, [&](std::size_t pos) {
+      data_.GatherRowIds(pos, &row);
+      out.InsertIdsUnsafe(row);
+      return true;
+    });
+    return out;
   }
-  relational::Relation out(view_.schema());
-  for (std::size_t pos : data_.Probe(columns, key)) {
-    out.InsertUnsafe(data_.row(pos));
+  // Translate the session-encoded key into the source's private
+  // dictionary; a value this source never stored cannot match any tuple.
+  for (std::size_t i = 0; i < query.ids.size(); ++i) {
+    ValueId local;
+    if (!data_.dict().Lookup(query.dict->Get(query.ids[i]), &local)) {
+      return out;
+    }
+    key.push_back(local);
   }
+  data_.ProbeEachIds(columns, key, [&](std::size_t pos) {
+    // The single Value→id translation of the interned execution path:
+    // returned tuples are interned into the caller's dictionary here.
+    out.InsertUnsafe(data_.DecodeRow(pos));
+    return true;
+  });
   return out;
 }
 

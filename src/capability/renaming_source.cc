@@ -32,21 +32,22 @@ Result<RenamingSource> RenamingSource::Make(
 
 Result<relational::Relation> RenamingSource::Execute(
     const SourceQuery& query) {
-  SourceQuery local_query;
-  for (const auto& [attribute, value] : query.bindings) {
-    auto it = to_local_.find(attribute);
-    if (it == to_local_.end()) {
-      return Status::InvalidArgument("query binds unknown attribute " +
-                                     attribute + " of view " + view_.name());
+  // Queries are positional and renaming never moves a position, so the
+  // query passes through untranslated; only the answer's schema changes.
+  for (uint32_t pos : query.positions) {
+    if (pos >= view_.schema().arity()) {
+      return Status::InvalidArgument(
+          "query binds position " + std::to_string(pos) +
+          " outside the schema of view " + view_.name());
     }
-    local_query.bindings.emplace(it->second, value);
   }
   LIMCAP_ASSIGN_OR_RETURN(relational::Relation local_result,
-                          inner_->Execute(local_query));
-  // Positions are unchanged; only the schema is renamed.
-  relational::Relation renamed(view_.schema());
-  for (const relational::Row& row : local_result.rows()) {
-    renamed.InsertUnsafe(row);
+                          inner_->Execute(query));
+  relational::Relation renamed(view_.schema(), local_result.dict_ptr());
+  relational::IdRow row;
+  for (std::size_t pos = 0; pos < local_result.size(); ++pos) {
+    local_result.GatherRowIds(pos, &row);
+    renamed.InsertIdsUnsafe(row);
   }
   return renamed;
 }

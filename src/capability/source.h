@@ -1,28 +1,73 @@
 #ifndef LIMCAP_CAPABILITY_SOURCE_H_
 #define LIMCAP_CAPABILITY_SOURCE_H_
 
+#include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "capability/source_view.h"
 #include "common/result.h"
 #include "common/value.h"
+#include "common/value_dictionary.h"
 #include "relational/relation.h"
 
 namespace limcap::capability {
 
-/// A query sent to one source: values for a subset of the view's
-/// attributes. To be executable it must bind (at least) every attribute
-/// the view's template adorns 'b'.
+/// A query sent to one source: dictionary-encoded values for a subset of
+/// the view's attributes, positionally aligned with the view schema. To be
+/// executable it must bind (at least) every attribute some template of the
+/// view adorns 'b'.
+///
+/// `positions` are view-schema column positions in ascending order (the
+/// canonical form — two queries binding the same attributes to the same
+/// values compare equal regardless of the order bindings were supplied),
+/// and `ids` are the parallel values, interned in `dict`. On the interned
+/// execution path `dict` is the session dictionary, so building a query
+/// from engine rows copies ids and translates nothing.
 struct SourceQuery {
-  std::map<std::string, Value> bindings;
+  std::vector<uint32_t> positions;
+  std::vector<ValueId> ids;
+  ValueDictionaryPtr dict;
 
-  bool operator==(const SourceQuery& other) const {
-    return bindings == other.bindings;
-  }
-  bool operator<(const SourceQuery& other) const {
-    return bindings < other.bindings;
-  }
+  /// Builds a query from attribute-name/value bindings, interning the
+  /// values into `dict`. Fails when a name is not in the view's schema or
+  /// appears twice.
+  static Result<SourceQuery> Make(
+      const SourceView& view, ValueDictionaryPtr dict,
+      std::vector<std::pair<std::string, Value>> bindings);
+
+  /// Aborting variant for tests and static setups.
+  static SourceQuery MakeUnsafe(
+      const SourceView& view, ValueDictionaryPtr dict,
+      std::vector<std::pair<std::string, Value>> bindings);
+
+  std::size_t size() const { return positions.size(); }
+  bool empty() const { return positions.empty(); }
+
+  /// True when the query binds view-schema position `pos`.
+  bool BindsPosition(uint32_t pos) const;
+
+  /// True when the query's bound positions include every position the
+  /// template adorns 'b'.
+  bool Satisfies(const BindingPattern& pattern) const;
+
+  /// Index of the first view template this query satisfies, or nullopt.
+  std::optional<std::size_t> SatisfiedTemplate(const SourceView& view) const;
+
+  /// Decodes the bindings to attribute-name/value form (one dictionary
+  /// decode per binding) — for rendering and vocabularies outside the
+  /// interned path.
+  std::map<std::string, Value> DecodedBindings(const SourceView& view) const;
+
+  /// Renders the query in the paper's notation, e.g. "v3(c1, A, P)".
+  std::string Render(const SourceView& view) const;
+
+  /// Structural equality: same positions, same ids, same dictionary
+  /// object. Ids from different dictionaries are incomparable by design.
+  bool operator==(const SourceQuery& other) const = default;
 };
 
 /// An autonomous source exporting a single relational view with limited
@@ -30,6 +75,11 @@ struct SourceQuery {
 /// the view's binding requirements with StatusCode::kCapabilityViolation —
 /// the integration system never sees the full extent of a source with a
 /// 'b' adornment.
+///
+/// Dictionary contract: `query.dict` is the caller's (session)
+/// dictionary; the returned relation's rows must be encoded against that
+/// same dictionary, so the one Value→id translation of returned tuples
+/// happens inside the source at ingest and the caller consumes raw ids.
 class Source {
  public:
   virtual ~Source() = default;
@@ -37,7 +87,7 @@ class Source {
   virtual const SourceView& view() const = 0;
 
   /// Executes `query`; on success returns the matching tuples with the
-  /// view's full schema.
+  /// view's full schema, encoded against `query.dict`.
   virtual Result<relational::Relation> Execute(const SourceQuery& query) = 0;
 };
 

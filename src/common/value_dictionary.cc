@@ -3,6 +3,7 @@
 namespace limcap {
 
 ValueId ValueDictionary::Intern(const Value& value) {
+  encodes_.fetch_add(1, std::memory_order_relaxed);
   auto it = ids_.find(value);
   if (it != ids_.end()) return it->second;
   ValueId id = static_cast<ValueId>(values_.size());
@@ -12,6 +13,7 @@ ValueId ValueDictionary::Intern(const Value& value) {
 }
 
 bool ValueDictionary::Lookup(const Value& value, ValueId* id) const {
+  encodes_.fetch_add(1, std::memory_order_relaxed);
   auto it = ids_.find(value);
   if (it == ids_.end()) return false;
   *id = it->second;

@@ -58,7 +58,7 @@ Result<bool> FactStore::Insert(const std::string& predicate,
   // Encode into a small stack-backed scratch when possible.
   IdRow encoded;
   encoded.reserve(row.size());
-  for (const Value& value : row) encoded.push_back(dict_.Intern(value));
+  for (const Value& value : row) encoded.push_back(dict_->Intern(value));
   return InsertIds(pred, RowView(encoded));
 }
 
@@ -299,15 +299,16 @@ std::vector<std::size_t> FactStore::Probe(
 Result<relational::Relation> FactStore::ToRelation(
     const std::string& predicate, const relational::Schema& schema) const {
   PredicateId pred = FindPredicate(predicate);
-  relational::Relation relation(schema);
+  relational::Relation relation(schema, dict_);
   if (pred == kNoPredicate) return relation;
   if (preds_[pred].arity != schema.arity()) {
     return Status::InvalidArgument(
         "schema arity " + std::to_string(schema.arity()) +
         " != predicate arity " + std::to_string(preds_[pred].arity));
   }
+  // Same dictionary on both sides: rows cross the seam as raw ids.
   for (RowView row : Facts(pred)) {
-    relation.InsertUnsafe(Decode(row));
+    relation.InsertIdsUnsafe(row);
   }
   return relation;
 }
@@ -315,7 +316,7 @@ Result<relational::Relation> FactStore::ToRelation(
 relational::Row FactStore::Decode(RowView row) const {
   relational::Row decoded;
   decoded.reserve(row.size());
-  for (ValueId id : row) decoded.push_back(dict_.Get(id));
+  for (ValueId id : row) decoded.push_back(dict_->Get(id));
   return decoded;
 }
 

@@ -88,15 +88,19 @@ class FactSpan {
 /// to single-threaded merge phases.
 class FactStore {
  public:
-  FactStore() = default;
+  FactStore() : dict_(std::make_shared<ValueDictionary>()) {}
+  /// A store encoding against an existing (session) dictionary, so rows
+  /// flow between the store and same-session relations as raw ids.
+  explicit FactStore(ValueDictionaryPtr dict) : dict_(std::move(dict)) {}
 
   FactStore(const FactStore&) = delete;
   FactStore& operator=(const FactStore&) = delete;
   FactStore(FactStore&&) = default;
   FactStore& operator=(FactStore&&) = default;
 
-  ValueDictionary& dict() { return dict_; }
-  const ValueDictionary& dict() const { return dict_; }
+  ValueDictionary& dict() { return *dict_; }
+  const ValueDictionary& dict() const { return *dict_; }
+  const ValueDictionaryPtr& dict_ptr() const { return dict_; }
 
   const PredicateTable& predicate_table() const { return names_; }
 
@@ -272,7 +276,7 @@ class FactStore {
   void IndexInsert(PredicateData& data, ColumnIndex& index, std::size_t pos);
   void GrowIndex(ColumnIndex& index);
 
-  ValueDictionary dict_;
+  ValueDictionaryPtr dict_;
   PredicateTable names_;
   std::vector<PredicateData> preds_;
 };

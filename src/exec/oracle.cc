@@ -63,8 +63,8 @@ Result<Relation> CompleteAnswer(
           relational::Select(join, ConditionsFor(combo, join.schema())));
       LIMCAP_ASSIGN_OR_RETURN(Relation projected,
                               relational::Project(selected, query.outputs()));
-      for (const relational::Row& row : projected.rows()) {
-        answer.InsertUnsafe(row);
+      for (relational::Row& row : projected.DecodedRows()) {
+        answer.InsertUnsafe(std::move(row));
       }
     }
 

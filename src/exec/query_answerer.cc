@@ -5,14 +5,34 @@
 
 namespace limcap::exec {
 
+namespace {
+
+/// Fills in the session dictionary when the caller supplied none, and
+/// resolves the query's input constants into it once, at plan time — the
+/// execution layers below only ever copy the resulting ids.
+ExecOptions WithSessionDict(const ExecOptions& options,
+                            const planner::Query& query) {
+  ExecOptions session_options = options;
+  if (session_options.session_dict == nullptr) {
+    session_options.session_dict = std::make_shared<ValueDictionary>();
+  }
+  for (const planner::InputAssignment& input : query.inputs()) {
+    session_options.session_dict->Intern(input.value);
+  }
+  return session_options;
+}
+
+}  // namespace
+
 Result<AnswerReport> QueryAnswerer::Answer(const planner::Query& query,
                                            const ExecOptions& options) const {
   LIMCAP_RETURN_NOT_OK(query.Validate(*catalog_, domains_));
+  ExecOptions session_options = WithSessionDict(options, query);
   AnswerReport report;
   LIMCAP_ASSIGN_OR_RETURN(
       report.plan, planner::PlanQuery(query, catalog_->Views(), domains_,
-                                      options.builder));
-  SourceDrivenEvaluator evaluator(catalog_, domains_, options);
+                                      session_options.builder));
+  SourceDrivenEvaluator evaluator(catalog_, domains_, session_options);
   LIMCAP_ASSIGN_OR_RETURN(
       report.exec, evaluator.Execute(report.plan.optimized_program, query));
   return report;
@@ -21,10 +41,12 @@ Result<AnswerReport> QueryAnswerer::Answer(const planner::Query& query,
 Result<AnswerReport> QueryAnswerer::AnswerHybrid(
     const planner::Query& query, const ExecOptions& options) const {
   LIMCAP_RETURN_NOT_OK(query.Validate(*catalog_, domains_));
+  ExecOptions session_options = WithSessionDict(options, query);
+  const ValueDictionaryPtr& dict = session_options.session_dict;
   AnswerReport report;
   LIMCAP_ASSIGN_OR_RETURN(
       report.plan, planner::PlanQuery(query, catalog_->Views(), domains_,
-                                      options.builder));
+                                      session_options.builder));
 
   // Partition the queryable connections by (attribute-level)
   // independence.
@@ -55,14 +77,15 @@ Result<AnswerReport> QueryAnswerer::AnswerHybrid(
     LIMCAP_ASSIGN_OR_RETURN(
         planner::PlanResult subplan,
         planner::PlanQuery(sub, catalog_->Views(), domains_,
-                           options.builder));
-    SourceDrivenEvaluator evaluator(catalog_, domains_, options);
+                           session_options.builder));
+    SourceDrivenEvaluator evaluator(catalog_, domains_, session_options);
     LIMCAP_ASSIGN_OR_RETURN(report.exec,
                             evaluator.Execute(subplan.optimized_program, sub));
   } else {
     LIMCAP_ASSIGN_OR_RETURN(relational::Schema out_schema,
                             relational::Schema::Make(query.outputs()));
-    report.exec.answer = relational::Relation(std::move(out_schema));
+    report.exec.answer = relational::Relation(std::move(out_schema), dict);
+    report.exec.session_dict = dict;
   }
 
   // Bind-join part for the independent connections, per input
@@ -101,6 +124,7 @@ Result<AnswerReport> QueryAnswerer::AnswerWithCache(
     const std::map<std::string, relational::Relation>& cached,
     const ExecOptions& options) const {
   LIMCAP_RETURN_NOT_OK(query.Validate(*catalog_, domains_));
+  ExecOptions session_options = WithSessionDict(options, query);
   AnswerReport report;
   // Cached views seed their attributes' domains, which can make views —
   // and whole connections — queryable that a cold start would drop.
@@ -114,7 +138,7 @@ Result<AnswerReport> QueryAnswerer::AnswerWithCache(
   }
   LIMCAP_ASSIGN_OR_RETURN(
       report.plan, planner::PlanQuery(query, catalog_->Views(), domains_,
-                                      options.builder, seeded));
+                                      session_options.builder, seeded));
   // Fold the cached tuples into the optimized program as fact rules
   // (Section 7.1). Facts only add derivations, so the relevance analysis
   // computed without them stays sound.
@@ -122,12 +146,12 @@ Result<AnswerReport> QueryAnswerer::AnswerWithCache(
   for (const auto& [name, tuples] : cached) {
     LIMCAP_ASSIGN_OR_RETURN(const capability::SourceView* view,
                             catalog_->FindView(name));
-    for (const relational::Row& row : tuples.rows()) {
+    for (const relational::Row& row : tuples.DecodedRows()) {
       LIMCAP_RETURN_NOT_OK(planner::AddCachedTupleRules(
-          *view, row, domains_, options.builder, &program));
+          *view, row, domains_, session_options.builder, &program));
     }
   }
-  SourceDrivenEvaluator evaluator(catalog_, domains_, options);
+  SourceDrivenEvaluator evaluator(catalog_, domains_, session_options);
   LIMCAP_ASSIGN_OR_RETURN(report.exec, evaluator.Execute(program, query));
   return report;
 }
@@ -135,11 +159,12 @@ Result<AnswerReport> QueryAnswerer::AnswerWithCache(
 Result<AnswerReport> QueryAnswerer::AnswerUnoptimized(
     const planner::Query& query, const ExecOptions& options) const {
   LIMCAP_RETURN_NOT_OK(query.Validate(*catalog_, domains_));
+  ExecOptions session_options = WithSessionDict(options, query);
   AnswerReport report;
   LIMCAP_ASSIGN_OR_RETURN(
       report.plan, planner::PlanQuery(query, catalog_->Views(), domains_,
-                                      options.builder));
-  SourceDrivenEvaluator evaluator(catalog_, domains_, options);
+                                      session_options.builder));
+  SourceDrivenEvaluator evaluator(catalog_, domains_, session_options);
   LIMCAP_ASSIGN_OR_RETURN(report.exec,
                           evaluator.Execute(report.plan.full_program, query));
   return report;

@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
@@ -15,16 +16,17 @@ namespace {
 using capability::AccessRecord;
 using capability::Source;
 using capability::SourceQuery;
-using datalog::IdRow;
 using relational::Relation;
-using relational::Row;
 
 /// Per-(view, template) fetch state: which queries have been issued.
 struct FetchSpec {
   Source* source = nullptr;
   std::size_t template_index = 0;
-  // The template's bound attribute names in schema order, with their
-  // domain predicates.
+  /// Shared copy for access records, which outlive the execution.
+  std::shared_ptr<const capability::SourceView> view;
+  // The template's bound positions in schema order, with the bound
+  // attributes' names and domain predicates.
+  std::vector<uint32_t> bound_positions;
   std::vector<std::string> bound_attributes;
   std::vector<std::string> bound_domains;
   std::set<std::vector<ValueId>> asked;
@@ -35,6 +37,13 @@ struct FetchSpec {
 Result<ExecResult> SourceDrivenEvaluator::Execute(
     const datalog::Program& program, const planner::Query& query) {
   ExecResult result;
+  if (options_.session_dict != nullptr) {
+    result.store = datalog::FactStore(options_.session_dict);
+  }
+  const ValueDictionaryPtr& dict = result.store.dict_ptr();
+  result.session_dict = dict;
+  result.log.set_eager_render(options_.eager_render_log);
+
   datalog::Evaluator::Options eval_options;
   eval_options.mode = options_.mode;
   eval_options.num_threads = options_.eval_threads;
@@ -49,18 +58,27 @@ Result<ExecResult> SourceDrivenEvaluator::Execute(
     if (mentioned.count(name) == 0) continue;
     LIMCAP_ASSIGN_OR_RETURN(Source * source, catalog_->Find(name));
     const capability::SourceView& view = source->view();
+    auto shared_view = std::make_shared<const capability::SourceView>(view);
     for (std::size_t t = 0; t < view.templates().size(); ++t) {
       FetchSpec spec;
       spec.source = source;
       spec.template_index = t;
+      spec.view = shared_view;
       for (std::size_t i : view.templates()[t].BoundPositions()) {
         const std::string& attribute = view.schema().attribute(i);
+        spec.bound_positions.push_back(static_cast<uint32_t>(i));
         spec.bound_attributes.push_back(attribute);
         spec.bound_domains.push_back(domains_.DomainOf(attribute));
       }
       specs.push_back(std::move(spec));
     }
   }
+
+  // Single-translation accounting: everything after plan compilation is
+  // id-only except source ingest (and the log's optional eager render),
+  // which accrues into `ingest_allowance`.
+  const uint64_t translations_at_start = dict->translation_count();
+  uint64_t ingest_allowance = 0;
 
   // Tracks the domain values already seen, for the "New Binding(s)"
   // column of the trace (updated eagerly as queries return, ahead of the
@@ -79,47 +97,62 @@ Result<ExecResult> SourceDrivenEvaluator::Execute(
   };
 
   // Issues one source query for `combo` against `spec`, folding the
-  // returned tuples into the store and the trace.
+  // returned tuples into the store and the trace. The query is formed by
+  // copying ids — the domain predicates already hold session ids — and
+  // the answer comes back encoded against the session dictionary, so no
+  // value is rendered or re-parsed per round.
   auto issue = [&](FetchSpec& spec,
                    const std::vector<ValueId>& combo) -> Status {
-    const capability::SourceView& view = spec.source->view();
+    const capability::SourceView& view = *spec.view;
     SourceQuery source_query;
-    for (std::size_t i = 0; i < combo.size(); ++i) {
-      source_query.bindings.emplace(spec.bound_attributes[i],
-                                    result.store.dict().Get(combo[i]));
-    }
+    source_query.positions = spec.bound_positions;
+    source_query.ids = combo;
+    source_query.dict = dict;
+    const uint64_t before_execute = dict->translation_count();
     auto answered = spec.source->Execute(source_query);
     AccessRecord record;
     record.source = view.name();
     record.query = source_query;
-    record.rendered_query = view.FormatQuery(source_query.bindings);
+    record.view = spec.view;
     record.round = result.rounds;
     const bool source_failed = !answered.ok();
     if (source_failed && !options_.continue_on_source_error) {
       return answered.status();
     }
     if (source_failed) record.error = answered.status().ToString();
-    Relation tuples = source_failed ? Relation(view.schema())
+    Relation tuples = source_failed ? Relation(view.schema(), dict)
                                     : std::move(answered).value();
+    if (tuples.dict_ptr() != dict) {
+      // A source that ignores the dictionary contract (possible for
+      // third-party Source implementations) pays one re-keying pass —
+      // still ingest, not hot path.
+      tuples = tuples.WithDictionary(dict);
+    }
+    ingest_allowance += dict->translation_count() - before_execute;
     record.tuples_returned = tuples.size();
-    for (const Row& row : tuples.rows()) {
+    relational::IdRow row_ids;
+    for (std::size_t pos = 0; pos < tuples.size(); ++pos) {
+      tuples.GatherRowIds(pos, &row_ids);
       LIMCAP_ASSIGN_OR_RETURN(bool inserted,
-                              result.store.Insert(view.name(), row));
+                              result.store.InsertIds(view.name(), row_ids));
       if (!inserted) continue;
       ++record.new_tuples;
-      record.returned_rendered.push_back(relational::RowToString(row));
+      record.returned_ids.push_back(row_ids);
       // Report first-seen values of free attributes as new bindings.
       for (std::size_t i :
            view.templates()[spec.template_index].FreePositions()) {
-        const std::string& attribute = view.schema().attribute(i);
-        ValueId id = result.store.dict().Intern(row[i]);
-        if (!domain_seen(domains_.DomainOf(attribute), id)) {
-          record.new_bindings.push_back(attribute + " = " +
-                                        row[i].ToString());
+        if (!domain_seen(domains_.DomainOf(view.schema().attribute(i)),
+                         row_ids[i])) {
+          record.new_binding_ids.emplace_back(view.schema().attribute(i),
+                                              row_ids[i]);
         }
       }
     }
+    const uint64_t before_record = dict->translation_count();
     result.log.Record(std::move(record));
+    // Eager rendering decodes; lazy recording touches the dictionary not
+    // at all.
+    ingest_allowance += dict->translation_count() - before_record;
     return Status::OK();
   };
 
@@ -211,8 +244,11 @@ Result<ExecResult> SourceDrivenEvaluator::Execute(
   }
 
   result.datalog_stats = evaluator->stats();
+  result.post_ingest_translations =
+      dict->translation_count() - translations_at_start - ingest_allowance;
 
-  // Decode the goal predicate into the answer relation.
+  // The goal predicate and the answer share the session dictionary, so
+  // this copies ids without decoding.
   LIMCAP_ASSIGN_OR_RETURN(relational::Schema out_schema,
                           relational::Schema::Make(query.outputs()));
   LIMCAP_ASSIGN_OR_RETURN(

@@ -54,6 +54,15 @@ struct ExecOptions {
   /// When false (default) the failure aborts the evaluation. Failed
   /// queries are not retried either way.
   bool continue_on_source_error = false;
+  /// The session dictionary every relation, fact and source query of this
+  /// execution encodes against. Null (default) creates a fresh one; the
+  /// mediator passes its own so the answer stays decodable after the
+  /// evaluator is gone.
+  ValueDictionaryPtr session_dict;
+  /// When true, the access log renders its paper-notation strings at
+  /// record time instead of lazily on first read. Costs one decode pass
+  /// per logged tuple on the execution path; useful for verbose tracing.
+  bool eager_render_log = false;
 };
 
 /// What an execution produced.
@@ -72,6 +81,17 @@ struct ExecResult {
   /// True when max_source_queries or min_answers stopped fetching early,
   /// making `answer` a (possibly) partial answer.
   bool budget_exhausted = false;
+  /// The dictionary `answer`, `store` and the log's interned records
+  /// encode against (shared with the store).
+  ValueDictionaryPtr session_dict;
+  /// Value↔id translations the session dictionary performed on the hot
+  /// path after plan compilation, excluding source ingest (each source's
+  /// Execute and any re-keying of foreign-dictionary answers) and the
+  /// log's eager rendering. The single-translation invariant of the
+  /// interned execution path makes this 0: once a tuple enters the
+  /// session dictionary it flows as ids to the final answer. Tests
+  /// assert on it.
+  uint64_t post_ingest_translations = 0;
 };
 
 /// Evaluates a program Π(Q, V) against live capability-restricted sources

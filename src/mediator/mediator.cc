@@ -101,8 +101,16 @@ Result<planner::Query> Mediator::Expand(const MediatorQuery& query) const {
 Result<exec::AnswerReport> Mediator::Answer(
     const MediatorQuery& query, const exec::ExecOptions& options) const {
   LIMCAP_ASSIGN_OR_RETURN(planner::Query expanded, Expand(query));
+  // One dictionary per answering session, owned here at the top of the
+  // pipeline: the fact store, every source query and answer, and the
+  // final answer relation all encode against it, so the report stays
+  // decodable after execution ends and no layer re-translates a tuple.
+  exec::ExecOptions session_options = options;
+  if (session_options.session_dict == nullptr) {
+    session_options.session_dict = std::make_shared<ValueDictionary>();
+  }
   exec::QueryAnswerer answerer(catalog_, domains_);
-  return answerer.Answer(expanded, options);
+  return answerer.Answer(expanded, session_options);
 }
 
 }  // namespace limcap::mediator

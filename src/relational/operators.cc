@@ -4,27 +4,32 @@ namespace limcap::relational {
 
 Result<Relation> Select(const Relation& input,
                         const std::vector<EqualityCondition>& conditions) {
-  std::vector<std::pair<std::size_t, Value>> resolved;
-  resolved.reserve(conditions.size());
+  std::vector<std::size_t> columns;
+  IdRow key;
+  bool unmatchable = false;
   for (const EqualityCondition& cond : conditions) {
     auto index = input.schema().IndexOf(cond.attribute);
     if (!index.has_value()) {
       return Status::InvalidArgument("selection attribute not in schema: " +
                                      cond.attribute);
     }
-    resolved.emplace_back(*index, cond.value);
-  }
-  Relation output(input.schema());
-  for (const Row& row : input.rows()) {
-    bool keep = true;
-    for (const auto& [index, value] : resolved) {
-      if (row[index] != value) {
-        keep = false;
-        break;
-      }
+    ValueId id;
+    if (!input.dict().Lookup(cond.value, &id)) {
+      // The dictionary has never seen the value, so no row can match.
+      unmatchable = true;
+      continue;
     }
-    if (keep) output.InsertUnsafe(row);
+    columns.push_back(*index);
+    key.push_back(id);
   }
+  Relation output(input.schema(), input.dict_ptr());
+  if (unmatchable) return output;
+  IdRow row;
+  input.ProbeEachIds(columns, key, [&](std::size_t pos) {
+    input.GatherRowIds(pos, &row);
+    output.InsertIdsUnsafe(row);
+    return true;
+  });
   return output;
 }
 
@@ -41,17 +46,23 @@ Result<Relation> Project(const Relation& input,
     positions.push_back(*index);
   }
   LIMCAP_ASSIGN_OR_RETURN(Schema schema, Schema::Make(attributes));
-  Relation output(std::move(schema));
-  for (const Row& row : input.rows()) {
-    Row projected;
-    projected.reserve(positions.size());
-    for (std::size_t p : positions) projected.push_back(row[p]);
-    output.InsertUnsafe(std::move(projected));
+  Relation output(std::move(schema), input.dict_ptr());
+  IdRow projected(positions.size());
+  for (std::size_t pos = 0; pos < input.size(); ++pos) {
+    for (std::size_t p = 0; p < positions.size(); ++p) {
+      projected[p] = input.IdAt(pos, positions[p]);
+    }
+    output.InsertIdsUnsafe(projected);
   }
   return output;
 }
 
 Relation NaturalJoin(const Relation& left, const Relation& right) {
+  // Mixed dictionaries re-intern the right side once; relations produced
+  // inside one session share the session dictionary and skip this.
+  if (!left.SharesDictionaryWith(right)) {
+    return NaturalJoin(left, right.WithDictionary(left.dict_ptr()));
+  }
   // Probe with the larger side into an index on the smaller side.
   const bool left_is_build = left.size() <= right.size();
   const Relation& build = left_is_build ? left : right;
@@ -68,7 +79,7 @@ Relation NaturalJoin(const Relation& left, const Relation& right) {
   // Output schema per the public contract: left's attributes then right's
   // new attributes.
   Schema out_schema = left.schema().NaturalJoinSchema(right.schema());
-  Relation output(out_schema);
+  Relation output(out_schema, left.dict_ptr());
 
   // Positions in (left row, right row) for each output attribute.
   struct SourcePos {
@@ -84,29 +95,32 @@ Relation NaturalJoin(const Relation& left, const Relation& right) {
     }
   }
 
-  for (const Row& probe_row : probe.rows()) {
-    Row key;
-    key.reserve(probe_cols.size());
-    for (std::size_t c : probe_cols) key.push_back(probe_row[c]);
-    for (std::size_t build_pos : build.Probe(build_cols, key)) {
-      const Row& build_row = build.row(build_pos);
-      const Row& left_row = left_is_build ? build_row : probe_row;
-      const Row& right_row = left_is_build ? probe_row : build_row;
-      Row out;
-      out.reserve(mapping.size());
-      for (const SourcePos& pos : mapping) {
-        out.push_back(pos.from_left ? left_row[pos.index]
-                                    : right_row[pos.index]);
-      }
-      output.InsertUnsafe(std::move(out));
+  IdRow key(probe_cols.size());
+  IdRow out(mapping.size());
+  for (std::size_t probe_pos = 0; probe_pos < probe.size(); ++probe_pos) {
+    for (std::size_t c = 0; c < probe_cols.size(); ++c) {
+      key[c] = probe.IdAt(probe_pos, probe_cols[c]);
     }
+    build.ProbeEachIds(build_cols, key, [&](std::size_t build_pos) {
+      const std::size_t left_pos = left_is_build ? build_pos : probe_pos;
+      const std::size_t right_pos = left_is_build ? probe_pos : build_pos;
+      for (std::size_t m = 0; m < mapping.size(); ++m) {
+        out[m] = mapping[m].from_left ? left.IdAt(left_pos, mapping[m].index)
+                                      : right.IdAt(right_pos, mapping[m].index);
+      }
+      output.InsertIdsUnsafe(out);
+      return true;
+    });
   }
   return output;
 }
 
 Relation NaturalJoinAll(const std::vector<const Relation*>& inputs) {
-  Relation acc{Schema::MakeUnsafe({})};
-  acc.InsertUnsafe({});
+  Relation acc = inputs.empty()
+                     ? Relation(Schema::MakeUnsafe({}))
+                     : Relation(Schema::MakeUnsafe({}),
+                                inputs.front()->dict_ptr());
+  acc.InsertIdsUnsafe({});
   for (const Relation* input : inputs) {
     acc = NaturalJoin(acc, *input);
   }
@@ -120,7 +134,17 @@ Result<Relation> Union(const Relation& left, const Relation& right) {
                                    right.schema().ToString());
   }
   Relation output = left;
-  for (const Row& row : right.rows()) output.InsertUnsafe(row);
+  if (output.SharesDictionaryWith(right)) {
+    IdRow row;
+    for (std::size_t pos = 0; pos < right.size(); ++pos) {
+      right.GatherRowIds(pos, &row);
+      output.InsertIdsUnsafe(row);
+    }
+  } else {
+    for (std::size_t pos = 0; pos < right.size(); ++pos) {
+      output.InsertUnsafe(right.DecodeRow(pos));
+    }
+  }
   return output;
 }
 
@@ -130,9 +154,14 @@ Result<Relation> Difference(const Relation& left, const Relation& right) {
                                    left.schema().ToString() + " vs " +
                                    right.schema().ToString());
   }
-  Relation output(left.schema());
-  for (const Row& row : left.rows()) {
-    if (!right.Contains(row)) output.InsertUnsafe(row);
+  Relation output(left.schema(), left.dict_ptr());
+  const bool shared = left.SharesDictionaryWith(right);
+  IdRow row;
+  for (std::size_t pos = 0; pos < left.size(); ++pos) {
+    left.GatherRowIds(pos, &row);
+    const bool present = shared ? right.ContainsIds(row)
+                                : right.Contains(left.DecodeRow(pos));
+    if (!present) output.InsertIdsUnsafe(row);
   }
   return output;
 }

@@ -89,8 +89,13 @@ TEST(CacheFacadeTest, ObservedTuplesRoundTrip) {
       example.catalog.Find("v4").value());
   CachingSource session(std::make_unique<InMemorySource>(
       InMemorySource::MakeUnsafe(v4->view(), v4->data())));
-  // Yesterday someone searched for artist a5.
-  ASSERT_TRUE(session.Execute({{{"Artist", S("a5")}}}).ok());
+  // Yesterday someone searched for artist a5 (in yesterday's session
+  // dictionary, which is gone by the time the cache is reused).
+  auto yesterday = std::make_shared<ValueDictionary>();
+  ASSERT_TRUE(session
+                  .Execute(capability::SourceQuery::MakeUnsafe(
+                      session.view(), yesterday, {{"Artist", S("a5")}}))
+                  .ok());
   Relation observed = session.ObservedTuples();
   ASSERT_EQ(observed.size(), 1u);
 

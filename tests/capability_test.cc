@@ -14,6 +14,13 @@ namespace {
 
 Value S(const char* text) { return Value::String(text); }
 
+/// Builds a session-encoded query against `source`'s view; aborts on bad
+/// attribute names (tests for rejection call SourceQuery::Make directly).
+SourceQuery Q(const Source& source, const ValueDictionaryPtr& dict,
+              std::vector<std::pair<std::string, Value>> bindings) {
+  return SourceQuery::MakeUnsafe(source.view(), dict, std::move(bindings));
+}
+
 relational::Relation CdData() {
   relational::Relation data(
       relational::Schema::MakeUnsafe({"Cd", "Artist", "Price"}));
@@ -78,21 +85,44 @@ TEST(SourceViewTest, FormatQuery) {
   EXPECT_EQ(view.FormatQuery({}), "v3(C, A, P)");
 }
 
+TEST(SourceQueryTest, MakeCanonicalizesAndValidates) {
+  SourceView view =
+      SourceView::MakeUnsafe("v3", {"Cd", "Artist", "Price"}, "bff");
+  auto dict = std::make_shared<ValueDictionary>();
+  // Supply order does not matter: positions come out ascending.
+  auto a = SourceQuery::MakeUnsafe(view, dict,
+                                   {{"Artist", S("a1")}, {"Cd", S("c1")}});
+  auto b = SourceQuery::MakeUnsafe(view, dict,
+                                   {{"Cd", S("c1")}, {"Artist", S("a1")}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.positions, (std::vector<uint32_t>{0, 1}));
+  EXPECT_TRUE(a.BindsPosition(0));
+  EXPECT_FALSE(a.BindsPosition(2));
+  EXPECT_EQ(a.Render(view), "v3(c1, a1, P)");
+  // Unknown and duplicate attributes are rejected at construction.
+  EXPECT_EQ(SourceQuery::Make(view, dict, {{"Xyz", S("a")}}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SourceQuery::Make(view, dict, {{"Cd", S("c1")}, {"Cd", S("c2")}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(InMemorySourceTest, EnforcesBindingPattern) {
   InMemorySource source = InMemorySource::MakeUnsafe(
       SourceView::MakeUnsafe("v3", {"Cd", "Artist", "Price"}, "bff"),
       CdData());
+  auto dict = std::make_shared<ValueDictionary>();
   // Missing the must-bind attribute.
-  auto denied = source.Execute(SourceQuery{{{"Artist", S("a1")}}});
+  auto denied = source.Execute(Q(source, dict, {{"Artist", S("a1")}}));
   EXPECT_FALSE(denied.ok());
   EXPECT_EQ(denied.status().code(), StatusCode::kCapabilityViolation);
-  // Unknown attribute.
-  auto unknown = source.Execute(SourceQuery{{{"Xyz", S("a")}}});
-  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
-  // Satisfying query returns matching tuples.
-  auto ok = source.Execute(SourceQuery{{{"Cd", S("c1")}}});
+  // Satisfying query returns matching tuples, encoded against the
+  // caller's dictionary.
+  auto ok = source.Execute(Q(source, dict, {{"Cd", S("c1")}}));
   ASSERT_TRUE(ok.ok());
   EXPECT_EQ(ok->size(), 1u);
+  EXPECT_EQ(ok->dict_ptr(), dict);
   EXPECT_TRUE(ok->Contains({S("c1"), S("a1"), S("$15")}));
 }
 
@@ -100,8 +130,9 @@ TEST(InMemorySourceTest, OverBindingIsAllowed) {
   InMemorySource source = InMemorySource::MakeUnsafe(
       SourceView::MakeUnsafe("v3", {"Cd", "Artist", "Price"}, "bff"),
       CdData());
+  auto dict = std::make_shared<ValueDictionary>();
   auto result = source.Execute(
-      SourceQuery{{{"Cd", S("c1")}, {"Artist", S("a9")}}});
+      Q(source, dict, {{"Cd", S("c1")}, {"Artist", S("a9")}}));
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->empty());
 }
@@ -110,9 +141,26 @@ TEST(InMemorySourceTest, AllFreeSourceReturnsEverything) {
   InMemorySource source = InMemorySource::MakeUnsafe(
       SourceView::MakeUnsafe("v3", {"Cd", "Artist", "Price"}, "fff"),
       CdData());
-  auto result = source.Execute(SourceQuery{});
+  auto result = source.Execute(Q(source, std::make_shared<ValueDictionary>(), {}));
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->size(), 2u);
+}
+
+TEST(InMemorySourceTest, SharedDictionaryAnswersWithoutTranslation) {
+  auto dict = std::make_shared<ValueDictionary>();
+  relational::Relation data(
+      relational::Schema::MakeUnsafe({"Cd", "Artist", "Price"}), dict);
+  data.InsertUnsafe({S("c1"), S("a1"), S("$15")});
+  InMemorySource source = InMemorySource::MakeUnsafe(
+      SourceView::MakeUnsafe("v3", {"Cd", "Artist", "Price"}, "bff"),
+      std::move(data));
+  SourceQuery query = Q(source, dict, {{"Cd", S("c1")}});
+  const uint64_t before = dict->translation_count();
+  auto result = source.Execute(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+  // Catalog data already on the session dictionary: pure id flow.
+  EXPECT_EQ(dict->translation_count(), before);
 }
 
 TEST(InMemorySourceTest, MakeRejectsSchemaMismatch) {
@@ -154,12 +202,50 @@ TEST(CachingSourceTest, MemoizesByBindings) {
       std::make_unique<InMemorySource>(InMemorySource::MakeUnsafe(
           SourceView::MakeUnsafe("v3", {"Cd", "Artist", "Price"}, "bff"),
           CdData())));
-  ASSERT_TRUE(source.Execute(SourceQuery{{{"Cd", S("c1")}}}).ok());
-  ASSERT_TRUE(source.Execute(SourceQuery{{{"Cd", S("c1")}}}).ok());
-  ASSERT_TRUE(source.Execute(SourceQuery{{{"Cd", S("c3")}}}).ok());
+  auto dict = std::make_shared<ValueDictionary>();
+  ASSERT_TRUE(source.Execute(Q(source, dict, {{"Cd", S("c1")}})).ok());
+  ASSERT_TRUE(source.Execute(Q(source, dict, {{"Cd", S("c1")}})).ok());
+  ASSERT_TRUE(source.Execute(Q(source, dict, {{"Cd", S("c3")}})).ok());
   EXPECT_EQ(source.hits(), 1u);
   EXPECT_EQ(source.misses(), 2u);
   EXPECT_EQ(source.ObservedTuples().size(), 2u);
+}
+
+// Regression: the cache key must canonicalize away both the order the
+// bindings were supplied in and the session dictionary the query was
+// encoded with — the same logical query always hits.
+TEST(CachingSourceTest, HitInvariantToBindingOrderAndSession) {
+  CachingSource source(
+      std::make_unique<InMemorySource>(InMemorySource::MakeUnsafe(
+          SourceView::MakeUnsafe("v5", {"Cd", "Artist", "Price"}, "bbf"),
+          CdData())));
+  auto session1 = std::make_shared<ValueDictionary>();
+  // Prime ids in an adversarial order so the two sessions assign
+  // different ids to the same values.
+  auto session2 = std::make_shared<ValueDictionary>();
+  session2->Intern(S("zzz"));
+  session2->Intern(S("a1"));
+
+  ASSERT_TRUE(source
+                  .Execute(Q(source, session1,
+                             {{"Cd", S("c1")}, {"Artist", S("a1")}}))
+                  .ok());
+  EXPECT_EQ(source.misses(), 1u);
+  // Same query, reversed supply order, same session: hit.
+  ASSERT_TRUE(source
+                  .Execute(Q(source, session1,
+                             {{"Artist", S("a1")}, {"Cd", S("c1")}}))
+                  .ok());
+  EXPECT_EQ(source.hits(), 1u);
+  // Same query from a different session (different ids): still a hit,
+  // and the answer is re-keyed to the requesting session's dictionary.
+  auto cross = source.Execute(
+      Q(source, session2, {{"Artist", S("a1")}, {"Cd", S("c1")}}));
+  ASSERT_TRUE(cross.ok());
+  EXPECT_EQ(source.hits(), 2u);
+  EXPECT_EQ(source.misses(), 1u);
+  EXPECT_EQ(cross->dict_ptr(), session2);
+  EXPECT_TRUE(cross->Contains({S("c1"), S("a1"), S("$15")}));
 }
 
 TEST(CachingSourceTest, DoesNotCacheErrors) {
@@ -167,7 +253,9 @@ TEST(CachingSourceTest, DoesNotCacheErrors) {
       std::make_unique<InMemorySource>(InMemorySource::MakeUnsafe(
           SourceView::MakeUnsafe("v3", {"Cd", "Artist", "Price"}, "bff"),
           CdData())));
-  EXPECT_FALSE(source.Execute(SourceQuery{}).ok());
+  EXPECT_FALSE(
+      source.Execute(Q(source, std::make_shared<ValueDictionary>(), {}))
+          .ok());
   EXPECT_EQ(source.misses(), 0u);
 }
 
@@ -207,6 +295,43 @@ TEST(AccessLogTest, CountersAndTrace) {
 
   log.Clear();
   EXPECT_EQ(log.total_queries(), 0u);
+}
+
+TEST(AccessLogTest, LazyRecordsRenderOnDemand) {
+  auto view = std::make_shared<const SourceView>(
+      SourceView::MakeUnsafe("v1", {"Song", "Cd"}, "bf"));
+  auto dict = std::make_shared<ValueDictionary>();
+  AccessRecord record;
+  record.source = "v1";
+  record.query = SourceQuery::MakeUnsafe(*view, dict, {{"Song", S("t1")}});
+  record.view = view;
+  record.tuples_returned = 1;
+  record.new_tuples = 1;
+  record.returned_ids = {{dict->Intern(S("t1")), dict->Intern(S("c1"))}};
+  record.new_binding_ids = {{"Cd", dict->Intern(S("c1"))}};
+
+  AccessLog lazy;
+  const uint64_t before = dict->translation_count();
+  lazy.Record(record);
+  // Lazy recording touches the dictionary not at all...
+  EXPECT_EQ(dict->translation_count(), before);
+  // ...and the strings render on demand.
+  const AccessRecord& stored = lazy.records().front();
+  EXPECT_TRUE(stored.rendered_query.empty());
+  EXPECT_EQ(stored.RenderedQuery(), "v1(t1, C)");
+  EXPECT_EQ(stored.ReturnedRendered(),
+            (std::vector<std::string>{"<t1, c1>"}));
+  EXPECT_EQ(stored.NewBindings(), (std::vector<std::string>{"Cd = c1"}));
+  std::string table = lazy.ToTable(/*productive_only=*/false);
+  EXPECT_NE(table.find("v1(t1, C)"), std::string::npos);
+  EXPECT_NE(table.find("Cd = c1"), std::string::npos);
+
+  AccessLog eager;
+  eager.set_eager_render(true);
+  eager.Record(record);
+  EXPECT_EQ(eager.records().front().rendered_query, "v1(t1, C)");
+  EXPECT_EQ(eager.records().front().new_bindings,
+            (std::vector<std::string>{"Cd = c1"}));
 }
 
 }  // namespace

@@ -24,7 +24,8 @@ using relational::Row;
 Value S(const char* text) { return Value::String(text); }
 
 std::set<Row> Rows(const Relation& relation) {
-  return std::set<Row>(relation.rows().begin(), relation.rows().end());
+  auto decoded = relation.DecodedRows();
+  return std::set<Row>(decoded.begin(), decoded.end());
 }
 
 std::set<Row> PredicateRows(const datalog::FactStore& store,
@@ -49,6 +50,9 @@ TEST(SourceDrivenEvaluatorTest, Example21ObtainableAnswer) {
   EXPECT_EQ(Rows(result->answer),
             (std::set<Row>{{S("$15")}, {S("$13")}, {S("$10")}}));
   EXPECT_FALSE(result->budget_exhausted);
+  // The interned-path invariant: after a tuple enters the session
+  // dictionary at source ingest, it is never translated again.
+  EXPECT_EQ(result->post_ingest_translations, 0u);
 }
 
 TEST(SourceDrivenEvaluatorTest, Example21Table3IdbContents) {
@@ -100,7 +104,7 @@ TEST(SourceDrivenEvaluatorTest, Example21TraceIssuesProductiveQueries) {
 
   std::set<std::string> productive;
   for (const auto& record : result->log.records()) {
-    if (record.tuples_returned > 0) productive.insert(record.rendered_query);
+    if (record.tuples_returned > 0) productive.insert(record.RenderedQuery());
   }
   EXPECT_EQ(productive, (std::set<std::string>{
                             "v1(t1, C)", "v1(t2, C)", "v2(S, c2)",
@@ -109,8 +113,8 @@ TEST(SourceDrivenEvaluatorTest, Example21TraceIssuesProductiveQueries) {
   // Every query is asked at most once.
   std::set<std::string> all;
   for (const auto& record : result->log.records()) {
-    EXPECT_TRUE(all.insert(record.rendered_query).second)
-        << "duplicate query " << record.rendered_query;
+    EXPECT_TRUE(all.insert(record.RenderedQuery()).second)
+        << "duplicate query " << record.RenderedQuery();
   }
 }
 
@@ -126,7 +130,7 @@ TEST(SourceDrivenEvaluatorTest, Example21TraceMatchesTable2Order) {
   ASSERT_TRUE(result.ok());
   std::vector<std::string> productive;
   for (const auto& record : result->log.records()) {
-    if (record.tuples_returned > 0) productive.push_back(record.rendered_query);
+    if (record.tuples_returned > 0) productive.push_back(record.RenderedQuery());
   }
   EXPECT_EQ(productive,
             (std::vector<std::string>{"v1(t1, C)", "v3(c1, A, P)",
@@ -162,6 +166,11 @@ TEST(QueryAnswererTest, Example21EndToEnd) {
             (std::set<Row>{{S("$15")}, {S("$13")}, {S("$10")}}));
   // All four views are relevant in Example 2.1, so no trimming happens.
   EXPECT_EQ(report->plan.relevance.relevant_union.size(), 4u);
+  // End-to-end interning: the answer relation shares the session
+  // dictionary and no value was translated after source ingest.
+  ASSERT_NE(report->exec.session_dict, nullptr);
+  EXPECT_TRUE(report->exec.answer.dict_ptr() == report->exec.session_dict);
+  EXPECT_EQ(report->exec.post_ingest_translations, 0u);
 }
 
 TEST(QueryAnswererTest, Example41OptimizedMatchesUnoptimized) {
@@ -193,7 +202,7 @@ TEST(QueryAnswererTest, Example41ObtainableIsStrictSubsetOfComplete) {
   // d9 is in the complete answer but unobtainable (c9 never enters domC).
   EXPECT_EQ(Rows(*complete),
             (std::set<Row>{{S("d1")}, {S("d2")}, {S("d9")}}));
-  for (const Row& row : report->exec.answer.rows()) {
+  for (const Row& row : report->exec.answer.DecodedRows()) {
     EXPECT_TRUE(complete->Contains(row));
   }
   EXPECT_FALSE(report->exec.answer.Contains({S("d9")}));
@@ -251,7 +260,7 @@ TEST(BudgetTest, PartialAnswerUnderBudget) {
   auto full = answerer.Answer(example.query);
   ASSERT_TRUE(full.ok());
   // Monotone: every budgeted answer is part of the maximal one.
-  for (const Row& row : partial->exec.answer.rows()) {
+  for (const Row& row : partial->exec.answer.DecodedRows()) {
     EXPECT_TRUE(full->exec.answer.Contains(row));
   }
   // Budgets grow monotonically toward the maximal answer.

@@ -77,7 +77,7 @@ TEST(FailureInjectionTest, ContinueYieldsSoundPartialAnswer) {
   QueryAnswerer healthy(&healthy_setup.catalog, setup.example.domains);
   auto full = healthy.Answer(setup.example.query);
   ASSERT_TRUE(full.ok());
-  for (const auto& row : report->exec.answer.rows()) {
+  for (const auto& row : report->exec.answer.DecodedRows()) {
     EXPECT_TRUE(full->exec.answer.Contains(row));
   }
 }

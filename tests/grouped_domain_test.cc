@@ -106,8 +106,8 @@ TEST(GroupedDomainTest, CoAuthorBindingsUnlockAmazon) {
   exec::QueryAnswerer answerer(&grouped.catalog, grouped.domains);
   auto report = answerer.Answer(PriceQuery());
   ASSERT_TRUE(report.ok()) << report.status();
-  EXPECT_EQ(std::set<Row>(report->exec.answer.rows().begin(),
-                          report->exec.answer.rows().end()),
+  auto decoded = report->exec.answer.DecodedRows();
+  EXPECT_EQ(std::set<Row>(decoded.begin(), decoded.end()),
             (std::set<Row>{{S("db_systems"), S("95"), S("89")},
                            {S("distributed_dbs"), S("110"), S("99")}}));
   // And the obtainable answer equals the complete answer here.
@@ -124,8 +124,8 @@ TEST(GroupedDomainTest, WithoutGroupingTheChainBreaks) {
   exec::QueryAnswerer answerer(&grouped.catalog, planner::DomainMap());
   auto report = answerer.Answer(PriceQuery());
   ASSERT_TRUE(report.ok()) << report.status();
-  EXPECT_EQ(std::set<Row>(report->exec.answer.rows().begin(),
-                          report->exec.answer.rows().end()),
+  auto decoded = report->exec.answer.DecodedRows();
+  EXPECT_EQ(std::set<Row>(decoded.begin(), decoded.end()),
             (std::set<Row>{{S("db_systems"), S("95"), S("89")}}));
 }
 
@@ -176,7 +176,7 @@ TEST(MinAnswersTest, StopsEarlyOnceTargetReached) {
   ASSERT_TRUE(full.ok());
   EXPECT_LE(report->exec.log.total_queries(),
             full->exec.log.total_queries());
-  for (const Row& row : report->exec.answer.rows()) {
+  for (const Row& row : report->exec.answer.DecodedRows()) {
     EXPECT_TRUE(full->exec.answer.Contains(row));
   }
 }

@@ -15,7 +15,8 @@ using paperdata::MakeExample41;
 using relational::Row;
 
 std::set<Row> Rows(const relational::Relation& relation) {
-  return std::set<Row>(relation.rows().begin(), relation.rows().end());
+  auto decoded = relation.DecodedRows();
+  return std::set<Row>(decoded.begin(), decoded.end());
 }
 
 TEST(HybridExecTest, Example21SameAnswerAsDatalog) {

@@ -83,8 +83,8 @@ class TravelIntegration : public ::testing::Test {
     EXPECT_TRUE(report.ok()) << report.status();
     if (!report.ok()) return {};
     last_queries_ = report->exec.log.total_queries();
-    return std::set<Row>(report->exec.answer.rows().begin(),
-                         report->exec.answer.rows().end());
+    auto decoded = report->exec.answer.DecodedRows();
+    return std::set<Row>(decoded.begin(), decoded.end());
   }
 
   SourceCatalog catalog_;

@@ -85,13 +85,18 @@ TEST(MultiTemplateViewTest, SatisfiedTemplate) {
 TEST(MultiTemplateViewTest, SourceAcceptsEitherForm) {
   InMemorySource source =
       InMemorySource::MakeUnsafe(BookView(), BookData());
-  auto by_author = source.Execute(SourceQuery{{{"Author", S("ullman")}}});
+  auto dict = std::make_shared<ValueDictionary>();
+  auto query = [&](const char* attribute, const char* value) {
+    return SourceQuery::MakeUnsafe(source.view(), dict,
+                                   {{attribute, S(value)}});
+  };
+  auto by_author = source.Execute(query("Author", "ullman"));
   ASSERT_TRUE(by_author.ok());
   EXPECT_EQ(by_author->size(), 2u);
-  auto by_title = source.Execute(SourceQuery{{{"Title", S("db_systems")}}});
+  auto by_title = source.Execute(query("Title", "db_systems"));
   ASSERT_TRUE(by_title.ok());
   EXPECT_EQ(by_title->size(), 2u);
-  auto by_price = source.Execute(SourceQuery{{{"Price", S("$95")}}});
+  auto by_price = source.Execute(query("Price", "$95"));
   EXPECT_EQ(by_price.status().code(), StatusCode::kCapabilityViolation);
 }
 
@@ -180,8 +185,8 @@ TEST(MultiTemplateExecTest, EndToEndThroughAuthorTemplate) {
   exec::QueryAnswerer answerer(&store.catalog, planner::DomainMap());
   auto report = answerer.Answer(query);
   ASSERT_TRUE(report.ok()) << report.status();
-  EXPECT_EQ(std::set<Row>(report->exec.answer.rows().begin(),
-                          report->exec.answer.rows().end()),
+  auto decoded = report->exec.answer.DecodedRows();
+  EXPECT_EQ(std::set<Row>(decoded.begin(), decoded.end()),
             (std::set<Row>{{S("5")}, {S("4")}}));
   auto complete = exec::CompleteAnswer(query, store.catalog);
   ASSERT_TRUE(complete.ok());
@@ -202,14 +207,14 @@ TEST(MultiTemplateExecTest, SecondTemplateUnlocksReverseChain) {
   exec::QueryAnswerer answerer(&store.catalog, planner::DomainMap());
   auto report = answerer.Answer(query);
   ASSERT_TRUE(report.ok()) << report.status();
-  EXPECT_EQ(std::set<Row>(report->exec.answer.rows().begin(),
-                          report->exec.answer.rows().end()),
+  auto decoded = report->exec.answer.DecodedRows();
+  EXPECT_EQ(std::set<Row>(decoded.begin(), decoded.end()),
             (std::set<Row>{{S("5")}}));
   // The fbf entry produced authors; the bff re-entry produced automata,
   // whose review was then fetched even though it cannot join the answer.
   std::set<std::string> queries;
   for (const auto& record : report->exec.log.records()) {
-    queries.insert(record.rendered_query);
+    queries.insert(record.RenderedQuery());
   }
   EXPECT_TRUE(queries.count("book(A, db_systems, P)")) << "fbf entry";
   EXPECT_TRUE(queries.count("book(ullman, T, P)")) << "bff re-entry";

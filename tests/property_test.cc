@@ -3,6 +3,7 @@
 #include <set>
 
 #include "capability/catalog_text.h"
+#include "common/value_dictionary.h"
 #include "exec/baseline_executor.h"
 #include "exec/oracle.h"
 #include "exec/query_answerer.h"
@@ -24,7 +25,8 @@ using workload::GenerateQuery;
 using workload::QuerySpec;
 
 std::set<Row> Rows(const relational::Relation& relation) {
-  return std::set<Row>(relation.rows().begin(), relation.rows().end());
+  auto decoded = relation.DecodedRows();
+  return std::set<Row>(decoded.begin(), decoded.end());
 }
 
 struct Scenario {
@@ -83,7 +85,7 @@ TEST_P(RandomInstanceProperties, ObtainableSubsetOfComplete) {
   ASSERT_TRUE(report.ok()) << report.status();
   auto complete = CompleteAnswer(query_, instance_.full_data);
   ASSERT_TRUE(complete.ok()) << complete.status();
-  for (const Row& row : report->exec.answer.rows()) {
+  for (const Row& row : report->exec.answer.DecodedRows()) {
     EXPECT_TRUE(complete->Contains(row))
         << "obtainable row " << relational::RowToString(row)
         << " missing from complete answer; query " << query_.ToString();
@@ -112,7 +114,7 @@ TEST_P(RandomInstanceProperties, BaselineSubsetOfFramework) {
   auto per_join = baseline.Execute(query_);
   ASSERT_TRUE(framework.ok()) << framework.status();
   ASSERT_TRUE(per_join.ok()) << per_join.status();
-  for (const Row& row : per_join->answer.rows()) {
+  for (const Row& row : per_join->answer.DecodedRows()) {
     EXPECT_TRUE(framework->exec.answer.Contains(row))
         << relational::RowToString(row) << "; query " << query_.ToString();
   }
@@ -235,16 +237,16 @@ TEST_P(RandomInstanceProperties, NoDuplicateSourceQueries) {
   ASSERT_TRUE(report.ok()) << report.status();
   std::set<std::pair<std::string, std::string>> seen;
   for (const auto& record : report->exec.log.records()) {
-    EXPECT_TRUE(seen.emplace(record.source, record.rendered_query).second)
-        << "duplicate query " << record.rendered_query;
+    EXPECT_TRUE(seen.emplace(record.source, record.RenderedQuery()).second)
+        << "duplicate query " << record.RenderedQuery();
     const capability::SourceView* view =
         instance_.catalog.FindView(record.source).value();
     capability::AttributeSet bound;
-    for (const auto& [attribute, value] : record.query.bindings) {
+    for (const auto& [attribute, value] : record.query.DecodedBindings(*view)) {
       bound.insert(attribute);
     }
     EXPECT_TRUE(view->RequirementsSatisfiedBy(bound))
-        << record.rendered_query << " violates " << view->ToString();
+        << record.RenderedQuery() << " violates " << view->ToString();
   }
 }
 
@@ -260,7 +262,7 @@ TEST_P(RandomInstanceProperties, MinAnswersIsRespected) {
   EXPECT_GE(targeted->exec.answer.size(), 1u);
   EXPECT_LE(targeted->exec.log.total_queries(),
             full->exec.log.total_queries());
-  for (const Row& row : targeted->exec.answer.rows()) {
+  for (const Row& row : targeted->exec.answer.DecodedRows()) {
     EXPECT_TRUE(full->exec.answer.Contains(row));
   }
 }
@@ -325,6 +327,49 @@ TEST_P(RandomInstanceProperties, AllKernelsShareBClosure) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, RandomInstanceProperties,
                          ::testing::ValuesIn(AllScenarios()), ScenarioName);
+
+TEST(ValueDictionaryProperty, RoundTripAllKinds) {
+  // Every Value kind survives Intern → Get unchanged, interning is
+  // idempotent, and Lookup finds exactly the interned ids.
+  ValueDictionary dict;
+  std::vector<Value> values = {
+      Value::Null(),          Value::Int64(0),
+      Value::Int64(-7),       Value::Int64(1LL << 40),
+      Value::Double(0.0),     Value::Double(-2.5),
+      Value::Double(1e300),   Value::String(""),
+      Value::String("faust"), Value::String("a longer string value"),
+  };
+  std::vector<ValueId> ids;
+  for (const Value& value : values) ids.push_back(dict.Intern(value));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(dict.Get(ids[i]), values[i]) << values[i].ToString();
+    EXPECT_EQ(dict.Get(ids[i]).kind(), values[i].kind());
+    EXPECT_EQ(dict.Intern(values[i]), ids[i]) << "re-intern changed the id";
+    ValueId found = 0;
+    ASSERT_TRUE(dict.Lookup(values[i], &found));
+    EXPECT_EQ(found, ids[i]);
+  }
+  // Distinct values get distinct ids.
+  std::set<ValueId> distinct(ids.begin(), ids.end());
+  EXPECT_EQ(distinct.size(), ids.size());
+}
+
+TEST(ValueDictionaryProperty, TextuallyEqualValuesInternDistinctly) {
+  // Int64(7), Double(7) and String("7") all render as "7" but are
+  // different values: the dictionary must never conflate them.
+  ValueDictionary dict;
+  ValueId as_int = dict.Intern(Value::Int64(7));
+  ValueId as_double = dict.Intern(Value::Double(7));
+  ValueId as_string = dict.Intern(Value::String("7"));
+  EXPECT_NE(as_int, as_double);
+  EXPECT_NE(as_int, as_string);
+  EXPECT_NE(as_double, as_string);
+  EXPECT_EQ(dict.Get(as_int).kind(), Value::Kind::kInt64);
+  EXPECT_EQ(dict.Get(as_double).kind(), Value::Kind::kDouble);
+  EXPECT_EQ(dict.Get(as_string).kind(), Value::Kind::kString);
+  // Null is its own value, distinct from the empty string.
+  EXPECT_NE(dict.Intern(Value::Null()), dict.Intern(Value::String("")));
+}
 
 }  // namespace
 }  // namespace limcap

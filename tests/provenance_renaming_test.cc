@@ -45,7 +45,7 @@ TEST(PerConnectionAnswersTest, Example21Provenance) {
   relational::Relation united(report->exec.answer.schema());
   for (const auto& [name, relation] : *per_connection) {
     total += relation.size();
-    for (const auto& row : relation.rows()) united.InsertUnsafe(row);
+    for (const auto& row : relation.DecodedRows()) united.InsertUnsafe(row);
   }
   EXPECT_GE(total, report->exec.answer.size());
   EXPECT_TRUE(united == report->exec.answer);
@@ -79,16 +79,22 @@ TEST(RenamingSourceTest, TranslatesQueriesAndSchemas) {
   ASSERT_TRUE(renamed.ok()) << renamed.status();
   EXPECT_EQ(renamed->view().ToString(), "books_de(Title, Price) [bf]");
 
-  auto result = renamed->Execute(SourceQuery{{{"Title", S("faust")}}});
+  auto dict = std::make_shared<ValueDictionary>();
+  auto result = renamed->Execute(SourceQuery::MakeUnsafe(
+      renamed->view(), dict, {{"Title", S("faust")}}));
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(result->size(), 1u);
   EXPECT_TRUE(result->Contains({S("faust"), S("12")}));
   EXPECT_EQ(result->schema().attributes(),
             (std::vector<std::string>{"Title", "Price"}));
   // Capability enforcement passes through.
-  EXPECT_FALSE(renamed->Execute(SourceQuery{}).ok());
-  // Unknown (old) attribute names are rejected at the wrapper.
-  EXPECT_FALSE(renamed->Execute(SourceQuery{{{"Titel", S("faust")}}}).ok());
+  EXPECT_FALSE(
+      renamed->Execute(SourceQuery::MakeUnsafe(renamed->view(), dict, {}))
+          .ok());
+  // Unknown (old) attribute names are rejected when the query is built
+  // against the wrapper's exported (global) schema.
+  EXPECT_FALSE(
+      SourceQuery::Make(renamed->view(), dict, {{"Titel", S("faust")}}).ok());
 }
 
 TEST(RenamingSourceTest, RejectsCollidingRenames) {
