@@ -1,0 +1,3 @@
+% Example 2.1's query: songs named t1, price, over the four
+% two-source connections.
+<{Song = t1}, {Price}, {{v1, v3}, {v1, v4}, {v2, v3}, {v2, v4}}>

@@ -1,0 +1,2 @@
+% Example 4.1's query.
+<{A = a0}, {D}, {{v1, v3}, {v2, v3}}>

@@ -1,0 +1,2 @@
+% Example 5.1's query.
+<{A = a}, {F, G}, {{v1, v2, v3}}>

@@ -1,0 +1,2 @@
+% Example 5.2's query.
+<{B = b0}, {A, C, E}, {{v1, v2, v3}}>

@@ -1,0 +1,408 @@
+#include "analysis/executability.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace limcap::analysis {
+
+namespace {
+
+using capability::BindingPattern;
+using capability::SourceView;
+using datalog::Atom;
+using datalog::Program;
+using datalog::Rule;
+using datalog::Term;
+
+/// Shared per-program context for both fixpoints.
+struct Context {
+  const Program* program;
+  const planner::DomainMap* domains;
+  const ExecutabilityOptions* options;
+  /// Catalog views mentioned by the program, by predicate name.
+  std::unordered_map<std::string, const SourceView*> views;
+
+  bool IsView(const std::string& predicate) const {
+    return views.count(predicate) > 0;
+  }
+};
+
+/// True when template `pattern` of `view` has every bound attribute's
+/// domain predicate in `producible` — the source-driven evaluator can
+/// then form queries for it out of the domain relations.
+bool TemplateFetchable(const SourceView& view, const BindingPattern& pattern,
+                       const planner::DomainMap& domains,
+                       const std::set<std::string>& producible) {
+  for (std::size_t i : pattern.BoundPositions()) {
+    if (producible.count(domains.DomainOf(view.schema().attribute(i))) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ViewFetchable(const SourceView& view, const planner::DomainMap& domains,
+                   const std::set<std::string>& producible) {
+  for (const BindingPattern& pattern : view.templates()) {
+    if (TemplateFetchable(view, pattern, domains, producible)) return true;
+  }
+  return false;
+}
+
+/// The variables a head's input adornment binds on rule entry.
+std::unordered_set<std::string> AdornedHeadVars(
+    const Rule& rule, const ExecutabilityOptions& options) {
+  std::unordered_set<std::string> bound;
+  auto it = options.input_adornments.find(rule.head.predicate);
+  if (it == options.input_adornments.end()) return bound;
+  const std::vector<bool>& adornment = it->second;
+  for (std::size_t i = 0;
+       i < rule.head.terms.size() && i < adornment.size(); ++i) {
+    if (adornment[i] && rule.head.terms[i].is_variable()) {
+      bound.insert(rule.head.terms[i].var());
+    }
+  }
+  return bound;
+}
+
+/// True when some template of `view` has all its bound positions covered
+/// by constants of `atom` or variables in `bound`.
+bool AtomBindable(const Atom& atom, const SourceView& view,
+                  const std::unordered_set<std::string>& bound) {
+  for (const BindingPattern& pattern : view.templates()) {
+    bool ok = true;
+    for (std::size_t i : pattern.BoundPositions()) {
+      if (i >= atom.terms.size()) {  // arity mismatch; flagged by LC010
+        ok = false;
+        break;
+      }
+      const Term& term = atom.terms[i];
+      if (term.is_constant()) continue;
+      if (bound.count(term.var()) == 0) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+/// Greedy sideways-information-passing search for one rule: repeatedly
+/// places any placeable body atom (placing only grows the bound-variable
+/// set, so placeability is monotone and greedy placement finds an
+/// executable ordering iff one exists). Returns true when every atom was
+/// placed; `order` receives the witness ordering and `bound` the final
+/// bound-variable set either way.
+bool GreedySipSearch(const Context& ctx, const Rule& rule,
+                     const std::set<std::string>& sip_producible,
+                     std::vector<std::size_t>* order,
+                     std::unordered_set<std::string>* bound) {
+  order->clear();
+  *bound = AdornedHeadVars(rule, *ctx.options);
+  std::vector<bool> placed(rule.body.size(), false);
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t i = 0; i < rule.body.size(); ++i) {
+      if (placed[i]) continue;
+      const Atom& atom = rule.body[i];
+      auto view_it = ctx.views.find(atom.predicate);
+      bool placeable;
+      if (view_it != ctx.views.end()) {
+        placeable = sip_producible.count(atom.predicate) > 0 ||
+                    AtomBindable(atom, *view_it->second, *bound);
+      } else {
+        placeable = sip_producible.count(atom.predicate) > 0;
+      }
+      if (!placeable) continue;
+      placed[i] = true;
+      order->push_back(i);
+      for (const Term& term : atom.terms) {
+        if (term.is_variable()) bound->insert(term.var());
+      }
+      progressed = true;
+    }
+  }
+  return order->size() == rule.body.size();
+}
+
+/// Whether the rule can fire under source-driven evaluation with the
+/// given producible/fetchable sets; fills `dead_atoms` with the body
+/// indices whose relation is provably always empty.
+bool RuleCanFire(const Context& ctx, const Rule& rule,
+                 const std::set<std::string>& producible,
+                 const std::set<std::string>& fetchable,
+                 std::vector<std::size_t>* dead_atoms) {
+  if (dead_atoms != nullptr) dead_atoms->clear();
+  bool fires = true;
+  for (std::size_t i = 0; i < rule.body.size(); ++i) {
+    const Atom& atom = rule.body[i];
+    bool alive = producible.count(atom.predicate) > 0 ||
+                 (ctx.IsView(atom.predicate) &&
+                  fetchable.count(atom.predicate) > 0);
+    if (alive) continue;
+    fires = false;
+    if (dead_atoms == nullptr) return false;
+    dead_atoms->push_back(i);
+  }
+  return fires;
+}
+
+}  // namespace
+
+ExecutabilityResult AnalyzeExecutability(const Program& program,
+                                         const std::vector<SourceView>& views,
+                                         const planner::DomainMap& domains,
+                                         const ExecutabilityOptions& options) {
+  Context ctx;
+  ctx.program = &program;
+  ctx.domains = &domains;
+  ctx.options = &options;
+
+  ExecutabilityResult result;
+  std::set<std::string> mentioned = program.AllPredicates();
+  for (const SourceView& view : views) {
+    if (mentioned.count(view.name()) == 0) continue;
+    ctx.views.emplace(view.name(), &view);
+    result.mentioned_views.push_back(view.name());
+  }
+
+  const std::vector<Rule>& rules = program.rules();
+  result.rules.resize(rules.size());
+
+  // Fixpoint 1 — can_fire / producible / fetchable (the evaluator-sound
+  // semantics used for pruning). Firing is monotone in (producible,
+  // fetchable), both of which only grow, so each rule is re-examined
+  // only until it first fires.
+  {
+    std::vector<bool> fires(rules.size(), false);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      result.fetchable_views.clear();
+      for (const auto& [name, view] : ctx.views) {
+        if (ViewFetchable(*view, domains, result.producible)) {
+          result.fetchable_views.insert(name);
+        }
+      }
+      for (std::size_t r = 0; r < rules.size(); ++r) {
+        if (fires[r]) continue;
+        if (!RuleCanFire(ctx, rules[r], result.producible,
+                         result.fetchable_views, nullptr)) {
+          continue;
+        }
+        fires[r] = true;
+        changed |= result.producible.insert(rules[r].head.predicate).second;
+        // A newly firing rule matters even when its head predicate was
+        // already producible only for its own verdict, which `fires`
+        // already records.
+      }
+    }
+    for (std::size_t r = 0; r < rules.size(); ++r) {
+      result.rules[r].can_fire = fires[r];
+      if (!fires[r]) {
+        RuleCanFire(ctx, rules[r], result.producible, result.fetchable_views,
+                    &result.rules[r].dead_atoms);
+      }
+    }
+  }
+
+  // Fixpoint 2 — sip_executable / sip_producible (the adorned
+  // sideways-information-passing semantics of Sections 2-3: each rule
+  // must carry its own bindings). Same monotone structure.
+  {
+    std::vector<bool> executable(rules.size(), false);
+    std::vector<std::size_t> order;
+    std::unordered_set<std::string> bound;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t r = 0; r < rules.size(); ++r) {
+        if (executable[r]) continue;
+        if (!GreedySipSearch(ctx, rules[r], result.sip_producible, &order,
+                             &bound)) {
+          continue;
+        }
+        executable[r] = true;
+        result.sip_producible.insert(rules[r].head.predicate);
+        changed = true;
+      }
+    }
+    for (std::size_t r = 0; r < rules.size(); ++r) {
+      RuleVerdict& verdict = result.rules[r];
+      verdict.sip_executable = executable[r];
+      // Re-run at the final fixpoint for the witness ordering (or, on
+      // failure, the stuck atoms at the maximal bound set).
+      GreedySipSearch(ctx, rules[r], result.sip_producible, &verdict.sip_order,
+                      &bound);
+      verdict.sip_bound_variables.insert(bound.begin(), bound.end());
+      if (executable[r]) continue;
+      std::vector<bool> placed(rules[r].body.size(), false);
+      for (std::size_t i : verdict.sip_order) placed[i] = true;
+      for (std::size_t i = 0; i < rules[r].body.size(); ++i) {
+        if (placed[i]) continue;
+        const Atom& atom = rules[r].body[i];
+        auto view_it = ctx.views.find(atom.predicate);
+        if (view_it == ctx.views.end()) continue;
+        if (!AtomBindable(atom, *view_it->second, bound)) {
+          verdict.unbindable_atoms.push_back(i);
+        }
+      }
+    }
+  }
+
+  return result;
+}
+
+void AppendExecutabilityDiagnostics(const Program& program,
+                                    const std::vector<SourceView>& views,
+                                    const ExecutabilityResult& result,
+                                    const datalog::ProgramSourceMap* source_map,
+                                    DiagnosticBag* bag) {
+  std::unordered_map<std::string, const SourceView*> view_by_name;
+  for (const SourceView& view : views) view_by_name.emplace(view.name(), &view);
+
+  auto rule_location = [&](std::size_t r, int atom) {
+    Location location;
+    location.rule = static_cast<int>(r);
+    location.atom = atom;
+    if (source_map != nullptr && r < source_map->rules.size()) {
+      const datalog::RuleSpan& span = source_map->rules[r];
+      const datalog::SourceSpan& pos =
+          atom != Location::kNone &&
+                  static_cast<std::size_t>(atom) < span.body.size()
+              ? span.body[atom]
+              : span.rule;
+      location.line = pos.line;
+      location.column = pos.column;
+    }
+    location.context = program.rules()[r].ToString();
+    return location;
+  };
+
+  // LC023 — views the program mentions that can never be queried.
+  for (const std::string& name : result.mentioned_views) {
+    if (result.fetchable_views.count(name) > 0) continue;
+    const SourceView& view = *view_by_name.at(name);
+    Diagnostic& d = bag->Report(
+        Code::kUnfetchableView,
+        "source view '" + view.ToString() +
+            "' can never be queried: every template has a required-bound "
+            "attribute whose domain predicate is never populated");
+    d.location.context = view.ToString();
+  }
+
+  // LC022 — IDB predicates none of whose rules can fire.
+  {
+    std::map<std::string, std::size_t> rule_counts;
+    for (const datalog::Rule& rule : program.rules()) {
+      ++rule_counts[rule.head.predicate];
+    }
+    for (const auto& [predicate, count] : rule_counts) {
+      if (result.producible.count(predicate) > 0) continue;
+      bag->Report(Code::kUnproduciblePredicate,
+                  "predicate '" + predicate + "' is never derivable: none of " +
+                      "its " + std::to_string(count) + " rule(s) can fire");
+    }
+  }
+
+  for (std::size_t r = 0; r < program.rules().size(); ++r) {
+    const RuleVerdict& verdict = result.rules[r];
+    const datalog::Rule& rule = program.rules()[r];
+
+    // LC020 — view atoms no ordering can bind.
+    for (std::size_t i : verdict.unbindable_atoms) {
+      const Atom& atom = rule.body[i];
+      auto it = view_by_name.find(atom.predicate);
+      Diagnostic& d = bag->Report(
+          Code::kUnbindableViewAtom,
+          "no body ordering binds the required attributes of source-view "
+          "atom '" +
+              atom.ToString() + "'",
+          rule_location(r, static_cast<int>(i)));
+      if (it != view_by_name.end()) {
+        const SourceView& view = *it->second;
+        for (std::size_t t = 0; t < view.templates().size(); ++t) {
+          const BindingPattern& pattern = view.templates()[t];
+          std::vector<std::string> missing;
+          for (std::size_t pos : pattern.BoundPositions()) {
+            if (pos < atom.terms.size()) {
+              const Term& term = atom.terms[pos];
+              if (term.is_constant()) continue;
+              if (verdict.sip_bound_variables.count(term.var()) > 0) continue;
+            }
+            missing.push_back(view.schema().attribute(pos));
+          }
+          d.notes.push_back(
+              "template '" + pattern.ToString() + "' requires {" +
+              Join(missing, ", ") +
+              "} bound, and no ordering of the other body atoms binds them");
+        }
+      }
+    }
+
+    // LC021 — rules that can never fire.
+    if (!verdict.can_fire) {
+      Diagnostic& d =
+          bag->Report(Code::kRuleNeverFires,
+                      "rule for '" + rule.head.predicate +
+                          "' can never fire; pruning it cannot change any "
+                          "answer",
+                      rule_location(r, Location::kNone));
+      for (std::size_t i : verdict.dead_atoms) {
+        const Atom& atom = rule.body[i];
+        d.notes.push_back(
+            "body atom '" + atom.ToString() + "' is always empty (" +
+            (result.fetchable_views.count(atom.predicate) == 0 &&
+                     view_by_name.count(atom.predicate) > 0
+                 ? "the view can never be queried"
+                 : "the predicate is never derivable") +
+            ")");
+      }
+    }
+  }
+}
+
+datalog::Program PruneNeverFiringRules(const Program& program,
+                                       const ExecutabilityResult& result) {
+  Program pruned;
+  for (std::size_t r = 0; r < program.rules().size(); ++r) {
+    if (r < result.rules.size() && !result.rules[r].can_fire) continue;
+    pruned.AddRule(program.rules()[r]);
+  }
+  return pruned;
+}
+
+std::set<std::string> ReachableViews(const std::vector<SourceView>& views,
+                                     const planner::DomainMap& domains,
+                                     const capability::AttributeSet& seeded) {
+  std::set<std::string> available;  // populated domain predicates
+  for (const std::string& attribute : seeded) {
+    available.insert(domains.DomainOf(attribute));
+  }
+  std::set<std::string> reachable;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const SourceView& view : views) {
+      for (const BindingPattern& pattern : view.templates()) {
+        if (!TemplateFetchable(view, pattern, domains, available)) continue;
+        changed |= reachable.insert(view.name()).second;
+        // The answered tuples populate the domains of the template's
+        // free positions (the builder's domain rules).
+        for (std::size_t i : pattern.FreePositions()) {
+          changed |=
+              available.insert(domains.DomainOf(view.schema().attribute(i)))
+                  .second;
+        }
+      }
+    }
+  }
+  return reachable;
+}
+
+}  // namespace limcap::analysis

@@ -1,0 +1,90 @@
+#include "analysis/lint.h"
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "analysis/executability.h"
+#include "capability/catalog_text.h"
+#include "common/string_util.h"
+#include "datalog/parser.h"
+#include "planner/query_parser.h"
+
+namespace limcap::analysis {
+
+namespace {
+
+using capability::AttributeSet;
+using capability::SourceView;
+
+/// Catalog-only mode: cold-start reachability. No program to analyze —
+/// report, per unreachable view, why no sequence of source queries can
+/// ever touch it (a standing LC023, independent of any query).
+AnalysisResult LintCatalogOnly(const std::vector<SourceView>& views,
+                               const planner::DomainMap& domains) {
+  AnalysisResult result;
+  const std::set<std::string> reachable = ReachableViews(views, domains);
+  for (const SourceView& view : views) {
+    if (reachable.count(view.name()) > 0) continue;
+    Diagnostic& d = result.diagnostics.Report(
+        Code::kUnfetchableView,
+        "source view '" + view.name() +
+            "' is unreachable from a cold start: every template requires "
+            "bound attributes that no sequence of source queries can "
+            "supply (a query must seed them through its inputs)");
+    d.location.context = view.ToString();
+    for (std::size_t t = 0; t < view.templates().size(); ++t) {
+      const AttributeSet bound = view.BoundAttributes(t);
+      d.notes.push_back(
+          "template '" + view.templates()[t].ToString() + "' requires {" +
+          Join(std::vector<std::string>(bound.begin(), bound.end()), ", ") +
+          "} bound");
+    }
+  }
+  result.diagnostics.Sort();
+  return result;
+}
+
+}  // namespace
+
+Result<LintReport> Lint(const LintRequest& request) {
+  if (request.has_program && request.has_query) {
+    return Status::InvalidArgument(
+        "lint takes a program or a query, not both");
+  }
+
+  LIMCAP_ASSIGN_OR_RETURN(capability::ParsedCatalog parsed,
+                          capability::ParseCatalog(request.catalog_text));
+
+  LintReport report;
+  if (request.has_program) {
+    datalog::ProgramSourceMap source_map;
+    LIMCAP_ASSIGN_OR_RETURN(
+        report.program,
+        datalog::ParseProgram(request.program_text, &source_map));
+    report.analysis = AnalyzeProgram(report.program, parsed.views,
+                                     request.options, &source_map);
+  } else if (request.has_query) {
+    LIMCAP_ASSIGN_OR_RETURN(planner::Query query,
+                            planner::ParseQuery(request.query_text));
+    LIMCAP_RETURN_NOT_OK(
+        query.Validate(parsed.catalog, request.options.domains));
+    // The *full* Π(Q, V): never-fire warnings show exactly what the
+    // Section 6 optimizer would prune; errors are capability-contract
+    // violations no optimizer can mend.
+    LIMCAP_ASSIGN_OR_RETURN(
+        report.program,
+        planner::BuildProgram(query, parsed.views, request.options.domains,
+                              request.builder));
+    report.analysis =
+        AnalyzeProgram(report.program, parsed.views, request.options);
+  } else {
+    report.analysis = LintCatalogOnly(parsed.views, request.options.domains);
+  }
+
+  report.rendered = request.json ? report.analysis.diagnostics.RenderJson()
+                                 : report.analysis.diagnostics.RenderText();
+  return report;
+}
+
+}  // namespace limcap::analysis

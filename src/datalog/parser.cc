@@ -12,7 +12,10 @@ namespace {
 /// for error messages.
 class Parser {
  public:
-  explicit Parser(std::string_view text) : text_(text) {}
+  explicit Parser(std::string_view text, ProgramSourceMap* source_map = nullptr)
+      : text_(text), source_map_(source_map) {
+    if (source_map_ != nullptr) source_map_->rules.clear();
+  }
 
   Result<Program> ParseProgram() {
     Program program;
@@ -36,6 +39,9 @@ class Parser {
  private:
   Result<Rule> ParseOneRule() {
     Rule rule;
+    RuleSpan span;
+    SkipTrivia();
+    span.rule = Here();
     LIMCAP_ASSIGN_OR_RETURN(rule.head, ParseAtom());
     SkipTrivia();
     if (ConsumeIf(":-")) {
@@ -43,6 +49,8 @@ class Parser {
       // Allow an empty body: `f(a) :- .`
       if (!Peek('.')) {
         while (true) {
+          SkipTrivia();
+          span.body.push_back(Here());
           LIMCAP_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
           rule.body.push_back(std::move(atom));
           SkipTrivia();
@@ -53,6 +61,7 @@ class Parser {
     }
     SkipTrivia();
     if (!ConsumeIf(".")) return Error("expected '.' at end of rule");
+    if (source_map_ != nullptr) source_map_->rules.push_back(std::move(span));
     return rule;
   }
 
@@ -182,6 +191,11 @@ class Parser {
     return false;
   }
 
+  SourceSpan Here() const {
+    return SourceSpan{static_cast<int>(line_),
+                      static_cast<int>(pos_ - line_start_ + 1)};
+  }
+
   Status Error(std::string message) const {
     return Status::InvalidArgument(
         message + " at line " + std::to_string(line_) + ", column " +
@@ -189,6 +203,7 @@ class Parser {
   }
 
   std::string_view text_;
+  ProgramSourceMap* source_map_ = nullptr;
   std::size_t pos_ = 0;
   std::size_t line_ = 1;
   std::size_t line_start_ = 0;
@@ -198,6 +213,11 @@ class Parser {
 
 Result<Program> ParseProgram(std::string_view text) {
   return Parser(text).ParseProgram();
+}
+
+Result<Program> ParseProgram(std::string_view text,
+                             ProgramSourceMap* source_map) {
+  return Parser(text, source_map).ParseProgram();
 }
 
 Result<Rule> ParseRule(std::string_view text) {

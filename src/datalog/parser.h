@@ -2,11 +2,33 @@
 #define LIMCAP_DATALOG_PARSER_H_
 
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "datalog/ast.h"
 
 namespace limcap::datalog {
+
+/// A 1-based position in the parsed text.
+struct SourceSpan {
+  int line = 0;
+  int column = 0;
+};
+
+/// Source positions of one rule: the rule itself (= its head atom) and
+/// each body atom, in body order.
+struct RuleSpan {
+  SourceSpan rule;
+  std::vector<SourceSpan> body;
+};
+
+/// Side table mapping each rule of a parsed Program (by index) back to
+/// its position in the source text. Produced by ParseProgram on request;
+/// the static analyzer threads it into diagnostics so findings point at
+/// lines, not just rule indices.
+struct ProgramSourceMap {
+  std::vector<RuleSpan> rules;
+};
 
 /// Parses Datalog text into a Program. The grammar follows the paper's
 /// notation:
@@ -23,7 +45,12 @@ namespace limcap::datalog {
 /// * Integer and floating-point literals become Int64/Double values.
 /// * Quoted strings ("...") are string constants regardless of case.
 /// * Facts may be written `f(a).` or `f(a) :- .`.
+///
+/// When `source_map` is non-null it receives one RuleSpan per parsed
+/// rule (cleared first).
 Result<Program> ParseProgram(std::string_view text);
+Result<Program> ParseProgram(std::string_view text,
+                             ProgramSourceMap* source_map);
 
 /// Parses a single rule (same syntax, one rule, trailing '.').
 Result<Rule> ParseRule(std::string_view text);

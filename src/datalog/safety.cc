@@ -1,32 +1,117 @@
 #include "datalog/safety.h"
 
+#include <map>
 #include <unordered_set>
+#include <utility>
 
 namespace limcap::datalog {
 
-Status CheckRuleSafety(const Rule& rule) {
+namespace {
+
+using analysis::Code;
+using analysis::DiagnosticBag;
+using analysis::Location;
+
+Location RuleLocation(const Rule& rule, int rule_index, const RuleSpan* span) {
+  Location location;
+  location.rule = rule_index;
+  if (span != nullptr) {
+    location.line = span->rule.line;
+    location.column = span->rule.column;
+  }
+  location.context = rule.ToString();
+  return location;
+}
+
+/// LC001: every predicate must be used with a single arity. Reports one
+/// diagnostic per offending predicate, at the first conflicting use.
+void AppendArityDiagnostics(const Program& program,
+                            const ProgramSourceMap* source_map,
+                            DiagnosticBag* bag) {
+  // predicate -> (arity, rule index of first use)
+  std::map<std::string, std::pair<std::size_t, int>> arities;
+  std::unordered_set<std::string> reported;
+  for (std::size_t r = 0; r < program.rules().size(); ++r) {
+    const Rule& rule = program.rules()[r];
+    auto check_atom = [&](const Atom& atom) {
+      auto [it, inserted] = arities.emplace(
+          atom.predicate,
+          std::make_pair(atom.arity(), static_cast<int>(r)));
+      if (inserted || it->second.first == atom.arity()) return;
+      if (!reported.insert(atom.predicate).second) return;
+      const RuleSpan* span =
+          source_map != nullptr && r < source_map->rules.size()
+              ? &source_map->rules[r]
+              : nullptr;
+      bag->Report(Code::kArityClash,
+                  "predicate '" + atom.predicate + "' is used with arity " +
+                      std::to_string(atom.arity()) + " here but with arity " +
+                      std::to_string(it->second.first) + " in rule " +
+                      std::to_string(it->second.second),
+                  RuleLocation(rule, static_cast<int>(r), span));
+    };
+    check_atom(rule.head);
+    for (const Atom& atom : rule.body) check_atom(atom);
+  }
+}
+
+}  // namespace
+
+void AppendRuleSafetyDiagnostics(const Rule& rule, int rule_index,
+                                 const RuleSpan* span, DiagnosticBag* bag) {
+  // Every body atom is a positive relational atom in this dialect, so
+  // every body variable is a binding occurrence. (A future negated or
+  // arithmetic atom must NOT be added to `body_vars`.)
   std::unordered_set<std::string> body_vars;
   for (const Atom& atom : rule.body) {
     for (const Term& term : atom.terms) {
       if (term.is_variable()) body_vars.insert(term.var());
     }
   }
+  std::unordered_set<std::string> reported;
   for (const Term& term : rule.head.terms) {
-    if (term.is_variable() && body_vars.count(term.var()) == 0) {
-      return Status::InvalidArgument(
-          "unsafe rule (head variable " + term.var() +
-          " not bound in body): " + rule.ToString());
+    if (!term.is_variable() || body_vars.count(term.var()) > 0) continue;
+    if (!reported.insert(term.var()).second) continue;
+    if (rule.is_fact()) {
+      bag->Report(Code::kNonGroundFact,
+                  "fact contains variable '" + term.var() +
+                      "' (facts must be ground) in '" + rule.ToString() + "'",
+                  RuleLocation(rule, rule_index, span));
+    } else {
+      bag->Report(Code::kUnsafeHeadVariable,
+                  "head variable '" + term.var() + "' of '" +
+                      rule.head.predicate +
+                      "' is not bound by any positive body atom in '" +
+                      rule.ToString() + "'",
+                  RuleLocation(rule, rule_index, span));
     }
   }
-  return Status::OK();
+}
+
+void AppendSafetyDiagnostics(const Program& program,
+                             const ProgramSourceMap* source_map,
+                             DiagnosticBag* bag) {
+  AppendArityDiagnostics(program, source_map, bag);
+  for (std::size_t r = 0; r < program.rules().size(); ++r) {
+    const RuleSpan* span =
+        source_map != nullptr && r < source_map->rules.size()
+            ? &source_map->rules[r]
+            : nullptr;
+    AppendRuleSafetyDiagnostics(program.rules()[r], static_cast<int>(r), span,
+                                bag);
+  }
 }
 
 Status CheckSafety(const Program& program) {
-  LIMCAP_RETURN_NOT_OK(program.PredicateArities().status());
-  for (const Rule& rule : program.rules()) {
-    LIMCAP_RETURN_NOT_OK(CheckRuleSafety(rule));
-  }
-  return Status::OK();
+  analysis::DiagnosticBag bag;
+  AppendSafetyDiagnostics(program, nullptr, &bag);
+  return bag.ToStatus();
+}
+
+Status CheckRuleSafety(const Rule& rule) {
+  analysis::DiagnosticBag bag;
+  AppendRuleSafetyDiagnostics(rule, Location::kNone, nullptr, &bag);
+  return bag.ToStatus();
 }
 
 }  // namespace limcap::datalog

@@ -1,15 +1,44 @@
 #ifndef LIMCAP_DATALOG_SAFETY_H_
 #define LIMCAP_DATALOG_SAFETY_H_
 
+#include "analysis/diagnostics.h"
 #include "common/status.h"
 #include "datalog/ast.h"
+#include "datalog/parser.h"
 
 namespace limcap::datalog {
 
-/// Checks range-restriction safety (Ullman's definition, used by the
-/// paper's Proposition 3.1): every variable in a rule head must occur in
-/// the rule's (positive) body. Facts must be ground. Also validates that
-/// every predicate is used with a consistent arity.
+/// Appends the structural safety diagnostics of `program` to `bag`:
+///
+///   * LC001 — a predicate used with two different arities,
+///   * LC002 — a head variable not bound by any positive body atom
+///     (range restriction, Ullman's definition, used by the paper's
+///     Proposition 3.1),
+///   * LC003 — a fact (empty-body rule) containing a variable; Section 7
+///     cached-tuple and domain-knowledge facts must be ground.
+///
+/// Every body atom of this dialect is a positive relational atom — there
+/// is no negation or arithmetic, so every body occurrence of a variable
+/// is a binding occurrence (the regression tests in analysis_test.cc
+/// lock this down; if negated or built-in atoms are ever added, they
+/// must be excluded from the binding set here).
+///
+/// `source_map` (optional) supplies line numbers for the locations.
+void AppendSafetyDiagnostics(const Program& program,
+                             const ProgramSourceMap* source_map,
+                             analysis::DiagnosticBag* bag);
+
+/// Safety diagnostics of a single rule (LC002/LC003). `rule_index` and
+/// `span` decorate the locations; pass Location::kNone / nullptr when
+/// the rule stands alone.
+void AppendRuleSafetyDiagnostics(const Rule& rule, int rule_index,
+                                 const RuleSpan* span,
+                                 analysis::DiagnosticBag* bag);
+
+/// Checks range-restriction safety plus arity consistency and returns the
+/// first violation as a Status whose message carries the diagnostic code,
+/// the offending rule, and the variable (e.g. "LC002: head variable 'Y'
+/// ... in 'p(X, Y) :- q(X).'").
 Status CheckSafety(const Program& program);
 
 /// Safety of a single rule.

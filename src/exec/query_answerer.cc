@@ -24,6 +24,31 @@ ExecOptions WithSessionDict(const ExecOptions& options,
 
 }  // namespace
 
+Result<datalog::Program> ApplyStaticAnalysisGate(
+    const datalog::Program& program,
+    const std::vector<capability::SourceView>& views,
+    const planner::DomainMap& domains, const ExecOptions& options,
+    AnswerReport* report) {
+  if (options.static_analysis == StaticAnalysisMode::kOff) return program;
+  analysis::AnalysisOptions analysis_options;
+  analysis_options.goal_predicate = options.builder.goal_predicate;
+  analysis_options.domains = domains;
+  report->analysis = analysis::AnalyzeProgram(program, views,
+                                              analysis_options);
+  report->analysis_ran = true;
+  if (options.static_analysis == StaticAnalysisMode::kReject &&
+      report->analysis.diagnostics.has_errors()) {
+    return Status::CapabilityViolation(
+        "static analysis rejected the program:\n" +
+        report->analysis.diagnostics.RenderText());
+  }
+  if (options.static_analysis == StaticAnalysisMode::kPrune) {
+    return analysis::PruneNeverFiringRules(program,
+                                           report->analysis.executability);
+  }
+  return program;
+}
+
 Result<AnswerReport> QueryAnswerer::Answer(const planner::Query& query,
                                            const ExecOptions& options) const {
   LIMCAP_RETURN_NOT_OK(query.Validate(*catalog_, domains_));
@@ -32,9 +57,13 @@ Result<AnswerReport> QueryAnswerer::Answer(const planner::Query& query,
   LIMCAP_ASSIGN_OR_RETURN(
       report.plan, planner::PlanQuery(query, catalog_->Views(), domains_,
                                       session_options.builder));
-  SourceDrivenEvaluator evaluator(catalog_, domains_, session_options);
   LIMCAP_ASSIGN_OR_RETURN(
-      report.exec, evaluator.Execute(report.plan.optimized_program, query));
+      datalog::Program program,
+      ApplyStaticAnalysisGate(report.plan.optimized_program,
+                              catalog_->Views(), domains_, session_options,
+                              &report));
+  SourceDrivenEvaluator evaluator(catalog_, domains_, session_options);
+  LIMCAP_ASSIGN_OR_RETURN(report.exec, evaluator.Execute(program, query));
   return report;
 }
 
@@ -78,9 +107,14 @@ Result<AnswerReport> QueryAnswerer::AnswerHybrid(
         planner::PlanResult subplan,
         planner::PlanQuery(sub, catalog_->Views(), domains_,
                            session_options.builder));
+    // The gate covers the Datalog part; the bind-join part below runs
+    // sequences ExecutableSequence already proved executable.
+    LIMCAP_ASSIGN_OR_RETURN(
+        datalog::Program program,
+        ApplyStaticAnalysisGate(subplan.optimized_program, catalog_->Views(),
+                                domains_, session_options, &report));
     SourceDrivenEvaluator evaluator(catalog_, domains_, session_options);
-    LIMCAP_ASSIGN_OR_RETURN(report.exec,
-                            evaluator.Execute(subplan.optimized_program, sub));
+    LIMCAP_ASSIGN_OR_RETURN(report.exec, evaluator.Execute(program, sub));
   } else {
     LIMCAP_ASSIGN_OR_RETURN(relational::Schema out_schema,
                             relational::Schema::Make(query.outputs()));
@@ -151,6 +185,11 @@ Result<AnswerReport> QueryAnswerer::AnswerWithCache(
           *view, row, domains_, session_options.builder, &program));
     }
   }
+  // Gate after folding the cached facts in: they seed domains, so rules
+  // a cold-start analysis would call dead may fire here.
+  LIMCAP_ASSIGN_OR_RETURN(
+      program, ApplyStaticAnalysisGate(program, catalog_->Views(), domains_,
+                                       session_options, &report));
   SourceDrivenEvaluator evaluator(catalog_, domains_, session_options);
   LIMCAP_ASSIGN_OR_RETURN(report.exec, evaluator.Execute(program, query));
   return report;
@@ -164,9 +203,12 @@ Result<AnswerReport> QueryAnswerer::AnswerUnoptimized(
   LIMCAP_ASSIGN_OR_RETURN(
       report.plan, planner::PlanQuery(query, catalog_->Views(), domains_,
                                       session_options.builder));
+  LIMCAP_ASSIGN_OR_RETURN(
+      datalog::Program program,
+      ApplyStaticAnalysisGate(report.plan.full_program, catalog_->Views(),
+                              domains_, session_options, &report));
   SourceDrivenEvaluator evaluator(catalog_, domains_, session_options);
-  LIMCAP_ASSIGN_OR_RETURN(report.exec,
-                          evaluator.Execute(report.plan.full_program, query));
+  LIMCAP_ASSIGN_OR_RETURN(report.exec, evaluator.Execute(program, query));
   return report;
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "analysis/analyzer.h"
 #include "exec/source_driven_evaluator.h"
 #include "planner/program_optimizer.h"
 #include "relational/relation.h"
@@ -15,6 +16,11 @@ namespace limcap::exec {
 struct AnswerReport {
   /// The plan: FIND_REL analysis, Π(Q, V), Π(Q, V_r), optimized program.
   planner::PlanResult plan;
+  /// The static verifier's findings, when options.static_analysis was
+  /// not kOff (see `analysis_ran`). Under kPrune, `executability` names
+  /// the rules that were dropped before execution.
+  analysis::AnalysisResult analysis;
+  bool analysis_ran = false;
   /// Execution of the optimized program against the sources.
   ExecResult exec;
 };
@@ -68,6 +74,21 @@ class QueryAnswerer {
   const capability::SourceCatalog* catalog_;
   planner::DomainMap domains_;
 };
+
+/// The strict static gate: runs the verifier over `program` (the one
+/// about to execute) against `views` and applies
+/// `options.static_analysis` — kOff passes the program through
+/// untouched; kWarn analyzes and attaches the findings to `report`;
+/// kReject returns CapabilityViolation when the analysis has
+/// error-severity findings; kPrune returns the program with every
+/// provably never-firing rule removed (answer-preserving). Exposed so
+/// tests and tools can gate hand-written programs exactly the way
+/// QueryAnswerer gates planned ones.
+Result<datalog::Program> ApplyStaticAnalysisGate(
+    const datalog::Program& program,
+    const std::vector<capability::SourceView>& views,
+    const planner::DomainMap& domains, const ExecOptions& options,
+    AnswerReport* report);
 
 /// Reads back per-connection answers from an execution whose program was
 /// built with options.builder.per_connection_goals: maps each

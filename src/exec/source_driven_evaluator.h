@@ -30,9 +30,28 @@ enum class FetchStrategy {
   kEager,
 };
 
+/// Whether (and how strictly) QueryAnswerer runs the static program
+/// verifier (analysis/analyzer.h) over a program before executing it.
+enum class StaticAnalysisMode {
+  /// No analysis (default).
+  kOff,
+  /// Run the analyzer and attach its findings to the AnswerReport;
+  /// execute regardless.
+  kWarn,
+  /// Refuse to execute a program with error-severity diagnostics (e.g.
+  /// an unbindable view atom). The strict bind-join contract: every
+  /// source-view atom must admit an executable ordering.
+  kReject,
+  /// Drop every rule the analyzer proves can never fire, then execute.
+  /// Sound: pruned rules are evaluation-inert, the answer is unchanged.
+  kPrune,
+};
+
 /// Execution knobs.
 struct ExecOptions {
   planner::BuilderOptions builder;
+  /// Static verification before execution; see StaticAnalysisMode.
+  StaticAnalysisMode static_analysis = StaticAnalysisMode::kOff;
   datalog::Evaluator::Mode mode = datalog::Evaluator::Mode::kSemiNaive;
   /// Worker threads when `mode` is kParallelSemiNaive (0 = hardware
   /// concurrency); ignored by the serial modes.

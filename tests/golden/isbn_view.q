@@ -1,0 +1,2 @@
+% The {v6} connection can never be executed: nothing supplies Isbn.
+<{Song = t1}, {Price}, {{v1, v3}, {v6}}>

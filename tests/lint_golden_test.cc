@@ -1,0 +1,121 @@
+// Golden-file tests for limcap_lint's diagnostics: each case runs the
+// lint driver over checked-in inputs and compares the rendered report
+// byte-for-byte with a checked-in expectation. Regenerate an expectation
+// with the CLI, e.g.
+//
+//   build/tools/limcap_lint --catalog examples/catalogs/example21.cat
+//       --program tests/golden/unbindable.dl > tests/golden/unbindable.out
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/lint.h"
+
+#ifndef LIMCAP_GOLDEN_DIR
+#error "LIMCAP_GOLDEN_DIR must be defined by the build"
+#endif
+#ifndef LIMCAP_EXAMPLES_DIR
+#error "LIMCAP_EXAMPLES_DIR must be defined by the build"
+#endif
+
+namespace limcap::analysis {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string Golden(const std::string& name) {
+  return std::string(LIMCAP_GOLDEN_DIR) + "/" + name;
+}
+
+std::string Example(const std::string& name) {
+  return std::string(LIMCAP_EXAMPLES_DIR) + "/" + name;
+}
+
+/// Lints `program` (from tests/golden) against Example 2.1's catalog and
+/// compares with the named expectation.
+void ExpectProgramGolden(const std::string& program_file,
+                         const std::string& expected_file,
+                         bool expect_errors, bool json = false) {
+  LintRequest request;
+  request.catalog_text = ReadFile(Example("example21.cat"));
+  request.has_program = true;
+  request.program_text = ReadFile(Golden(program_file));
+  request.json = json;
+  auto report = Lint(request);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_EQ(report->rendered, ReadFile(Golden(expected_file)));
+  EXPECT_EQ(report->analysis.diagnostics.has_errors(), expect_errors);
+}
+
+TEST(LintGoldenTest, UnbindableViewAtom) {
+  // The ISSUE's headline case: a source-view atom whose binding pattern
+  // no body ordering can satisfy -> LC020, an error.
+  ExpectProgramGolden("unbindable.dl", "unbindable.out",
+                      /*expect_errors=*/true);
+}
+
+TEST(LintGoldenTest, UnbindableViewAtomJson) {
+  ExpectProgramGolden("unbindable.dl", "unbindable.json.out",
+                      /*expect_errors=*/true, /*json=*/true);
+}
+
+TEST(LintGoldenTest, DeadRule) {
+  ExpectProgramGolden("dead_rule.dl", "dead_rule.out",
+                      /*expect_errors=*/false);
+}
+
+TEST(LintGoldenTest, UnsafeHeadVariable) {
+  ExpectProgramGolden("unsafe_head.dl", "unsafe_head.out",
+                      /*expect_errors=*/true);
+}
+
+TEST(LintGoldenTest, ArityClash) {
+  ExpectProgramGolden("arity_clash.dl", "arity_clash.out",
+                      /*expect_errors=*/true);
+}
+
+TEST(LintGoldenTest, Example21QueryIsErrorFree) {
+  LintRequest request;
+  request.catalog_text = ReadFile(Example("example21.cat"));
+  request.has_query = true;
+  request.query_text = ReadFile(Example("example21.q"));
+  auto report = Lint(request);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_EQ(report->rendered, ReadFile(Golden("example21_query.out")));
+  EXPECT_FALSE(report->analysis.diagnostics.has_errors());
+}
+
+TEST(LintGoldenTest, UnreachableViewInQueryMode) {
+  // Example 2.1 plus v6 (needs Isbn, which nothing supplies) and a {v6}
+  // connection: the full Π(Q, V) carries an unbindable v6 atom (LC020).
+  LintRequest request;
+  request.catalog_text = ReadFile(Golden("isbn_view.cat"));
+  request.has_query = true;
+  request.query_text = ReadFile(Golden("isbn_view.q"));
+  auto report = Lint(request);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_EQ(report->rendered, ReadFile(Golden("isbn_view.out")));
+  EXPECT_TRUE(report->analysis.diagnostics.has_errors());
+}
+
+TEST(LintGoldenTest, CatalogOnlyMode) {
+  LintRequest request;
+  request.catalog_text = ReadFile(Golden("isbn_view.cat"));
+  auto report = Lint(request);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_EQ(report->rendered,
+            ReadFile(Golden("isbn_view_catalog_only.out")));
+  EXPECT_FALSE(report->analysis.diagnostics.has_errors());
+}
+
+}  // namespace
+}  // namespace limcap::analysis

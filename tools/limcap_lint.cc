@@ -1,0 +1,107 @@
+// limcap_lint: static verification of Datalog programs and connection
+// queries against a source catalog, before anything touches a source.
+//
+//   limcap_lint --catalog FILE [--query FILE | --program FILE]
+//               [--goal NAME] [--json]
+//
+// Modes (by which inputs are given):
+//   --catalog only              cold-start view reachability
+//   --catalog + --query         build the full Π(Q, V) and verify it
+//   --catalog + --program       verify a hand-written Datalog program
+//
+// Exit status: 0 = no error-severity diagnostics (warnings and notes
+// are advisory), 1 = the report contains errors, 2 = the inputs are
+// unusable (bad flags, unreadable file, parse failure).
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "analysis/lint.h"
+#include "common/result.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: limcap_lint --catalog FILE [--query FILE | --program FILE]\n"
+    "                   [--goal NAME] [--json]\n";
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  limcap::analysis::LintRequest request;
+  std::string catalog_path;
+  std::string program_path;
+  std::string query_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](std::string* out) {
+      if (i + 1 >= argc) {
+        std::cerr << "limcap_lint: " << arg << " needs an argument\n"
+                  << kUsage;
+        return false;
+      }
+      *out = argv[++i];
+      return true;
+    };
+    if (arg == "--catalog") {
+      if (!next(&catalog_path)) return 2;
+    } else if (arg == "--program") {
+      if (!next(&program_path)) return 2;
+      request.has_program = true;
+    } else if (arg == "--query") {
+      if (!next(&query_path)) return 2;
+      request.has_query = true;
+    } else if (arg == "--goal") {
+      if (!next(&request.options.goal_predicate)) return 2;
+      request.builder.goal_predicate = request.options.goal_predicate;
+    } else if (arg == "--json") {
+      request.json = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else {
+      std::cerr << "limcap_lint: unknown flag '" << arg << "'\n" << kUsage;
+      return 2;
+    }
+  }
+
+  if (catalog_path.empty()) {
+    std::cerr << "limcap_lint: --catalog is required\n" << kUsage;
+    return 2;
+  }
+  if (!ReadFile(catalog_path, &request.catalog_text)) {
+    std::cerr << "limcap_lint: cannot read catalog '" << catalog_path
+              << "'\n";
+    return 2;
+  }
+  if (request.has_program && !ReadFile(program_path, &request.program_text)) {
+    std::cerr << "limcap_lint: cannot read program '" << program_path
+              << "'\n";
+    return 2;
+  }
+  if (request.has_query && !ReadFile(query_path, &request.query_text)) {
+    std::cerr << "limcap_lint: cannot read query '" << query_path << "'\n";
+    return 2;
+  }
+
+  limcap::Result<limcap::analysis::LintReport> report =
+      limcap::analysis::Lint(request);
+  if (!report.ok()) {
+    std::cerr << "limcap_lint: " << report.status().message() << "\n";
+    return 2;
+  }
+  std::cout << report->rendered;
+  return report->ok() ? 0 : 1;
+}
