@@ -3,6 +3,10 @@
 namespace limcap::capability {
 
 Result<relational::Relation> CachingSource::Execute(const SourceQuery& query) {
+  // Serializes concurrent callers: the key dictionary, the cache map and
+  // the hit/miss counters are all mutated here. Holding the lock across
+  // the inner call also keeps one (source, query)'s fill atomic.
+  std::lock_guard<std::mutex> lock(mutex_);
   CacheKey key;
   key.positions = query.positions;
   key.local_ids.reserve(query.ids.size());
@@ -29,6 +33,7 @@ Result<relational::Relation> CachingSource::Execute(const SourceQuery& query) {
 }
 
 relational::Relation CachingSource::ObservedTuples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   relational::Relation all(inner_->view().schema());
   for (const auto& [key, answer] : cache_) {
     for (std::size_t pos = 0; pos < answer.size(); ++pos) {

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "capability/source.h"
@@ -28,10 +29,18 @@ class CachingSource : public Source {
 
   const SourceView& view() const override { return inner_->view(); }
 
+  /// Safe to call concurrently; callers are internally serialized (the
+  /// cache and its key dictionary are shared mutable state).
   Result<relational::Relation> Execute(const SourceQuery& query) override;
 
-  std::size_t hits() const { return hits_; }
-  std::size_t misses() const { return misses_; }
+  std::size_t hits() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+  }
+  std::size_t misses() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+  }
 
   /// Tuples observed so far across all cached answers, usable as the
   /// cached data that Section 7.1 turns into extra fact rules. The
@@ -50,6 +59,7 @@ class CachingSource : public Source {
     }
   };
 
+  mutable std::mutex mutex_;
   std::unique_ptr<Source> inner_;
   ValueDictionary key_dict_;
   std::map<CacheKey, relational::Relation> cache_;

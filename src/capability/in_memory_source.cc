@@ -24,6 +24,9 @@ InMemorySource InMemorySource::MakeUnsafe(SourceView view,
 
 Result<relational::Relation> InMemorySource::Execute(
     const SourceQuery& query) {
+  // The fetch scheduler may call Execute from several threads, and
+  // ProbeEachIds builds column indexes in data_ lazily on first use.
+  std::lock_guard<std::mutex> lock(*mutex_);
   // Validate positions (queries built via SourceQuery::Make always pass;
   // engine-built queries are checked here).
   for (uint32_t pos : query.positions) {

@@ -1,6 +1,8 @@
 #ifndef LIMCAP_CAPABILITY_IN_MEMORY_SOURCE_H_
 #define LIMCAP_CAPABILITY_IN_MEMORY_SOURCE_H_
 
+#include <memory>
+#include <mutex>
 #include <utility>
 
 #include "capability/source.h"
@@ -25,7 +27,9 @@ class InMemorySource : public Source {
 
   /// Enforces capabilities: fails with kCapabilityViolation when a
   /// must-bind attribute is missing from `query`, and kInvalidArgument
-  /// when a binding names an attribute outside the schema.
+  /// when a binding names an attribute outside the schema. Safe to call
+  /// concurrently (probing builds column indexes in `data_` lazily, so
+  /// calls are internally serialized).
   Result<relational::Relation> Execute(const SourceQuery& query) override;
 
   const relational::Relation& data() const { return data_; }
@@ -36,6 +40,9 @@ class InMemorySource : public Source {
 
   SourceView view_;
   relational::Relation data_;
+  /// Held indirectly so the source stays movable (factories return by
+  /// value).
+  std::unique_ptr<std::mutex> mutex_ = std::make_unique<std::mutex>();
 };
 
 }  // namespace limcap::capability

@@ -80,6 +80,15 @@ struct SourceQuery {
 /// dictionary; the returned relation's rows must be encoded against that
 /// same dictionary, so the one Value→id translation of returned tuples
 /// happens inside the source at ingest and the caller consumes raw ids.
+///
+/// Concurrency contract: the fetch scheduler (runtime/fetch_scheduler.h)
+/// may call Execute on the same source from several threads at once, so
+/// implementations must make Execute safe for concurrent calls —
+/// typically by serializing internally (the in-tree sources do). Note
+/// that ValueDictionary::Intern is NOT thread-safe: a source must only
+/// intern into `query.dict`, never into a dictionary another in-flight
+/// call might be interning into (the scheduler hands concurrent calls
+/// private dictionaries to make this hold for `query.dict` itself).
 class Source {
  public:
   virtual ~Source() = default;

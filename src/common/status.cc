@@ -22,6 +22,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Capability violation";
     case StatusCode::kBudgetExhausted:
       return "Budget exhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
   }
   return "Unknown";
 }

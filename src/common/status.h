@@ -24,6 +24,12 @@ enum class StatusCode {
   /// A resource budget (e.g., the source-access budget of a partial-answer
   /// execution) was exhausted before completion.
   kBudgetExhausted = 8,
+  /// A source could not be reached: it refused to answer, its circuit
+  /// breaker is open, or a fault was injected. Retryable by nature.
+  kUnavailable = 9,
+  /// A source answered, but not within the per-attempt deadline of the
+  /// fetch scheduler's retry policy; the late answer was discarded.
+  kDeadlineExceeded = 10,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -70,6 +76,12 @@ class Status {
   }
   static Status BudgetExhausted(std::string msg) {
     return Status(StatusCode::kBudgetExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -24,6 +24,21 @@ ExecOptions WithSessionDict(const ExecOptions& options,
 
 }  // namespace
 
+void AnnotateDegradedConnections(
+    const std::vector<planner::Connection>& connections,
+    runtime::FetchReport* report) {
+  report->degraded_connections.clear();
+  if (report->failed_views.empty()) return;
+  for (const planner::Connection& connection : connections) {
+    for (const std::string& name : connection.view_names()) {
+      if (report->failed_views.count(name) != 0) {
+        report->degraded_connections.push_back(connection.ToString());
+        break;
+      }
+    }
+  }
+}
+
 Result<datalog::Program> ApplyStaticAnalysisGate(
     const datalog::Program& program,
     const std::vector<capability::SourceView>& views,
@@ -64,6 +79,8 @@ Result<AnswerReport> QueryAnswerer::Answer(const planner::Query& query,
                               &report));
   SourceDrivenEvaluator evaluator(catalog_, domains_, session_options);
   LIMCAP_ASSIGN_OR_RETURN(report.exec, evaluator.Execute(program, query));
+  AnnotateDegradedConnections(report.plan.relevance.queryable_connections,
+                              &report.exec.fetch_report);
   return report;
 }
 
@@ -115,6 +132,7 @@ Result<AnswerReport> QueryAnswerer::AnswerHybrid(
                                 domains_, session_options, &report));
     SourceDrivenEvaluator evaluator(catalog_, domains_, session_options);
     LIMCAP_ASSIGN_OR_RETURN(report.exec, evaluator.Execute(program, sub));
+    AnnotateDegradedConnections(dependent, &report.exec.fetch_report);
   } else {
     LIMCAP_ASSIGN_OR_RETURN(relational::Schema out_schema,
                             relational::Schema::Make(query.outputs()));
@@ -192,6 +210,8 @@ Result<AnswerReport> QueryAnswerer::AnswerWithCache(
                                        session_options, &report));
   SourceDrivenEvaluator evaluator(catalog_, domains_, session_options);
   LIMCAP_ASSIGN_OR_RETURN(report.exec, evaluator.Execute(program, query));
+  AnnotateDegradedConnections(report.plan.relevance.queryable_connections,
+                              &report.exec.fetch_report);
   return report;
 }
 
@@ -209,6 +229,8 @@ Result<AnswerReport> QueryAnswerer::AnswerUnoptimized(
                               domains_, session_options, &report));
   SourceDrivenEvaluator evaluator(catalog_, domains_, session_options);
   LIMCAP_ASSIGN_OR_RETURN(report.exec, evaluator.Execute(program, query));
+  AnnotateDegradedConnections(report.plan.relevance.queryable_connections,
+                              &report.exec.fetch_report);
   return report;
 }
 

@@ -96,6 +96,15 @@ Result<datalog::Program> ApplyStaticAnalysisGate(
 /// contributed. `connections` must be the list the program was built
 /// from — for QueryAnswerer::Answer that is
 /// report.plan.relevance.queryable_connections.
+/// Fills `report->degraded_connections` with the ToString() of every
+/// connection that traverses a failed view (Section 7.2 partial-answer
+/// semantics): the execution's answer is sound, but those connections may
+/// be under-answered. QueryAnswerer calls this after every execution;
+/// exposed so tests and tools can annotate hand-driven executions.
+void AnnotateDegradedConnections(
+    const std::vector<planner::Connection>& connections,
+    runtime::FetchReport* report);
+
 Result<std::map<std::string, relational::Relation>> PerConnectionAnswers(
     const ExecResult& exec,
     const std::vector<planner::Connection>& connections,

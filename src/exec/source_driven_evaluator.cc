@@ -4,10 +4,12 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "capability/source.h"
 #include "relational/schema.h"
+#include "runtime/fetch_scheduler.h"
 
 namespace limcap::exec {
 
@@ -30,6 +32,15 @@ struct FetchSpec {
   std::vector<std::string> bound_attributes;
   std::vector<std::string> bound_domains;
   std::set<std::vector<ValueId>> asked;
+};
+
+/// One frontier entry: a formable, not-yet-asked source query, identified
+/// by its spec and the bound values. Enumerated in serial order (spec
+/// order × odometer order), dispatched by the fetch scheduler, committed
+/// back in this same order.
+struct PendingFetch {
+  std::size_t spec_index = 0;
+  std::vector<ValueId> combo;
 };
 
 }  // namespace
@@ -96,39 +107,42 @@ Result<ExecResult> SourceDrivenEvaluator::Execute(
     }
   };
 
-  // Issues one source query for `combo` against `spec`, folding the
-  // returned tuples into the store and the trace. The query is formed by
-  // copying ids — the domain predicates already hold session ids — and
-  // the answer comes back encoded against the session dictionary, so no
-  // value is rendered or re-parsed per round.
-  auto issue = [&](FetchSpec& spec,
-                   const std::vector<ValueId>& combo) -> Status {
+  // The source-access runtime. One scheduler serves the whole execution,
+  // so circuit-breaker state and the simulated clock carry across rounds.
+  runtime::RuntimeOptions runtime_options = options_.runtime;
+  runtime_options.stop_on_error = !options_.continue_on_source_error;
+  runtime::FetchScheduler scheduler(runtime_options, dict);
+
+  // Folds one answered (or failed) fetch into the store and the trace.
+  // Called in frontier order on this thread, which is what makes
+  // concurrent dispatch bit-identical to serial: store inserts, log
+  // records, and any re-keying Interns happen in the serial order no
+  // matter how the batch actually ran.
+  auto commit = [&](const FetchSpec& spec, std::vector<ValueId> combo,
+                    runtime::FetchResult& fetched) -> Status {
     const capability::SourceView& view = *spec.view;
     SourceQuery source_query;
     source_query.positions = spec.bound_positions;
-    source_query.ids = combo;
+    source_query.ids = std::move(combo);
     source_query.dict = dict;
-    const uint64_t before_execute = dict->translation_count();
-    auto answered = spec.source->Execute(source_query);
     AccessRecord record;
     record.source = view.name();
-    record.query = source_query;
+    record.query = std::move(source_query);
     record.view = spec.view;
     record.round = result.rounds;
-    const bool source_failed = !answered.ok();
+    const bool source_failed = !fetched.tuples.ok();
     if (source_failed && !options_.continue_on_source_error) {
-      return answered.status();
+      return fetched.tuples.status();
     }
-    if (source_failed) record.error = answered.status().ToString();
+    if (source_failed) record.error = fetched.tuples.status().ToString();
     Relation tuples = source_failed ? Relation(view.schema(), dict)
-                                    : std::move(answered).value();
+                                    : std::move(fetched.tuples).value();
     if (tuples.dict_ptr() != dict) {
       // A source that ignores the dictionary contract (possible for
       // third-party Source implementations) pays one re-keying pass —
       // still ingest, not hot path.
       tuples = tuples.WithDictionary(dict);
     }
-    ingest_allowance += dict->translation_count() - before_execute;
     record.tuples_returned = tuples.size();
     relational::IdRow row_ids;
     for (std::size_t pos = 0; pos < tuples.size(); ++pos) {
@@ -148,29 +162,23 @@ Result<ExecResult> SourceDrivenEvaluator::Execute(
         }
       }
     }
-    const uint64_t before_record = dict->translation_count();
     result.log.Record(std::move(record));
-    // Eager rendering decodes; lazy recording touches the dictionary not
-    // at all.
-    ingest_allowance += dict->translation_count() - before_record;
     return Status::OK();
   };
 
-  // Runs `fn(spec, combo)` for each not-yet-asked binding combination of
-  // `spec` (marking it asked); `fn` returns false to stop enumerating.
-  auto for_each_unasked =
-      [&](FetchSpec& spec,
-          const std::function<Result<bool>(FetchSpec&,
-                                           const std::vector<ValueId>&)>& fn)
-      -> Result<bool> {  // false when fn stopped the enumeration
-    // Capture sizes, not row views: `fn` inserts source results into the
-    // store, and arenas may reallocate under a live span.
+  // Appends every formable, not-yet-asked query of `spec` to `frontier`
+  // in odometer order. Pure reads — nothing is marked asked until the
+  // frontier is truncated to what will actually be dispatched. Captures
+  // sizes, not row views: later inserts may reallocate arenas.
+  auto collect_unasked = [&](std::size_t spec_index,
+                             std::vector<PendingFetch>* frontier) {
+    FetchSpec& spec = specs[spec_index];
     std::vector<datalog::PredicateId> domain_preds;
     std::vector<std::size_t> domain_sizes;
     for (const std::string& domain : spec.bound_domains) {
       datalog::PredicateId pred = result.store.FindPredicate(domain);
       if (pred == datalog::kNoPredicate || result.store.Count(pred) == 0) {
-        return true;
+        return;
       }
       domain_preds.push_back(pred);
       domain_sizes.push_back(result.store.Count(pred));
@@ -182,9 +190,8 @@ Result<ExecResult> SourceDrivenEvaluator::Execute(
       for (std::size_t i = 0; i < pick.size(); ++i) {
         combo.push_back(result.store.Row(domain_preds[i], pick[i])[0]);
       }
-      if (spec.asked.insert(combo).second) {
-        LIMCAP_ASSIGN_OR_RETURN(bool keep_going, fn(spec, combo));
-        if (!keep_going) return false;
+      if (spec.asked.count(combo) == 0) {
+        frontier->push_back({spec_index, std::move(combo)});
       }
       // Advance the odometer; a view with no bound attribute has exactly
       // one (empty) query, and the odometer exhausts immediately.
@@ -195,7 +202,6 @@ Result<ExecResult> SourceDrivenEvaluator::Execute(
       }
       if (i == pick.size()) break;
     }
-    return true;
   };
 
   const std::string& goal = options_.builder.goal_predicate;
@@ -210,39 +216,66 @@ Result<ExecResult> SourceDrivenEvaluator::Execute(
       break;
     }
 
-    bool issued_any = false;
-    for (FetchSpec& spec : specs) {
-      LIMCAP_ASSIGN_OR_RETURN(
-          bool exhausted,
-          for_each_unasked(
-              spec,
-              [&](FetchSpec& s,
-                  const std::vector<ValueId>& combo) -> Result<bool> {
-                if (result.log.total_queries() >=
-                    options_.max_source_queries) {
-                  result.budget_exhausted = true;
-                  done = true;
-                  return false;
-                }
-                LIMCAP_RETURN_NOT_OK(issue(s, combo));
-                issued_any = true;
-                // Eager strategy: stop after one query and go derive.
-                return !eager;
-              }));
-      if (!exhausted || done) break;
+    // This round's frontier. Domain predicates only grow inside
+    // evaluator->Run(), so the full frontier is determined here, before
+    // any of its fetches executes — the scheduler may answer it in any
+    // physical order and the ordered commit reproduces serial execution.
+    std::vector<PendingFetch> frontier;
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      collect_unasked(s, &frontier);
+      // Eager strategy: one query per round, then go derive.
+      if (eager && !frontier.empty()) break;
+    }
+    if (eager && frontier.size() > 1) frontier.resize(1);
+    // Source-access budget: dispatch only up to the budget's remainder;
+    // any formable query beyond it makes the answer a partial one.
+    const std::size_t remaining =
+        options_.max_source_queries - result.log.total_queries();
+    if (frontier.size() > remaining) {
+      frontier.resize(remaining);
+      result.budget_exhausted = true;
+      done = true;
+    }
+
+    std::vector<runtime::FetchRequest> requests;
+    requests.reserve(frontier.size());
+    for (const PendingFetch& pending : frontier) {
+      FetchSpec& spec = specs[pending.spec_index];
+      spec.asked.insert(pending.combo);
+      runtime::FetchRequest request;
+      request.source = spec.source;
+      request.query.positions = spec.bound_positions;
+      request.query.ids = pending.combo;
+      request.query.dict = dict;
+      requests.push_back(std::move(request));
+    }
+    if (!requests.empty()) {
+      // Everything the batch window translates — source ingest, private-
+      // dictionary cloning under concurrent dispatch, re-keying, the
+      // log's optional eager render — is ingest, not hot path.
+      const uint64_t before_batch = dict->translation_count();
+      std::vector<runtime::FetchResult> fetched =
+          scheduler.ExecuteBatch(requests);
+      for (std::size_t i = 0; i < frontier.size(); ++i) {
+        LIMCAP_RETURN_NOT_OK(commit(specs[frontier[i].spec_index],
+                                    std::move(frontier[i].combo),
+                                    fetched[i]));
+      }
+      ingest_allowance += dict->translation_count() - before_batch;
     }
     if (done) {
       // Budget exhausted: derive what we can from the facts on hand.
       LIMCAP_RETURN_NOT_OK(evaluator->Run());
       break;
     }
-    if (!issued_any) {
+    if (requests.empty()) {
       done = true;
     } else {
       ++result.rounds;
     }
   }
 
+  result.fetch_report = scheduler.report();
   result.datalog_stats = evaluator->stats();
   result.post_ingest_translations =
       dict->translation_count() - translations_at_start - ingest_allowance;

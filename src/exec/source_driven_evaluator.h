@@ -15,6 +15,8 @@
 #include "planner/program_builder.h"
 #include "planner/query.h"
 #include "relational/relation.h"
+#include "runtime/fetch_report.h"
+#include "runtime/options.h"
 
 namespace limcap::exec {
 
@@ -69,10 +71,18 @@ struct ExecOptions {
   std::size_t min_answers = std::numeric_limits<std::size_t>::max();
   /// When true, a source query that fails (e.g. the source is down) is
   /// logged with its error and treated as returning no tuples, and the
-  /// evaluation continues — the answer is then a sound partial answer.
-  /// When false (default) the failure aborts the evaluation. Failed
-  /// queries are not retried either way.
+  /// evaluation continues — the answer is then a sound partial answer
+  /// whose ExecResult::fetch_report names the failed views. When false
+  /// (default) the first permanent failure aborts the evaluation. Either
+  /// way a query fails permanently only after `runtime.retry` (or the
+  /// per-source override) is out of attempts.
   bool continue_on_source_error = false;
+  /// The source-access runtime: concurrency, coalescing, retry/backoff,
+  /// deadlines, circuit breakers, and the simulated LatencyModel clock.
+  /// The defaults reproduce the legacy serial single-attempt fetch loop
+  /// bit for bit. (`runtime.stop_on_error` is derived from
+  /// `continue_on_source_error`; setting it here has no effect.)
+  runtime::RuntimeOptions runtime;
   /// The session dictionary every relation, fact and source query of this
   /// execution encodes against. Null (default) creates a fresh one; the
   /// mediator passes its own so the answer stays decodable after the
@@ -100,6 +110,11 @@ struct ExecResult {
   /// True when max_source_queries or min_answers stopped fetching early,
   /// making `answer` a (possibly) partial answer.
   bool budget_exhausted = false;
+  /// What the fetch scheduler did: per-source attempts/retries/timeouts/
+  /// breaker accounting, simulated makespans, and — when sources failed
+  /// permanently under continue_on_source_error — the degraded-answer
+  /// annotation naming the failed views (fetch_report.degraded()).
+  runtime::FetchReport fetch_report;
   /// The dictionary `answer`, `store` and the log's interned records
   /// encode against (shared with the store).
   ValueDictionaryPtr session_dict;

@@ -1,0 +1,54 @@
+#include "runtime/circuit_breaker.h"
+
+namespace limcap::runtime {
+
+const char* BreakerStateToString(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+bool CircuitBreaker::Allow(double now_ms) {
+  if (!policy_.enabled()) return true;
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (now_ms < open_until_ms_) return false;
+      state_ = BreakerState::kHalfOpen;
+      probe_in_flight_ = true;
+      return true;
+    case BreakerState::kHalfOpen:
+      // One probe at a time; concurrent batch-mates fail fast.
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  if (!policy_.enabled()) return;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+  state_ = BreakerState::kClosed;
+}
+
+void CircuitBreaker::RecordFailure(double now_ms) {
+  if (!policy_.enabled()) return;
+  ++consecutive_failures_;
+  probe_in_flight_ = false;
+  if (state_ == BreakerState::kHalfOpen ||
+      consecutive_failures_ >= policy_.failure_threshold) {
+    state_ = BreakerState::kOpen;
+    open_until_ms_ = now_ms + policy_.cooldown_ms;
+  }
+}
+
+}  // namespace limcap::runtime

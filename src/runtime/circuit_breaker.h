@@ -1,0 +1,52 @@
+#ifndef LIMCAP_RUNTIME_CIRCUIT_BREAKER_H_
+#define LIMCAP_RUNTIME_CIRCUIT_BREAKER_H_
+
+#include <cstddef>
+#include <string>
+
+#include "runtime/retry_policy.h"
+
+namespace limcap::runtime {
+
+enum class BreakerState {
+  kClosed,    ///< healthy: fetches flow
+  kOpen,      ///< tripped: fetches fail fast until the cooldown elapses
+  kHalfOpen,  ///< cooled down: one probe in flight decides the next state
+};
+
+const char* BreakerStateToString(BreakerState state);
+
+/// Per-source circuit breaker on the scheduler's simulated clock. Driven
+/// only by the scheduler's driver thread (dispatch decisions and merge-
+/// order outcome recording), so it needs no locking; see FetchScheduler
+/// for the confinement contract.
+class CircuitBreaker {
+ public:
+  CircuitBreaker() = default;
+  explicit CircuitBreaker(BreakerPolicy policy) : policy_(policy) {}
+
+  /// True when a fetch may be sent at simulated time `now_ms`. An open
+  /// breaker whose cooldown has elapsed transitions to half-open and
+  /// admits exactly one probe; further calls return false until the
+  /// probe's outcome is recorded.
+  bool Allow(double now_ms);
+
+  /// Records a fetch outcome, in the scheduler's deterministic merge
+  /// order. `now_ms` is the fetch's simulated finish time.
+  void RecordSuccess();
+  void RecordFailure(double now_ms);
+
+  BreakerState state() const { return state_; }
+  std::size_t consecutive_failures() const { return consecutive_failures_; }
+
+ private:
+  BreakerPolicy policy_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::size_t consecutive_failures_ = 0;
+  double open_until_ms_ = 0;
+  bool probe_in_flight_ = false;
+};
+
+}  // namespace limcap::runtime
+
+#endif  // LIMCAP_RUNTIME_CIRCUIT_BREAKER_H_

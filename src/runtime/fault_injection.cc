@@ -1,0 +1,98 @@
+#include "runtime/fault_injection.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace limcap::runtime {
+
+namespace {
+
+/// Dictionary-independent query identity: bound positions plus the bound
+/// *values* (decoded through the query's own dictionary).
+uint64_t QueryKey(const capability::SourceQuery& query) {
+  std::size_t seed = 0x5eedfau;
+  std::hash<Value> value_hash;
+  for (std::size_t i = 0; i < query.positions.size(); ++i) {
+    HashCombine(seed, query.positions[i]);
+    if (query.dict != nullptr) {
+      HashCombine(seed, value_hash(query.dict->Get(query.ids[i])));
+    } else {
+      HashCombine(seed, query.ids[i]);
+    }
+  }
+  return seed;
+}
+
+/// A per-decision Rng seeded by (spec seed, query, attempt, salt):
+/// independent of dispatch order and of every other decision.
+Rng DecisionRng(uint64_t seed, uint64_t query_key, std::size_t attempt,
+                uint64_t salt) {
+  return Rng(seed ^ (query_key * 0x9e3779b97f4a7c15ULL) ^
+             (static_cast<uint64_t>(attempt) << 32) ^ salt);
+}
+
+}  // namespace
+
+Result<relational::Relation> FaultInjectingSource::ExecuteTimed(
+    const capability::SourceQuery& query, Timing* timing) {
+  const uint64_t key = QueryKey(query);
+  std::size_t call_number;
+  std::size_t attempt;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    call_number = ++stats_.calls;
+    attempt = ++per_query_attempts_[key];
+  }
+
+  bool spike = spec_.latency_spike_rate > 0 &&
+               DecisionRng(spec_.seed, key, attempt, 0x51u)
+                   .Chance(spec_.latency_spike_rate);
+  if (spike) timing->added_latency_ms += spec_.latency_spike_ms;
+
+  std::string reason;
+  if (call_number <= spec_.fail_first_calls) {
+    reason = "injected failure (call " + std::to_string(call_number) + "/" +
+             std::to_string(spec_.fail_first_calls) + ")";
+  } else if (attempt <= spec_.fail_first_per_query) {
+    reason = "injected failure (attempt " + std::to_string(attempt) + "/" +
+             std::to_string(spec_.fail_first_per_query) + " for this query)";
+  } else if (spec_.fail_rate > 0 &&
+             DecisionRng(spec_.seed, key, attempt, 0xfa11u)
+                 .Chance(spec_.fail_rate)) {
+    reason = "injected failure (seeded rate)";
+  }
+  if (!reason.empty()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.injected_failures;
+    if (spike) ++stats_.latency_spikes;
+    return Status::Unavailable("source " + view().name() + " unavailable: " +
+                               reason);
+  }
+
+  auto answered = inner_->Execute(query);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (spike) ++stats_.latency_spikes;
+    if (answered.ok() && answered->size() > spec_.max_result_tuples) {
+      ++stats_.truncations;
+    }
+  }
+  if (!answered.ok() || answered->size() <= spec_.max_result_tuples) {
+    return answered;
+  }
+  // Result truncation: keep the first max_result_tuples rows.
+  relational::Relation full = std::move(answered).value();
+  relational::Relation truncated(full.schema(), full.dict_ptr());
+  relational::IdRow row;
+  for (std::size_t pos = 0; pos < spec_.max_result_tuples; ++pos) {
+    full.GatherRowIds(pos, &row);
+    truncated.InsertIdsUnsafe(row);
+  }
+  return truncated;
+}
+
+}  // namespace limcap::runtime

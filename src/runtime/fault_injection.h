@@ -1,0 +1,87 @@
+#ifndef LIMCAP_RUNTIME_FAULT_INJECTION_H_
+#define LIMCAP_RUNTIME_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "runtime/timed_source.h"
+
+namespace limcap::runtime {
+
+/// What a FaultInjectingSource does to the calls that reach it. Every
+/// stochastic knob is seeded and keyed to the query (not to global call
+/// order), so fault decisions are reproducible even when the scheduler
+/// dispatches calls concurrently in racy real-time order.
+struct FaultSpec {
+  /// Fail the first N Execute calls overall — the legacy UnreliableSource
+  /// semantics, deterministic under serial dispatch. Under concurrent
+  /// dispatch the *count* of injected failures is exact but *which*
+  /// queries absorb them follows arrival order; prefer
+  /// `fail_first_per_query` for order-independent determinism.
+  std::size_t fail_first_calls = 0;
+  /// Fail the first N attempts of each distinct query (keyed by bound
+  /// positions + values). With a retry policy allowing more than N
+  /// attempts, every query eventually succeeds — the fail-then-recover
+  /// shape — independent of dispatch order.
+  std::size_t fail_first_per_query = 0;
+  /// Per-attempt failure probability, drawn from Rng(seed, query,
+  /// attempt#) — order-independent.
+  double fail_rate = 0;
+  /// Probability that a call's simulated latency spikes by `spike_ms`
+  /// (drawn like `fail_rate`). Spikes beyond the retry policy's deadline
+  /// surface as timeouts.
+  double latency_spike_rate = 0;
+  double latency_spike_ms = 0;
+  /// Truncate answers to this many tuples — a result-bounded interface
+  /// in the Amarilli–Benedikt sense, or a flaky pagination cutoff.
+  std::size_t max_result_tuples = std::numeric_limits<std::size_t>::max();
+  uint64_t seed = 0;
+};
+
+/// Failure-injection decorator generalizing the old UnreliableSource:
+/// injected unavailability (fail-first-N globally or per query, seeded
+/// fail rates), seeded simulated-latency spikes, and result truncation.
+/// Internally synchronized — the fetch scheduler may call it from many
+/// threads.
+class FaultInjectingSource : public TimedSource {
+ public:
+  FaultInjectingSource(std::unique_ptr<capability::Source> inner,
+                       FaultSpec spec)
+      : inner_(std::move(inner)), spec_(spec) {}
+
+  const capability::SourceView& view() const override {
+    return inner_->view();
+  }
+
+  Result<relational::Relation> ExecuteTimed(
+      const capability::SourceQuery& query, Timing* timing) override;
+
+  struct Stats {
+    std::size_t calls = 0;
+    std::size_t injected_failures = 0;
+    std::size_t latency_spikes = 0;
+    std::size_t truncations = 0;
+  };
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+  std::size_t attempts() const { return stats().calls; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unique_ptr<capability::Source> inner_;
+  FaultSpec spec_;
+  Stats stats_;
+  /// Per-query attempt counters, keyed by a value-level hash of the
+  /// query (dictionary-independent: the same bindings hash equal no
+  /// matter which session or private dictionary encoded them).
+  std::map<uint64_t, std::size_t> per_query_attempts_;
+};
+
+}  // namespace limcap::runtime
+
+#endif  // LIMCAP_RUNTIME_FAULT_INJECTION_H_

@@ -1,0 +1,48 @@
+#include "runtime/fetch_report.h"
+
+#include <cstdio>
+
+#include "common/text_table.h"
+
+namespace limcap::runtime {
+
+namespace {
+
+std::string Ms(double ms) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1f", ms);
+  return buffer;
+}
+
+}  // namespace
+
+std::string FetchReport::ToString() const {
+  TextTable table({"Source", "Attempts", "OK", "Failed", "Retries",
+                   "Timeouts", "Coalesced", "Skipped", "Busy ms", "Breaker"});
+  for (const auto& [source, stats] : per_source) {
+    table.AddRow({source, std::to_string(stats.attempts),
+                  std::to_string(stats.successes),
+                  std::to_string(stats.failed_queries),
+                  std::to_string(stats.retries),
+                  std::to_string(stats.timeouts),
+                  std::to_string(stats.coalesced_hits),
+                  std::to_string(stats.breaker_skips),
+                  Ms(stats.simulated_busy_ms),
+                  BreakerStateToString(stats.breaker_state)});
+  }
+  std::string out = table.ToString();
+  out += "simulated makespan: " + Ms(simulated_makespan_ms) +
+         " ms (sequential: " + Ms(simulated_sequential_ms) + " ms, " +
+         std::to_string(batches) + " batches)\n";
+  if (degraded()) {
+    out += "DEGRADED: failed views:";
+    for (const std::string& view : failed_views) out += " " + view;
+    out += "\n";
+    for (const std::string& connection : degraded_connections) {
+      out += "  possibly under-answered: " + connection + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace limcap::runtime

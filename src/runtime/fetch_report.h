@@ -1,0 +1,80 @@
+#ifndef LIMCAP_RUNTIME_FETCH_REPORT_H_
+#define LIMCAP_RUNTIME_FETCH_REPORT_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "runtime/circuit_breaker.h"
+
+namespace limcap::runtime {
+
+/// What the fetch scheduler did over one execution: per-source attempt /
+/// retry / timeout / breaker accounting, the simulated makespan, and the
+/// degraded-answer annotation (Section 7.2 partial-answer semantics: when
+/// a view stays unanswered, the answer is still sound but any connection
+/// through that view may be under-answered).
+struct FetchReport {
+  struct SourceStats {
+    /// Source calls actually made (retries included, coalesced and
+    /// breaker-skipped fetches excluded).
+    std::size_t attempts = 0;
+    /// Fetches answered successfully (possibly after retries).
+    std::size_t successes = 0;
+    /// Fetches that permanently failed: every attempt failed, or the
+    /// breaker refused them.
+    std::size_t failed_queries = 0;
+    /// Attempts beyond each fetch's first.
+    std::size_t retries = 0;
+    /// Attempts discarded for exceeding the per-attempt deadline.
+    std::size_t timeouts = 0;
+    /// Fetches answered by an identical in-flight query's result.
+    std::size_t coalesced_hits = 0;
+    /// Fetches failed fast by an open circuit breaker.
+    std::size_t breaker_skips = 0;
+    /// Simulated milliseconds this source spent serving attempts and
+    /// backoffs.
+    double simulated_busy_ms = 0;
+    /// Breaker state when the execution ended.
+    BreakerState breaker_state = BreakerState::kClosed;
+  };
+
+  std::map<std::string, SourceStats> per_source;
+  /// Fetch batches dispatched (≈ evaluator rounds that issued queries).
+  std::size_t batches = 0;
+  std::size_t total_attempts = 0;
+  std::size_t total_retries = 0;
+  std::size_t total_timeouts = 0;
+  std::size_t coalesced_hits = 0;
+  /// Simulated end-to-end fetch time under the configured concurrency
+  /// caps: Σ over batches of the batch's critical path.
+  double simulated_makespan_ms = 0;
+  /// What the same fetches would cost issued one at a time.
+  double simulated_sequential_ms = 0;
+  /// Views with at least one permanently failed fetch. Non-empty means
+  /// the answer is (possibly) partial: everything derived is sound, but
+  /// tuples reachable only through these views may be missing.
+  std::set<std::string> failed_views;
+  /// Connections touching a failed view, hence possibly under-answered —
+  /// filled by QueryAnswerer, which knows the plan's connections.
+  std::vector<std::string> degraded_connections;
+
+  /// True when some view went permanently unanswered, making the answer
+  /// a (possibly) partial one.
+  bool degraded() const { return !failed_views.empty(); }
+
+  double SequentialSpeedup() const {
+    return simulated_makespan_ms > 0
+               ? simulated_sequential_ms / simulated_makespan_ms
+               : 1.0;
+  }
+
+  /// Human-readable per-source table plus the makespan summary.
+  std::string ToString() const;
+};
+
+}  // namespace limcap::runtime
+
+#endif  // LIMCAP_RUNTIME_FETCH_REPORT_H_

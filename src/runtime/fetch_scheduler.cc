@@ -1,0 +1,387 @@
+#include "runtime/fetch_scheduler.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdio>
+#include <limits>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <tuple>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "runtime/timed_source.h"
+
+namespace limcap::runtime {
+
+namespace {
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+std::string FormatMs(double ms) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.0f", ms);
+  return buffer;
+}
+
+/// Per-fetch jitter seed from (run seed, source, session-encoded query).
+/// Session ids are assigned identically under serial and concurrent
+/// execution, so the jitter — and with it every simulated duration — is
+/// dispatch-order independent.
+uint64_t JitterSeed(uint64_t run_seed, const std::string& source,
+                    const capability::SourceQuery& query) {
+  std::size_t seed = static_cast<std::size_t>(run_seed);
+  HashCombine(seed, std::hash<std::string>{}(source));
+  for (std::size_t i = 0; i < query.positions.size(); ++i) {
+    HashCombine(seed, query.positions[i]);
+    HashCombine(seed, query.ids[i]);
+  }
+  return Mix64(seed);
+}
+
+}  // namespace
+
+/// One distinct (source, query) to actually dispatch. Coalesced duplicate
+/// requests become followers pointing at their leader. Worker threads
+/// write only the outcome block of their own leader; the driver reads it
+/// after the pool region joins (the pool's region barrier publishes the
+/// writes).
+struct FetchScheduler::Leader {
+  std::size_t request_index = 0;
+  capability::Source* source = nullptr;
+  std::string source_name;
+  /// The query to dispatch: the session-encoded request under serial
+  /// execution, a private-dictionary clone under concurrent execution
+  /// (workers must never intern into the session dictionary).
+  capability::SourceQuery query;
+  const RetryPolicy* policy = nullptr;
+  double base_latency_ms = 0;
+  uint64_t jitter_seed = 0;
+  bool allowed = true;   ///< false: failed fast by the circuit breaker
+  bool executed = false; ///< false: skipped (breaker, or stop_on_error)
+
+  // Outcome block, written by ExecuteLeader.
+  Result<relational::Relation> tuples = Status::Internal("not executed");
+  std::size_t attempts = 0;
+  std::size_t retries = 0;
+  std::size_t timeouts = 0;
+  double duration_ms = 0;
+
+  // Timeline placement, assigned by SimulateTimeline on the driver.
+  double start_ms = 0;
+  double finish_ms = 0;
+};
+
+FetchScheduler::FetchScheduler(RuntimeOptions options,
+                               ValueDictionaryPtr session_dict)
+    : options_(std::move(options)), dict_(std::move(session_dict)) {}
+
+FetchScheduler::~FetchScheduler() = default;
+
+void FetchScheduler::ExecuteLeader(Leader* leader) const {
+  const RetryPolicy& policy = *leader->policy;
+  const std::size_t max_attempts = std::max<std::size_t>(1, policy.max_attempts);
+  Rng rng(leader->jitter_seed);
+  Result<relational::Relation> outcome = Status::Internal("not executed");
+  for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) {
+      leader->duration_ms += policy.BackoffBeforeAttempt(attempt, rng);
+      ++leader->retries;
+    }
+    ++leader->attempts;
+    TimedSource::Timing timing;
+    auto* timed = dynamic_cast<TimedSource*>(leader->source);
+    Result<relational::Relation> answer =
+        timed != nullptr ? timed->ExecuteTimed(leader->query, &timing)
+                         : leader->source->Execute(leader->query);
+    const double latency = leader->base_latency_ms + timing.added_latency_ms;
+    if (latency > policy.deadline_ms) {
+      // The answer (good or bad) arrived past the deadline: discard it.
+      // The attempt costs exactly the deadline — the caller hung up then.
+      leader->duration_ms += policy.deadline_ms;
+      ++leader->timeouts;
+      outcome = Status::DeadlineExceeded(
+          "source " + leader->source_name + " attempt " +
+          std::to_string(attempt) + " exceeded its " +
+          FormatMs(policy.deadline_ms) + " ms deadline");
+      continue;
+    }
+    leader->duration_ms += latency;
+    outcome = std::move(answer);
+    if (outcome.ok()) break;
+  }
+  leader->tuples = std::move(outcome);
+}
+
+void FetchScheduler::RunLeadersConcurrently(std::vector<Leader>* leaders) {
+  std::vector<Leader*> todo;
+  for (Leader& leader : *leaders) {
+    if (leader.executed) todo.push_back(&leader);
+  }
+  if (todo.empty()) return;
+  if (pool_ == nullptr) {
+    std::size_t threads = options_.max_in_flight != 0
+                              ? options_.max_in_flight
+                              : std::thread::hardware_concurrency();
+    pool_ = std::make_unique<ThreadPool>(std::max<std::size_t>(1, threads));
+  }
+  const std::size_t per_source_cap = options_.per_source_max_in_flight != 0
+                                         ? options_.per_source_max_in_flight
+                                         : kNone;
+
+  // Claim loop: each worker repeatedly claims the lowest-index unclaimed
+  // fetch whose source is under its in-flight cap. The pool size enforces
+  // the global cap. Claim order does not affect results — the driver
+  // merges in batch order regardless.
+  std::mutex mutex;
+  std::condition_variable capacity_freed;
+  std::vector<bool> claimed(todo.size(), false);
+  std::size_t num_claimed = 0;
+  std::map<std::string, std::size_t> in_flight;
+  pool_->RunOnAll([&](std::size_t) {
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      std::size_t pick = kNone;
+      for (std::size_t i = 0; i < todo.size(); ++i) {
+        if (!claimed[i] && in_flight[todo[i]->source_name] < per_source_cap) {
+          pick = i;
+          break;
+        }
+      }
+      if (pick == kNone) {
+        if (num_claimed == todo.size()) return;
+        // Unclaimed fetches remain but their sources are at capacity;
+        // wait for a finisher to free a slot.
+        capacity_freed.wait(lock);
+        continue;
+      }
+      claimed[pick] = true;
+      ++num_claimed;
+      ++in_flight[todo[pick]->source_name];
+      lock.unlock();
+      ExecuteLeader(todo[pick]);
+      lock.lock();
+      --in_flight[todo[pick]->source_name];
+      capacity_freed.notify_all();
+    }
+  });
+}
+
+double FetchScheduler::SimulateTimeline(std::vector<Leader>* leaders,
+                                        double batch_start) {
+  if (!options_.concurrent) {
+    // Serial dispatch: one fetch at a time, in batch order.
+    double now = batch_start;
+    for (Leader& leader : *leaders) {
+      if (!leader.executed) {
+        leader.start_ms = leader.finish_ms = now;
+        continue;
+      }
+      leader.start_ms = now;
+      now += leader.duration_ms;
+      leader.finish_ms = now;
+    }
+    return now - batch_start;
+  }
+
+  // Event-driven replay of the claim loop under both caps, in batch
+  // order, on simulated time: deterministic no matter how the real
+  // threads interleaved.
+  const std::size_t global_cap = std::max<std::size_t>(
+      1, options_.max_in_flight != 0 ? options_.max_in_flight
+                                     : std::thread::hardware_concurrency());
+  const std::size_t per_source_cap = options_.per_source_max_in_flight != 0
+                                         ? options_.per_source_max_in_flight
+                                         : kNone;
+  std::vector<Leader*> jobs;
+  for (Leader& leader : *leaders) {
+    if (leader.executed) {
+      jobs.push_back(&leader);
+    } else {
+      leader.start_ms = leader.finish_ms = batch_start;
+    }
+  }
+  if (jobs.empty()) return 0;
+
+  using Finish = std::pair<double, std::size_t>;  // (finish time, job index)
+  std::priority_queue<Finish, std::vector<Finish>, std::greater<Finish>>
+      running;
+  std::map<std::string, std::size_t> in_flight;
+  std::vector<bool> started(jobs.size(), false);
+  std::size_t num_started = 0;
+  double now = batch_start;
+  double makespan_end = batch_start;
+  while (num_started < jobs.size() || !running.empty()) {
+    // Start every startable job at `now`, scanning in batch order.
+    for (std::size_t i = 0;
+         i < jobs.size() && running.size() < global_cap; ++i) {
+      if (started[i] || in_flight[jobs[i]->source_name] >= per_source_cap) {
+        continue;
+      }
+      started[i] = true;
+      ++num_started;
+      ++in_flight[jobs[i]->source_name];
+      jobs[i]->start_ms = now;
+      jobs[i]->finish_ms = now + jobs[i]->duration_ms;
+      running.push({jobs[i]->finish_ms, i});
+    }
+    if (running.empty()) break;
+    auto [finish, index] = running.top();
+    running.pop();
+    now = finish;
+    makespan_end = std::max(makespan_end, finish);
+    --in_flight[jobs[index]->source_name];
+  }
+  return makespan_end - batch_start;
+}
+
+std::vector<FetchResult> FetchScheduler::ExecuteBatch(
+    const std::vector<FetchRequest>& requests) {
+  std::vector<FetchResult> results(requests.size());
+  if (requests.empty()) return results;
+
+  const double batch_start = sim_clock_ms_;
+  ++report_.batches;
+
+  // 1. Coalesce identical (source, query) pairs into leaders. All request
+  //    queries are session-encoded, so raw positions+ids identify a query.
+  std::vector<Leader> leaders;
+  leaders.reserve(requests.size());
+  std::vector<std::size_t> leader_of(requests.size(), kNone);
+  std::vector<bool> is_leader(requests.size(), false);
+  using CoalesceKey =
+      std::tuple<capability::Source*, std::vector<uint32_t>,
+                 std::vector<ValueId>>;
+  std::map<CoalesceKey, std::size_t> first_seen;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (options_.coalesce) {
+      CoalesceKey key{requests[i].source, requests[i].query.positions,
+                      requests[i].query.ids};
+      auto [it, inserted] = first_seen.try_emplace(key, leaders.size());
+      if (!inserted) {
+        leader_of[i] = it->second;
+        continue;
+      }
+    }
+    leader_of[i] = leaders.size();
+    is_leader[i] = true;
+    Leader leader;
+    leader.request_index = i;
+    leader.source = requests[i].source;
+    leader.source_name = requests[i].source->view().name();
+    leader.query = requests[i].query;
+    leader.policy = &options_.PolicyFor(leader.source_name);
+    leader.base_latency_ms = options_.latency.LatencyOf(leader.source_name);
+    leader.jitter_seed =
+        JitterSeed(options_.seed, leader.source_name, requests[i].query);
+    leaders.push_back(std::move(leader));
+  }
+
+  // 2. Circuit-breaker admission at the batch-start clock.
+  for (Leader& leader : leaders) {
+    auto it =
+        breakers_.try_emplace(leader.source_name, leader.policy->breaker)
+            .first;
+    leader.allowed = it->second.Allow(batch_start);
+  }
+
+  // 3. Dispatch. Concurrent execution clones each leader's query onto a
+  //    private dictionary first: worker threads must not touch the
+  //    session dictionary (Intern is not thread-safe), and private
+  //    results are re-interned on the driver in batch order below, which
+  //    reproduces the serial interning order bit for bit.
+  if (options_.concurrent) {
+    for (Leader& leader : leaders) {
+      if (!leader.allowed) continue;
+      leader.executed = true;
+      auto private_dict = std::make_shared<ValueDictionary>();
+      for (ValueId& id : leader.query.ids) {
+        id = private_dict->Intern(dict_->Get(id));
+      }
+      leader.query.dict = std::move(private_dict);
+    }
+    RunLeadersConcurrently(&leaders);
+  } else {
+    bool stopped = false;
+    for (Leader& leader : leaders) {
+      if (stopped) continue;
+      if (!leader.allowed) {
+        if (options_.stop_on_error) stopped = true;
+        continue;
+      }
+      leader.executed = true;
+      ExecuteLeader(&leader);
+      if (options_.stop_on_error && !leader.tuples.ok()) stopped = true;
+    }
+  }
+
+  // 4. Timeline: place the executed fetches on the simulated clock.
+  const double makespan = SimulateTimeline(&leaders, batch_start);
+  sim_clock_ms_ += makespan;
+  report_.simulated_makespan_ms += makespan;
+
+  // 5. Merge in batch order on the driver thread: re-key results to the
+  //    session dictionary, record breaker outcomes, build the report. A
+  //    follower's leader always precedes it (the leader is the first
+  //    occurrence), so leader results are final when followers copy them.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    Leader& leader = leaders[leader_of[i]];
+    FetchResult& result = results[i];
+    FetchReport::SourceStats& stats = report_.per_source[leader.source_name];
+    result.start_ms = leader.start_ms;
+    result.finish_ms = leader.finish_ms;
+    if (!is_leader[i]) {
+      result.coalesced = true;
+      result.tuples = leader.tuples;
+      ++stats.coalesced_hits;
+      ++report_.coalesced_hits;
+      continue;
+    }
+    if (!leader.allowed) {
+      result.breaker_skipped = true;
+      leader.tuples = Status::Unavailable(
+          "source " + leader.source_name +
+          " unavailable: circuit breaker open");
+      result.tuples = leader.tuples;
+      ++stats.breaker_skips;
+      ++stats.failed_queries;
+      report_.failed_views.insert(leader.source_name);
+      continue;
+    }
+    if (!leader.executed) continue;  // stop_on_error skipped; never read.
+    if (leader.tuples.ok() && leader.tuples->dict_ptr() != dict_) {
+      leader.tuples = leader.tuples->WithDictionary(dict_);
+    }
+    result.tuples = leader.tuples;
+    result.attempts = leader.attempts;
+    result.retries = leader.retries;
+    result.timeouts = leader.timeouts;
+    result.duration_ms = leader.duration_ms;
+    stats.attempts += leader.attempts;
+    stats.retries += leader.retries;
+    stats.timeouts += leader.timeouts;
+    stats.simulated_busy_ms += leader.duration_ms;
+    report_.total_attempts += leader.attempts;
+    report_.total_retries += leader.retries;
+    report_.total_timeouts += leader.timeouts;
+    report_.simulated_sequential_ms += leader.duration_ms;
+    CircuitBreaker& breaker = breakers_.at(leader.source_name);
+    if (leader.tuples.ok()) {
+      ++stats.successes;
+      breaker.RecordSuccess();
+    } else {
+      ++stats.failed_queries;
+      report_.failed_views.insert(leader.source_name);
+      breaker.RecordFailure(leader.finish_ms);
+    }
+  }
+  for (auto& [name, stats] : report_.per_source) {
+    auto it = breakers_.find(name);
+    if (it != breakers_.end()) stats.breaker_state = it->second.state();
+  }
+  return results;
+}
+
+}  // namespace limcap::runtime

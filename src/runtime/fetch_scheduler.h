@@ -1,0 +1,107 @@
+#ifndef LIMCAP_RUNTIME_FETCH_SCHEDULER_H_
+#define LIMCAP_RUNTIME_FETCH_SCHEDULER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "capability/source.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "runtime/circuit_breaker.h"
+#include "runtime/fetch_report.h"
+#include "runtime/options.h"
+
+namespace limcap::runtime {
+
+/// One source query the evaluator wants answered. `query` is encoded
+/// against the session dictionary.
+struct FetchRequest {
+  capability::Source* source = nullptr;
+  capability::SourceQuery query;
+};
+
+/// One request's outcome. `tuples` is encoded against the session
+/// dictionary on success; all times are simulated milliseconds.
+struct FetchResult {
+  Result<relational::Relation> tuples = Status::Internal("not executed");
+  std::size_t attempts = 0;
+  std::size_t retries = 0;
+  std::size_t timeouts = 0;
+  /// Answered by an identical in-flight request's source call.
+  bool coalesced = false;
+  /// Failed fast by an open circuit breaker (no source call made).
+  bool breaker_skipped = false;
+  /// Attempt latencies + backoffs for this fetch.
+  double duration_ms = 0;
+  /// Position on the execution's simulated timeline.
+  double start_ms = 0;
+  double finish_ms = 0;
+};
+
+/// The asynchronous source-access runtime between the evaluators and the
+/// SourceCatalog. ExecuteBatch takes one fetch round's frontier of source
+/// queries and:
+///
+///   * coalesces identical queries into one source call;
+///   * fails fast the queries whose source's circuit breaker is open;
+///   * dispatches the rest — concurrently on a common/thread_pool under
+///     the global and per-source in-flight caps, or strictly in order
+///     when `concurrent` is off — retrying each per its RetryPolicy
+///     (deadline, bounded attempts, seeded exponential backoff);
+///   * merges the results back on the calling thread, IN BATCH ORDER,
+///     re-keyed to the session dictionary.
+///
+/// Determinism and the single-writer contract: worker threads only ever
+/// call Source::Execute with a query encoded against a private per-fetch
+/// dictionary; the session ValueDictionary, the circuit breakers, the
+/// report, and the simulated clock are touched only by the calling
+/// (driver) thread. Because the merge happens in batch order, a
+/// fault-free concurrent batch leaves every session-visible structure —
+/// dictionary ids included — bit-identical to serial execution.
+///
+/// Simulated time: sources are in-memory stand-ins, so latency is modeled
+/// (LatencyModel base + TimedSource perturbations), never slept. The
+/// timeline is reconstructed event-driven under the in-flight caps, so
+/// makespans are reproducible regardless of real thread scheduling.
+class FetchScheduler {
+ public:
+  FetchScheduler(RuntimeOptions options, ValueDictionaryPtr session_dict);
+  ~FetchScheduler();
+
+  FetchScheduler(const FetchScheduler&) = delete;
+  FetchScheduler& operator=(const FetchScheduler&) = delete;
+
+  /// Executes one frontier. Returns results positionally aligned with
+  /// `requests`. Never fails as a whole: per-request errors are in each
+  /// FetchResult. With `stop_on_error` under serial dispatch, requests
+  /// after the first permanent failure are left in the "not executed"
+  /// state (their results are never read — the evaluator aborts first).
+  std::vector<FetchResult> ExecuteBatch(
+      const std::vector<FetchRequest>& requests);
+
+  const FetchReport& report() const { return report_; }
+  /// The simulated clock, advanced by every batch's critical path.
+  double simulated_now_ms() const { return sim_clock_ms_; }
+
+ private:
+  struct Leader;
+
+  /// Worker-side: runs one fetch's retry loop against the source.
+  void ExecuteLeader(Leader* leader) const;
+  void RunLeadersConcurrently(std::vector<Leader>* leaders);
+  /// Driver-side: lays the executed leaders on the simulated timeline
+  /// under the in-flight caps; returns the batch makespan.
+  double SimulateTimeline(std::vector<Leader>* leaders, double batch_start);
+
+  RuntimeOptions options_;
+  ValueDictionaryPtr dict_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::map<std::string, CircuitBreaker> breakers_;
+  FetchReport report_;
+  double sim_clock_ms_ = 0;
+};
+
+}  // namespace limcap::runtime
+
+#endif  // LIMCAP_RUNTIME_FETCH_SCHEDULER_H_

@@ -1,8 +1,8 @@
-#include "exec/latency_model.h"
+#include "runtime/latency_model.h"
 
 #include <algorithm>
 
-namespace limcap::exec {
+namespace limcap::runtime {
 
 MakespanReport EstimateMakespan(const capability::AccessLog& log,
                                 const LatencyModel& model) {
@@ -31,4 +31,4 @@ MakespanReport EstimateMakespan(const capability::AccessLog& log,
   return report;
 }
 
-}  // namespace limcap::exec
+}  // namespace limcap::runtime

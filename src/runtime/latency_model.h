@@ -1,0 +1,51 @@
+#ifndef LIMCAP_RUNTIME_LATENCY_MODEL_H_
+#define LIMCAP_RUNTIME_LATENCY_MODEL_H_
+
+#include <map>
+#include <string>
+
+#include "capability/access_log.h"
+
+namespace limcap::runtime {
+
+/// Per-source round-trip latencies (milliseconds). In a Web integration
+/// system the network round trips dominate execution cost; this model
+/// turns an AccessLog into wall-clock estimates under different issue
+/// strategies, and gives the fetch scheduler its simulated clock (sources
+/// here are in-memory stand-ins for autonomous Web services, so time is
+/// simulated, deterministically, instead of slept).
+struct LatencyModel {
+  double default_latency_ms = 50;
+  std::map<std::string, double> per_source_ms;
+
+  double LatencyOf(const std::string& source) const {
+    auto it = per_source_ms.find(source);
+    return it == per_source_ms.end() ? default_latency_ms : it->second;
+  }
+};
+
+/// Estimated makespans of a logged execution. The evaluator tags every
+/// query with its fetch round; queries within one round depend only on
+/// earlier rounds' bindings, so they can be issued concurrently.
+struct MakespanReport {
+  /// One query at a time (a naive sequential wrapper).
+  double sequential_ms = 0;
+  /// Unlimited concurrency within each round: Σ_round max latency.
+  double parallel_ms = 0;
+  /// Each source serializes its own requests, different sources run in
+  /// parallel: Σ_round max_source (count × latency).
+  double per_source_serial_ms = 0;
+  std::size_t rounds = 0;
+
+  double ParallelSpeedup() const {
+    return parallel_ms > 0 ? sequential_ms / parallel_ms : 1.0;
+  }
+};
+
+/// Computes the makespans of `log` under `model`.
+MakespanReport EstimateMakespan(const capability::AccessLog& log,
+                                const LatencyModel& model);
+
+}  // namespace limcap::runtime
+
+#endif  // LIMCAP_RUNTIME_LATENCY_MODEL_H_

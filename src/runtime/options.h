@@ -1,0 +1,62 @@
+#ifndef LIMCAP_RUNTIME_OPTIONS_H_
+#define LIMCAP_RUNTIME_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "runtime/latency_model.h"
+#include "runtime/retry_policy.h"
+
+namespace limcap::runtime {
+
+/// Configuration of the asynchronous source-access runtime: how each
+/// fetch round's frontier of source queries is dispatched, retried, and
+/// accounted. The defaults reproduce the legacy serial evaluator exactly
+/// (one query at a time, one attempt, no breaker), so existing callers
+/// see no behavior change until they opt in.
+struct RuntimeOptions {
+  /// Dispatch each round's frontier concurrently on a thread pool. Off:
+  /// queries are issued strictly in order on the calling thread. Either
+  /// way the results are committed in frontier order, so on a fault-free
+  /// catalog concurrent execution is bit-identical to serial.
+  bool concurrent = false;
+  /// Global cap on concurrently running source calls. A literal default
+  /// (not hardware concurrency) keeps simulated makespans reproducible
+  /// across machines; 0 means hardware concurrency.
+  std::size_t max_in_flight = 16;
+  /// Per-source cap on concurrently running calls — the paper's sources
+  /// are autonomous services with their own admission limits. Applies to
+  /// the simulated timeline and to real dispatch.
+  std::size_t per_source_max_in_flight = 4;
+  /// Coalesce identical in-flight queries: when two frontier entries ask
+  /// the same source the same query (possible with overlapping templates
+  /// or duplicated view rules), only one source call is made and every
+  /// requester shares the answer.
+  bool coalesce = true;
+  /// Default per-fetch policy; `per_source` overrides it by view name.
+  RetryPolicy retry;
+  std::map<std::string, RetryPolicy> per_source;
+  /// Simulated round-trip times, the clock behind deadlines, backoff
+  /// accounting, breaker cooldowns, and the FetchReport makespans.
+  LatencyModel latency;
+  /// Seed for backoff jitter (and anything else the scheduler ever needs
+  /// randomness for); runs are deterministic given the seed.
+  uint64_t seed = 0;
+  /// Serial dispatch stops calling further sources once a fetch has
+  /// permanently failed (the legacy abort-on-error loop shape). The
+  /// evaluator sets this from ExecOptions::continue_on_source_error;
+  /// concurrent dispatch has already issued the batch and ignores it.
+  bool stop_on_error = false;
+
+  /// The policy for `view`: its override, or the default.
+  const RetryPolicy& PolicyFor(const std::string& view) const {
+    auto it = per_source.find(view);
+    return it == per_source.end() ? retry : it->second;
+  }
+};
+
+}  // namespace limcap::runtime
+
+#endif  // LIMCAP_RUNTIME_OPTIONS_H_

@@ -1,0 +1,60 @@
+#ifndef LIMCAP_RUNTIME_RETRY_POLICY_H_
+#define LIMCAP_RUNTIME_RETRY_POLICY_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace limcap::runtime {
+
+/// When (and for how long) the fetch scheduler stops talking to a source
+/// that keeps failing. Disabled by default (`failure_threshold` 0): every
+/// query is attempted. With a threshold, `failure_threshold` consecutive
+/// permanently-failed fetches open the breaker; while open, fetches to the
+/// source fail fast (Unavailable) without a source call; after
+/// `cooldown_ms` of simulated time one probe is let through (half-open) —
+/// success closes the breaker, failure re-opens it for another cooldown.
+struct BreakerPolicy {
+  std::size_t failure_threshold = 0;
+  double cooldown_ms = 5000;
+
+  bool enabled() const { return failure_threshold > 0; }
+};
+
+/// Per-source fetch policy: attempts, backoff, per-attempt deadline, and
+/// the circuit breaker. The defaults reproduce the legacy evaluator
+/// semantics exactly: one attempt, no deadline, no breaker.
+///
+/// All times are simulated milliseconds on the scheduler's LatencyModel
+/// clock — backoffs are added to the simulated makespan, never slept, so
+/// retry-heavy runs stay as fast (and as deterministic) as clean ones.
+struct RetryPolicy {
+  /// Total tries per fetch, including the first (minimum 1).
+  std::size_t max_attempts = 1;
+  /// Exponential backoff before retry k (k ≥ 2): base × 2^(k-2), capped
+  /// at `backoff_max_ms`, then stretched by up to `jitter` (a fraction)
+  /// drawn from the scheduler's seeded Rng — deterministic per fetch.
+  double backoff_base_ms = 25;
+  double backoff_max_ms = 1000;
+  double jitter = 0.2;
+  /// Per-attempt simulated deadline: an attempt whose simulated latency
+  /// exceeds this counts as a timeout and its answer is discarded; the
+  /// attempt costs exactly `deadline_ms` of simulated time.
+  double deadline_ms = std::numeric_limits<double>::infinity();
+  BreakerPolicy breaker;
+
+  /// Simulated backoff inserted before attempt `attempt` (2-based).
+  double BackoffBeforeAttempt(std::size_t attempt, Rng& rng) const {
+    double backoff = backoff_base_ms;
+    for (std::size_t i = 2; i < attempt; ++i) backoff *= 2;
+    backoff = std::min(backoff, backoff_max_ms);
+    if (jitter > 0) backoff *= 1.0 + jitter * rng.NextDouble();
+    return backoff;
+  }
+};
+
+}  // namespace limcap::runtime
+
+#endif  // LIMCAP_RUNTIME_RETRY_POLICY_H_

@@ -1,0 +1,42 @@
+#ifndef LIMCAP_RUNTIME_RUNTIME_CONFIG_H_
+#define LIMCAP_RUNTIME_RUNTIME_CONFIG_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "runtime/options.h"
+
+namespace limcap::runtime {
+
+/// Parses a runtime configuration file into RuntimeOptions. Line-based;
+/// `#` or `%` start a comment, blank lines are skipped:
+///
+///   concurrent on                  % dispatch frontiers on a thread pool
+///   max_in_flight 16               % global in-flight cap (0 = hardware)
+///   per_source_max_in_flight 4     % per-source in-flight cap (0 = none)
+///   coalesce on                    % merge identical in-flight queries
+///   seed 7                         % backoff-jitter seed
+///   latency default 50             % LatencyModel base round trip, ms
+///   latency v4 200                 % per-source round trip, ms
+///   default attempts=3 backoff_ms=25 deadline_ms=500
+///   view v4 attempts=5 breaker_failures=3 breaker_cooldown_ms=5000
+///
+/// Policy keys (for `default` and `view NAME` lines): attempts,
+/// backoff_ms, backoff_max_ms, jitter, deadline_ms, breaker_failures,
+/// breaker_cooldown_ms. A `view` line starts from the default policy as
+/// parsed so far and overrides the listed keys. Unknown directives or
+/// keys fail with InvalidArgument naming the line.
+Result<RuntimeOptions> ParseRuntimeConfig(std::string_view text);
+
+/// Renders the effective per-view fetch policy — attempts, backoff,
+/// deadline, breaker threshold/cooldown, simulated latency — for each of
+/// `views`, as a text table or JSON rows. Views without an override show
+/// the default policy.
+std::string RenderRuntimePolicies(const std::vector<std::string>& views,
+                                  const RuntimeOptions& options, bool json);
+
+}  // namespace limcap::runtime
+
+#endif  // LIMCAP_RUNTIME_RUNTIME_CONFIG_H_

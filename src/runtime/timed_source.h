@@ -1,0 +1,39 @@
+#ifndef LIMCAP_RUNTIME_TIMED_SOURCE_H_
+#define LIMCAP_RUNTIME_TIMED_SOURCE_H_
+
+#include "capability/source.h"
+
+namespace limcap::runtime {
+
+/// A Source that reports per-call *simulated* latency perturbations.
+///
+/// The integration system's sources are in-memory stand-ins for Web
+/// services, so there is no real network time to measure; decorators that
+/// model slow or spiky services (FaultInjectingSource) implement this
+/// interface, and the fetch scheduler adds the reported perturbation to
+/// the LatencyModel's base round-trip time when enforcing deadlines and
+/// building the simulated timeline. Plain sources are scheduled at the
+/// base latency.
+class TimedSource : public capability::Source {
+ public:
+  struct Timing {
+    /// Simulated milliseconds added on top of the model's base latency.
+    double added_latency_ms = 0;
+  };
+
+  /// Executes `query` and reports this call's latency perturbation.
+  /// Must be safe to call concurrently (the scheduler dispatches on a
+  /// thread pool).
+  virtual Result<relational::Relation> ExecuteTimed(
+      const capability::SourceQuery& query, Timing* timing) = 0;
+
+  Result<relational::Relation> Execute(
+      const capability::SourceQuery& query) override {
+    Timing timing;
+    return ExecuteTimed(query, &timing);
+  }
+};
+
+}  // namespace limcap::runtime
+
+#endif  // LIMCAP_RUNTIME_TIMED_SOURCE_H_

@@ -3,20 +3,21 @@
 #include <memory>
 
 #include "capability/in_memory_source.h"
-#include "capability/unreliable_source.h"
 #include "exec/query_answerer.h"
 #include "paperdata/paper_examples.h"
+#include "runtime/fault_injection.h"
 
 namespace limcap::exec {
 namespace {
 
 using capability::InMemorySource;
 using capability::SourceCatalog;
-using capability::UnreliableSource;
+using runtime::FaultInjectingSource;
+using runtime::FaultSpec;
 
 Value S(const char* text) { return Value::String(text); }
 
-/// Example 2.1's catalog with `fail_first` injected failures on v3.
+/// Example 2.1's catalog with `fail_first` injected failures on v4.
 struct FlakySetup {
   SourceCatalog catalog;
   paperdata::PaperExample example;
@@ -30,8 +31,10 @@ FlakySetup MakeFlaky(std::size_t fail_first) {
     auto copy = std::make_unique<InMemorySource>(
         InMemorySource::MakeUnsafe(view, source->data()));
     if (view.name() == "v4") {
-      setup.catalog.RegisterUnsafe(std::make_unique<UnreliableSource>(
-          std::move(copy), fail_first));
+      FaultSpec spec;
+      spec.fail_first_calls = fail_first;
+      setup.catalog.RegisterUnsafe(std::make_unique<FaultInjectingSource>(
+          std::move(copy), spec));
     } else {
       setup.catalog.RegisterUnsafe(std::move(copy));
     }
@@ -39,15 +42,20 @@ FlakySetup MakeFlaky(std::size_t fail_first) {
   return setup;
 }
 
-TEST(UnreliableSourceTest, FailsThenRecovers) {
+TEST(FaultInjectingSourceTest, FailsThenRecovers) {
   auto inner = std::make_unique<InMemorySource>(InMemorySource::MakeUnsafe(
       capability::SourceView::MakeUnsafe("v", {"A"}, "f"),
       relational::Relation(relational::Schema::MakeUnsafe({"A"}))));
-  UnreliableSource source(std::move(inner), 2);
-  EXPECT_FALSE(source.Execute({}).ok());
+  FaultSpec spec;
+  spec.fail_first_calls = 2;
+  FaultInjectingSource source(std::move(inner), spec);
+  auto first = source.Execute({});
+  EXPECT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kUnavailable);
   EXPECT_FALSE(source.Execute({}).ok());
   EXPECT_TRUE(source.Execute({}).ok());
   EXPECT_EQ(source.attempts(), 3u);
+  EXPECT_EQ(source.stats().injected_failures, 2u);
 }
 
 TEST(FailureInjectionTest, DefaultAbortsOnSourceError) {
@@ -55,7 +63,7 @@ TEST(FailureInjectionTest, DefaultAbortsOnSourceError) {
   QueryAnswerer answerer(&setup.catalog, setup.example.domains);
   auto report = answerer.Answer(setup.example.query);
   EXPECT_FALSE(report.ok());
-  EXPECT_EQ(report.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(report.status().code(), StatusCode::kUnavailable);
 }
 
 TEST(FailureInjectionTest, ContinueYieldsSoundPartialAnswer) {
@@ -72,20 +80,31 @@ TEST(FailureInjectionTest, ContinueYieldsSoundPartialAnswer) {
   EXPECT_FALSE(report->exec.answer.Contains({S("$13")}));
   EXPECT_FALSE(report->exec.answer.Contains({S("$10")}));
   EXPECT_GT(report->exec.log.failed_queries(), 0u);
+  // The degraded-answer annotation names the failed view and the
+  // connections that may be under-answered because of it.
+  const runtime::FetchReport& fetch = report->exec.fetch_report;
+  EXPECT_TRUE(fetch.degraded());
+  EXPECT_EQ(fetch.failed_views.count("v4"), 1u);
+  ASSERT_FALSE(fetch.degraded_connections.empty());
+  for (const std::string& connection : fetch.degraded_connections) {
+    EXPECT_NE(connection.find("v4"), std::string::npos) << connection;
+  }
   // Sound: everything obtained is in the healthy run's answer.
   auto healthy_setup = MakeFlaky(0);
   QueryAnswerer healthy(&healthy_setup.catalog, setup.example.domains);
   auto full = healthy.Answer(setup.example.query);
   ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(full->exec.fetch_report.degraded());
   for (const auto& row : report->exec.answer.DecodedRows()) {
     EXPECT_TRUE(full->exec.answer.Contains(row));
   }
 }
 
 TEST(FailureInjectionTest, TransientFailureLosesDependentBindings) {
-  // v4's first query fails and is not retried (documented semantics):
-  // everything downstream of that one answer — c2, hence t2, c3, a3 and
-  // the $10 — is lost with it, while the v1-v3 path is unaffected.
+  // v4's first query fails and, with the default single-attempt retry
+  // policy, is not retried: everything downstream of that one answer —
+  // c2, hence t2, c3, a3 and the $10 — is lost with it, while the v1-v3
+  // path is unaffected.
   FlakySetup setup = MakeFlaky(1);
   QueryAnswerer answerer(&setup.catalog, setup.example.domains);
   ExecOptions options;
@@ -95,6 +114,24 @@ TEST(FailureInjectionTest, TransientFailureLosesDependentBindings) {
   EXPECT_EQ(report->exec.log.failed_queries(), 1u);
   EXPECT_TRUE(report->exec.answer.Contains({S("$15")}));
   EXPECT_FALSE(report->exec.answer.Contains({S("$13")}));
+}
+
+TEST(FailureInjectionTest, RetriesRecoverTransientFailures) {
+  // The same fail-once fault, but with a retry budget: the second attempt
+  // succeeds, nothing is lost, and the answer matches the healthy run's.
+  FlakySetup setup = MakeFlaky(1);
+  QueryAnswerer answerer(&setup.catalog, setup.example.domains);
+  ExecOptions options;
+  options.continue_on_source_error = true;
+  options.runtime.retry.max_attempts = 3;
+  auto report = answerer.Answer(setup.example.query, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->exec.log.failed_queries(), 0u);
+  EXPECT_FALSE(report->exec.fetch_report.degraded());
+  EXPECT_EQ(report->exec.fetch_report.total_retries, 1u);
+  EXPECT_TRUE(report->exec.answer.Contains({S("$15")}));
+  EXPECT_TRUE(report->exec.answer.Contains({S("$13")}));
+  EXPECT_TRUE(report->exec.answer.Contains({S("$10")}));
 }
 
 }  // namespace

@@ -2,30 +2,40 @@
 // queries against a source catalog, before anything touches a source.
 //
 //   limcap_lint --catalog FILE [--query FILE | --program FILE]
-//               [--goal NAME] [--json]
+//               [--goal NAME] [--runtime FILE] [--json]
 //
 // Modes (by which inputs are given):
 //   --catalog only              cold-start view reachability
 //   --catalog + --query         build the full Π(Q, V) and verify it
 //   --catalog + --program       verify a hand-written Datalog program
 //
+// --runtime FILE additionally parses a source-access runtime config
+// (runtime/runtime_config.h), checks that every per-view policy and
+// latency override names a catalog view, and appends the effective
+// per-view retry/breaker/latency table to the report.
+//
 // Exit status: 0 = no error-severity diagnostics (warnings and notes
 // are advisory), 1 = the report contains errors, 2 = the inputs are
 // unusable (bad flags, unreadable file, parse failure).
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "analysis/lint.h"
+#include "capability/catalog_text.h"
 #include "common/result.h"
+#include "runtime/runtime_config.h"
 
 namespace {
 
 constexpr const char* kUsage =
     "usage: limcap_lint --catalog FILE [--query FILE | --program FILE]\n"
-    "                   [--goal NAME] [--json]\n";
+    "                   [--goal NAME] [--runtime FILE] [--json]\n";
 
 bool ReadFile(const std::string& path, std::string* out) {
   std::ifstream in(path);
@@ -36,6 +46,46 @@ bool ReadFile(const std::string& path, std::string* out) {
   return true;
 }
 
+/// Parses and validates the --runtime config against the catalog's view
+/// names, then renders the effective per-view policies. Returns the exit
+/// code contribution: 0 ok, 1 validation errors, 2 unusable input.
+int ReportRuntimeConfig(const std::string& runtime_text,
+                        const std::string& catalog_text, bool json) {
+  auto options = limcap::runtime::ParseRuntimeConfig(runtime_text);
+  if (!options.ok()) {
+    std::cerr << "limcap_lint: " << options.status().message() << "\n";
+    return 2;
+  }
+  auto catalog = limcap::capability::ParseCatalog(catalog_text);
+  if (!catalog.ok()) {
+    // The lint pass has already reported this; don't double-report.
+    return 2;
+  }
+  std::vector<std::string> names;
+  std::set<std::string> known;
+  for (const auto& view : catalog->views) {
+    names.push_back(view.name());
+    known.insert(view.name());
+  }
+  int errors = 0;
+  for (const auto& [view, policy] : options->per_source) {
+    if (known.count(view) == 0) {
+      std::cerr << "limcap_lint: runtime config sets a policy for unknown "
+                   "view '" << view << "'\n";
+      ++errors;
+    }
+  }
+  for (const auto& [view, latency] : options->latency.per_source_ms) {
+    if (known.count(view) == 0) {
+      std::cerr << "limcap_lint: runtime config sets a latency for unknown "
+                   "view '" << view << "'\n";
+      ++errors;
+    }
+  }
+  std::cout << limcap::runtime::RenderRuntimePolicies(names, *options, json);
+  return errors == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -43,6 +93,7 @@ int main(int argc, char** argv) {
   std::string catalog_path;
   std::string program_path;
   std::string query_path;
+  std::string runtime_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -66,6 +117,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--goal") {
       if (!next(&request.options.goal_predicate)) return 2;
       request.builder.goal_predicate = request.options.goal_predicate;
+    } else if (arg == "--runtime") {
+      if (!next(&runtime_path)) return 2;
     } else if (arg == "--json") {
       request.json = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -95,6 +148,12 @@ int main(int argc, char** argv) {
     std::cerr << "limcap_lint: cannot read query '" << query_path << "'\n";
     return 2;
   }
+  std::string runtime_text;
+  if (!runtime_path.empty() && !ReadFile(runtime_path, &runtime_text)) {
+    std::cerr << "limcap_lint: cannot read runtime config '" << runtime_path
+              << "'\n";
+    return 2;
+  }
 
   limcap::Result<limcap::analysis::LintReport> report =
       limcap::analysis::Lint(request);
@@ -103,5 +162,11 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::cout << report->rendered;
-  return report->ok() ? 0 : 1;
+  int exit_code = report->ok() ? 0 : 1;
+  if (!runtime_path.empty()) {
+    int runtime_code =
+        ReportRuntimeConfig(runtime_text, request.catalog_text, request.json);
+    exit_code = std::max(exit_code, runtime_code);
+  }
+  return exit_code;
 }
