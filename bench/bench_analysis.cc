@@ -149,4 +149,6 @@ BENCHMARK(BM_AnswerChainWithPruneGate)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench_report.h"
+
+LIMCAP_BENCHMARK_MAIN_WITH_REPORT("bench_analysis")

@@ -26,12 +26,15 @@
 #include "runtime/fault_injection.h"
 #include "workload/generator.h"
 
+#include "bench_report.h"
+
 namespace {
 
 using limcap::capability::InMemorySource;
 using limcap::capability::SourceCatalog;
 
 int failures = 0;
+limcap::benchreport::Reporter reporter("bench_async_runtime");
 
 struct Run {
   limcap::Result<limcap::exec::AnswerReport> report =
@@ -68,6 +71,18 @@ void EmitRow(const std::string& bench, const Run& run) {
       fetch.simulated_makespan_ms, fetch.simulated_sequential_ms,
       fetch.SequentialSpeedup(), fetch.degraded() ? "true" : "false",
       run.wall_ms);
+  reporter.AddRow(bench)
+      .Set("answer_rows", double(run.report->exec.answer.size()))
+      .Set("source_queries", double(run.report->exec.log.total_queries()))
+      .Set("batches", double(fetch.batches))
+      .Set("attempts", double(fetch.total_attempts))
+      .Set("retries", double(fetch.total_retries))
+      .Set("coalesced", double(fetch.coalesced_hits))
+      .Set("simulated_makespan_ms", fetch.simulated_makespan_ms)
+      .Set("simulated_sequential_ms", fetch.simulated_sequential_ms)
+      .Set("speedup", fetch.SequentialSpeedup())
+      .Set("degraded", fetch.degraded() ? "true" : "false")
+      .Set("wall_ms", run.wall_ms);
 }
 
 }  // namespace
@@ -149,19 +164,27 @@ int main() {
   EmitRow("chain400_concurrent_faulty", faulty);
 
   // Self-checks.
-  if (!(serial.report->exec.answer == concurrent.report->exec.answer) ||
-      !(serial.report->exec.answer == faulty.report->exec.answer)) {
+  const bool answers_match =
+      (serial.report->exec.answer == concurrent.report->exec.answer) &&
+      (serial.report->exec.answer == faulty.report->exec.answer);
+  reporter.Invariant("answers identical across configurations", answers_match);
+  if (!answers_match) {
     std::fprintf(stderr, "FAIL: answers differ across configurations\n");
     ++failures;
   }
-  if (serial.report->exec.log.total_queries() !=
-      concurrent.report->exec.log.total_queries()) {
+  const bool queries_match = serial.report->exec.log.total_queries() ==
+                             concurrent.report->exec.log.total_queries();
+  reporter.Invariant("serial and concurrent issue equal source queries",
+                     queries_match);
+  if (!queries_match) {
     std::fprintf(stderr, "FAIL: concurrent run issued a different number "
                          "of source queries\n");
     ++failures;
   }
-  if (faulty.report->exec.fetch_report.degraded() ||
-      faulty.report->exec.fetch_report.total_retries == 0) {
+  const bool recovered = !faulty.report->exec.fetch_report.degraded() &&
+                         faulty.report->exec.fetch_report.total_retries > 0;
+  reporter.Invariant("faulty run recovers via retries", recovered);
+  if (!recovered) {
     std::fprintf(stderr, "FAIL: faulty run should recover via retries\n");
     ++failures;
   }
@@ -176,12 +199,20 @@ int main() {
               "\"concurrent_makespan_ms\": %.1f, "
               "\"serial_over_concurrent\": %.2f}\n",
               serial_makespan, concurrent_makespan, speedup);
+  reporter.AddRow("chain400_summary")
+      .Set("serial_makespan_ms", serial_makespan)
+      .Set("concurrent_makespan_ms", concurrent_makespan)
+      .Set("serial_over_concurrent", speedup);
+  reporter.Invariant("concurrent dispatch at least 2x faster than serial",
+                     speedup >= 2.0);
   if (speedup < 2.0) {
     std::fprintf(stderr,
                  "FAIL: concurrent dispatch only %.2fx faster (need 2x)\n",
                  speedup);
     ++failures;
   }
+  reporter.SetFailures(failures);
+  reporter.Write();
   if (failures != 0) {
     std::fprintf(stderr, "%d failure(s)\n", failures);
     return 1;

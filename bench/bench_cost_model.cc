@@ -15,11 +15,14 @@
 #include "planner/cost_model.h"
 #include "workload/generator.h"
 
+#include "bench_report.h"
+
 namespace {
 
 using limcap::workload::CatalogSpec;
 
 int failures = 0;
+limcap::benchreport::Reporter reporter("bench_cost_model");
 
 struct RowResult {
   std::size_t instances = 0;
@@ -102,13 +105,21 @@ int main() {
     std::snprintf(worst, sizeof(worst), "%.1fx", result.worst_ratio);
     table.AddRow({row.name, std::to_string(result.instances), actual,
                   estimated, geo, worst});
-    if (result.instances > 0 &&
-        (result.geo_mean_ratio > 10 || result.geo_mean_ratio < 0.1)) {
-      ++failures;  // estimator drifted out of its contract
-    }
+    reporter.AddRow(row.name)
+        .Set("instances", double(result.instances))
+        .Set("geo_mean_ratio", result.geo_mean_ratio)
+        .Set("worst_ratio", result.worst_ratio);
+    const bool in_contract =
+        result.instances == 0 ||
+        (result.geo_mean_ratio <= 10 && result.geo_mean_ratio >= 0.1);
+    if (!in_contract) ++failures;  // estimator drifted out of its contract
+    reporter.Invariant(std::string(row.name) + " geo-mean within 10x",
+                       in_contract);
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf("contract: geometric-mean ratio within 10x per topology; "
               "violations: %d\n", failures);
+  reporter.SetFailures(failures);
+  reporter.Write();
   return failures == 0 ? 0 : 1;
 }

@@ -227,4 +227,6 @@ BENCHMARK(BM_ParseProgram)->Arg(64)->Arg(512)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench_report.h"
+
+LIMCAP_BENCHMARK_MAIN_WITH_REPORT("bench_datalog_eval")

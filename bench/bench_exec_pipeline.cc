@@ -21,8 +21,13 @@
 #include <vector>
 
 #include "mediator/mediator.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "paperdata/paper_examples.h"
 #include "workload/generator.h"
+
+#include "bench_report.h"
 
 namespace {
 
@@ -33,6 +38,7 @@ using limcap::mediator::MediatorQuery;
 using limcap::mediator::MediatorView;
 
 int failures = 0;
+limcap::benchreport::Reporter reporter("bench_exec_pipeline");
 
 struct Timing {
   double min_us = 0;
@@ -79,7 +85,18 @@ void EmitRow(const std::string& bench, std::size_t iters,
       dict ? (unsigned long long)dict->encode_count() : 0ull,
       dict ? (unsigned long long)dict->decode_count() : 0ull,
       (unsigned long long)report.exec.post_ingest_translations);
-  if (report.exec.post_ingest_translations != 0) {
+  reporter.AddRow(bench)
+      .Set("iters", double(iters))
+      .Set("min_us", timing.min_us)
+      .Set("p50_us", timing.p50_us)
+      .Set("mean_us", timing.mean_us)
+      .Set("answer_rows", double(report.exec.answer.size()))
+      .Set("source_queries", double(report.exec.log.total_queries()))
+      .Set("dict_size", dict ? double(dict->size()) : 0);
+  const bool single_translation = report.exec.post_ingest_translations == 0;
+  reporter.Invariant(bench + ": no post-ingest translations",
+                     single_translation);
+  if (!single_translation) {
     std::fprintf(stderr, "FAIL: %s translated values after ingest\n",
                  bench.c_str());
     ++failures;
@@ -118,6 +135,51 @@ void BenchExample21() {
     ++failures;
   }
   EmitRow("example21_mediator", kIters, timing, *last);
+
+  // Acceptance check: with tracing enabled, the same answering run must
+  // yield a Chrome-loadable trace whose span aggregates reconcile
+  // exactly with EvalStats and FetchReport.
+  limcap::obs::Tracer tracer;
+  limcap::obs::MetricsRegistry metrics;
+  limcap::exec::ExecOptions traced_options;
+  traced_options.tracer = &tracer;
+  traced_options.metrics = &metrics;
+  auto traced = mediator.Answer(query, traced_options);
+  if (!traced.ok()) {
+    std::fprintf(stderr, "FAIL: traced run: %s\n",
+                 traced.status().ToString().c_str());
+    ++failures;
+    return;
+  }
+  const auto& eval = traced->exec.datalog_stats;
+  const auto& fetch = traced->exec.fetch_report;
+  const bool aggregates_match =
+      tracer.CountSpans("eval.round") == eval.iterations &&
+      tracer.SumCounter("eval.round", "activations") ==
+          double(eval.rule_activations) &&
+      tracer.CountSpans("fetch.batch") == fetch.batches &&
+      tracer.SumCounter("fetch", "attempts") == double(fetch.total_attempts) &&
+      tracer.SumCounter("fetch", "retries") == double(fetch.total_retries);
+  reporter.Invariant("example21 trace aggregates match EvalStats/FetchReport",
+                     aggregates_match);
+  if (!aggregates_match) {
+    std::fprintf(stderr,
+                 "FAIL: example21 span aggregates diverge from stats\n");
+    ++failures;
+  }
+  const std::string chrome = limcap::obs::ChromeTraceJson(tracer);
+  const bool chrome_ok = chrome.find("\"traceEvents\"") != std::string::npos &&
+                         chrome.find("\"answer\"") != std::string::npos;
+  reporter.Invariant("example21 Chrome trace exported", chrome_ok);
+  if (!chrome_ok) {
+    std::fprintf(stderr, "FAIL: example21 Chrome trace export malformed\n");
+    ++failures;
+  }
+  reporter.AddRow("example21_traced")
+      .Set("spans", double(tracer.spans().size()))
+      .Set("eval_rounds", double(eval.iterations))
+      .Set("fetch_batches", double(fetch.batches))
+      .Set("chrome_trace_bytes", double(chrome.size()));
 }
 
 void BenchGeneratedChain() {
@@ -212,6 +274,69 @@ void BenchGeneratedChain() {
           ? (unsigned long long)(dict->decode_count() -
                                  last->exec.session_dict->decode_count())
           : 0ull);
+  reporter.AddRow("chain400_mediator_eager_log")
+      .Set("min_us", eager.min_us)
+      .Set("p50_us", eager.p50_us)
+      .Set("mean_us", eager.mean_us);
+
+  // Acceptance check: an attached-but-disabled Tracer must cost at most
+  // 5% over no tracer at all on the 400-view chain (ISSUE: the disabled
+  // hot path is two branches, no allocation). Interleaved min-of-N
+  // pairs cancel machine drift; the absolute floor absorbs scheduler
+  // jitter on runs this short; three attempts keep a one-off stall from
+  // failing the bench.
+  limcap::obs::Tracer disabled(/*enabled=*/false);
+  limcap::exec::ExecOptions disabled_options;
+  disabled_options.tracer = &disabled;
+  constexpr std::size_t kOverheadIters = 30;
+  constexpr int kAttempts = 3;
+  constexpr double kSlackFloorUs = 200.0;
+  double base_min_us = 0, traced_min_us = 0, overhead = 0;
+  bool within_budget = false;
+  for (int attempt = 0; attempt < kAttempts && !within_budget; ++attempt) {
+    base_min_us = 1e300;
+    traced_min_us = 1e300;
+    for (std::size_t i = 0; i < kOverheadIters; ++i) {
+      auto start = std::chrono::steady_clock::now();
+      last = mediator.Answer(query);
+      auto mid = std::chrono::steady_clock::now();
+      auto traced = mediator.Answer(query, disabled_options);
+      auto stop = std::chrono::steady_clock::now();
+      if (!last.ok() || !traced.ok()) {
+        std::fprintf(stderr, "FAIL: overhead probe run failed\n");
+        ++failures;
+        return;
+      }
+      base_min_us = std::min(
+          base_min_us,
+          std::chrono::duration<double, std::micro>(mid - start).count());
+      traced_min_us = std::min(
+          traced_min_us,
+          std::chrono::duration<double, std::micro>(stop - mid).count());
+    }
+    overhead = base_min_us > 0 ? traced_min_us / base_min_us - 1.0 : 0.0;
+    within_budget = traced_min_us <= base_min_us * 1.05 + kSlackFloorUs;
+  }
+  if (!disabled.empty()) {
+    std::fprintf(stderr, "FAIL: disabled tracer recorded spans\n");
+    ++failures;
+  }
+  reporter.Invariant("disabled tracer recorded nothing", disabled.empty());
+  std::printf("{\"bench\": \"chain400_disabled_tracer_overhead\", "
+              "\"base_min_us\": %.1f, \"traced_min_us\": %.1f, "
+              "\"overhead_pct\": %.2f}\n",
+              base_min_us, traced_min_us, 100.0 * overhead);
+  reporter.AddRow("chain400_disabled_tracer_overhead")
+      .Set("base_min_us", base_min_us)
+      .Set("traced_min_us", traced_min_us)
+      .Set("overhead_pct", 100.0 * overhead);
+  reporter.Invariant("disabled tracer overhead <= 5%", within_budget);
+  if (!within_budget) {
+    std::fprintf(stderr,
+                 "FAIL: disabled tracer costs %.2f%% (budget 5%%)\n",
+                 100.0 * overhead);
+    ++failures;
+  }
 }
 
 }  // namespace
@@ -219,6 +344,8 @@ void BenchGeneratedChain() {
 int main() {
   BenchExample21();
   BenchGeneratedChain();
+  reporter.SetFailures(failures);
+  reporter.Write();
   if (failures != 0) {
     std::fprintf(stderr, "%d failure(s)\n", failures);
     return 1;

@@ -128,4 +128,6 @@ BENCHMARK(BM_StarEndToEnd)->Arg(8)->Arg(16)->Arg(32)->Unit(
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench_report.h"
+
+LIMCAP_BENCHMARK_MAIN_WITH_REPORT("bench_exec_scaling")

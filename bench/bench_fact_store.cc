@@ -193,4 +193,6 @@ BENCHMARK(BM_FactStoreContains)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench_report.h"
+
+LIMCAP_BENCHMARK_MAIN_WITH_REPORT("bench_fact_store")

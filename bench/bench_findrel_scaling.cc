@@ -139,4 +139,6 @@ BENCHMARK(BM_AnalyzeRandomCatalog)->Arg(16)->Arg(64)->Arg(256)->Unit(
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench_report.h"
+
+LIMCAP_BENCHMARK_MAIN_WITH_REPORT("bench_findrel_scaling")

@@ -13,9 +13,12 @@
 #include "paperdata/paper_examples.h"
 #include "workload/generator.h"
 
+#include "bench_report.h"
+
 namespace {
 
 int failures = 0;
+limcap::benchreport::Reporter reporter("bench_latency_model");
 
 void Report(limcap::TextTable* table, const char* name,
             const limcap::exec::ExecResult& exec) {
@@ -32,10 +35,18 @@ void Report(limcap::TextTable* table, const char* name,
   table->AddRow({name, std::to_string(exec.log.total_queries()),
                  std::to_string(makespan.rounds), sequential, per_source,
                  parallel, speedup});
-  if (makespan.parallel_ms > makespan.per_source_serial_ms + 1e-9 ||
-      makespan.per_source_serial_ms > makespan.sequential_ms + 1e-9) {
-    ++failures;  // makespans must be ordered
-  }
+  reporter.AddRow(name)
+      .Set("queries", double(exec.log.total_queries()))
+      .Set("rounds", double(makespan.rounds))
+      .Set("sequential_ms", makespan.sequential_ms)
+      .Set("per_source_serial_ms", makespan.per_source_serial_ms)
+      .Set("parallel_ms", makespan.parallel_ms)
+      .Set("speedup", makespan.ParallelSpeedup());
+  const bool ordered =
+      makespan.parallel_ms <= makespan.per_source_serial_ms + 1e-9 &&
+      makespan.per_source_serial_ms <= makespan.sequential_ms + 1e-9;
+  if (!ordered) ++failures;  // makespans must be ordered
+  reporter.Invariant(std::string(name) + " makespans ordered", ordered);
 }
 
 }  // namespace
@@ -84,5 +95,7 @@ int main() {
   std::printf("invariants (parallel <= per-source serial <= sequential): "
               "%s\n",
               failures == 0 ? "hold" : "VIOLATED");
+  reporter.SetFailures(failures);
+  reporter.Write();
   return failures == 0 ? 0 : 1;
 }

@@ -22,6 +22,8 @@
 #include "exec/query_answerer.h"
 #include "workload/generator.h"
 
+#include "bench_report.h"
+
 namespace {
 
 using limcap::Value;
@@ -31,6 +33,7 @@ using limcap::workload::CatalogSpec;
 using limcap::workload::GeneratedInstance;
 
 int failures = 0;
+limcap::benchreport::Reporter reporter("bench_optimization");
 
 struct Setup {
   GeneratedInstance instance;
@@ -124,10 +127,22 @@ int main() {
                   std::to_string(full.facts),
                   std::to_string(optimized.facts), full_ms, opt_ms,
                   equal ? "yes" : "NO"});
+    reporter.AddRow("distractors_" + std::to_string(m))
+        .Set("full_queries", double(full.queries))
+        .Set("opt_queries", double(optimized.queries))
+        .Set("full_facts", double(full.facts))
+        .Set("opt_facts", double(optimized.facts))
+        .Set("full_ms", full.millis)
+        .Set("opt_ms", optimized.millis);
+    reporter.Invariant(
+        "answers equal, opt <= full (" + std::to_string(m) + " distractors)",
+        equal && optimized.queries <= full.queries);
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf("expected shape: 'Full queries' grows with distractors, "
               "'Opt queries' stays flat.\n");
   std::printf("violations: %d\n", failures);
+  reporter.SetFailures(failures);
+  reporter.Write();
   return failures == 0 ? 0 : 1;
 }

@@ -19,6 +19,8 @@
 #include "exec/query_answerer.h"
 #include "paperdata/paper_examples.h"
 
+#include "bench_report.h"
+
 namespace {
 
 using limcap::TextTable;
@@ -27,8 +29,10 @@ using limcap::paperdata::MakeExample21;
 using limcap::relational::Row;
 
 int failures = 0;
+limcap::benchreport::Reporter reporter("bench_paper_example21");
 
 void Check(bool ok, const char* what) {
+  reporter.Invariant(what, ok);
   std::printf("  [%s] %s\n", ok ? "OK" : "MISMATCH", what);
   if (!ok) ++failures;
 }
@@ -155,5 +159,7 @@ int main() {
   std::printf("\n%s\n", failures == 0
                             ? "Example 2.1 reproduced exactly."
                             : "MISMATCHES FOUND — see above.");
+  reporter.SetFailures(failures);
+  reporter.Write();
   return failures == 0 ? 0 : 1;
 }

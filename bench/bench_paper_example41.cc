@@ -15,6 +15,8 @@
 #include "paperdata/paper_examples.h"
 #include "planner/closure.h"
 
+#include "bench_report.h"
+
 namespace {
 
 using limcap::Value;
@@ -22,8 +24,10 @@ using limcap::paperdata::MakeExample41;
 using limcap::relational::Row;
 
 int failures = 0;
+limcap::benchreport::Reporter reporter("bench_paper_example41");
 
 void Check(bool ok, const char* what) {
+  reporter.Invariant(what, ok);
   std::printf("  [%s] %s\n", ok ? "OK" : "MISMATCH", what);
   if (!ok) ++failures;
 }
@@ -130,5 +134,7 @@ int main() {
 
   std::printf("\n%s\n", failures == 0 ? "Example 4.1 reproduced exactly."
                                       : "MISMATCHES FOUND — see above.");
+  reporter.SetFailures(failures);
+  reporter.Write();
   return failures == 0 ? 0 : 1;
 }

@@ -15,6 +15,8 @@
 #include "paperdata/paper_examples.h"
 #include "planner/find_rel.h"
 
+#include "bench_report.h"
+
 namespace {
 
 using limcap::capability::InMemorySource;
@@ -23,8 +25,10 @@ using limcap::paperdata::MakeExample51;
 using limcap::paperdata::PaperExample;
 
 int failures = 0;
+limcap::benchreport::Reporter reporter("bench_paper_example51");
 
 void Check(bool ok, const char* what) {
+  reporter.Invariant(what, ok);
   std::printf("  [%s] %s\n", ok ? "OK" : "MISMATCH", what);
   if (!ok) ++failures;
 }
@@ -107,5 +111,7 @@ int main() {
 
   std::printf("\n%s\n", failures == 0 ? "Example 5.1 reproduced exactly."
                                       : "MISMATCHES FOUND — see above.");
+  reporter.SetFailures(failures);
+  reporter.Write();
   return failures == 0 ? 0 : 1;
 }

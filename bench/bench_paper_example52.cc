@@ -14,14 +14,18 @@
 #include "planner/closure.h"
 #include "planner/find_rel.h"
 
+#include "bench_report.h"
+
 namespace {
 
 using limcap::paperdata::MakeExample52;
 using limcap::planner::AttributeSet;
 
 int failures = 0;
+limcap::benchreport::Reporter reporter("bench_paper_example52");
 
 void Check(bool ok, const char* what) {
+  reporter.Invariant(what, ok);
   std::printf("  [%s] %s\n", ok ? "OK" : "MISMATCH", what);
   if (!ok) ++failures;
 }
@@ -100,5 +104,7 @@ int main() {
 
   std::printf("\n%s\n", failures == 0 ? "Example 5.2 reproduced exactly."
                                       : "MISMATCHES FOUND — see above.");
+  reporter.SetFailures(failures);
+  reporter.Write();
   return failures == 0 ? 0 : 1;
 }

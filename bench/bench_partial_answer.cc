@@ -13,6 +13,8 @@
 #include "exec/query_answerer.h"
 #include "workload/generator.h"
 
+#include "bench_report.h"
+
 namespace {
 
 using limcap::workload::CatalogSpec;
@@ -22,6 +24,7 @@ using limcap::workload::GenerateQuery;
 using limcap::workload::QuerySpec;
 
 int failures = 0;
+limcap::benchreport::Reporter reporter("bench_partial_answer");
 
 }  // namespace
 
@@ -95,8 +98,16 @@ int main() {
                   instances ? 100.0 * fraction_sum[b] / double(instances)
                             : 0.0);
     table.AddRow({std::to_string(budgets[b]), fraction});
+    reporter.AddRow("budget_" + std::to_string(budgets[b]))
+        .Set("budget", double(budgets[b]))
+        .Set("avg_fraction",
+             instances ? fraction_sum[b] / double(instances) : 0.0);
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf("violations (non-monotone or non-subset): %d\n", failures);
+  reporter.Invariant("partial answers monotone subsets of maximal",
+                     failures == 0);
+  reporter.SetFailures(failures);
+  reporter.Write();
   return failures == 0 ? 0 : 1;
 }

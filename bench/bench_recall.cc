@@ -17,6 +17,8 @@
 #include "exec/query_answerer.h"
 #include "workload/generator.h"
 
+#include "bench_report.h"
+
 namespace {
 
 using limcap::workload::CatalogSpec;
@@ -35,6 +37,7 @@ struct Totals {
 };
 
 int failures = 0;
+limcap::benchreport::Reporter reporter("bench_recall");
 
 Totals Sweep(CatalogSpec::Topology topology, double bound_probability,
              std::size_t seeds) {
@@ -128,10 +131,21 @@ int main() {
                   std::to_string(totals.framework_wins) + "/" +
                       std::to_string(totals.instances),
                   std::to_string(totals.skipped_connections)});
+    reporter.AddRow(std::string(row.name) + "_p" + p)
+        .Set("instances", double(totals.instances))
+        .Set("complete_answers", double(totals.complete))
+        .Set("framework_answers", double(totals.framework))
+        .Set("baseline_answers", double(totals.baseline))
+        .Set("framework_wins", double(totals.framework_wins))
+        .Set("skipped_connections", double(totals.skipped_connections));
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf("invariant violations (baseline ⊄ framework or framework ⊄ "
               "complete): %d\n",
               failures);
+  reporter.Invariant("baseline subset of framework subset of complete",
+                     failures == 0);
+  reporter.SetFailures(failures);
+  reporter.Write();
   return failures == 0 ? 0 : 1;
 }

@@ -1,0 +1,200 @@
+// The shared benchmark reporter: every bench_*.cc writes one
+// machine-readable BENCH_<name>.json next to whatever it prints for
+// humans, so CI (and regression tooling) consumes every benchmark the
+// same way. Two shapes:
+//
+//   * self-checking harnesses use Reporter — named rows of numeric
+//     fields plus pass/fail invariants, serialized on Write();
+//   * google-benchmark binaries use LIMCAP_BENCHMARK_MAIN_WITH_REPORT
+//     (in place of BENCHMARK_MAIN), which injects gbench's native JSON
+//     writer targeting the same BENCH_<name>.json naming scheme unless
+//     the caller already passed --benchmark_out.
+//
+// LIMCAP_BENCH_OUT_DIR overrides the output directory (default: the
+// working directory).
+
+#ifndef LIMCAP_BENCH_BENCH_REPORT_H_
+#define LIMCAP_BENCH_BENCH_REPORT_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace limcap::benchreport {
+
+inline std::string OutputPath(const std::string& bench_name) {
+  std::string path;
+  if (const char* dir = std::getenv("LIMCAP_BENCH_OUT_DIR")) {
+    path = dir;
+    if (!path.empty() && path.back() != '/') path += '/';
+  }
+  return path + "BENCH_" + bench_name + ".json";
+}
+
+/// Collects one harness run's results and writes them as one JSON
+/// object:
+///
+///   {"bench": "...", "rows": [{"name": "...", k: v, ...}, ...],
+///    "invariants": [{"name": "...", "passed": true}, ...],
+///    "failures": 0}
+///
+/// Numbers render as %.6g (integers stay integral); every row keeps its
+/// field order.
+class Reporter {
+ public:
+  explicit Reporter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  class Row {
+   public:
+    Row& Set(const std::string& key, double value) {
+      numbers_.emplace_back(key, value);
+      return *this;
+    }
+    Row& Set(const std::string& key, std::string value) {
+      strings_.emplace_back(key, std::move(value));
+      return *this;
+    }
+
+   private:
+    friend class Reporter;
+    std::string name_;
+    std::vector<std::pair<std::string, double>> numbers_;
+    std::vector<std::pair<std::string, std::string>> strings_;
+  };
+
+  Row& AddRow(const std::string& name) {
+    rows_.emplace_back();
+    rows_.back().name_ = name;
+    return rows_.back();
+  }
+
+  /// Records a self-check outcome; a failed invariant also counts as a
+  /// failure in the summary.
+  void Invariant(const std::string& name, bool passed) {
+    invariants_.emplace_back(name, passed);
+    if (!passed) ++failures_;
+  }
+  void AddFailures(int count) { failures_ += count; }
+  /// Overrides the failure count — for harnesses whose own counter also
+  /// covers checks that never became invariants.
+  void SetFailures(int count) { failures_ = count; }
+  int failures() const { return failures_; }
+
+  /// Writes BENCH_<name>.json. Returns false (and reports on stderr)
+  /// when the file cannot be written.
+  bool Write() const {
+    const std::string path = OutputPath(bench_name_);
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench_report: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fputs(Render().c_str(), out);
+    std::fclose(out);
+    return true;
+  }
+
+  std::string Render() const {
+    std::string out = "{\"bench\": \"" + Escape(bench_name_) + "\"";
+    out += ", \"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      if (i > 0) out += ", ";
+      out += "{\"name\": \"" + Escape(row.name_) + "\"";
+      for (const auto& [key, value] : row.numbers_) {
+        out += ", \"" + Escape(key) + "\": " + Number(value);
+      }
+      for (const auto& [key, value] : row.strings_) {
+        out += ", \"" + Escape(key) + "\": \"" + Escape(value) + "\"";
+      }
+      out += "}";
+    }
+    out += "], \"invariants\": [";
+    for (std::size_t i = 0; i < invariants_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "{\"name\": \"" + Escape(invariants_[i].first) +
+             "\", \"passed\": " +
+             (invariants_[i].second ? "true" : "false") + "}";
+    }
+    out += "], \"failures\": " + std::to_string(failures_) + "}\n";
+    return out;
+  }
+
+ private:
+  static std::string Escape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    return out;
+  }
+
+  static std::string Number(double value) {
+    char buffer[32];
+    if (value == static_cast<long long>(value)) {
+      std::snprintf(buffer, sizeof(buffer), "%lld",
+                    static_cast<long long>(value));
+    } else {
+      std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    }
+    return buffer;
+  }
+
+  std::string bench_name_;
+  std::vector<Row> rows_;
+  std::vector<std::pair<std::string, bool>> invariants_;
+  int failures_ = 0;
+};
+
+}  // namespace limcap::benchreport
+
+// Only meaningful in translation units that already include
+// benchmark/benchmark.h (the timing benchmarks).
+#ifdef BENCHMARK_BENCHMARK_H_
+namespace limcap::benchreport {
+
+/// BENCHMARK_MAIN with the BENCH_<name>.json contract: unless the user
+/// passed --benchmark_out, gbench's JSON writer targets the shared
+/// naming scheme (console output is unchanged).
+inline int GBenchMainWithReport(const char* bench_name, int argc,
+                                char** argv) {
+  std::vector<std::string> storage(argv, argv + argc);
+  bool has_out = false;
+  for (const std::string& arg : storage) {
+    if (arg.rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  if (!has_out) {
+    storage.push_back("--benchmark_out=" + OutputPath(bench_name));
+    storage.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> args;
+  args.reserve(storage.size());
+  for (std::string& arg : storage) args.push_back(arg.data());
+  int patched_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&patched_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(patched_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace limcap::benchreport
+
+#define LIMCAP_BENCHMARK_MAIN_WITH_REPORT(name)                       \
+  int main(int argc, char** argv) {                                   \
+    return limcap::benchreport::GBenchMainWithReport(name, argc, argv); \
+  }
+#endif  // BENCHMARK_BENCHMARK_H_
+
+#endif  // LIMCAP_BENCH_BENCH_REPORT_H_

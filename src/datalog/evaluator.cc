@@ -260,11 +260,20 @@ Evaluator::MatchPlan Evaluator::BuildPlan(
 
 void Evaluator::SeedFacts() {
   if (facts_seeded_) return;
+  const uint64_t facts_before = stats_.facts_derived;
   for (const auto& [pred, row] : ground_facts_) {
     auto inserted = store_->InsertIds(pred, RowView(row));
     if (inserted.ok() && inserted.value()) ++stats_.facts_derived;
   }
   facts_seeded_ = true;
+  // Seeded ground facts count into facts_derived but fall outside every
+  // "eval.round" span; this instant keeps the trace's fact accounting
+  // complete (round facts + seed facts == facts_derived).
+  if (options_.tracer != nullptr && options_.tracer->enabled()) {
+    const obs::SpanId span = options_.tracer->Instant("eval.seed");
+    options_.tracer->Counter(
+        span, "facts", static_cast<double>(stats_.facts_derived - facts_before));
+  }
 }
 
 Status Evaluator::Run() {
@@ -405,9 +414,11 @@ void Evaluator::AbsorbScratchStats(MatchScratch& scratch) {
 
 Status Evaluator::RunNaive() {
   while (true) {
+    obs::ScopedSpan round_span(options_.tracer, "eval.round");
     ++stats_.iterations;
     RefreshSnapshot();
     stats_.round_activations.push_back(0);
+    const uint64_t facts_before = stats_.facts_derived;
     bool derived_new = false;
     for (uint32_t r = 0; r < rules_.size(); ++r) {
       ++stats_.rule_activations;
@@ -421,6 +432,10 @@ Status Evaluator::RunNaive() {
       AbsorbScratchStats(scratch_);
       LIMCAP_RETURN_NOT_OK(MergeBuffer(rules_[r], buffer_, &derived_new));
     }
+    round_span.Counter("activations",
+                       static_cast<double>(stats_.round_activations.back()));
+    round_span.Counter(
+        "facts", static_cast<double>(stats_.facts_derived - facts_before));
     if (!derived_new) return Status::OK();
   }
 }
@@ -436,8 +451,10 @@ Status Evaluator::RunSemiNaive() {
       }
     }
     if (!has_delta) return Status::OK();
+    obs::ScopedSpan round_span(options_.tracer, "eval.round");
     ++stats_.iterations;
     stats_.round_activations.push_back(0);
+    const uint64_t facts_before = stats_.facts_derived;
 
     bool derived_new = false;
     for (uint32_t r = 0; r < rules_.size(); ++r) {
@@ -457,6 +474,10 @@ Status Evaluator::RunSemiNaive() {
     for (PredicateId pred : body_preds_) {
       processed_[pred] = std::max(processed_[pred], snapshot_[pred]);
     }
+    round_span.Counter("activations",
+                       static_cast<double>(stats_.round_activations.back()));
+    round_span.Counter(
+        "facts", static_cast<double>(stats_.facts_derived - facts_before));
   }
 }
 
@@ -475,9 +496,11 @@ Status Evaluator::RunParallelSemiNaive() {
       }
     }
     if (activations.empty()) return Status::OK();
+    obs::ScopedSpan round_span(options_.tracer, "eval.round");
     ++stats_.iterations;
     stats_.rule_activations += activations.size();
     stats_.round_activations.push_back(activations.size());
+    const uint64_t facts_before = stats_.facts_derived;
 
     if (activations.size() > activation_buffers_.size()) {
       activation_buffers_.resize(activations.size());
@@ -512,6 +535,10 @@ Status Evaluator::RunParallelSemiNaive() {
     for (PredicateId pred : body_preds_) {
       processed_[pred] = std::max(processed_[pred], snapshot_[pred]);
     }
+    round_span.Counter("activations",
+                       static_cast<double>(activations.size()));
+    round_span.Counter(
+        "facts", static_cast<double>(stats_.facts_derived - facts_before));
   }
 }
 

@@ -10,6 +10,7 @@
 #include "common/thread_pool.h"
 #include "datalog/ast.h"
 #include "datalog/fact_store.h"
+#include "obs/trace.h"
 
 namespace limcap::datalog {
 
@@ -69,6 +70,13 @@ class Evaluator {
     /// Worker threads for kParallelSemiNaive; 0 means
     /// std::thread::hardware_concurrency(). Ignored by serial modes.
     std::size_t num_threads = 0;
+    /// Observability: when set (and enabled), every fixpoint round emits
+    /// one "eval.round" span with its activation / derived-fact counters.
+    /// Spans are recorded only on the driver thread — in the parallel
+    /// mode at the round barrier, never from workers — so tracing cannot
+    /// perturb evaluation. Null: the hot path pays two branches per
+    /// round. Must outlive the evaluator.
+    obs::Tracer* tracer = nullptr;
   };
 
   /// Compiles `program` against `store` (interning rule constants and

@@ -1,0 +1,124 @@
+#include "exec/explain.h"
+
+#include <sstream>
+#include <utility>
+
+#include "capability/catalog_text.h"
+#include "obs/export.h"
+#include "planner/query_parser.h"
+#include "runtime/runtime_config.h"
+
+namespace limcap::exec {
+
+namespace {
+
+void Section(std::ostringstream& out, const char* title) {
+  out << "== " << title << " ==\n";
+}
+
+void RenderRelevance(const planner::PlanResult& plan,
+                     std::ostringstream& out) {
+  Section(out, "Relevance (FIND_REL)");
+  out << plan.relevance.ToString();
+  for (const planner::Connection& connection :
+       plan.relevance.queryable_connections) {
+    out << "-- connection " << connection.ToString() << " --\n"
+        << plan.relevance.reports.at(connection.ToString()).ToString();
+  }
+  out << "\n";
+}
+
+void RenderProgram(const planner::PlanResult& plan,
+                   std::ostringstream& out) {
+  Section(out, "Optimized program");
+  out << plan.optimized_program.size() << " rule(s); Section 6 removed "
+      << plan.removed_rules.size() << " of "
+      << plan.relevant_program.size() << " (full program: "
+      << plan.full_program.size() << ")\n"
+      << plan.optimized_program.ToString();
+  if (!plan.removed_rules.empty()) {
+    out << "removed as useless:\n";
+    for (const datalog::Rule& rule : plan.removed_rules) {
+      out << "  " << rule.ToString() << "\n";
+    }
+  }
+  out << "\n";
+}
+
+void RenderExecution(const AnswerReport& answer, std::ostringstream& out) {
+  const ExecResult& exec = answer.exec;
+  Section(out, "Execution");
+  out << "fetch-eval rounds: " << exec.rounds
+      << "  source queries: " << exec.log.total_queries()
+      << "  facts derived: " << exec.datalog_stats.facts_derived
+      << (exec.budget_exhausted ? "  [budget exhausted: partial answer]"
+                                : "")
+      << "\n";
+  if (answer.analysis_ran) {
+    out << "static analysis: " << answer.analysis.diagnostics.size()
+        << " diagnostic(s), " << answer.analysis.diagnostics.errors()
+        << " error(s)\n";
+  }
+  out << exec.log.ToTable(/*productive_only=*/false);
+  out << exec.fetch_report.ToString() << "\n";
+}
+
+}  // namespace
+
+Result<ExplainReport> Explain(const ExplainRequest& request) {
+  LIMCAP_ASSIGN_OR_RETURN(capability::ParsedCatalog parsed,
+                          capability::ParseCatalog(request.catalog_text));
+  LIMCAP_ASSIGN_OR_RETURN(planner::Query query,
+                          planner::ParseQuery(request.query_text));
+
+  ExplainReport report;
+  report.query = std::move(query);
+
+  ExecOptions options = request.options;
+  if (!request.runtime_text.empty()) {
+    LIMCAP_ASSIGN_OR_RETURN(
+        options.runtime, runtime::ParseRuntimeConfig(request.runtime_text));
+  }
+  options.tracer = &report.tracer;
+  options.metrics = &report.metrics;
+
+  {
+    // Answer in a scope of its own so every span is closed before the
+    // exporters run.
+    QueryAnswerer answerer(&parsed.catalog, planner::DomainMap());
+    LIMCAP_ASSIGN_OR_RETURN(report.answer,
+                            answerer.Answer(report.query, options));
+  }
+  std::ostringstream out;
+  Section(out, "Query");
+  out << report.query.ToString() << "\n\n";
+  RenderRelevance(report.answer.plan, out);
+  RenderProgram(report.answer.plan, out);
+  RenderExecution(report.answer, out);
+
+  Section(out, "Timeline");
+  obs::SpanTreeOptions tree_options;
+  tree_options.include_wall = request.include_timing;
+  out << obs::RenderSpanTree(report.tracer, tree_options) << "\n";
+
+  Section(out, "Metrics");
+  out << report.metrics.RenderText() << "\n";
+
+  Section(out, "Answer");
+  out << report.answer.exec.answer.size() << " row(s): "
+      << report.answer.exec.answer.ToString() << "\n";
+  if (report.answer.exec.fetch_report.degraded()) {
+    out << "WARNING: partial answer — failed views: ";
+    for (const std::string& view :
+         report.answer.exec.fetch_report.failed_views) {
+      out << view << " ";
+    }
+    out << "\n";
+  }
+
+  report.rendered = out.str();
+  report.chrome_trace = obs::ChromeTraceJson(report.tracer);
+  return report;
+}
+
+}  // namespace limcap::exec

@@ -1,0 +1,60 @@
+#ifndef LIMCAP_EXEC_EXPLAIN_H_
+#define LIMCAP_EXEC_EXPLAIN_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "exec/query_answerer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "planner/query.h"
+
+namespace limcap::exec {
+
+/// One explain run over textual inputs — the library behind
+/// `limcap_explain`, shared with the golden-file tests. Parses the
+/// catalog and the connection query, answers the query with tracing and
+/// metrics attached, and renders the whole story: why each view is
+/// relevant (the FIND_REL kernels and closures), the optimized program,
+/// the execution timeline, and the reconciled per-source metrics.
+struct ExplainRequest {
+  /// Catalog text for capability::ParseCatalog. Required.
+  std::string catalog_text;
+  /// Connection-query text for planner::ParseQuery. Required.
+  std::string query_text;
+  /// Optional source-access runtime config (runtime/runtime_config.h);
+  /// empty keeps `options.runtime` as given.
+  std::string runtime_text;
+  /// Execution knobs (goal predicate, static analysis, budgets). The
+  /// tracer/metrics fields are ignored — Explain attaches its own.
+  ExecOptions options;
+  /// Include wall-clock numbers in the rendered timeline. Off makes the
+  /// report deterministic (simulated times and counters only), which is
+  /// what the golden tests pin.
+  bool include_timing = true;
+};
+
+struct ExplainReport {
+  /// The full answer: plan, analysis, execution.
+  AnswerReport answer;
+  /// The parsed query (echoed into the report header).
+  planner::Query query;
+  /// The recorded span tree and the per-query metrics.
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  /// The rendered text report.
+  std::string rendered;
+  /// The span tree as Chrome trace_event JSON (chrome://tracing,
+  /// Perfetto).
+  std::string chrome_trace;
+};
+
+/// Runs one explain. Returns an error Status only when the inputs are
+/// unusable (unparsable catalog/query/runtime config, invalid query) or
+/// the execution itself fails; a degraded (partial) answer is still a
+/// report.
+Result<ExplainReport> Explain(const ExplainRequest& request);
+
+}  // namespace limcap::exec
+
+#endif  // LIMCAP_EXEC_EXPLAIN_H_

@@ -1,0 +1,51 @@
+#include "exec/fingerprint.h"
+
+#include <sstream>
+
+namespace limcap::exec {
+
+std::string OrderedFingerprint(const ExecResult& exec) {
+  std::ostringstream out;
+  out << "rounds=" << exec.rounds << " budget=" << exec.budget_exhausted
+      << " dict=" << exec.session_dict->size() << "\n";
+  relational::IdRow row;
+  out << "answer:";
+  for (std::size_t pos = 0; pos < exec.answer.size(); ++pos) {
+    exec.answer.GatherRowIds(pos, &row);
+    out << " <";
+    for (ValueId id : row) out << id << ",";
+    out << ">";
+  }
+  out << "\n";
+  for (const auto& record : exec.log.records()) {
+    out << record.source << " round=" << record.round << " q=[";
+    for (std::size_t i = 0; i < record.query.ids.size(); ++i) {
+      out << record.query.positions[i] << ":" << record.query.ids[i] << ",";
+    }
+    out << "] returned=" << record.tuples_returned
+        << " new=" << record.new_tuples << " ids=";
+    for (const auto& ids : record.returned_ids) {
+      out << "<";
+      for (ValueId id : ids) out << id << ",";
+      out << ">";
+    }
+    out << " bindings=";
+    for (const auto& [attribute, id] : record.new_binding_ids) {
+      out << attribute << "=" << id << ",";
+    }
+    if (!record.error.empty()) out << " error=" << record.error;
+    out << "\n";
+  }
+  for (const std::string& predicate : exec.store.Predicates()) {
+    out << predicate << ":";
+    for (datalog::RowView fact : exec.store.Facts(predicate)) {
+      out << " <";
+      for (std::size_t i = 0; i < fact.size(); ++i) out << fact[i] << ",";
+      out << ">";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace limcap::exec

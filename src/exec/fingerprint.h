@@ -1,0 +1,22 @@
+#ifndef LIMCAP_EXEC_FINGERPRINT_H_
+#define LIMCAP_EXEC_FINGERPRINT_H_
+
+#include <string>
+
+#include "exec/source_driven_evaluator.h"
+
+namespace limcap::exec {
+
+/// Everything observable about an execution, id-level, rendered in
+/// deterministic order: round/budget counters, the dictionary size, the
+/// answer rows in order, the full access trace, and every derived fact.
+/// Two executions with equal fingerprints made the same source queries in
+/// the same order, interned the same values to the same ids, and derived
+/// the same facts — the bit-identity contract the concurrent runtime and
+/// the tracing layer are tested against (equal fingerprint ⇒ the user
+/// can't tell the runs apart).
+std::string OrderedFingerprint(const ExecResult& exec);
+
+}  // namespace limcap::exec
+
+#endif  // LIMCAP_EXEC_FINGERPRINT_H_

@@ -22,6 +22,20 @@ ExecOptions WithSessionDict(const ExecOptions& options,
   return session_options;
 }
 
+/// Plan-shape counters, recorded once per PlanQuery on every answer path.
+void RecordPlanMetrics(const planner::PlanResult& plan,
+                       obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  metrics->Add(obs::metric::kPlanConnectionsQueryable,
+               double(plan.relevance.queryable_connections.size()));
+  metrics->Add(obs::metric::kPlanConnectionsDropped,
+               double(plan.relevance.dropped_connections.size()));
+  metrics->Add(obs::metric::kPlanRelevantViews,
+               double(plan.relevance.relevant_union.size()));
+  metrics->Add(obs::metric::kPlanRulesRemoved,
+               double(plan.removed_rules.size()));
+}
+
 }  // namespace
 
 void AnnotateDegradedConnections(
@@ -45,12 +59,19 @@ Result<datalog::Program> ApplyStaticAnalysisGate(
     const planner::DomainMap& domains, const ExecOptions& options,
     AnswerReport* report) {
   if (options.static_analysis == StaticAnalysisMode::kOff) return program;
+  obs::ScopedSpan gate_span(options.tracer, "analysis.gate");
   analysis::AnalysisOptions analysis_options;
   analysis_options.goal_predicate = options.builder.goal_predicate;
   analysis_options.domains = domains;
   report->analysis = analysis::AnalyzeProgram(program, views,
                                               analysis_options);
   report->analysis_ran = true;
+  gate_span.Counter("diagnostics",
+                    double(report->analysis.diagnostics.size()));
+  if (options.metrics != nullptr) {
+    options.metrics->Add(obs::metric::kAnalysisDiagnostics,
+                         double(report->analysis.diagnostics.size()));
+  }
   if (options.static_analysis == StaticAnalysisMode::kReject &&
       report->analysis.diagnostics.has_errors()) {
     return Status::CapabilityViolation(
@@ -68,10 +89,13 @@ Result<AnswerReport> QueryAnswerer::Answer(const planner::Query& query,
                                            const ExecOptions& options) const {
   LIMCAP_RETURN_NOT_OK(query.Validate(*catalog_, domains_));
   ExecOptions session_options = WithSessionDict(options, query);
+  obs::ScopedSpan answer_span(session_options.tracer, "answer");
   AnswerReport report;
   LIMCAP_ASSIGN_OR_RETURN(
       report.plan, planner::PlanQuery(query, catalog_->Views(), domains_,
-                                      session_options.builder));
+                                      session_options.builder, {},
+                                      session_options.tracer));
+  RecordPlanMetrics(report.plan, session_options.metrics);
   LIMCAP_ASSIGN_OR_RETURN(
       datalog::Program program,
       ApplyStaticAnalysisGate(report.plan.optimized_program,
@@ -89,10 +113,13 @@ Result<AnswerReport> QueryAnswerer::AnswerHybrid(
   LIMCAP_RETURN_NOT_OK(query.Validate(*catalog_, domains_));
   ExecOptions session_options = WithSessionDict(options, query);
   const ValueDictionaryPtr& dict = session_options.session_dict;
+  obs::ScopedSpan answer_span(session_options.tracer, "answer", "hybrid");
   AnswerReport report;
   LIMCAP_ASSIGN_OR_RETURN(
       report.plan, planner::PlanQuery(query, catalog_->Views(), domains_,
-                                      session_options.builder));
+                                      session_options.builder, {},
+                                      session_options.tracer));
+  RecordPlanMetrics(report.plan, session_options.metrics);
 
   // Partition the queryable connections by (attribute-level)
   // independence.
@@ -123,7 +150,8 @@ Result<AnswerReport> QueryAnswerer::AnswerHybrid(
     LIMCAP_ASSIGN_OR_RETURN(
         planner::PlanResult subplan,
         planner::PlanQuery(sub, catalog_->Views(), domains_,
-                           session_options.builder));
+                           session_options.builder, {},
+                           session_options.tracer));
     // The gate covers the Datalog part; the bind-join part below runs
     // sequences ExecutableSequence already proved executable.
     LIMCAP_ASSIGN_OR_RETURN(
@@ -177,6 +205,7 @@ Result<AnswerReport> QueryAnswerer::AnswerWithCache(
     const ExecOptions& options) const {
   LIMCAP_RETURN_NOT_OK(query.Validate(*catalog_, domains_));
   ExecOptions session_options = WithSessionDict(options, query);
+  obs::ScopedSpan answer_span(session_options.tracer, "answer", "cached");
   AnswerReport report;
   // Cached views seed their attributes' domains, which can make views —
   // and whole connections — queryable that a cold start would drop.
@@ -190,7 +219,9 @@ Result<AnswerReport> QueryAnswerer::AnswerWithCache(
   }
   LIMCAP_ASSIGN_OR_RETURN(
       report.plan, planner::PlanQuery(query, catalog_->Views(), domains_,
-                                      session_options.builder, seeded));
+                                      session_options.builder, seeded,
+                                      session_options.tracer));
+  RecordPlanMetrics(report.plan, session_options.metrics);
   // Fold the cached tuples into the optimized program as fact rules
   // (Section 7.1). Facts only add derivations, so the relevance analysis
   // computed without them stays sound.
@@ -219,10 +250,14 @@ Result<AnswerReport> QueryAnswerer::AnswerUnoptimized(
     const planner::Query& query, const ExecOptions& options) const {
   LIMCAP_RETURN_NOT_OK(query.Validate(*catalog_, domains_));
   ExecOptions session_options = WithSessionDict(options, query);
+  obs::ScopedSpan answer_span(session_options.tracer, "answer",
+                              "unoptimized");
   AnswerReport report;
   LIMCAP_ASSIGN_OR_RETURN(
       report.plan, planner::PlanQuery(query, catalog_->Views(), domains_,
-                                      session_options.builder));
+                                      session_options.builder, {},
+                                      session_options.tracer));
+  RecordPlanMetrics(report.plan, session_options.metrics);
   LIMCAP_ASSIGN_OR_RETURN(
       datalog::Program program,
       ApplyStaticAnalysisGate(report.plan.full_program, catalog_->Views(),

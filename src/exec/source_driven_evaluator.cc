@@ -47,6 +47,7 @@ struct PendingFetch {
 
 Result<ExecResult> SourceDrivenEvaluator::Execute(
     const datalog::Program& program, const planner::Query& query) {
+  obs::ScopedSpan exec_span(options_.tracer, "exec");
   ExecResult result;
   if (options_.session_dict != nullptr) {
     result.store = datalog::FactStore(options_.session_dict);
@@ -58,6 +59,7 @@ Result<ExecResult> SourceDrivenEvaluator::Execute(
   datalog::Evaluator::Options eval_options;
   eval_options.mode = options_.mode;
   eval_options.num_threads = options_.eval_threads;
+  eval_options.tracer = options_.tracer;
   LIMCAP_ASSIGN_OR_RETURN(
       auto evaluator,
       datalog::Evaluator::Create(program, &result.store, eval_options));
@@ -111,7 +113,8 @@ Result<ExecResult> SourceDrivenEvaluator::Execute(
   // so circuit-breaker state and the simulated clock carry across rounds.
   runtime::RuntimeOptions runtime_options = options_.runtime;
   runtime_options.stop_on_error = !options_.continue_on_source_error;
-  runtime::FetchScheduler scheduler(runtime_options, dict);
+  runtime::FetchScheduler scheduler(runtime_options, dict,
+                                    options_.tracer);
 
   // Folds one answered (or failed) fetch into the store and the trace.
   // Called in frontier order on this thread, which is what makes
@@ -208,7 +211,13 @@ Result<ExecResult> SourceDrivenEvaluator::Execute(
   const bool eager = options_.strategy == FetchStrategy::kEager;
   bool done = false;
   while (!done) {
-    LIMCAP_RETURN_NOT_OK(evaluator->Run());
+    // The round number is the span's position among "exec.round"
+    // siblings; no detail string, so the disabled path allocates nothing.
+    obs::ScopedSpan round_span(options_.tracer, "exec.round");
+    {
+      obs::ScopedSpan eval_span(options_.tracer, "eval");
+      LIMCAP_RETURN_NOT_OK(evaluator->Run());
+    }
     sync_domains();
     if (result.store.Count(goal) >= options_.min_answers) {
       // Enough results for the user (Section 7.2); stop fetching.
@@ -265,6 +274,7 @@ Result<ExecResult> SourceDrivenEvaluator::Execute(
     }
     if (done) {
       // Budget exhausted: derive what we can from the facts on hand.
+      obs::ScopedSpan eval_span(options_.tracer, "eval");
       LIMCAP_RETURN_NOT_OK(evaluator->Run());
       break;
     }
@@ -287,7 +297,45 @@ Result<ExecResult> SourceDrivenEvaluator::Execute(
   LIMCAP_ASSIGN_OR_RETURN(
       result.answer,
       result.store.ToRelation(options_.builder.goal_predicate, out_schema));
+  RecordExecMetrics(result, options_.metrics);
   return result;
+}
+
+void RecordExecMetrics(const ExecResult& result,
+                       obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  const datalog::EvalStats& eval = result.datalog_stats;
+  metrics->Add(obs::metric::kEvalRounds, double(eval.iterations));
+  metrics->Add(obs::metric::kEvalActivations, double(eval.rule_activations));
+  metrics->Add(obs::metric::kEvalFactsDerived, double(eval.facts_derived));
+  metrics->Add(obs::metric::kEvalMatches, double(eval.matches));
+  for (uint64_t activations : eval.round_activations) {
+    metrics->Observe(obs::metric::kHistRoundActivations,
+                     double(activations));
+  }
+
+  const runtime::FetchReport& fetch = result.fetch_report;
+  metrics->Add(obs::metric::kFetchBatches, double(fetch.batches));
+  metrics->Add(obs::metric::kFetchAttempts, double(fetch.total_attempts));
+  metrics->Add(obs::metric::kFetchRetries, double(fetch.total_retries));
+  metrics->Add(obs::metric::kFetchTimeouts, double(fetch.total_timeouts));
+  metrics->Add(obs::metric::kFetchCoalesced, double(fetch.coalesced_hits));
+  metrics->Add(obs::metric::kFetchMakespanMs, fetch.simulated_makespan_ms);
+  metrics->Add(obs::metric::kFetchFailedViews,
+               double(fetch.failed_views.size()));
+  std::size_t breaker_skips = 0;
+  for (const auto& [name, stats] : fetch.per_source) {
+    breaker_skips += stats.breaker_skips;
+    if (stats.attempts + stats.breaker_skips > 0) {
+      metrics->Observe(obs::metric::kHistFetchMs, stats.simulated_busy_ms);
+    }
+  }
+  metrics->Add(obs::metric::kFetchBreakerSkips, double(breaker_skips));
+
+  metrics->Add(obs::metric::kExecFetchRounds, double(result.rounds));
+  metrics->Add(obs::metric::kExecSourceQueries,
+               double(result.log.total_queries()));
+  metrics->Add(obs::metric::kAnswerRows, double(result.answer.size()));
 }
 
 }  // namespace limcap::exec

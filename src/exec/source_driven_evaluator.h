@@ -11,6 +11,8 @@
 #include "datalog/ast.h"
 #include "datalog/evaluator.h"
 #include "datalog/fact_store.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "planner/domain_map.h"
 #include "planner/program_builder.h"
 #include "planner/query.h"
@@ -92,6 +94,15 @@ struct ExecOptions {
   /// record time instead of lazily on first read. Costs one decode pass
   /// per logged tuple on the execution path; useful for verbose tracing.
   bool eager_render_log = false;
+  /// Observability (both optional, non-owning, must outlive the
+  /// execution; both belong to the driver thread only). `tracer` records
+  /// the hierarchical span timeline — plan stages, per-round evaluation,
+  /// per-fetch source calls; `metrics` receives the named counters of
+  /// obs/metrics.h, reconciled exactly with EvalStats and FetchReport.
+  /// Null (the default) keeps the hot path at a branch per emission
+  /// point; tracing never changes answers (enforced by property tests).
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// What an execution produced.
@@ -162,6 +173,13 @@ class SourceDrivenEvaluator {
   planner::DomainMap domains_;
   ExecOptions options_;
 };
+
+/// Folds an execution's EvalStats / FetchReport / answer shape into
+/// `metrics` under the canonical names of obs/metrics.h. No-op on null.
+/// Called by SourceDrivenEvaluator::Execute; exposed so tools and tests
+/// can aggregate hand-driven executions the same way.
+void RecordExecMetrics(const ExecResult& result,
+                       obs::MetricsRegistry* metrics);
 
 }  // namespace limcap::exec
 

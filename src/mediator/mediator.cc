@@ -109,8 +109,20 @@ Result<exec::AnswerReport> Mediator::Answer(
   if (session_options.session_dict == nullptr) {
     session_options.session_dict = std::make_shared<ValueDictionary>();
   }
+  // The query gets a registry of its own; on success it is merged into
+  // the session registry (and into the caller's, when one was passed) so
+  // a caller-supplied registry's prior contents are never double-counted.
+  obs::MetricsRegistry query_metrics;
+  obs::MetricsRegistry* caller_metrics = session_options.metrics;
+  session_options.metrics = &query_metrics;
   exec::QueryAnswerer answerer(catalog_, domains_);
-  return answerer.Answer(expanded, session_options);
+  Result<exec::AnswerReport> report =
+      answerer.Answer(expanded, session_options);
+  if (report.ok()) {
+    if (caller_metrics != nullptr) caller_metrics->Merge(query_metrics);
+    session_metrics_.Merge(query_metrics);
+  }
+  return report;
 }
 
 }  // namespace limcap::mediator

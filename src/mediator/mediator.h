@@ -8,6 +8,7 @@
 #include "capability/source_catalog.h"
 #include "common/result.h"
 #include "exec/query_answerer.h"
+#include "obs/metrics.h"
 #include "planner/domain_map.h"
 #include "planner/query.h"
 
@@ -66,14 +67,29 @@ class Mediator {
   /// export, or overlaps selections with outputs.
   Result<planner::Query> Expand(const MediatorQuery& query) const;
 
-  /// Expand + plan + execute in one call.
+  /// Expand + plan + execute in one call. Each successful answer's
+  /// metrics (obs/metrics.h) are folded into the session registry below;
+  /// `options.tracer` / `options.metrics`, when set, additionally receive
+  /// this query's spans and counters.
   Result<exec::AnswerReport> Answer(const MediatorQuery& query,
                                     const exec::ExecOptions& options = {}) const;
+
+  /// Counters and histograms aggregated over every successful Answer()
+  /// since construction (or the last reset) — the per-session view the
+  /// per-query registries merge into. Like the rest of the mediator, not
+  /// thread-safe: one session, one thread.
+  const obs::MetricsRegistry& session_metrics() const {
+    return session_metrics_;
+  }
+  void ResetSessionMetrics() { session_metrics_.Clear(); }
 
  private:
   const capability::SourceCatalog* catalog_;
   planner::DomainMap domains_;
   std::map<std::string, MediatorView> views_;
+  /// Mutable: Answer() is logically const (the catalog and the view
+  /// definitions never change) but accounts for what it did here.
+  mutable obs::MetricsRegistry session_metrics_;
 };
 
 }  // namespace limcap::mediator

@@ -1,0 +1,122 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace limcap::obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Num(double value) {
+  char buffer[64];
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      std::abs(value) < 1e15) {
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(value));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+  }
+  return buffer;
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const Tracer& tracer) {
+  std::ostringstream out;
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const Span& span : tracer.spans()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  {\"name\": \"" << JsonEscape(span.name)
+        << "\", \"cat\": \"limcap\", \"ph\": \"X\", \"pid\": 1, "
+           "\"tid\": 1, \"ts\": "
+        << Num(span.start_us) << ", \"dur\": " << Num(span.dur_us);
+    out << ", \"args\": {";
+    bool first_arg = true;
+    auto arg = [&](const std::string& key, const std::string& value,
+                   bool quote) {
+      if (!first_arg) out << ", ";
+      first_arg = false;
+      out << "\"" << JsonEscape(key) << "\": ";
+      if (quote) {
+        out << "\"" << JsonEscape(value) << "\"";
+      } else {
+        out << value;
+      }
+    };
+    if (!span.detail.empty()) arg("detail", span.detail, /*quote=*/true);
+    if (span.sim_start_ms >= 0) {
+      arg("sim_start_ms", Num(span.sim_start_ms), /*quote=*/false);
+      arg("sim_dur_ms", Num(span.sim_dur_ms), /*quote=*/false);
+    }
+    for (const auto& [name, value] : span.counters) {
+      arg(name, Num(value), /*quote=*/false);
+    }
+    out << "}}";
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out.str();
+}
+
+std::string RenderSpanTree(const Tracer& tracer,
+                           const SpanTreeOptions& options) {
+  const std::vector<Span>& spans = tracer.spans();
+  // Depth per span; a parent always precedes its children in the vector.
+  std::vector<int> depth(spans.size(), 0);
+  std::ostringstream out;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const Span& span = spans[i];
+    if (span.parent != kNoSpan) depth[i] = depth[span.parent] + 1;
+    for (int d = 0; d < depth[i]; ++d) out << "  ";
+    out << span.name;
+    if (!span.detail.empty()) out << " [" << span.detail << "]";
+    if (options.include_wall) {
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), " wall=%.0fus", span.dur_us);
+      out << buffer;
+    }
+    if (span.sim_start_ms >= 0) {
+      out << " sim=" << Num(span.sim_dur_ms) << "ms@" << Num(span.sim_start_ms);
+    }
+    for (const auto& [name, value] : span.counters) {
+      out << " " << name << "=" << Num(value);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace limcap::obs

@@ -1,0 +1,37 @@
+#ifndef LIMCAP_OBS_EXPORT_H_
+#define LIMCAP_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace limcap::obs {
+
+/// Renders the tracer's spans as Chrome trace_event JSON (the object
+/// form: {"traceEvents": [...], "displayTimeUnit": "ms"}), loadable in
+/// chrome://tracing and Perfetto. Each span becomes one complete ("X")
+/// event on pid 1 / tid 1 with its wall-clock ts/dur in microseconds;
+/// detail, counters, and any simulated-clock placement ride in "args".
+std::string ChromeTraceJson(const Tracer& tracer);
+
+struct SpanTreeOptions {
+  /// Include wall-clock durations. Off for golden-file comparisons:
+  /// everything else in the tree (structure, names, details, counters,
+  /// simulated times) is deterministic.
+  bool include_wall = true;
+};
+
+/// Renders the span tree as indented text, one span per line in Begin
+/// order (a span's Begin always falls between its parent's Begin and
+/// End, so sequential order with depth indentation is the DFS tree):
+///
+///   answer [ans]
+///     plan
+///       plan.find_rel [{v1, v3}] kernel_size=0
+///     ...
+std::string RenderSpanTree(const Tracer& tracer,
+                           const SpanTreeOptions& options = {});
+
+}  // namespace limcap::obs
+
+#endif  // LIMCAP_OBS_EXPORT_H_

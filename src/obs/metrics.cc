@@ -1,0 +1,176 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace limcap::obs {
+
+namespace {
+
+/// Bucket index for `value`: 0 for values < 1, else floor(log2) + 1,
+/// clamped to the last bucket.
+std::size_t BucketOf(double value) {
+  if (!(value >= 1)) return 0;
+  const int exponent = std::ilogb(value);
+  const std::size_t bucket = static_cast<std::size_t>(exponent) + 1;
+  return std::min(bucket, MetricsRegistry::Histogram::kBuckets - 1);
+}
+
+/// Renders doubles compactly: integers without a fraction, everything
+/// else with three decimals — deterministic across platforms.
+std::string FormatValue(double value) {
+  char buffer[64];
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      std::abs(value) < 1e15) {
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(value));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+  }
+  return buffer;
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void MetricsRegistry::Add(std::string_view name, double delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::Observe(std::string_view name, double value) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram()).first;
+  }
+  Histogram& histogram = it->second;
+  if (histogram.count == 0) {
+    histogram.min = histogram.max = value;
+  } else {
+    histogram.min = std::min(histogram.min, value);
+    histogram.max = std::max(histogram.max, value);
+  }
+  ++histogram.count;
+  histogram.sum += value;
+  ++histogram.buckets[BucketOf(value)];
+}
+
+double MetricsRegistry::Get(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+const MetricsRegistry::Histogram* MetricsRegistry::FindHistogram(
+    std::string_view name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) {
+    Add(name, value);
+  }
+  for (const auto& [name, theirs] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, theirs);
+      continue;
+    }
+    Histogram& ours = it->second;
+    if (theirs.count != 0) {
+      if (ours.count == 0) {
+        ours.min = theirs.min;
+        ours.max = theirs.max;
+      } else {
+        ours.min = std::min(ours.min, theirs.min);
+        ours.max = std::max(ours.max, theirs.max);
+      }
+    }
+    ours.count += theirs.count;
+    ours.sum += theirs.sum;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      ours.buckets[i] += theirs.buckets[i];
+    }
+  }
+}
+
+void MetricsRegistry::Clear() {
+  counters_.clear();
+  histograms_.clear();
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters_) {
+    out << name << " = " << FormatValue(value) << "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out << name << ": count=" << histogram.count
+        << " sum=" << FormatValue(histogram.sum)
+        << " min=" << FormatValue(histogram.min)
+        << " mean=" << FormatValue(histogram.mean())
+        << " max=" << FormatValue(histogram.max) << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::ostringstream out;
+  out << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\": " << FormatValue(value);
+  }
+  out << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\": {\"count\": " << histogram.count
+        << ", \"sum\": " << FormatValue(histogram.sum)
+        << ", \"min\": " << FormatValue(histogram.min)
+        << ", \"mean\": " << FormatValue(histogram.mean())
+        << ", \"max\": " << FormatValue(histogram.max) << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace limcap::obs

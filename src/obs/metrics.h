@@ -1,0 +1,108 @@
+#ifndef LIMCAP_OBS_METRICS_H_
+#define LIMCAP_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace limcap::obs {
+
+/// Canonical metric names, shared by the emission points, the explain
+/// renderer, and the consistency tests. One name, one meaning:
+namespace metric {
+// Planning.
+inline constexpr std::string_view kPlanConnectionsQueryable =
+    "plan.connections_queryable";
+inline constexpr std::string_view kPlanConnectionsDropped =
+    "plan.connections_dropped";
+inline constexpr std::string_view kPlanRelevantViews = "plan.relevant_views";
+inline constexpr std::string_view kPlanRulesRemoved = "plan.rules_removed";
+// Static analysis.
+inline constexpr std::string_view kAnalysisDiagnostics =
+    "analysis.diagnostics";
+// Datalog evaluation.
+inline constexpr std::string_view kEvalRounds = "eval.rounds";
+inline constexpr std::string_view kEvalActivations = "eval.rule_activations";
+inline constexpr std::string_view kEvalFactsDerived = "eval.facts_derived";
+inline constexpr std::string_view kEvalMatches = "eval.matches";
+// Source-driven execution.
+inline constexpr std::string_view kExecFetchRounds = "exec.fetch_rounds";
+inline constexpr std::string_view kExecSourceQueries = "exec.source_queries";
+inline constexpr std::string_view kAnswerRows = "answer.rows";
+// Fetch runtime (reconciled against FetchReport).
+inline constexpr std::string_view kFetchBatches = "fetch.batches";
+inline constexpr std::string_view kFetchAttempts = "fetch.attempts";
+inline constexpr std::string_view kFetchRetries = "fetch.retries";
+inline constexpr std::string_view kFetchTimeouts = "fetch.timeouts";
+inline constexpr std::string_view kFetchCoalesced = "fetch.coalesced";
+inline constexpr std::string_view kFetchBreakerSkips = "fetch.breaker_skips";
+inline constexpr std::string_view kFetchFailedViews = "fetch.failed_views";
+inline constexpr std::string_view kFetchMakespanMs =
+    "fetch.simulated_makespan_ms";
+// Session caches.
+inline constexpr std::string_view kCacheHits = "cache.hits";
+inline constexpr std::string_view kCacheMisses = "cache.misses";
+// Histograms.
+inline constexpr std::string_view kHistFetchMs = "fetch.duration_ms";
+inline constexpr std::string_view kHistRoundActivations =
+    "eval.round_activations";
+}  // namespace metric
+
+/// Named counters and histograms for one scope — one query, or one
+/// session (a mediator merges each query's registry into its session
+/// registry). Not thread-safe; like the Tracer it belongs to exactly one
+/// driver thread. All emission sites guard on a null registry, so the
+/// disabled path costs one branch.
+class MetricsRegistry {
+ public:
+  /// Fixed-shape histogram: count / sum / min / max plus power-of-two
+  /// buckets (bucket i counts values in [2^(i-1), 2^i)), enough for
+  /// latency and size distributions without per-observation allocation.
+  struct Histogram {
+    uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    static constexpr std::size_t kBuckets = 32;
+    uint64_t buckets[kBuckets] = {};
+
+    double mean() const { return count == 0 ? 0 : sum / count; }
+  };
+
+  /// Adds `delta` to counter `name` (creating it at zero).
+  void Add(std::string_view name, double delta = 1);
+  /// Records one observation into histogram `name`.
+  void Observe(std::string_view name, double value);
+
+  /// Counter value; 0 when the counter was never touched.
+  double Get(std::string_view name) const;
+  const Histogram* FindHistogram(std::string_view name) const;
+
+  /// Adds every counter and histogram of `other` into this registry —
+  /// per-session aggregation over per-query registries.
+  void Merge(const MetricsRegistry& other);
+
+  void Clear();
+  bool empty() const { return counters_.empty() && histograms_.empty(); }
+
+  const std::map<std::string, double, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
+  /// Sorted `name = value` lines (counters), then histogram summaries.
+  std::string RenderText() const;
+  /// One JSON object: {"counters": {...}, "histograms": {...}}.
+  std::string RenderJson() const;
+
+ private:
+  std::map<std::string, double, std::less<>> counters_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace limcap::obs
+
+#endif  // LIMCAP_OBS_METRICS_H_

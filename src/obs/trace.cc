@@ -1,0 +1,105 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace limcap::obs {
+
+SpanId Tracer::Begin(std::string name, std::string detail) {
+  if (!enabled_) return kNoSpan;
+  Span span;
+  span.name = std::move(name);
+  span.detail = std::move(detail);
+  span.parent = open_stack_.empty() ? kNoSpan : open_stack_.back();
+  span.start_us = NowUs();
+  span.open = true;
+  const SpanId id = static_cast<SpanId>(spans_.size());
+  spans_.push_back(std::move(span));
+  open_stack_.push_back(id);
+  return id;
+}
+
+void Tracer::End(SpanId id) {
+  if (!enabled_ || id == kNoSpan || id >= spans_.size()) return;
+  if (!spans_[id].open) return;
+  const double now = NowUs();
+  // Close `id` and any deeper span still open; Begin/End pairs emitted
+  // through ScopedSpan always nest, so the loop normally pops exactly one.
+  while (!open_stack_.empty()) {
+    const SpanId top = open_stack_.back();
+    open_stack_.pop_back();
+    spans_[top].open = false;
+    spans_[top].dur_us = now - spans_[top].start_us;
+    if (top == id) break;
+  }
+}
+
+SpanId Tracer::Instant(std::string name, std::string detail) {
+  if (!enabled_) return kNoSpan;
+  Span span;
+  span.name = std::move(name);
+  span.detail = std::move(detail);
+  span.parent = open_stack_.empty() ? kNoSpan : open_stack_.back();
+  span.start_us = NowUs();
+  span.dur_us = 0;
+  span.open = false;
+  const SpanId id = static_cast<SpanId>(spans_.size());
+  spans_.push_back(std::move(span));
+  return id;
+}
+
+void Tracer::SetSimulated(SpanId id, double start_ms, double dur_ms) {
+  if (!enabled_ || id == kNoSpan || id >= spans_.size()) return;
+  spans_[id].sim_start_ms = start_ms;
+  spans_[id].sim_dur_ms = dur_ms;
+}
+
+void Tracer::Counter(SpanId id, std::string name, double value) {
+  if (!enabled_ || id == kNoSpan || id >= spans_.size()) return;
+  for (auto& [existing, total] : spans_[id].counters) {
+    if (existing == name) {
+      total += value;
+      return;
+    }
+  }
+  spans_[id].counters.emplace_back(std::move(name), value);
+}
+
+std::size_t Tracer::CountSpans(std::string_view name) const {
+  return static_cast<std::size_t>(
+      std::count_if(spans_.begin(), spans_.end(),
+                    [&](const Span& span) { return span.name == name; }));
+}
+
+std::size_t Tracer::CountSpans(std::string_view name,
+                               std::string_view detail) const {
+  return static_cast<std::size_t>(std::count_if(
+      spans_.begin(), spans_.end(), [&](const Span& span) {
+        return span.name == name && span.detail == detail;
+      }));
+}
+
+double Tracer::SumCounter(std::string_view name,
+                          std::string_view counter) const {
+  double sum = 0;
+  for (const Span& span : spans_) {
+    if (span.name != name) continue;
+    for (const auto& [key, value] : span.counters) {
+      if (key == counter) sum += value;
+    }
+  }
+  return sum;
+}
+
+double Tracer::SumCounter(std::string_view name, std::string_view detail,
+                          std::string_view counter) const {
+  double sum = 0;
+  for (const Span& span : spans_) {
+    if (span.name != name || span.detail != detail) continue;
+    for (const auto& [key, value] : span.counters) {
+      if (key == counter) sum += value;
+    }
+  }
+  return sum;
+}
+
+}  // namespace limcap::obs

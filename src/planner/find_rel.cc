@@ -190,7 +190,9 @@ std::string QueryRelevance::ToString() const {
 Result<QueryRelevance> AnalyzeQueryRelevance(const Query& query,
                                              const std::vector<SourceView>& views,
                                              const DomainMap& domains,
-                                             const AttributeSet& seeded_attributes) {
+                                             const AttributeSet& seeded_attributes,
+                                             obs::Tracer* tracer) {
+  obs::ScopedSpan relevance_span(tracer, "plan.relevance");
   QueryRelevance relevance;
   std::map<std::string, std::string> rep =
       DomainRepresentatives(query, views, domains);
@@ -210,10 +212,18 @@ Result<QueryRelevance> AnalyzeQueryRelevance(const Query& query,
   relevance.queryable_views = queryable.order;
 
   for (const Connection& connection : query.connections()) {
+    obs::ScopedSpan find_rel_span(tracer, "plan.find_rel",
+                                  connection.ToString());
     LIMCAP_ASSIGN_OR_RETURN(
         FindRelReport report,
         FindRelevantViews(query, connection, views, domains,
                           seeded_attributes));
+    find_rel_span.Counter("kernel_size",
+                          static_cast<double>(report.kernel.size()));
+    find_rel_span.Counter("relevant_views",
+                          static_cast<double>(report.relevant_views.size()));
+    find_rel_span.Counter("queryable",
+                          report.connection_queryable ? 1 : 0);
     if (!report.connection_queryable) {
       relevance.dropped_connections.push_back(connection);
       continue;

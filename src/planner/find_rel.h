@@ -8,6 +8,7 @@
 
 #include "capability/source_view.h"
 #include "common/result.h"
+#include "obs/trace.h"
 #include "planner/closure.h"
 #include "planner/domain_map.h"
 #include "planner/query.h"
@@ -72,10 +73,14 @@ struct QueryRelevance {
   std::string ToString() const;
 };
 
+/// `tracer` (optional): emits one "plan.find_rel" span per connection —
+/// detail is the connection's ToString(), counters are the kernel size
+/// and the number of relevant views — under a "plan.relevance" parent.
 Result<QueryRelevance> AnalyzeQueryRelevance(
     const Query& query, const std::vector<SourceView>& views,
     const DomainMap& domains = DomainMap(),
-    const AttributeSet& seeded_attributes = {});
+    const AttributeSet& seeded_attributes = {},
+    obs::Tracer* tracer = nullptr);
 
 }  // namespace limcap::planner
 

@@ -108,15 +108,23 @@ Result<PlanResult> PlanQuery(const Query& query,
                              const std::vector<SourceView>& views,
                              const DomainMap& domains,
                              const BuilderOptions& options,
-                             const capability::AttributeSet& seeded_attributes) {
+                             const capability::AttributeSet& seeded_attributes,
+                             obs::Tracer* tracer) {
+  obs::ScopedSpan plan_span(tracer, "plan");
   PlanResult result;
   LIMCAP_ASSIGN_OR_RETURN(
       result.relevance,
-      AnalyzeQueryRelevance(query, views, domains, seeded_attributes));
-  LIMCAP_ASSIGN_OR_RETURN(result.full_program,
-                          BuildProgram(query, views, domains, options));
-  result.full_program =
-      DecomposeWideRules(result.full_program, options.max_rule_body_atoms);
+      AnalyzeQueryRelevance(query, views, domains, seeded_attributes,
+                            tracer));
+  {
+    obs::ScopedSpan build_span(tracer, "plan.build");
+    LIMCAP_ASSIGN_OR_RETURN(result.full_program,
+                            BuildProgram(query, views, domains, options));
+    result.full_program =
+        DecomposeWideRules(result.full_program, options.max_rule_body_atoms);
+    build_span.Counter("rules",
+                       static_cast<double>(result.full_program.rules().size()));
+  }
 
   // Π(Q, V_r): only the queryable connections, only the relevant views.
   Query trimmed(query.inputs(), query.outputs(),
@@ -134,15 +142,21 @@ Result<PlanResult> PlanQuery(const Query& query,
     result.optimized_program = datalog::Program();
     return result;
   }
-  LIMCAP_ASSIGN_OR_RETURN(
-      result.relevant_program,
-      BuildProgram(trimmed, relevant_views, domains, options));
+  {
+    obs::ScopedSpan build_span(tracer, "plan.build_relevant");
+    LIMCAP_ASSIGN_OR_RETURN(
+        result.relevant_program,
+        BuildProgram(trimmed, relevant_views, domains, options));
+  }
 
+  obs::ScopedSpan optimize_span(tracer, "plan.optimize");
   OptimizedProgram optimized =
       RemoveUselessRules(result.relevant_program, options.goal_predicate);
   result.optimized_program = DecomposeWideRules(
       std::move(optimized.program), options.max_rule_body_atoms);
   result.removed_rules = std::move(optimized.removed_rules);
+  optimize_span.Counter("rules_removed",
+                        static_cast<double>(result.removed_rules.size()));
   return result;
 }
 

@@ -75,8 +75,11 @@ struct FetchScheduler::Leader {
 };
 
 FetchScheduler::FetchScheduler(RuntimeOptions options,
-                               ValueDictionaryPtr session_dict)
-    : options_(std::move(options)), dict_(std::move(session_dict)) {}
+                               ValueDictionaryPtr session_dict,
+                               obs::Tracer* tracer)
+    : options_(std::move(options)),
+      dict_(std::move(session_dict)),
+      tracer_(tracer) {}
 
 FetchScheduler::~FetchScheduler() = default;
 
@@ -244,6 +247,9 @@ std::vector<FetchResult> FetchScheduler::ExecuteBatch(
 
   const double batch_start = sim_clock_ms_;
   ++report_.batches;
+  obs::ScopedSpan batch_span(tracer_, "fetch.batch");
+  batch_span.Counter("requests", static_cast<double>(requests.size()));
+  obs::Tracer* trace = batch_span.tracer();  // null when disabled
 
   // 1. Coalesce identical (source, query) pairs into leaders. All request
   //    queries are session-encoded, so raw positions+ids identify a query.
@@ -321,6 +327,7 @@ std::vector<FetchResult> FetchScheduler::ExecuteBatch(
   const double makespan = SimulateTimeline(&leaders, batch_start);
   sim_clock_ms_ += makespan;
   report_.simulated_makespan_ms += makespan;
+  batch_span.SetSimulated(batch_start, makespan);
 
   // 5. Merge in batch order on the driver thread: re-key results to the
   //    session dictionary, record breaker outcomes, build the report. A
@@ -337,6 +344,9 @@ std::vector<FetchResult> FetchScheduler::ExecuteBatch(
       result.tuples = leader.tuples;
       ++stats.coalesced_hits;
       ++report_.coalesced_hits;
+      if (trace != nullptr) {
+        trace->Instant("fetch.coalesced", leader.source_name);
+      }
       continue;
     }
     if (!leader.allowed) {
@@ -348,6 +358,12 @@ std::vector<FetchResult> FetchScheduler::ExecuteBatch(
       ++stats.breaker_skips;
       ++stats.failed_queries;
       report_.failed_views.insert(leader.source_name);
+      if (trace != nullptr) {
+        const obs::SpanId span =
+            trace->Instant("fetch", leader.source_name);
+        trace->Counter(span, "breaker_skip", 1);
+        trace->SetSimulated(span, leader.start_ms, 0);
+      }
       continue;
     }
     if (!leader.executed) continue;  // stop_on_error skipped; never read.
@@ -375,6 +391,17 @@ std::vector<FetchResult> FetchScheduler::ExecuteBatch(
       ++stats.failed_queries;
       report_.failed_views.insert(leader.source_name);
       breaker.RecordFailure(leader.finish_ms);
+    }
+    if (trace != nullptr) {
+      const obs::SpanId span = trace->Instant("fetch", leader.source_name);
+      trace->Counter(span, "attempts",
+                     static_cast<double>(leader.attempts));
+      trace->Counter(span, "retries", static_cast<double>(leader.retries));
+      trace->Counter(span, "timeouts",
+                     static_cast<double>(leader.timeouts));
+      trace->Counter(span, "ok", leader.tuples.ok() ? 1 : 0);
+      trace->SetSimulated(span, leader.start_ms,
+                          leader.finish_ms - leader.start_ms);
     }
   }
   for (auto& [name, stats] : report_.per_source) {

@@ -8,6 +8,7 @@
 #include "capability/source.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 #include "runtime/circuit_breaker.h"
 #include "runtime/fetch_report.h"
 #include "runtime/options.h"
@@ -66,7 +67,18 @@ struct FetchResult {
 /// makespans are reproducible regardless of real thread scheduling.
 class FetchScheduler {
  public:
-  FetchScheduler(RuntimeOptions options, ValueDictionaryPtr session_dict);
+  /// `tracer` (optional, must outlive the scheduler): each non-empty
+  /// batch emits one "fetch.batch" span whose children are one "fetch"
+  /// span per *dispatched* query (detail = source name; counters
+  /// attempts/retries/timeouts; simulated placement from the timeline;
+  /// breaker-refused fetches carry breaker_skip=1) and one
+  /// "fetch.coalesced" instant per request answered by an identical
+  /// in-flight query. Spans are recorded only on the driver thread at
+  /// the in-batch-order merge point — never from workers — so the
+  /// per-fetch spans reconcile exactly with the FetchReport and tracing
+  /// cannot perturb the execution.
+  FetchScheduler(RuntimeOptions options, ValueDictionaryPtr session_dict,
+                 obs::Tracer* tracer = nullptr);
   ~FetchScheduler();
 
   FetchScheduler(const FetchScheduler&) = delete;
@@ -96,6 +108,7 @@ class FetchScheduler {
 
   RuntimeOptions options_;
   ValueDictionaryPtr dict_;
+  obs::Tracer* tracer_;
   std::unique_ptr<ThreadPool> pool_;
   std::map<std::string, CircuitBreaker> breakers_;
   FetchReport report_;

@@ -1,0 +1,113 @@
+// Golden-file tests for limcap_explain's report: each paper example is
+// explained (via the exec::Explain library the CLI wraps) with
+// wall-clock timing off, and the rendered text is compared byte-for-byte
+// with a checked-in expectation. Everything in that report is
+// deterministic — plan, program, Table-2 access log, simulated times,
+// counters — so any diff is a real behavior change. Regenerate with
+//
+//   build/tools/limcap_explain --no-timing
+//       --catalog examples/catalogs/example21.cat
+//       --query examples/catalogs/example21.q
+//       > tests/golden/explain_example21.out     (one line)
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "exec/explain.h"
+#include "obs/export.h"
+
+#ifndef LIMCAP_GOLDEN_DIR
+#error "LIMCAP_GOLDEN_DIR must be defined by the build"
+#endif
+#ifndef LIMCAP_EXAMPLES_DIR
+#error "LIMCAP_EXAMPLES_DIR must be defined by the build"
+#endif
+
+namespace limcap::exec {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string Golden(const std::string& name) {
+  return std::string(LIMCAP_GOLDEN_DIR) + "/" + name;
+}
+
+std::string Example(const std::string& name) {
+  return std::string(LIMCAP_EXAMPLES_DIR) + "/" + name;
+}
+
+Result<ExplainReport> ExplainExample(const std::string& stem) {
+  ExplainRequest request;
+  request.catalog_text = ReadFile(Example(stem + ".cat"));
+  request.query_text = ReadFile(Example(stem + ".q"));
+  request.include_timing = false;
+  return Explain(request);
+}
+
+void ExpectExplainGolden(const std::string& stem) {
+  auto report = ExplainExample(stem);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->rendered, ReadFile(Golden("explain_" + stem + ".out")))
+      << "regenerate with limcap_explain --no-timing (see file header)";
+}
+
+TEST(ExplainGoldenTest, Example21) { ExpectExplainGolden("example21"); }
+TEST(ExplainGoldenTest, Example41) { ExpectExplainGolden("example41"); }
+TEST(ExplainGoldenTest, Example51) { ExpectExplainGolden("example51"); }
+TEST(ExplainGoldenTest, Example52) { ExpectExplainGolden("example52"); }
+
+TEST(ExplainGoldenTest, ChromeTraceIsSaneJson) {
+  auto report = ExplainExample("example21");
+  ASSERT_TRUE(report.ok()) << report.status();
+  const std::string& json = report->chrome_trace;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"answer\""), std::string::npos);
+  EXPECT_NE(json.find("\"fetch.batch\""), std::string::npos);
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+    brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(ExplainGoldenTest, RuntimeConfigThreadsThrough) {
+  ExplainRequest request;
+  request.catalog_text = ReadFile(Example("example21.cat"));
+  request.query_text = ReadFile(Example("example21.q"));
+  request.runtime_text = ReadFile(Example("example21.runtime"));
+  request.include_timing = false;
+  auto report = Explain(request);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->answer.exec.answer.size(), 3u);
+}
+
+TEST(ExplainGoldenTest, UnparsableInputsAreInvalidArgument) {
+  ExplainRequest request;
+  request.catalog_text = "this is not a catalog";
+  request.query_text = "nor a query";
+  auto report = Explain(request);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace limcap::exec

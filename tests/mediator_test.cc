@@ -106,6 +106,41 @@ TEST(MediatorTest, AnswerMatchesPaperExample) {
       {Value::String("c2"), Value::String("$12")}));
 }
 
+TEST(MediatorTest, SessionMetricsAggregateAcrossQueries) {
+  PaperExample example = MakeExample21();
+  Mediator mediator(&example.catalog, example.domains);
+  ASSERT_TRUE(mediator.Define(CdInfoView()).ok());
+  EXPECT_TRUE(mediator.session_metrics().empty());
+
+  ASSERT_TRUE(mediator
+                  .Answer({"cd_info",
+                           {{"Song", Value::String("t1")}},
+                           {"Price"}})
+                  .ok());
+  const double first_rows =
+      mediator.session_metrics().Get(obs::metric::kAnswerRows);
+  EXPECT_EQ(first_rows, 3.0);
+
+  // A caller-supplied registry receives this query's metrics only; the
+  // session keeps accumulating.
+  obs::MetricsRegistry caller;
+  caller.Add(obs::metric::kAnswerRows, 100);  // pre-existing contents
+  exec::ExecOptions options;
+  options.metrics = &caller;
+  ASSERT_TRUE(mediator
+                  .Answer({"cd_info",
+                           {{"Song", Value::String("t2")}},
+                           {"Cd", "Price"}},
+                          options)
+                  .ok());
+  EXPECT_EQ(caller.Get(obs::metric::kAnswerRows), 102.0);
+  EXPECT_EQ(mediator.session_metrics().Get(obs::metric::kAnswerRows), 5.0);
+  EXPECT_GT(mediator.session_metrics().Get(obs::metric::kFetchAttempts), 0.0);
+
+  mediator.ResetSessionMetrics();
+  EXPECT_TRUE(mediator.session_metrics().empty());
+}
+
 TEST(MediatorTest, MultipleViewsCoexist) {
   PaperExample example = MakeExample21();
   Mediator mediator(&example.catalog, example.domains);

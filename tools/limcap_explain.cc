@@ -1,0 +1,126 @@
+// limcap_explain: answer a connection query against a catalog and print
+// the annotated story — which views FIND_REL kept and why (kernels,
+// b-closures), the optimized Datalog program, the execution timeline
+// with per-source metrics, and the answer.
+//
+//   limcap_explain --catalog FILE --query FILE [--runtime FILE]
+//                  [--goal NAME] [--no-timing] [--trace-out FILE]
+//
+// --no-timing omits wall-clock numbers from the timeline, making the
+// report deterministic (the golden tests run this mode). --trace-out
+// additionally writes the span tree as Chrome trace_event JSON, loadable
+// in chrome://tracing or Perfetto.
+//
+// Exit status: 0 = answered (a partial answer still counts), 1 = the
+// execution failed, 2 = the inputs are unusable (bad flags, unreadable
+// file, parse failure).
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/result.h"
+#include "exec/explain.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: limcap_explain --catalog FILE --query FILE [--runtime FILE]\n"
+    "                      [--goal NAME] [--no-timing] [--trace-out FILE]\n";
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  limcap::exec::ExplainRequest request;
+  std::string catalog_path;
+  std::string query_path;
+  std::string runtime_path;
+  std::string trace_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](std::string* out) {
+      if (i + 1 >= argc) {
+        std::cerr << "limcap_explain: " << arg << " needs an argument\n"
+                  << kUsage;
+        return false;
+      }
+      *out = argv[++i];
+      return true;
+    };
+    if (arg == "--catalog") {
+      if (!next(&catalog_path)) return 2;
+    } else if (arg == "--query") {
+      if (!next(&query_path)) return 2;
+    } else if (arg == "--runtime") {
+      if (!next(&runtime_path)) return 2;
+    } else if (arg == "--goal") {
+      if (!next(&request.options.builder.goal_predicate)) return 2;
+    } else if (arg == "--no-timing") {
+      request.include_timing = false;
+    } else if (arg == "--trace-out") {
+      if (!next(&trace_path)) return 2;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else {
+      std::cerr << "limcap_explain: unknown flag '" << arg << "'\n"
+                << kUsage;
+      return 2;
+    }
+  }
+
+  if (catalog_path.empty() || query_path.empty()) {
+    std::cerr << "limcap_explain: --catalog and --query are required\n"
+              << kUsage;
+    return 2;
+  }
+  if (!ReadFile(catalog_path, &request.catalog_text)) {
+    std::cerr << "limcap_explain: cannot read catalog '" << catalog_path
+              << "'\n";
+    return 2;
+  }
+  if (!ReadFile(query_path, &request.query_text)) {
+    std::cerr << "limcap_explain: cannot read query '" << query_path
+              << "'\n";
+    return 2;
+  }
+  if (!runtime_path.empty() &&
+      !ReadFile(runtime_path, &request.runtime_text)) {
+    std::cerr << "limcap_explain: cannot read runtime config '"
+              << runtime_path << "'\n";
+    return 2;
+  }
+
+  limcap::Result<limcap::exec::ExplainReport> report =
+      limcap::exec::Explain(request);
+  if (!report.ok()) {
+    std::cerr << "limcap_explain: " << report.status().ToString() << "\n";
+    // Parse/validation problems are input problems; execution failures
+    // are not.
+    return report.status().code() == limcap::StatusCode::kInvalidArgument
+               ? 2
+               : 1;
+  }
+  std::cout << report->rendered;
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "limcap_explain: cannot write trace '" << trace_path
+                << "'\n";
+      return 2;
+    }
+    out << report->chrome_trace;
+  }
+  return 0;
+}
