@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "analysis/executability.h"
+#include "capability/catalog_fingerprint.h"
 #include "capability/catalog_text.h"
 #include "common/string_util.h"
 #include "datalog/parser.h"
@@ -82,8 +83,21 @@ Result<LintReport> Lint(const LintRequest& request) {
     report.analysis = LintCatalogOnly(parsed.views, request.options.domains);
   }
 
-  report.rendered = request.json ? report.analysis.diagnostics.RenderJson()
-                                 : report.analysis.diagnostics.RenderText();
+  // Report the catalog's capability fingerprint: the identity plans are
+  // cached (and diagnostics are valid) under — lets an operator confirm
+  // two lint runs saw the same capability surface.
+  const std::string fingerprint =
+      capability::FingerprintToString(parsed.catalog.fingerprint());
+  if (request.json) {
+    // Splice the fingerprint in as the first field of the rendered
+    // object: {"catalog_fingerprint":"0x...","diagnostics":...}.
+    std::string rendered = report.analysis.diagnostics.RenderJson();
+    report.rendered = "{\"catalog_fingerprint\":\"" + fingerprint + "\"," +
+                      rendered.substr(1);
+  } else {
+    report.rendered = report.analysis.diagnostics.RenderText();
+    report.rendered += "catalog fingerprint: " + fingerprint + "\n";
+  }
   return report;
 }
 

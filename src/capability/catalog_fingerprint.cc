@@ -1,0 +1,62 @@
+#include "capability/catalog_fingerprint.h"
+
+#include <cstdio>
+
+#include "common/hash.h"
+
+namespace limcap::capability {
+
+namespace {
+
+/// Feeds one field plus a separator, so "ab"+"c" and "a"+"bc" differ.
+void Feed(uint64_t& h, std::string_view field) {
+  // FNV-1a continuation: rehash the running value with the new bytes.
+  uint64_t piece = StableHash64(field);
+  h = Mix64(h ^ piece);
+}
+
+}  // namespace
+
+uint64_t StableHash64(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return h;
+}
+
+uint64_t ViewFingerprint(const SourceView& view) {
+  uint64_t h = StableHash64(view.name());
+  for (const std::string& attribute : view.schema().attributes()) {
+    Feed(h, attribute);
+  }
+  for (const BindingPattern& pattern : view.templates()) {
+    Feed(h, pattern.ToString());
+  }
+  return Mix64(h);
+}
+
+uint64_t CatalogSlotFingerprint(const SourceView& view, std::size_t index) {
+  // Mixing the position in keeps the combination order-sensitive while
+  // the XOR-combine stays incrementally maintainable (append = one XOR,
+  // and deregister+re-register at the same position restores the value).
+  return Mix64(ViewFingerprint(view) ^ Mix64(uint64_t(index) + 1));
+}
+
+uint64_t CatalogFingerprint(const std::vector<SourceView>& views) {
+  uint64_t h = kEmptyCatalogFingerprint;
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    h ^= CatalogSlotFingerprint(views[i], i);
+  }
+  return h;
+}
+
+std::string FingerprintToString(uint64_t fingerprint) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buffer;
+}
+
+}  // namespace limcap::capability

@@ -1,0 +1,51 @@
+#ifndef LIMCAP_CAPABILITY_CATALOG_FINGERPRINT_H_
+#define LIMCAP_CAPABILITY_CATALOG_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "capability/source_view.h"
+
+namespace limcap::capability {
+
+/// Fingerprint of the empty catalog (an arbitrary nonzero constant, so
+/// "no views" differs from a combination that cancels to zero). This is
+/// the incremental fingerprint's starting value in SourceCatalog.
+inline constexpr uint64_t kEmptyCatalogFingerprint = 0x9e3779b97f4a7c15ULL;
+
+/// Stable 64-bit FNV-1a over bytes. Unlike std::hash, the value is fixed
+/// by the algorithm — identical across processes, platforms and library
+/// versions — so fingerprints can appear in golden files, logs and
+/// cache-debugging CLI output and still mean the same catalog everywhere.
+uint64_t StableHash64(std::string_view bytes);
+
+/// Fingerprint of one view's capability surface: its name, schema
+/// attributes (in schema order) and adorned templates. Two views get the
+/// same fingerprint iff they export the same relation under the same
+/// access restrictions; the extent behind the source does not participate
+/// (plans are data-independent — a source may serve new tuples under an
+/// unchanged fingerprint and every cached plan remains correct).
+uint64_t ViewFingerprint(const SourceView& view);
+
+/// Fingerprint of a whole catalog: the order-sensitive combination of the
+/// views' fingerprints (registration order matters because it fixes the
+/// rule order of every generated program, and thereby the deterministic
+/// execution order cached plans replay). SourceCatalog maintains this
+/// incrementally; the free function exists for parsed/test view lists.
+uint64_t CatalogFingerprint(const std::vector<SourceView>& views);
+
+/// The per-position term CatalogFingerprint XORs together for the view at
+/// `index` — exposed so SourceCatalog can maintain its fingerprint
+/// incrementally on Register (append = one XOR).
+uint64_t CatalogSlotFingerprint(const SourceView& view, std::size_t index);
+
+/// "0x0123456789abcdef" — the rendering shared by limcap_lint,
+/// limcap_explain and the plan-cache report, so fingerprints can be
+/// compared across tools by eye.
+std::string FingerprintToString(uint64_t fingerprint);
+
+}  // namespace limcap::capability
+
+#endif  // LIMCAP_CAPABILITY_CATALOG_FINGERPRINT_H_

@@ -9,8 +9,28 @@ Status SourceCatalog::Register(std::unique_ptr<Source> source) {
   if (by_name_.count(name) > 0) {
     return Status::AlreadyExists("source view already registered: " + name);
   }
+  fingerprint_ ^= CatalogSlotFingerprint(source->view(), sources_.size());
   by_name_.emplace(name, sources_.size());
   sources_.push_back(std::move(source));
+  return Status::OK();
+}
+
+Status SourceCatalog::Deregister(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no source view named " + name);
+  }
+  sources_.erase(sources_.begin() +
+                 static_cast<std::ptrdiff_t>(it->second));
+  // Every later view moved down one slot: rebuild the index and recompute
+  // the fingerprint from scratch (membership changes are rare next to
+  // lookups; O(n) here keeps Register at one XOR).
+  by_name_.clear();
+  fingerprint_ = kEmptyCatalogFingerprint;
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    by_name_.emplace(sources_[i]->view().name(), i);
+    fingerprint_ ^= CatalogSlotFingerprint(sources_[i]->view(), i);
+  }
   return Status::OK();
 }
 

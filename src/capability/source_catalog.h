@@ -1,11 +1,13 @@
 #ifndef LIMCAP_CAPABILITY_SOURCE_CATALOG_H_
 #define LIMCAP_CAPABILITY_SOURCE_CATALOG_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "capability/catalog_fingerprint.h"
 #include "capability/source.h"
 #include "common/result.h"
 
@@ -28,6 +30,21 @@ class SourceCatalog {
 
   /// Aborting convenience used by static catalogs and tests.
   void RegisterUnsafe(std::unique_ptr<Source> source);
+
+  /// Removes a source — a source leaving a dynamic catalog. Later views
+  /// shift down one registration slot, so the fingerprint below changes
+  /// even when the removed view contributed nothing to a plan (rule order
+  /// of generated programs depends on view order). Fails when no view of
+  /// that name is registered.
+  Status Deregister(const std::string& name);
+
+  /// Fingerprint of the catalog's capability surface (view names,
+  /// schemas, adornments — not extents), maintained incrementally:
+  /// Register is O(1), Deregister recomputes (rare, O(n)). Equal
+  /// fingerprints mean plans compiled against one catalog are valid
+  /// against the other; any join/leave/capability change moves it. This
+  /// is the catalog half of the plan-cache key.
+  uint64_t fingerprint() const { return fingerprint_; }
 
   std::size_t size() const { return sources_.size(); }
 
@@ -52,6 +69,7 @@ class SourceCatalog {
  private:
   std::vector<std::unique_ptr<Source>> sources_;
   std::unordered_map<std::string, std::size_t> by_name_;
+  uint64_t fingerprint_ = kEmptyCatalogFingerprint;
 };
 
 }  // namespace limcap::capability

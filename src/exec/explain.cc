@@ -3,8 +3,10 @@
 #include <sstream>
 #include <utility>
 
+#include "capability/catalog_fingerprint.h"
 #include "capability/catalog_text.h"
 #include "obs/export.h"
+#include "planner/plan_cache.h"
 #include "planner/query_parser.h"
 #include "runtime/runtime_config.h"
 
@@ -45,6 +47,19 @@ void RenderProgram(const planner::PlanResult& plan,
   out << "\n";
 }
 
+void RenderPlanCache(const AnswerReport& answer, std::ostringstream& out) {
+  Section(out, "Plan cache");
+  if (!answer.cache.attempted) {
+    out << "not consulted\n\n";
+    return;
+  }
+  out << (answer.cache.hit ? "hit" : "miss") << "  catalog fingerprint: "
+      << capability::FingerprintToString(answer.cache.catalog_fingerprint)
+      << "  key: "
+      << capability::FingerprintToString(answer.cache.key_fingerprint)
+      << "\nsignature: " << answer.cache.signature << "\n\n";
+}
+
 void RenderExecution(const AnswerReport& answer, std::ostringstream& out) {
   const ExecResult& exec = answer.exec;
   Section(out, "Execution");
@@ -82,6 +97,11 @@ Result<ExplainReport> Explain(const ExplainRequest& request) {
   options.tracer = &report.tracer;
   options.metrics = &report.metrics;
 
+  // One-shot cache so the report always carries the key the answer would
+  // cache under (an explain run itself is always a cold miss).
+  planner::PlanCache local_cache;
+  if (options.plan_cache == nullptr) options.plan_cache = &local_cache;
+
   {
     // Answer in a scope of its own so every span is closed before the
     // exporters run.
@@ -94,6 +114,7 @@ Result<ExplainReport> Explain(const ExplainRequest& request) {
   out << report.query.ToString() << "\n\n";
   RenderRelevance(report.answer.plan, out);
   RenderProgram(report.answer.plan, out);
+  RenderPlanCache(report.answer, out);
   RenderExecution(report.answer, out);
 
   Section(out, "Timeline");

@@ -7,10 +7,28 @@
 
 #include "analysis/analyzer.h"
 #include "exec/source_driven_evaluator.h"
+#include "planner/plan_cache.h"
 #include "planner/program_optimizer.h"
 #include "relational/relation.h"
 
 namespace limcap::exec {
+
+/// What the plan cache did for one answer (all zero/false when no cache
+/// was wired in or the path does not cache).
+struct PlanCacheReport {
+  /// A cache was consulted (options.plan_cache was set on a caching
+  /// path — today that is QueryAnswerer::Answer).
+  bool attempted = false;
+  /// The plan was served from the cache; planning and the static gate
+  /// were skipped.
+  bool hit = false;
+  /// The catalog half of the key (SourceCatalog::fingerprint()).
+  uint64_t catalog_fingerprint = 0;
+  /// The query half of the key (QuerySignature::hash).
+  uint64_t key_fingerprint = 0;
+  /// The canonical signature text behind key_fingerprint.
+  std::string signature;
+};
 
 /// Everything produced by answering one query end-to-end.
 struct AnswerReport {
@@ -18,9 +36,13 @@ struct AnswerReport {
   planner::PlanResult plan;
   /// The static verifier's findings, when options.static_analysis was
   /// not kOff (see `analysis_ran`). Under kPrune, `executability` names
-  /// the rules that were dropped before execution.
+  /// the rules that were dropped before execution. On a plan-cache hit
+  /// these are the cached verdicts — valid because the program they
+  /// describe is byte-identical.
   analysis::AnalysisResult analysis;
   bool analysis_ran = false;
+  /// Plan-cache outcome for this answer.
+  PlanCacheReport cache;
   /// Execution of the optimized program against the sources.
   ExecResult exec;
 };

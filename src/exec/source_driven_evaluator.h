@@ -20,6 +20,10 @@
 #include "runtime/fetch_report.h"
 #include "runtime/options.h"
 
+namespace limcap::planner {
+class PlanCache;
+}  // namespace limcap::planner
+
 namespace limcap::exec {
 
 /// How the evaluator schedules source queries between Datalog rounds.
@@ -94,6 +98,15 @@ struct ExecOptions {
   /// record time instead of lazily on first read. Costs one decode pass
   /// per logged tuple on the execution path; useful for verbose tracing.
   bool eager_render_log = false;
+  /// Compiled-plan cache (optional, non-owning, must outlive the call).
+  /// When set, QueryAnswerer::Answer looks its (catalog fingerprint,
+  /// query signature) key up before planning: a hit skips FIND_REL,
+  /// program construction, Section 6 optimization and the static gate; a
+  /// miss plans as usual and publishes the artifact. The evaluator itself
+  /// ignores this — execution always runs. The mediator wires its
+  /// session cache in here; standalone QueryAnswerer users may share one
+  /// cache across answerers (it is thread-safe).
+  planner::PlanCache* plan_cache = nullptr;
   /// Observability (both optional, non-owning, must outlive the
   /// execution; both belong to the driver thread only). `tracer` records
   /// the hierarchical span timeline — plan stages, per-round evaluation,

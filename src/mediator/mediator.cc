@@ -109,6 +109,17 @@ Result<exec::AnswerReport> Mediator::Answer(
   if (session_options.session_dict == nullptr) {
     session_options.session_dict = std::make_shared<ValueDictionary>();
   }
+  // Wire the session plan cache in (keeping a caller-supplied cache when
+  // one was passed). If the catalog mutated since the last answer, the
+  // stale generation's entries can never be hit again — drop them now.
+  if (session_options.plan_cache == nullptr) {
+    session_options.plan_cache = plan_cache_.get();
+    uint64_t fp = catalog_->fingerprint();
+    if (fp != plan_cache_catalog_fp_) {
+      plan_cache_->Invalidate(plan_cache_catalog_fp_);
+      plan_cache_catalog_fp_ = fp;
+    }
+  }
   // The query gets a registry of its own; on success it is merged into
   // the session registry (and into the caller's, when one was passed) so
   // a caller-supplied registry's prior contents are never double-counted.

@@ -1,7 +1,9 @@
 #ifndef LIMCAP_MEDIATOR_MEDIATOR_H_
 #define LIMCAP_MEDIATOR_MEDIATOR_H_
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -10,6 +12,7 @@
 #include "exec/query_answerer.h"
 #include "obs/metrics.h"
 #include "planner/domain_map.h"
+#include "planner/plan_cache.h"
 #include "planner/query.h"
 
 namespace limcap::mediator {
@@ -49,7 +52,10 @@ class Mediator {
   /// `catalog` must outlive the mediator.
   Mediator(const capability::SourceCatalog* catalog,
            planner::DomainMap domains)
-      : catalog_(catalog), domains_(std::move(domains)) {}
+      : catalog_(catalog),
+        domains_(std::move(domains)),
+        plan_cache_(std::make_unique<planner::PlanCache>()),
+        plan_cache_catalog_fp_(catalog->fingerprint()) {}
 
   /// Registers a view after validating it: non-empty definitions, source
   /// views exist, every exported attribute appears in every definition,
@@ -83,6 +89,20 @@ class Mediator {
   }
   void ResetSessionMetrics() { session_metrics_.Clear(); }
 
+  /// The session's compiled-plan cache: Answer() consults it (unless the
+  /// caller wired their own into options.plan_cache), so a repeated query
+  /// skips planning entirely. Exposed for stats, Clear(), and sharing one
+  /// cache between mediators over the same catalog.
+  planner::PlanCache& plan_cache() const { return *plan_cache_; }
+
+  /// Replaces the session cache with an empty one of `capacity` plans
+  /// (0 disables caching). Capacity is fixed per cache, so this drops the
+  /// current contents and stats.
+  void SetPlanCacheCapacity(std::size_t capacity) {
+    plan_cache_ = std::make_unique<planner::PlanCache>(capacity);
+    plan_cache_catalog_fp_ = catalog_->fingerprint();
+  }
+
  private:
   const capability::SourceCatalog* catalog_;
   planner::DomainMap domains_;
@@ -90,6 +110,15 @@ class Mediator {
   /// Mutable: Answer() is logically const (the catalog and the view
   /// definitions never change) but accounts for what it did here.
   mutable obs::MetricsRegistry session_metrics_;
+  /// Session plan cache, behind a pointer (the cache itself is pinned:
+  /// it owns a mutex). Mutable for the same reason as the metrics.
+  mutable std::unique_ptr<planner::PlanCache> plan_cache_;
+  /// The catalog fingerprint the cache was last used under. When the
+  /// catalog mutates between answers (a source joined or left), Answer()
+  /// invalidates the stale generation's entries — correctness never
+  /// depends on this (the fingerprint is part of the key), it reclaims
+  /// the dead entries' memory promptly.
+  mutable uint64_t plan_cache_catalog_fp_ = 0;
 };
 
 }  // namespace limcap::mediator

@@ -18,6 +18,11 @@ inline constexpr std::string_view kPlanConnectionsDropped =
     "plan.connections_dropped";
 inline constexpr std::string_view kPlanRelevantViews = "plan.relevant_views";
 inline constexpr std::string_view kPlanRulesRemoved = "plan.rules_removed";
+// Plan cache (compiled-plan reuse across Answer calls).
+inline constexpr std::string_view kPlanCacheHits = "plan.cache_hits";
+inline constexpr std::string_view kPlanCacheMisses = "plan.cache_misses";
+inline constexpr std::string_view kPlanCacheEvictions =
+    "plan.cache_evictions";
 // Static analysis.
 inline constexpr std::string_view kAnalysisDiagnostics =
     "analysis.diagnostics";

@@ -38,6 +38,13 @@ class DomainMap {
     return DomainOf(a) == DomainOf(b);
   }
 
+  /// The explicit attribute→domain assignments, sorted by attribute (the
+  /// default "dom" + attribute mapping is not materialized here). Used by
+  /// the plan cache to fingerprint the mediator's domain grouping.
+  const std::map<std::string, std::string>& overrides() const {
+    return overrides_;
+  }
+
  private:
   std::map<std::string, std::string> overrides_;
 };

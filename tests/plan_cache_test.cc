@@ -1,0 +1,528 @@
+#include "planner/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "capability/catalog_fingerprint.h"
+#include "capability/in_memory_source.h"
+#include "exec/fingerprint.h"
+#include "exec/query_answerer.h"
+#include "mediator/mediator.h"
+#include "paperdata/paper_examples.h"
+#include "workload/generator.h"
+
+namespace limcap::planner {
+namespace {
+
+using capability::CatalogFingerprint;
+using capability::InMemorySource;
+using capability::SourceCatalog;
+using capability::SourceView;
+using capability::StableHash64;
+using exec::ExecOptions;
+using exec::OrderedFingerprint;
+using exec::QueryAnswerer;
+using exec::StaticAnalysisMode;
+using paperdata::PaperExample;
+
+void AddSource(SourceCatalog* catalog, const char* name,
+               std::vector<std::string> attributes, const char* pattern,
+               const std::vector<relational::Row>& rows = {}) {
+  SourceView view =
+      SourceView::MakeUnsafe(name, std::move(attributes), pattern);
+  relational::Relation data(view.schema());
+  for (const relational::Row& row : rows) data.InsertUnsafe(row);
+  catalog->RegisterUnsafe(std::make_unique<InMemorySource>(
+      InMemorySource::MakeUnsafe(view, std::move(data))));
+}
+
+QuerySignature MustSign(const Query& query, const SourceCatalog& catalog,
+                        const DomainMap& domains = {},
+                        const BuilderOptions& builder = {},
+                        std::string_view tag = {}) {
+  auto signature = MakeQuerySignature(query, catalog, domains, builder, tag);
+  EXPECT_TRUE(signature.ok()) << signature.status();
+  return *signature;
+}
+
+// ---------------------------------------------------------------------------
+// Catalog fingerprints.
+
+TEST(CatalogFingerprintTest, IncrementalMatchesBatchAndRebuilds) {
+  SourceCatalog catalog;
+  EXPECT_EQ(catalog.fingerprint(), capability::kEmptyCatalogFingerprint);
+  AddSource(&catalog, "v1", {"A", "B"}, "bf");
+  AddSource(&catalog, "v2", {"B", "C"}, "bf");
+  AddSource(&catalog, "v3", {"C", "D"}, "ff");
+  // The incrementally maintained value equals the batch recomputation.
+  EXPECT_EQ(catalog.fingerprint(), CatalogFingerprint(catalog.Views()));
+
+  // An identical catalog built independently lands on the same value.
+  SourceCatalog twin;
+  AddSource(&twin, "v1", {"A", "B"}, "bf");
+  AddSource(&twin, "v2", {"B", "C"}, "bf");
+  AddSource(&twin, "v3", {"C", "D"}, "ff");
+  EXPECT_EQ(twin.fingerprint(), catalog.fingerprint());
+
+  // Registration order matters: generated programs list rules in view
+  // order.
+  SourceCatalog reordered;
+  AddSource(&reordered, "v2", {"B", "C"}, "bf");
+  AddSource(&reordered, "v1", {"A", "B"}, "bf");
+  AddSource(&reordered, "v3", {"C", "D"}, "ff");
+  EXPECT_NE(reordered.fingerprint(), catalog.fingerprint());
+
+  // A capability change (same name/schema, different adornment) moves it.
+  SourceCatalog weakened;
+  AddSource(&weakened, "v1", {"A", "B"}, "ff");
+  AddSource(&weakened, "v2", {"B", "C"}, "bf");
+  AddSource(&weakened, "v3", {"C", "D"}, "ff");
+  EXPECT_NE(weakened.fingerprint(), catalog.fingerprint());
+
+  // Deregistering the tail restores the shorter catalog's fingerprint.
+  uint64_t fp_before = 0;
+  {
+    SourceCatalog two;
+    AddSource(&two, "v1", {"A", "B"}, "bf");
+    AddSource(&two, "v2", {"B", "C"}, "bf");
+    fp_before = two.fingerprint();
+  }
+  ASSERT_TRUE(catalog.Deregister("v3").ok());
+  EXPECT_EQ(catalog.fingerprint(), fp_before);
+  EXPECT_EQ(catalog.fingerprint(), CatalogFingerprint(catalog.Views()));
+  EXPECT_FALSE(catalog.Deregister("v3").ok());
+
+  // Deregister from the middle shifts later slots; still equals batch.
+  AddSource(&catalog, "v3", {"C", "D"}, "ff");
+  ASSERT_TRUE(catalog.Deregister("v1").ok());
+  EXPECT_EQ(catalog.fingerprint(), CatalogFingerprint(catalog.Views()));
+  EXPECT_TRUE(catalog.Contains("v2"));
+  EXPECT_TRUE(catalog.Contains("v3"));
+}
+
+// ---------------------------------------------------------------------------
+// Query signatures.
+
+TEST(QuerySignatureTest, InvariantUnderConnectionAndViewOrder) {
+  PaperExample example = paperdata::MakeExample21();
+  QuerySignature base = MustSign(example.query, example.catalog,
+                                 example.domains);
+
+  // Reverse the connection list and each connection's view list.
+  std::vector<Connection> shuffled;
+  for (auto it = example.query.connections().rbegin();
+       it != example.query.connections().rend(); ++it) {
+    std::vector<std::string> names = it->view_names();
+    std::reverse(names.begin(), names.end());
+    shuffled.emplace_back(std::move(names));
+  }
+  Query reordered(example.query.inputs(), example.query.outputs(),
+                  std::move(shuffled));
+  ASSERT_TRUE(reordered.Validate(example.catalog, example.domains).ok());
+  EXPECT_EQ(MustSign(reordered, example.catalog, example.domains), base);
+}
+
+TEST(QuerySignatureTest, InvariantUnderAttributeRenaming) {
+  SourceCatalog original;
+  AddSource(&original, "v1", {"Song", "Cd"}, "bf");
+  AddSource(&original, "v3", {"Cd", "Price"}, "bf");
+  Query query({{"Song", Value::String("t1")}}, {"Price"},
+              {Connection({"v1", "v3"})});
+
+  SourceCatalog renamed;
+  AddSource(&renamed, "v1", {"Track", "Disc"}, "bf");
+  AddSource(&renamed, "v3", {"Disc", "Cost"}, "bf");
+  Query renamed_query({{"Track", Value::String("t1")}}, {"Cost"},
+                      {Connection({"v1", "v3"})});
+
+  // Same signature (isomorphic queries), different catalog fingerprint
+  // (the capability surface names different attributes) — so the combined
+  // cache keys still differ, as they must: the plans bind different
+  // attribute names.
+  EXPECT_EQ(MustSign(query, original), MustSign(renamed_query, renamed));
+  EXPECT_NE(original.fingerprint(), renamed.fingerprint());
+}
+
+TEST(QuerySignatureTest, SensitiveToAdornmentsInputsOutputsAndKnobs) {
+  SourceCatalog catalog;
+  AddSource(&catalog, "v1", {"Song", "Cd"}, "bf");
+  AddSource(&catalog, "v3", {"Cd", "Price"}, "bf");
+  Query query({{"Song", Value::String("t1")}}, {"Price"},
+              {Connection({"v1", "v3"})});
+  QuerySignature base = MustSign(query, catalog);
+
+  // Distinct adornment on a referenced view: different signature.
+  SourceCatalog readorned;
+  AddSource(&readorned, "v1", {"Song", "Cd"}, "fb");
+  AddSource(&readorned, "v3", {"Cd", "Price"}, "bf");
+  EXPECT_NE(MustSign(query, readorned), base);
+
+  // Different input value / different value kind of the same text.
+  Query other_value({{"Song", Value::String("t2")}}, {"Price"},
+                    {Connection({"v1", "v3"})});
+  EXPECT_NE(MustSign(other_value, catalog), base);
+  Query int_value({{"Song", Value::Int64(1)}}, {"Price"},
+                  {Connection({"v1", "v3"})});
+  Query str_value({{"Song", Value::String("1")}}, {"Price"},
+                  {Connection({"v1", "v3"})});
+  EXPECT_NE(MustSign(int_value, catalog), MustSign(str_value, catalog));
+
+  // Output order is the answer schema: sensitive.
+  Query two_out({{"Song", Value::String("t1")}}, {"Cd", "Price"},
+                {Connection({"v1", "v3"})});
+  Query two_out_swapped({{"Song", Value::String("t1")}}, {"Price", "Cd"},
+                        {Connection({"v1", "v3"})});
+  EXPECT_NE(MustSign(two_out, catalog), MustSign(two_out_swapped, catalog));
+
+  // Builder knobs and the config tag are part of the key.
+  BuilderOptions goals;
+  goals.per_connection_goals = true;
+  EXPECT_NE(MustSign(query, catalog, {}, goals), base);
+  EXPECT_NE(MustSign(query, catalog, {}, {}, "prune"), base);
+
+  // A domain-map override changes the emitted program: sensitive.
+  DomainMap grouped;
+  grouped.SetDomain("Cd", "disc");
+  EXPECT_NE(MustSign(query, catalog, grouped), base);
+
+  // Unknown view: signature fails like Validate does.
+  Query bad({{"Song", Value::String("t1")}}, {"Price"},
+            {Connection({"v1", "v9"})});
+  EXPECT_FALSE(MakeQuerySignature(bad, catalog, DomainMap()).ok());
+}
+
+TEST(QuerySignatureTest, PropertyShuffledGeneratedQueriesShareSignatures) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    workload::CatalogSpec spec;
+    spec.topology = workload::CatalogSpec::Topology::kRandom;
+    spec.num_views = 8;
+    spec.num_attributes = 6;
+    spec.tuples_per_view = 5;
+    spec.seed = seed;
+    workload::GeneratedInstance instance = workload::GenerateInstance(spec);
+    workload::QuerySpec query_spec;
+    query_spec.num_connections = 2;
+    query_spec.views_per_connection = 2;
+    query_spec.seed = seed * 31;
+    auto query = workload::GenerateQuery(instance, query_spec);
+    if (!query.ok()) continue;  // no valid query of this shape exists
+    QuerySignature base =
+        MustSign(*query, instance.catalog, instance.domains);
+
+    std::mt19937 rng(seed);
+    for (int round = 0; round < 4; ++round) {
+      std::vector<Connection> connections;
+      for (const Connection& connection : query->connections()) {
+        std::vector<std::string> names = connection.view_names();
+        std::shuffle(names.begin(), names.end(), rng);
+        connections.emplace_back(std::move(names));
+      }
+      std::shuffle(connections.begin(), connections.end(), rng);
+      Query shuffled(query->inputs(), query->outputs(),
+                     std::move(connections));
+      EXPECT_EQ(MustSign(shuffled, instance.catalog, instance.domains), base)
+          << "seed " << seed << " round " << round;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The LRU cache proper.
+
+std::shared_ptr<const CachedPlan> Entry(uint64_t catalog_fp,
+                                        const std::string& name) {
+  auto entry = std::make_shared<CachedPlan>();
+  entry->catalog_fingerprint = catalog_fp;
+  entry->signature.canonical = name;
+  entry->signature.hash = StableHash64(name);
+  return entry;
+}
+
+TEST(PlanCacheTest, LruEvictionIsBoundedAndFreshensOnLookup) {
+  PlanCache cache(/*capacity=*/2);
+  cache.Insert(Entry(1, "a"));
+  cache.Insert(Entry(1, "b"));
+  // Touch "a": it becomes most recently used, so inserting "c" evicts "b".
+  EXPECT_NE(cache.Lookup(1, Entry(1, "a")->signature), nullptr);
+  cache.Insert(Entry(1, "c"));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.Lookup(1, Entry(1, "a")->signature), nullptr);
+  EXPECT_EQ(cache.Lookup(1, Entry(1, "b")->signature), nullptr);
+  EXPECT_NE(cache.Lookup(1, Entry(1, "c")->signature), nullptr);
+
+  PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.inserts, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 1u);
+
+  // Same signature under a different catalog fingerprint is a miss.
+  EXPECT_EQ(cache.Lookup(2, Entry(1, "a")->signature), nullptr);
+
+  // Re-inserting an existing key replaces without growing.
+  cache.Insert(Entry(1, "c"));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PlanCacheTest, CapacityZeroDisables) {
+  PlanCache cache(/*capacity=*/0);
+  cache.Insert(Entry(1, "a"));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup(1, Entry(1, "a")->signature), nullptr);
+  EXPECT_EQ(cache.stats().inserts, 0u);
+}
+
+TEST(PlanCacheTest, InvalidateDropsExactlyOneGeneration) {
+  PlanCache cache(/*capacity=*/8);
+  cache.Insert(Entry(1, "a"));
+  cache.Insert(Entry(1, "b"));
+  cache.Insert(Entry(2, "a"));
+  cache.Insert(Entry(2, "c"));
+  EXPECT_EQ(cache.Invalidate(1), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Lookup(1, Entry(1, "a")->signature), nullptr);
+  EXPECT_NE(cache.Lookup(2, Entry(2, "a")->signature), nullptr);
+  EXPECT_NE(cache.Lookup(2, Entry(2, "c")->signature), nullptr);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+  EXPECT_EQ(cache.Invalidate(1), 0u);
+}
+
+// Named "Parallel" so the TSan CI job picks it up.
+TEST(PlanCacheTest, ParallelLookupsInsertsAndInvalidationsAreSafe) {
+  PlanCache cache(/*capacity=*/4);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 300;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kIters; ++i) {
+        std::string name = "sig" + std::to_string((t + i) % 6);
+        uint64_t fp = uint64_t(i % 2) + 1;
+        if (i % 7 == 0) {
+          cache.Invalidate(fp);
+        } else if (i % 3 == 0) {
+          cache.Insert(Entry(fp, name));
+        } else {
+          auto hit = cache.Lookup(fp, Entry(fp, name)->signature);
+          if (hit != nullptr) {
+            EXPECT_EQ(hit->catalog_fingerprint, fp);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_LE(cache.size(), 4u);
+  PlanCache::Stats stats = cache.stats();
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Warm-path answer preservation.
+
+PaperExample MakeExample(int index) {
+  switch (index) {
+    case 0:
+      return paperdata::MakeExample21();
+    case 1:
+      return paperdata::MakeExample41();
+    case 2:
+      return paperdata::MakeExample51();
+    default:
+      return paperdata::MakeExample52();
+  }
+}
+
+std::vector<std::pair<std::string, ExecOptions>> EvaluatorConfigs() {
+  std::vector<std::pair<std::string, ExecOptions>> configs;
+  configs.emplace_back("serial", ExecOptions{});
+  ExecOptions parallel;
+  parallel.mode = datalog::Evaluator::Mode::kParallelSemiNaive;
+  parallel.eval_threads = 4;
+  configs.emplace_back("parallel-eval", parallel);
+  ExecOptions concurrent;
+  concurrent.runtime.concurrent = true;
+  configs.emplace_back("concurrent-fetch", concurrent);
+  return configs;
+}
+
+TEST(PlanCacheTest, WarmAnswerBitIdenticalToColdOnPaperExamples) {
+  for (int example_index = 0; example_index < 4; ++example_index) {
+    for (const auto& [config_name, base_options] : EvaluatorConfigs()) {
+      PaperExample example = MakeExample(example_index);
+      QueryAnswerer answerer(&example.catalog, example.domains);
+      PlanCache cache;
+      ExecOptions options = base_options;
+      options.plan_cache = &cache;
+
+      auto cold = answerer.Answer(example.query, options);
+      ASSERT_TRUE(cold.ok()) << cold.status();
+      EXPECT_TRUE(cold->cache.attempted);
+      EXPECT_FALSE(cold->cache.hit);
+
+      auto warm = answerer.Answer(example.query, options);
+      ASSERT_TRUE(warm.ok()) << warm.status();
+      EXPECT_TRUE(warm->cache.hit)
+          << "example " << example_index << " config " << config_name;
+      EXPECT_EQ(warm->cache.key_fingerprint, cold->cache.key_fingerprint);
+      EXPECT_EQ(warm->cache.catalog_fingerprint,
+                cold->cache.catalog_fingerprint);
+      EXPECT_EQ(OrderedFingerprint(warm->exec),
+                OrderedFingerprint(cold->exec))
+          << "example " << example_index << " config " << config_name;
+      EXPECT_EQ(warm->exec.post_ingest_translations, 0u);
+    }
+  }
+}
+
+TEST(PlanCacheTest, WarmPathReplaysAnalysisVerdicts) {
+  for (StaticAnalysisMode mode :
+       {StaticAnalysisMode::kWarn, StaticAnalysisMode::kPrune}) {
+    PaperExample example = paperdata::MakeExample21();
+    QueryAnswerer answerer(&example.catalog, example.domains);
+    PlanCache cache;
+    ExecOptions options;
+    options.static_analysis = mode;
+    options.plan_cache = &cache;
+
+    auto cold = answerer.Answer(example.query, options);
+    ASSERT_TRUE(cold.ok()) << cold.status();
+    ASSERT_TRUE(cold->analysis_ran);
+
+    auto warm = answerer.Answer(example.query, options);
+    ASSERT_TRUE(warm.ok()) << warm.status();
+    EXPECT_TRUE(warm->cache.hit);
+    ASSERT_TRUE(warm->analysis_ran);
+    EXPECT_EQ(warm->analysis.diagnostics.size(),
+              cold->analysis.diagnostics.size());
+    EXPECT_EQ(OrderedFingerprint(warm->exec), OrderedFingerprint(cold->exec));
+  }
+}
+
+TEST(PlanCacheTest, DistinctGateModesDoNotShareEntries) {
+  PaperExample example = paperdata::MakeExample21();
+  QueryAnswerer answerer(&example.catalog, example.domains);
+  PlanCache cache;
+  ExecOptions off;
+  off.plan_cache = &cache;
+  ExecOptions prune;
+  prune.plan_cache = &cache;
+  prune.static_analysis = StaticAnalysisMode::kPrune;
+
+  ASSERT_TRUE(answerer.Answer(example.query, off).ok());
+  auto pruned = answerer.Answer(example.query, prune);
+  ASSERT_TRUE(pruned.ok()) << pruned.status();
+  // The kPrune answer must not have reused the kOff artifact.
+  EXPECT_FALSE(pruned->cache.hit);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Mediator integration (satellite: repeated answers, bounded dictionary,
+// invalidation on catalog mutation).
+
+mediator::MediatorView CdInfoView() {
+  mediator::MediatorView view;
+  view.name = "cd_info";
+  view.exported_attributes = {"Song", "Cd", "Price"};
+  view.definitions = {Connection({"v1", "v3"}), Connection({"v1", "v4"}),
+                      Connection({"v2", "v3"}), Connection({"v2", "v4"})};
+  return view;
+}
+
+TEST(MediatorPlanCacheTest, RepeatedAnswersAreBitIdenticalAndBounded) {
+  PaperExample example = paperdata::MakeExample21();
+  mediator::Mediator mediator(&example.catalog, example.domains);
+  ASSERT_TRUE(mediator.Define(CdInfoView()).ok());
+  mediator::MediatorQuery query{
+      "cd_info", {{"Song", Value::String("t1")}}, {"Price"}};
+
+  // One session dictionary across the repeats, like a long-lived session.
+  ExecOptions options;
+  options.session_dict = std::make_shared<ValueDictionary>();
+
+  auto first = mediator.Answer(query, options);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(first->cache.hit);
+  const std::string fingerprint = OrderedFingerprint(first->exec);
+  const std::size_t dict_size = options.session_dict->size();
+
+  for (int i = 0; i < 3; ++i) {
+    auto repeat = mediator.Answer(query, options);
+    ASSERT_TRUE(repeat.ok()) << repeat.status();
+    EXPECT_TRUE(repeat->cache.hit);
+    EXPECT_EQ(OrderedFingerprint(repeat->exec), fingerprint);
+    // Re-answering interns nothing new: the dictionary stays put.
+    EXPECT_EQ(options.session_dict->size(), dict_size);
+    EXPECT_EQ(repeat->exec.post_ingest_translations, 0u);
+  }
+  EXPECT_EQ(mediator.plan_cache().stats().hits, 3u);
+  EXPECT_EQ(mediator.plan_cache().stats().misses, 1u);
+
+  // Session metrics carried the cache counters along.
+  EXPECT_EQ(mediator.session_metrics().Get(obs::metric::kPlanCacheHits), 3.0);
+  EXPECT_EQ(mediator.session_metrics().Get(obs::metric::kPlanCacheMisses),
+            1.0);
+}
+
+TEST(MediatorPlanCacheTest, CatalogMutationInvalidatesStaleEntries) {
+  PaperExample example = paperdata::MakeExample21();
+  mediator::Mediator mediator(&example.catalog, example.domains);
+  ASSERT_TRUE(mediator.Define(CdInfoView()).ok());
+  mediator::MediatorQuery query{
+      "cd_info", {{"Song", Value::String("t1")}}, {"Price"}};
+
+  auto cold = mediator.Answer(query, {});
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  auto warm = mediator.Answer(query, {});
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cache.hit);
+
+  // A source joins: the catalog fingerprint moves, so the next answer
+  // recompiles, and the mediator reclaims the stale generation's entries.
+  AddSource(&example.catalog, "v9", {"Cd", "Label"}, "bf");
+  EXPECT_NE(example.catalog.fingerprint(), cold->cache.catalog_fingerprint);
+  auto after = mediator.Answer(query, {});
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_FALSE(after->cache.hit);
+  EXPECT_NE(after->cache.catalog_fingerprint,
+            cold->cache.catalog_fingerprint);
+  EXPECT_EQ(mediator.plan_cache().stats().invalidations, 1u);
+  // The recompiled answer is still the paper's answer.
+  EXPECT_EQ(after->exec.answer.size(), cold->exec.answer.size());
+
+  // The source leaves again: the fingerprint returns to its old value,
+  // and the (invalidated) old generation simply recompiles on demand.
+  ASSERT_TRUE(example.catalog.Deregister("v9").ok());
+  EXPECT_EQ(example.catalog.fingerprint(), cold->cache.catalog_fingerprint);
+  auto back = mediator.Answer(query, {});
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_FALSE(back->cache.hit);
+  EXPECT_EQ(back->exec.answer.size(), cold->exec.answer.size());
+}
+
+TEST(MediatorPlanCacheTest, CapacityZeroDisablesSessionCache) {
+  PaperExample example = paperdata::MakeExample21();
+  mediator::Mediator mediator(&example.catalog, example.domains);
+  ASSERT_TRUE(mediator.Define(CdInfoView()).ok());
+  mediator.SetPlanCacheCapacity(0);
+  mediator::MediatorQuery query{
+      "cd_info", {{"Song", Value::String("t1")}}, {"Price"}};
+  auto first = mediator.Answer(query, {});
+  ASSERT_TRUE(first.ok());
+  auto second = mediator.Answer(query, {});
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache.attempted);
+  EXPECT_FALSE(second->cache.hit);
+  EXPECT_EQ(OrderedFingerprint(second->exec),
+            OrderedFingerprint(first->exec));
+}
+
+}  // namespace
+}  // namespace limcap::planner
