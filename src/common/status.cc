@@ -26,6 +26,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Unavailable";
     case StatusCode::kDeadlineExceeded:
       return "Deadline exceeded";
+    case StatusCode::kLoadShed:
+      return "Load shed";
   }
   return "Unknown";
 }

@@ -30,6 +30,11 @@ enum class StatusCode {
   /// A source answered, but not within the per-attempt deadline of the
   /// fetch scheduler's retry policy; the late answer was discarded.
   kDeadlineExceeded = 10,
+  /// The multi-query server refused the request at admission: its queue
+  /// is full or it is draining for shutdown. Distinct from kUnavailable
+  /// (a *source* could not be reached) so clients can tell "retry this
+  /// server later" from "this answer is degraded".
+  kLoadShed = 11,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -82,6 +87,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status LoadShed(std::string msg) {
+    return Status(StatusCode::kLoadShed, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -12,6 +12,18 @@ ValueId ValueDictionary::Intern(const Value& value) {
   return id;
 }
 
+void ValueDictionary::Absorb(const ValueDictionary& other,
+                             std::vector<ValueId>* remap) {
+  if (remap != nullptr) {
+    remap->clear();
+    remap->reserve(other.size());
+  }
+  for (std::size_t id = 0; id < other.size(); ++id) {
+    ValueId here = Intern(other.Get(static_cast<ValueId>(id)));
+    if (remap != nullptr) remap->push_back(here);
+  }
+}
+
 bool ValueDictionary::Lookup(const Value& value, ValueId* id) const {
   encodes_.fetch_add(1, std::memory_order_relaxed);
   auto it = ids_.find(value);

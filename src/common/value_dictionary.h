@@ -57,6 +57,19 @@ class ValueDictionary {
   /// Returns the id for `value`, interning it if unseen.
   ValueId Intern(const Value& value);
 
+  /// Interns every value of `other` into this dictionary in `other`'s id
+  /// order (id 0 first), the deterministic merge of the multi-query
+  /// server: absorbing per-query dictionaries in a fixed order (query
+  /// admission order) yields a server dictionary whose ids are a pure
+  /// function of that order, never of completion timing. When `remap` is
+  /// non-null it is resized to other.size() with remap[old_id] = the id
+  /// here, so absorbed relations can be re-keyed without another decode
+  /// pass. Counts as encode traffic on this dictionary and decode
+  /// traffic on `other` (ingest-style translation, by design off any
+  /// query's hot path).
+  void Absorb(const ValueDictionary& other,
+              std::vector<ValueId>* remap = nullptr);
+
   /// Returns the id of `value` if already interned, or false.
   bool Lookup(const Value& value, ValueId* id) const;
 

@@ -47,7 +47,9 @@ void RenderProgram(const planner::PlanResult& plan,
   out << "\n";
 }
 
-void RenderPlanCache(const AnswerReport& answer, std::ostringstream& out) {
+void RenderPlanCache(const AnswerReport& answer,
+                     const planner::PlanCache::Stats& stats,
+                     std::ostringstream& out) {
   Section(out, "Plan cache");
   if (!answer.cache.attempted) {
     out << "not consulted\n\n";
@@ -57,7 +59,10 @@ void RenderPlanCache(const AnswerReport& answer, std::ostringstream& out) {
       << capability::FingerprintToString(answer.cache.catalog_fingerprint)
       << "  key: "
       << capability::FingerprintToString(answer.cache.key_fingerprint)
-      << "\nsignature: " << answer.cache.signature << "\n\n";
+      << "\nsignature: " << answer.cache.signature << "\nstate: "
+      << stats.size << "/" << stats.capacity << " entries  hits " << stats.hits
+      << "  misses " << stats.misses << "  inserts " << stats.inserts
+      << "  evictions " << stats.evictions << "\n\n";
 }
 
 void RenderExecution(const AnswerReport& answer, std::ostringstream& out) {
@@ -114,7 +119,7 @@ Result<ExplainReport> Explain(const ExplainRequest& request) {
   out << report.query.ToString() << "\n\n";
   RenderRelevance(report.answer.plan, out);
   RenderProgram(report.answer.plan, out);
-  RenderPlanCache(report.answer, out);
+  RenderPlanCache(report.answer, options.plan_cache->stats(), out);
   RenderExecution(report.answer, out);
 
   Section(out, "Timeline");

@@ -7,21 +7,6 @@ namespace limcap::exec {
 
 namespace {
 
-/// Fills in the session dictionary when the caller supplied none, and
-/// resolves the query's input constants into it once, at plan time — the
-/// execution layers below only ever copy the resulting ids.
-ExecOptions WithSessionDict(const ExecOptions& options,
-                            const planner::Query& query) {
-  ExecOptions session_options = options;
-  if (session_options.session_dict == nullptr) {
-    session_options.session_dict = std::make_shared<ValueDictionary>();
-  }
-  for (const planner::InputAssignment& input : query.inputs()) {
-    session_options.session_dict->Intern(input.value);
-  }
-  return session_options;
-}
-
 /// Plan-shape counters, recorded once per PlanQuery on every answer path.
 void RecordPlanMetrics(const planner::PlanResult& plan,
                        obs::MetricsRegistry* metrics) {
@@ -105,8 +90,17 @@ Result<datalog::Program> ApplyStaticAnalysisGate(
 
 Result<AnswerReport> QueryAnswerer::Answer(const planner::Query& query,
                                            const ExecOptions& options) const {
+  // Validate before the context interns the query's inputs, so a
+  // rejected query leaves a caller-supplied dictionary untouched.
   LIMCAP_RETURN_NOT_OK(query.Validate(*catalog_, domains_));
-  ExecOptions session_options = WithSessionDict(options, query);
+  QueryContext context(options, query);
+  return Answer(query, context);
+}
+
+Result<AnswerReport> QueryAnswerer::Answer(const planner::Query& query,
+                                           QueryContext& context) const {
+  LIMCAP_RETURN_NOT_OK(query.Validate(*catalog_, domains_));
+  const ExecOptions& session_options = context.options();
   obs::ScopedSpan answer_span(session_options.tracer, "answer");
   AnswerReport report;
 
@@ -207,7 +201,8 @@ Result<AnswerReport> QueryAnswerer::Answer(const planner::Query& query,
 Result<AnswerReport> QueryAnswerer::AnswerHybrid(
     const planner::Query& query, const ExecOptions& options) const {
   LIMCAP_RETURN_NOT_OK(query.Validate(*catalog_, domains_));
-  ExecOptions session_options = WithSessionDict(options, query);
+  QueryContext context(options, query);
+  const ExecOptions& session_options = context.options();
   const ValueDictionaryPtr& dict = session_options.session_dict;
   obs::ScopedSpan answer_span(session_options.tracer, "answer", "hybrid");
   AnswerReport report;
@@ -300,7 +295,8 @@ Result<AnswerReport> QueryAnswerer::AnswerWithCache(
     const std::map<std::string, relational::Relation>& cached,
     const ExecOptions& options) const {
   LIMCAP_RETURN_NOT_OK(query.Validate(*catalog_, domains_));
-  ExecOptions session_options = WithSessionDict(options, query);
+  QueryContext context(options, query);
+  const ExecOptions& session_options = context.options();
   obs::ScopedSpan answer_span(session_options.tracer, "answer", "cached");
   AnswerReport report;
   // Cached views seed their attributes' domains, which can make views —
@@ -345,7 +341,8 @@ Result<AnswerReport> QueryAnswerer::AnswerWithCache(
 Result<AnswerReport> QueryAnswerer::AnswerUnoptimized(
     const planner::Query& query, const ExecOptions& options) const {
   LIMCAP_RETURN_NOT_OK(query.Validate(*catalog_, domains_));
-  ExecOptions session_options = WithSessionDict(options, query);
+  QueryContext context(options, query);
+  const ExecOptions& session_options = context.options();
   obs::ScopedSpan answer_span(session_options.tracer, "answer",
                               "unoptimized");
   AnswerReport report;

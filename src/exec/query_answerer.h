@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "analysis/analyzer.h"
+#include "exec/query_context.h"
 #include "exec/source_driven_evaluator.h"
 #include "planner/plan_cache.h"
 #include "planner/program_optimizer.h"
@@ -65,6 +66,15 @@ class QueryAnswerer {
   /// Validates, plans, and executes `query`.
   Result<AnswerReport> Answer(const planner::Query& query,
                               const ExecOptions& options = {}) const;
+
+  /// The re-entrant core of Answer(): all per-query state lives in
+  /// `context`, the answerer itself is immutable, so any number of
+  /// threads may call this on ONE answerer concurrently — each with its
+  /// own context — as long as shared handles the contexts carry
+  /// (plan cache, fetch governor) are themselves thread-safe. This is
+  /// what the multi-query server runs per request.
+  Result<AnswerReport> Answer(const planner::Query& query,
+                              QueryContext& context) const;
 
   /// Plans and executes the *unoptimized* Π(Q, V) — used by benches to
   /// measure what FIND_REL saves.

@@ -1,0 +1,32 @@
+#include "exec/query_context.h"
+
+namespace limcap::exec {
+
+QueryContext::QueryContext(const ExecOptions& base,
+                           const planner::Query& query)
+    : options_(base) {
+  if (options_.session_dict == nullptr) {
+    options_.session_dict = std::make_shared<ValueDictionary>();
+  }
+  for (const planner::InputAssignment& input : query.inputs()) {
+    options_.session_dict->Intern(input.value);
+  }
+}
+
+void QueryContext::IsolateMetrics() {
+  if (isolated_) return;
+  isolated_ = true;
+  caller_metrics_ = options_.metrics;
+  options_.metrics = &query_metrics_;
+}
+
+void QueryContext::PublishMetrics(
+    std::initializer_list<obs::MetricsRegistry*> sinks) {
+  if (!isolated_) return;
+  if (caller_metrics_ != nullptr) caller_metrics_->Merge(query_metrics_);
+  for (obs::MetricsRegistry* sink : sinks) {
+    if (sink != nullptr) sink->Merge(query_metrics_);
+  }
+}
+
+}  // namespace limcap::exec

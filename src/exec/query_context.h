@@ -1,0 +1,72 @@
+#ifndef LIMCAP_EXEC_QUERY_CONTEXT_H_
+#define LIMCAP_EXEC_QUERY_CONTEXT_H_
+
+#include <initializer_list>
+
+#include "exec/source_driven_evaluator.h"
+#include "obs/metrics.h"
+#include "planner/query.h"
+
+namespace limcap::exec {
+
+/// The per-query execution state, extracted so one QueryAnswerer (and
+/// one Mediator) can answer many queries concurrently: everything a
+/// query mutates while being answered lives here, and nothing here is
+/// shared between queries.
+///
+///   * the session ValueDictionary (created fresh when the caller
+///     supplied none, seeded with the query's input constants in input
+///     order — the seeding order is part of the bit-identity contract:
+///     warm, cold, serial and concurrent answers all intern the inputs
+///     first, so ids evolve identically);
+///   * a private MetricsRegistry the query's counters land in when
+///     IsolateMetrics() is on, published to session/server registries
+///     exactly once afterwards — never double-counted, never racing;
+///   * the effective ExecOptions: tracer (driver-thread-only, so one per
+///     query), budgets, and the handles to genuinely shared state — the
+///     thread-safe PlanCache and the server-wide FetchGovernor — which
+///     are referenced, not owned.
+///
+/// A QueryContext is pinned to its construction site (the options point
+/// into the object when metrics are isolated), hence neither copyable
+/// nor movable: construct it where the query runs, pass it by reference.
+class QueryContext {
+ public:
+  /// Copies `base`, fills in a fresh session dictionary when it carries
+  /// none, and resolves the query's input constants into it once — the
+  /// execution layers below only ever copy the resulting ids.
+  QueryContext(const ExecOptions& base, const planner::Query& query);
+
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
+
+  /// Redirects the options' metrics sink into this context's private
+  /// registry, remembering the caller's sink (if any) for
+  /// PublishMetrics. Call before answering; idempotent.
+  void IsolateMetrics();
+
+  /// Merges the private registry into the remembered caller sink and
+  /// into each non-null registry of `sinks`. Call at most once, after
+  /// the answer completed (the mediator publishes only successful
+  /// answers, keeping failed attempts out of session aggregates).
+  void PublishMetrics(std::initializer_list<obs::MetricsRegistry*> sinks);
+
+  /// The effective options to answer with.
+  const ExecOptions& options() const { return options_; }
+  ExecOptions& options() { return options_; }
+
+  const ValueDictionaryPtr& dict() const { return options_.session_dict; }
+
+  /// This query's own counters (meaningful once IsolateMetrics ran).
+  const obs::MetricsRegistry& query_metrics() const { return query_metrics_; }
+
+ private:
+  ExecOptions options_;
+  obs::MetricsRegistry query_metrics_;
+  obs::MetricsRegistry* caller_metrics_ = nullptr;
+  bool isolated_ = false;
+};
+
+}  // namespace limcap::exec
+
+#endif  // LIMCAP_EXEC_QUERY_CONTEXT_H_

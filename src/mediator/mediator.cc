@@ -101,17 +101,13 @@ Result<planner::Query> Mediator::Expand(const MediatorQuery& query) const {
 Result<exec::AnswerReport> Mediator::Answer(
     const MediatorQuery& query, const exec::ExecOptions& options) const {
   LIMCAP_ASSIGN_OR_RETURN(planner::Query expanded, Expand(query));
-  // One dictionary per answering session, owned here at the top of the
-  // pipeline: the fact store, every source query and answer, and the
-  // final answer relation all encode against it, so the report stays
-  // decodable after execution ends and no layer re-translates a tuple.
+  LIMCAP_RETURN_NOT_OK(expanded.Validate(*catalog_, domains_));
   exec::ExecOptions session_options = options;
-  if (session_options.session_dict == nullptr) {
-    session_options.session_dict = std::make_shared<ValueDictionary>();
-  }
   // Wire the session plan cache in (keeping a caller-supplied cache when
   // one was passed). If the catalog mutated since the last answer, the
   // stale generation's entries can never be hit again — drop them now.
+  // This generation check mutates session state, so it stays on this
+  // single-threaded path; ServeSession does it once at startup.
   if (session_options.plan_cache == nullptr) {
     session_options.plan_cache = plan_cache_.get();
     uint64_t fp = catalog_->fingerprint();
@@ -120,20 +116,25 @@ Result<exec::AnswerReport> Mediator::Answer(
       plan_cache_catalog_fp_ = fp;
     }
   }
-  // The query gets a registry of its own; on success it is merged into
-  // the session registry (and into the caller's, when one was passed) so
-  // a caller-supplied registry's prior contents are never double-counted.
-  obs::MetricsRegistry query_metrics;
-  obs::MetricsRegistry* caller_metrics = session_options.metrics;
-  session_options.metrics = &query_metrics;
-  exec::QueryAnswerer answerer(catalog_, domains_);
-  Result<exec::AnswerReport> report =
-      answerer.Answer(expanded, session_options);
-  if (report.ok()) {
-    if (caller_metrics != nullptr) caller_metrics->Merge(query_metrics);
-    session_metrics_.Merge(query_metrics);
-  }
+  // One context per answer: it owns the session dictionary every layer
+  // of the pipeline encodes against (so the report stays decodable after
+  // execution ends and no layer re-translates a tuple) and the query's
+  // private metrics registry.
+  exec::QueryContext context(session_options, expanded);
+  Result<exec::AnswerReport> report = AnswerInContext(expanded, context);
+  // Merge the private registry into the session registry (and into the
+  // caller's, when one was passed) only on success, so a caller-supplied
+  // registry's prior contents are never double-counted and failed
+  // attempts stay out of session aggregates.
+  if (report.ok()) context.PublishMetrics({&session_metrics_});
   return report;
+}
+
+Result<exec::AnswerReport> Mediator::AnswerInContext(
+    const planner::Query& expanded, exec::QueryContext& context) const {
+  context.IsolateMetrics();
+  exec::QueryAnswerer answerer(catalog_, domains_);
+  return answerer.Answer(expanded, context);
 }
 
 }  // namespace limcap::mediator

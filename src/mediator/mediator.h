@@ -80,6 +80,16 @@ class Mediator {
   Result<exec::AnswerReport> Answer(const MediatorQuery& query,
                                     const exec::ExecOptions& options = {}) const;
 
+  /// The context-level core of Answer(), minus everything that is not
+  /// safe under concurrency: answers an already-validated connection
+  /// query using `context`'s per-query state, touching no mediator
+  /// mutables. The plan cache and any fetch governor the context carries
+  /// are thread-safe, so any number of threads may run this
+  /// concurrently — ServeSession's workers do, each publishing the
+  /// context's metrics into the server registry under its own lock.
+  Result<exec::AnswerReport> AnswerInContext(
+      const planner::Query& expanded, exec::QueryContext& context) const;
+
   /// Counters and histograms aggregated over every successful Answer()
   /// since construction (or the last reset) — the per-session view the
   /// per-query registries merge into. Like the rest of the mediator, not
@@ -102,6 +112,9 @@ class Mediator {
     plan_cache_ = std::make_unique<planner::PlanCache>(capacity);
     plan_cache_catalog_fp_ = catalog_->fingerprint();
   }
+
+  const capability::SourceCatalog* catalog() const { return catalog_; }
+  const planner::DomainMap& domains() const { return domains_; }
 
  private:
   const capability::SourceCatalog* catalog_;

@@ -1,0 +1,82 @@
+#ifndef LIMCAP_MEDIATOR_SERVE_PROTOCOL_H_
+#define LIMCAP_MEDIATOR_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "mediator/serve_session.h"
+
+namespace limcap::mediator {
+
+/// The limcap_serve wire protocol: length-prefixed JSON frames over a
+/// byte stream.
+///
+/// Framing — each message is
+///
+///   [4-byte big-endian payload length][payload bytes]
+///
+/// with the payload a single JSON object carrying a "type" field.
+/// Payloads are capped (kMaxFramePayload) so a corrupt length prefix
+/// cannot make a peer allocate gigabytes.
+///
+/// Messages client → server:
+///   {"type":"query","id":N,"query":"<paper notation>"}
+///       optional: "max_source_queries", "min_answers", "deadline_ms"
+///   {"type":"status","id":N}
+///   {"type":"shutdown","id":N}   — drain the server, then reply
+///
+/// Messages server → client:
+///   {"type":"answer","id":N,"ok":true,"columns":[...],"rows":[[...]],
+///    "rounds":R,"source_queries":S,"degraded":B,"cache_hit":B,
+///    "queue_ms":Q,"exec_ms":E}
+///   {"type":"error","id":N,"ok":false,"code":C,"code_name":"...",
+///    "message":"..."}        — C is the numeric StatusCode; a load-shed
+///                              rejection carries StatusCode::kLoadShed
+///   {"type":"status","id":N, ...stats and metrics...}
+///   {"type":"bye","id":N}    — the shutdown reply, sent after the drain
+///
+/// Queries travel as text in the paper's connection-query notation —
+/// exactly what planner::ParseQuery reads and Query::ToString prints, so
+/// they round-trip without a parallel JSON schema.
+inline constexpr std::size_t kMaxFramePayload = 16u << 20;  // 16 MiB
+
+/// Prepends the length prefix: the bytes to write for `payload`.
+std::string EncodeFrame(std::string_view payload);
+
+/// Extracts the first complete frame of `buffer`. Returns the payload
+/// and sets `*consumed` to the bytes to drop from the front; returns
+/// OutOfRange when the buffer does not yet hold a complete frame
+/// (read more and retry), InvalidArgument on an oversized length prefix.
+Result<std::string> DecodeFrame(std::string_view buffer,
+                                std::size_t* consumed);
+
+/// Blocking fd-level framing (sockets, pipes). ReadFrame returns
+/// NotFound on clean EOF at a frame boundary, Internal on a short read
+/// mid-frame or an I/O error. Both retry on EINTR.
+Status WriteFrame(int fd, std::string_view payload);
+Result<std::string> ReadFrame(int fd);
+
+/// A parsed client "query" message.
+struct WireRequest {
+  uint64_t id = 0;
+  std::string query_text;
+  ServeRequest request;  ///< query parsed, budget overrides applied
+};
+
+/// Parses and validates a client frame payload of type "query".
+Result<WireRequest> ParseWireRequest(const Json& message);
+
+/// Builds the reply for one answered request: "answer" on an OK report,
+/// "error" otherwise (including load-shed and queue-deadline failures).
+Json RenderResponse(uint64_t id, const ServeResponse& response);
+
+/// Builds a "status" reply from a stats snapshot plus the server
+/// registry and plan-cache counters.
+Json RenderStatus(uint64_t id, const ServeSession& session);
+
+}  // namespace limcap::mediator
+
+#endif  // LIMCAP_MEDIATOR_SERVE_PROTOCOL_H_

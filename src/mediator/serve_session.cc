@@ -1,0 +1,189 @@
+#include "mediator/serve_session.h"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+namespace limcap::mediator {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+ServeSession::ServeSession(const Mediator* mediator, ServeOptions options)
+    : mediator_(mediator),
+      options_(std::move(options)),
+      governor_(options_.governor) {
+  // Per-query state must not leak in through the template: a shared
+  // tracer or registry would race across workers, and a shared
+  // dictionary would break per-query bit-identity.
+  options_.exec.session_dict = nullptr;
+  options_.exec.tracer = nullptr;
+  options_.exec.metrics = nullptr;
+  if (options_.exec.plan_cache == nullptr) {
+    options_.exec.plan_cache = &mediator_->plan_cache();
+  }
+  options_.exec.runtime.governor = &governor_;
+  const std::size_t workers = std::max<std::size_t>(1, options_.workers);
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ServeSession::~ServeSession() { Shutdown(); }
+
+Status ServeSession::Submit(ServeRequest request, Callback done) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (draining_) {
+    ++stats_.rejected;
+    server_metrics_.Add(obs::metric::kServeRejected);
+    return Status::LoadShed("server is draining for shutdown");
+  }
+  if (queue_.size() >= options_.max_queue) {
+    ++stats_.rejected;
+    server_metrics_.Add(obs::metric::kServeRejected);
+    return Status::LoadShed(
+        "admission queue full (" + std::to_string(options_.max_queue) +
+        " requests queued)");
+  }
+  ++stats_.accepted;
+  server_metrics_.Add(obs::metric::kServeAccepted);
+  server_metrics_.Observe(obs::metric::kServeQueueDepth,
+                          static_cast<double>(queue_.size()));
+  server_metrics_.Observe(obs::metric::kServeInFlight,
+                          static_cast<double>(stats_.in_flight));
+  queue_.push_back(Pending{std::move(request), std::move(done),
+                           std::chrono::steady_clock::now()});
+  work_available_.notify_one();
+  return Status::OK();
+}
+
+ServeResponse ServeSession::Answer(ServeRequest request) {
+  std::promise<ServeResponse> promise;
+  std::future<ServeResponse> future = promise.get_future();
+  Status admitted = Submit(std::move(request), [&promise](ServeResponse r) {
+    promise.set_value(std::move(r));
+  });
+  if (!admitted.ok()) {
+    ServeResponse shed;
+    shed.report = admitted;
+    return shed;
+  }
+  return future.get();
+}
+
+void ServeSession::WorkerLoop() {
+  for (;;) {
+    Pending pending;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+      ++stats_.in_flight;
+    }
+    Process(std::move(pending));
+  }
+}
+
+void ServeSession::Process(Pending pending) {
+  ServeResponse response;
+  response.queue_ms = MsSince(pending.submitted);
+
+  const bool expired = pending.request.deadline_ms > 0 &&
+                       response.queue_ms > pending.request.deadline_ms;
+  if (expired) {
+    response.report = Status::DeadlineExceeded(
+        "request spent " + std::to_string(response.queue_ms) +
+        " ms queued, past its " +
+        std::to_string(pending.request.deadline_ms) + " ms deadline");
+  } else {
+    exec::ExecOptions exec_options = options_.exec;
+    if (pending.request.max_source_queries > 0) {
+      exec_options.max_source_queries = pending.request.max_source_queries;
+    }
+    if (pending.request.min_answers > 0) {
+      exec_options.min_answers = pending.request.min_answers;
+    }
+    if (options_.trace_requests) {
+      response.trace = std::make_unique<obs::Tracer>();
+      exec_options.tracer = response.trace.get();
+    }
+    const auto exec_start = std::chrono::steady_clock::now();
+    {
+      // The request-level root span; the whole answer sub-tree (plan,
+      // gate, rounds, fetches) nests under it on this worker's private
+      // tracer.
+      obs::ScopedSpan request_span(exec_options.tracer, "serve.request");
+      exec::QueryContext context(exec_options, pending.request.query);
+      response.report =
+          mediator_->AnswerInContext(pending.request.query, context);
+      request_span.Counter("queue_ms", response.queue_ms);
+      request_span.Counter("ok", response.report.ok() ? 1 : 0);
+      if (response.report.ok()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        context.PublishMetrics({&server_metrics_});
+      }
+    }
+    response.exec_ms = MsSince(exec_start);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --stats_.in_flight;
+    if (response.report.ok()) {
+      ++stats_.completed;
+      server_metrics_.Add(obs::metric::kServeCompleted);
+    } else {
+      ++stats_.failed;
+      server_metrics_.Add(obs::metric::kServeFailed);
+    }
+  }
+  drained_.notify_all();
+
+  if (pending.done) pending.done(std::move(response));
+}
+
+void ServeSession::Shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stop_) return;  // already shut down
+    draining_ = true;
+    // Drain: every accepted request — queued or executing — completes.
+    drained_.wait(lock,
+                  [&] { return queue_.empty() && stats_.in_flight == 0; });
+    stop_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ServeSession::draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+ServeSession::Stats ServeSession::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats snapshot = stats_;
+  snapshot.queue_depth = queue_.size();
+  snapshot.governor = governor_.stats();
+  return snapshot;
+}
+
+obs::MetricsRegistry ServeSession::server_metrics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  obs::MetricsRegistry snapshot;
+  snapshot.Merge(server_metrics_);
+  return snapshot;
+}
+
+}  // namespace limcap::mediator

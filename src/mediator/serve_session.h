@@ -1,0 +1,164 @@
+#ifndef LIMCAP_MEDIATOR_SERVE_SESSION_H_
+#define LIMCAP_MEDIATOR_SERVE_SESSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/query_context.h"
+#include "mediator/mediator.h"
+#include "obs/trace.h"
+#include "runtime/fetch_governor.h"
+
+namespace limcap::mediator {
+
+/// Configuration of a multi-query serving session.
+struct ServeOptions {
+  /// Query worker threads. Each runs one query at a time end-to-end
+  /// (plan → gate → evaluate), so this bounds concurrent queries.
+  std::size_t workers = 4;
+  /// Admission control: requests queued beyond this bound are refused
+  /// with StatusCode::kLoadShed instead of building unbounded backlog.
+  std::size_t max_queue = 64;
+  /// The server-wide source-access governor every query runs under.
+  runtime::FetchGovernor::Options governor;
+  /// Per-query execution template. Per-query state it carries is
+  /// ignored: session_dict is always fresh per query, tracer and metrics
+  /// are nulled (neither is thread-safe — request tracing goes through
+  /// `trace_requests`, counters through server_metrics()), and
+  /// plan_cache defaults to the mediator's (thread-safe) session cache.
+  exec::ExecOptions exec;
+  /// Record a per-request span tree: each response carries its own
+  /// Tracer whose root is a "serve.request" span (counters: queue_ms,
+  /// ok) over the full plan/eval/fetch sub-tree. Per-request tracers
+  /// keep the Tracer single-threaded contract intact under concurrency.
+  bool trace_requests = false;
+};
+
+/// One query request. The query is an already-expanded connection query
+/// (the wire protocol ships paper notation; planner::ParseQuery produces
+/// this).
+struct ServeRequest {
+  planner::Query query;
+  /// Per-query budget overrides; 0 keeps the template's value.
+  std::size_t max_source_queries = 0;
+  std::size_t min_answers = 0;
+  /// Wall-clock deadline in milliseconds from Submit(). A request still
+  /// queued when its deadline expires is failed with kDeadlineExceeded
+  /// without executing (execution itself is not preempted — budgets
+  /// bound it). 0 = none.
+  double deadline_ms = 0;
+};
+
+/// One query outcome.
+struct ServeResponse {
+  Result<exec::AnswerReport> report = Status::Internal("not executed");
+  /// Wall-clock milliseconds spent queued / executing.
+  double queue_ms = 0;
+  double exec_ms = 0;
+  /// The request's span tree when ServeOptions::trace_requests is on.
+  std::unique_ptr<obs::Tracer> trace;
+};
+
+/// The multi-query serving layer over a Mediator: accepts many
+/// concurrent query requests, runs each in its own QueryContext on a
+/// worker pool, and shares exactly two things across queries — the
+/// mediator's thread-safe PlanCache and a server-wide FetchGovernor
+/// (source in-flight caps + cross-query coalescing).
+///
+/// Isolation contract: every query gets a fresh session ValueDictionary
+/// and a private MetricsRegistry, so each answer is bit-identical
+/// (exec::OrderedFingerprint) to the same query answered alone on an
+/// idle mediator — concurrency changes throughput, never answers. The
+/// property tests drive N queries through workers and diff fingerprints
+/// against serial answers.
+///
+/// Lifecycle: construction spawns the workers; Shutdown() (or the
+/// destructor) stops admission — further Submits fail with kLoadShed —
+/// then drains every accepted request (queued and in-flight) before
+/// joining the workers. Responses are always delivered, shutdown or not.
+class ServeSession {
+ public:
+  using Callback = std::function<void(ServeResponse)>;
+
+  /// `mediator` must outlive the session, and its catalog must not
+  /// mutate while serving (the plan cache keys on the catalog
+  /// fingerprint; correctness survives mutation, cached-entry reuse and
+  /// the governor's coalescing assume stable sources).
+  ServeSession(const Mediator* mediator, ServeOptions options);
+  ~ServeSession();
+
+  ServeSession(const ServeSession&) = delete;
+  ServeSession& operator=(const ServeSession&) = delete;
+
+  /// Admission: enqueues the request and returns OK, or refuses with
+  /// kLoadShed (queue at max_queue, or draining). `done` runs exactly
+  /// once on a worker thread for every accepted request; it must not
+  /// call back into Submit/Shutdown of this session.
+  Status Submit(ServeRequest request, Callback done);
+
+  /// Synchronous convenience: Submit + wait. A load-shed admission
+  /// returns a response whose report holds the kLoadShed status.
+  ServeResponse Answer(ServeRequest request);
+
+  /// Graceful drain: stops admission, completes every accepted request,
+  /// joins the workers. Idempotent; called by the destructor.
+  void Shutdown();
+
+  bool draining() const;
+
+  struct Stats {
+    uint64_t accepted = 0;
+    uint64_t rejected = 0;   ///< load-shed at admission
+    uint64_t completed = 0;  ///< responses with an OK report
+    uint64_t failed = 0;     ///< responses with an error report
+    std::size_t in_flight = 0;
+    std::size_t queue_depth = 0;
+    runtime::FetchGovernor::Stats governor;
+  };
+  Stats stats() const;
+
+  /// Snapshot of the server-wide registry: every completed query's
+  /// counters (merged exactly once from its private registry) plus the
+  /// serve.* admission metrics.
+  obs::MetricsRegistry server_metrics() const;
+
+  runtime::FetchGovernor& governor() { return governor_; }
+  const Mediator& mediator() const { return *mediator_; }
+
+ private:
+  struct Pending {
+    ServeRequest request;
+    Callback done;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  void WorkerLoop();
+  /// Runs one accepted request end-to-end on this worker thread and
+  /// delivers its callback.
+  void Process(Pending pending);
+
+  const Mediator* mediator_;
+  ServeOptions options_;
+  runtime::FetchGovernor governor_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable drained_;
+  std::deque<Pending> queue_;
+  bool draining_ = false;
+  bool stop_ = false;
+  Stats stats_;
+  obs::MetricsRegistry server_metrics_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace limcap::mediator
+
+#endif  // LIMCAP_MEDIATOR_SERVE_SESSION_H_

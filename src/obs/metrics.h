@@ -48,6 +48,15 @@ inline constexpr std::string_view kFetchMakespanMs =
 // Session caches.
 inline constexpr std::string_view kCacheHits = "cache.hits";
 inline constexpr std::string_view kCacheMisses = "cache.misses";
+// Multi-query server (ServeSession / limcap_serve).
+inline constexpr std::string_view kServeAccepted = "serve.accepted";
+inline constexpr std::string_view kServeRejected = "serve.rejected";
+inline constexpr std::string_view kServeCompleted = "serve.completed";
+inline constexpr std::string_view kServeFailed = "serve.failed";
+/// Sampled at each admission: requests executing at that moment.
+inline constexpr std::string_view kServeInFlight = "serve.in_flight";
+/// Sampled at each admission: requests queued at that moment.
+inline constexpr std::string_view kServeQueueDepth = "serve.queue_depth";
 // Histograms.
 inline constexpr std::string_view kHistFetchMs = "fetch.duration_ms";
 inline constexpr std::string_view kHistRoundActivations =

@@ -176,7 +176,15 @@ std::string PlanCache::MapKey(uint64_t catalog_fingerprint,
 
 std::shared_ptr<const CachedPlan> PlanCache::Lookup(
     uint64_t catalog_fingerprint, const QuerySignature& signature) {
-  if (capacity_ == 0) return nullptr;
+  if (capacity_ == 0) {
+    // A disabled cache still counts the miss: the caller consulted it
+    // and got nothing, and hit+miss must keep equaling the lookups
+    // (a reject-gated query against a capacity-0 cache used to vanish
+    // from the stats entirely).
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.misses;
+    return nullptr;
+  }
   std::string key = MapKey(catalog_fingerprint, signature);
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = by_key_.find(key);
@@ -239,7 +247,10 @@ std::size_t PlanCache::size() const {
 
 PlanCache::Stats PlanCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  Stats snapshot = stats_;
+  snapshot.size = lru_.size();
+  snapshot.capacity = capacity_;
+  return snapshot;
 }
 
 }  // namespace limcap::planner

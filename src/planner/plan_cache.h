@@ -101,12 +101,20 @@ class PlanCache {
  public:
   struct Stats {
     uint64_t hits = 0;
+    /// Every consulted-but-not-served lookup — including lookups against
+    /// a capacity-0 (disabled) cache and repeated misses of a
+    /// reject-gated query, which can never be inserted. The hit+miss sum
+    /// therefore equals the number of Lookup calls, which is what the
+    /// serve status endpoint and limcap_explain report hit rates from.
     uint64_t misses = 0;
     uint64_t inserts = 0;
     /// Entries dropped by the LRU bound.
     uint64_t evictions = 0;
     /// Entries dropped by Invalidate().
     uint64_t invalidations = 0;
+    /// Point-in-time occupancy, filled by stats() at snapshot time.
+    std::size_t size = 0;
+    std::size_t capacity = 0;
   };
 
   /// `capacity` bounds the number of cached plans; 0 disables the cache
@@ -138,6 +146,9 @@ class PlanCache {
 
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
+  /// Counter totals plus the point-in-time size/capacity — one locked
+  /// snapshot, so the numbers are mutually consistent even while other
+  /// threads keep hitting the cache.
   Stats stats() const;
 
  private:

@@ -1,0 +1,99 @@
+#include "runtime/fetch_governor.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace limcap::runtime {
+
+void FetchGovernor::Acquire(const std::string& source) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto has_slot = [&] {
+    if (options_.max_in_flight != 0 &&
+        global_in_flight_ >= options_.max_in_flight) {
+      return false;
+    }
+    if (options_.per_source_max_in_flight != 0) {
+      auto it = per_source_in_flight_.find(source);
+      if (it != per_source_in_flight_.end() &&
+          it->second >= options_.per_source_max_in_flight) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (!has_slot()) {
+    ++stats_.waited;
+    slot_freed_.wait(lock, has_slot);
+  }
+  ++global_in_flight_;
+  ++per_source_in_flight_[source];
+  ++stats_.acquired;
+  stats_.peak_in_flight = std::max(stats_.peak_in_flight, global_in_flight_);
+}
+
+void FetchGovernor::Release(const std::string& source) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (global_in_flight_ > 0) --global_in_flight_;
+    auto it = per_source_in_flight_.find(source);
+    if (it != per_source_in_flight_.end() && it->second > 0) {
+      if (--it->second == 0) per_source_in_flight_.erase(it);
+    }
+  }
+  // Any waiter might be eligible now (the freed slot could satisfy either
+  // the global or a per-source bound), so wake them all.
+  slot_freed_.notify_all();
+}
+
+FetchGovernor::Ticket FetchGovernor::Begin(const std::string& key) {
+  Ticket ticket;
+  if (!options_.cross_query_coalesce) {
+    // Private entry: the caller leads unconditionally and Complete only
+    // publishes to itself.
+    ticket.leader = true;
+    ticket.entry = std::make_shared<InFlight>();
+    return ticket;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = in_flight_keys_.find(key);
+  if (it != in_flight_keys_.end()) {
+    ticket.leader = false;
+    ticket.entry = it->second;
+    ++stats_.cross_query_coalesced;
+    return ticket;
+  }
+  ticket.leader = true;
+  ticket.entry = std::make_shared<InFlight>();
+  in_flight_keys_.emplace(key, ticket.entry);
+  return ticket;
+}
+
+void FetchGovernor::Complete(const std::string& key, const Ticket& ticket,
+                             Result<relational::Relation> outcome) {
+  if (options_.cross_query_coalesce) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = in_flight_keys_.find(key);
+    if (it != in_flight_keys_.end() && it->second == ticket.entry) {
+      in_flight_keys_.erase(it);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(ticket.entry->mutex);
+    ticket.entry->outcome = std::move(outcome);
+    ticket.entry->done = true;
+  }
+  ticket.entry->done_cv.notify_all();
+}
+
+Result<relational::Relation> FetchGovernor::Wait(const Ticket& ticket) {
+  std::unique_lock<std::mutex> lock(ticket.entry->mutex);
+  ticket.entry->done_cv.wait(lock, [&] { return ticket.entry->done; });
+  return ticket.entry->outcome;
+}
+
+FetchGovernor::Stats FetchGovernor::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace limcap::runtime

@@ -1,0 +1,133 @@
+#ifndef LIMCAP_RUNTIME_FETCH_GOVERNOR_H_
+#define LIMCAP_RUNTIME_FETCH_GOVERNOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "relational/relation.h"
+
+namespace limcap::runtime {
+
+/// The server-wide source-access governor. One FetchGovernor is shared by
+/// every concurrently executing query of a ServeSession, lifting two
+/// things that used to be per-query properties of the FetchScheduler up
+/// to the whole server:
+///
+///   * **In-flight caps.** The paper's sources are autonomous services
+///     with their own admission limits; a server running N queries must
+///     not multiply those limits by N. Acquire/Release bracket every
+///     real source call, enforcing a global and a per-source bound
+///     across all queries (each scheduler still applies its own local
+///     caps on top).
+///
+///   * **Cross-query coalescing.** When two queries have the identical
+///     source query in flight at the same moment (same source, same
+///     bound positions, same *values*), only the first performs the
+///     call; the second blocks on the first's outcome and reuses the
+///     returned tuples. Keys are value-level — per-query dictionaries
+///     assign different ids to the same value, so scheduler-local id
+///     keys cannot match across queries.
+///
+/// Determinism contract: coalescing shares only the *outcome* (the tuple
+/// set / error, which is deterministic for a given source query — the
+/// catalog's sources, including the fault-injecting ones, are
+/// query-keyed), never timing or retry accounting, and each scheduler
+/// re-keys shared tuples onto its own session dictionary at its ordered
+/// merge point. A query answered through a governor is therefore
+/// bit-identical (exec::OrderedFingerprint) to the same query answered
+/// alone; only FetchReport cost accounting shows the saved work.
+///
+/// Thread safety: everything here is mutex-guarded; Acquire and Wait
+/// block. A leader never waits on a follower (followers hold no permits
+/// while waiting), so the wait graph is acyclic and the governor cannot
+/// deadlock the pools above it.
+class FetchGovernor {
+ public:
+  struct Options {
+    /// Server-wide cap on concurrently running source calls; 0 =
+    /// unlimited (schedulers' own caps still apply).
+    std::size_t max_in_flight = 64;
+    /// Server-wide per-source cap; 0 = unlimited.
+    std::size_t per_source_max_in_flight = 8;
+    /// Share identical in-flight source queries across queries.
+    bool cross_query_coalesce = true;
+  };
+
+  struct Stats {
+    /// Permits granted (= real source calls governed).
+    uint64_t acquired = 0;
+    /// Acquire calls that had to block for a free slot.
+    uint64_t waited = 0;
+    /// Fetches answered by another query's identical in-flight call.
+    uint64_t cross_query_coalesced = 0;
+    /// High-water mark of concurrently held permits.
+    std::size_t peak_in_flight = 0;
+  };
+
+  FetchGovernor() : FetchGovernor(Options()) {}
+  explicit FetchGovernor(Options options) : options_(options) {}
+
+  FetchGovernor(const FetchGovernor&) = delete;
+  FetchGovernor& operator=(const FetchGovernor&) = delete;
+
+  /// Blocks until both the global and `source`'s per-source budget have
+  /// a free slot, then claims one of each.
+  void Acquire(const std::string& source);
+  void Release(const std::string& source);
+
+  /// One published in-flight fetch. The outcome relation (on success) is
+  /// encoded against the leader's private per-fetch dictionary, which is
+  /// immutable once the leader completes — followers may re-key from it
+  /// concurrently (dictionary reads are thread-safe; only Intern is
+  /// confined to an owner).
+  struct InFlight {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    bool done = false;
+    Result<relational::Relation> outcome = Status::Internal("in flight");
+  };
+
+  /// The two roles Begin can hand out.
+  struct Ticket {
+    bool leader = false;
+    std::shared_ptr<InFlight> entry;
+  };
+
+  /// Registers interest in `key` (the canonical value-level source
+  /// query). The first caller becomes the leader and MUST call Complete
+  /// exactly once; later callers (while the leader is in flight) get a
+  /// follower ticket to Wait on. With cross_query_coalesce off, every
+  /// caller is a leader over a private entry.
+  Ticket Begin(const std::string& key);
+
+  /// Publishes the leader's outcome and retires the key — the window
+  /// closes, so a later identical query performs its own call (this is
+  /// in-flight sharing, not a result cache).
+  void Complete(const std::string& key, const Ticket& ticket,
+                Result<relational::Relation> outcome);
+
+  /// Follower side: blocks until the leader completes, then returns the
+  /// shared outcome.
+  static Result<relational::Relation> Wait(const Ticket& ticket);
+
+  const Options& options() const { return options_; }
+  Stats stats() const;
+
+ private:
+  const Options options_;
+  mutable std::mutex mutex_;
+  std::condition_variable slot_freed_;
+  std::size_t global_in_flight_ = 0;
+  std::map<std::string, std::size_t> per_source_in_flight_;
+  std::map<std::string, std::shared_ptr<InFlight>> in_flight_keys_;
+  Stats stats_;
+};
+
+}  // namespace limcap::runtime
+
+#endif  // LIMCAP_RUNTIME_FETCH_GOVERNOR_H_

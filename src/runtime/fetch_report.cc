@@ -34,6 +34,10 @@ std::string FetchReport::ToString() const {
   out += "simulated makespan: " + Ms(simulated_makespan_ms) +
          " ms (sequential: " + Ms(simulated_sequential_ms) + " ms, " +
          std::to_string(batches) + " batches)\n";
+  if (cross_query_coalesced > 0) {
+    out += "cross-query coalesced: " + std::to_string(cross_query_coalesced) +
+           " fetches reused other queries' in-flight calls\n";
+  }
   if (degraded()) {
     out += "DEGRADED: failed views:";
     for (const std::string& view : failed_views) out += " " + view;

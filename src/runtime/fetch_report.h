@@ -32,6 +32,10 @@ struct FetchReport {
     std::size_t timeouts = 0;
     /// Fetches answered by an identical in-flight query's result.
     std::size_t coalesced_hits = 0;
+    /// Fetches answered by ANOTHER query's identical in-flight source
+    /// call via the server-wide FetchGovernor (no source call made, no
+    /// attempts recorded here).
+    std::size_t cross_query_coalesced = 0;
     /// Fetches failed fast by an open circuit breaker.
     std::size_t breaker_skips = 0;
     /// Simulated milliseconds this source spent serving attempts and
@@ -48,6 +52,9 @@ struct FetchReport {
   std::size_t total_retries = 0;
   std::size_t total_timeouts = 0;
   std::size_t coalesced_hits = 0;
+  /// Fetches this execution saved by reusing other queries' in-flight
+  /// source calls (FetchGovernor cross-query coalescing).
+  std::size_t cross_query_coalesced = 0;
   /// Simulated end-to-end fetch time under the configured concurrency
   /// caps: Σ over batches of the batch's critical path.
   double simulated_makespan_ms = 0;

@@ -12,6 +12,7 @@
 
 #include "common/hash.h"
 #include "common/rng.h"
+#include "runtime/fetch_governor.h"
 #include "runtime/timed_source.h"
 
 namespace limcap::runtime {
@@ -41,6 +42,26 @@ uint64_t JitterSeed(uint64_t run_seed, const std::string& source,
   return Mix64(seed);
 }
 
+/// The value-level identity of a source query, comparable across queries:
+/// per-query dictionaries assign different ids to equal values, so the
+/// scheduler's id-level coalesce key cannot match across queries, while
+/// this one can. Kind tags keep Int64(1) distinct from String("1").
+std::string CrossQueryKey(const std::string& source,
+                          const std::vector<uint32_t>& positions,
+                          const std::vector<ValueId>& ids,
+                          const ValueDictionary& dict) {
+  std::string key = source;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const Value& value = dict.Get(ids[i]);
+    key += '\x1f';
+    key += std::to_string(positions[i]);
+    key += '=';
+    key += static_cast<char>('0' + static_cast<int>(value.kind()));
+    key += value.ToString();
+  }
+  return key;
+}
+
 }  // namespace
 
 /// One distinct (source, query) to actually dispatch. Coalesced duplicate
@@ -61,6 +82,12 @@ struct FetchScheduler::Leader {
   uint64_t jitter_seed = 0;
   bool allowed = true;   ///< false: failed fast by the circuit breaker
   bool executed = false; ///< false: skipped (breaker, or stop_on_error)
+  /// Value-level identity for FetchGovernor cross-query coalescing;
+  /// empty when no governor is coalescing this batch.
+  std::string cross_key;
+  /// Set by the worker when the governor answered this fetch with
+  /// another query's identical in-flight source call.
+  bool cross_coalesced = false;
 
   // Outcome block, written by ExecuteLeader.
   Result<relational::Relation> tuples = Status::Internal("not executed");
@@ -164,9 +191,35 @@ void FetchScheduler::RunLeadersConcurrently(std::vector<Leader>* leaders) {
       ++num_claimed;
       ++in_flight[todo[pick]->source_name];
       lock.unlock();
-      ExecuteLeader(todo[pick]);
+      Leader* job = todo[pick];
+      FetchGovernor* governor = options_.governor;
+      if (governor != nullptr && !job->cross_key.empty()) {
+        // Server-wide coalescing window: the first query with this
+        // value-level source query in flight performs the call; everyone
+        // else shares its outcome. Followers hold no governor permits
+        // while waiting, so leader → follower waits cannot cycle.
+        FetchGovernor::Ticket ticket = governor->Begin(job->cross_key);
+        if (ticket.leader) {
+          governor->Acquire(job->source_name);
+          ExecuteLeader(job);
+          governor->Release(job->source_name);
+          governor->Complete(job->cross_key, ticket, job->tuples);
+        } else {
+          job->tuples = FetchGovernor::Wait(ticket);
+          job->cross_coalesced = true;
+          // No attempts/duration: this query did not touch the source.
+          // The tuples sit on the other leader's private dictionary
+          // (immutable now) and are re-keyed at the ordered merge.
+        }
+      } else if (governor != nullptr) {
+        governor->Acquire(job->source_name);
+        ExecuteLeader(job);
+        governor->Release(job->source_name);
+      } else {
+        ExecuteLeader(job);
+      }
       lock.lock();
-      --in_flight[todo[pick]->source_name];
+      --in_flight[job->source_name];
       capacity_freed.notify_all();
     }
   });
@@ -299,9 +352,22 @@ std::vector<FetchResult> FetchScheduler::ExecuteBatch(
   //    results are re-interned on the driver in batch order below, which
   //    reproduces the serial interning order bit for bit.
   if (options_.concurrent) {
+    const bool cross_coalesce =
+        options_.governor != nullptr &&
+        options_.governor->options().cross_query_coalesce;
     for (Leader& leader : leaders) {
       if (!leader.allowed) continue;
       leader.executed = true;
+      if (cross_coalesce) {
+        // Value-level key, computed from the session dictionary before
+        // the ids are rewritten below. Only private-dictionary results
+        // may be shared across queries (a session dictionary keeps
+        // growing while foreign drivers would read it), which is why
+        // cross coalescing exists only on this concurrent path.
+        leader.cross_key =
+            CrossQueryKey(leader.source_name, leader.query.positions,
+                          leader.query.ids, *dict_);
+      }
       auto private_dict = std::make_shared<ValueDictionary>();
       for (ValueId& id : leader.query.ids) {
         id = private_dict->Intern(dict_->Get(id));
@@ -318,7 +384,16 @@ std::vector<FetchResult> FetchScheduler::ExecuteBatch(
         continue;
       }
       leader.executed = true;
-      ExecuteLeader(&leader);
+      if (options_.governor != nullptr) {
+        // Serial dispatch under a governor still honors the server-wide
+        // caps; it cannot share results (they land on the mutable
+        // session dictionary, unsafe for foreign readers).
+        options_.governor->Acquire(leader.source_name);
+        ExecuteLeader(&leader);
+        options_.governor->Release(leader.source_name);
+      } else {
+        ExecuteLeader(&leader);
+      }
       if (options_.stop_on_error && !leader.tuples.ok()) stopped = true;
     }
   }
@@ -369,6 +444,30 @@ std::vector<FetchResult> FetchScheduler::ExecuteBatch(
     if (!leader.executed) continue;  // stop_on_error skipped; never read.
     if (leader.tuples.ok() && leader.tuples->dict_ptr() != dict_) {
       leader.tuples = leader.tuples->WithDictionary(dict_);
+    }
+    if (leader.cross_coalesced) {
+      // Another query's source call answered this fetch: account the
+      // saved work, not attempts (this execution made none).
+      result.tuples = leader.tuples;
+      result.cross_coalesced = true;
+      ++stats.cross_query_coalesced;
+      ++report_.cross_query_coalesced;
+      // The breaker still learns the outcome — a solo run would have
+      // made this call and recorded it, so skipping would make breaker
+      // admission diverge from solo execution.
+      CircuitBreaker& shared_breaker = breakers_.at(leader.source_name);
+      if (leader.tuples.ok()) {
+        ++stats.successes;
+        shared_breaker.RecordSuccess();
+      } else {
+        ++stats.failed_queries;
+        report_.failed_views.insert(leader.source_name);
+        shared_breaker.RecordFailure(leader.finish_ms);
+      }
+      if (trace != nullptr) {
+        trace->Instant("fetch.cross_coalesced", leader.source_name);
+      }
+      continue;
     }
     result.tuples = leader.tuples;
     result.attempts = leader.attempts;

@@ -31,6 +31,9 @@ struct FetchResult {
   std::size_t timeouts = 0;
   /// Answered by an identical in-flight request's source call.
   bool coalesced = false;
+  /// Answered by ANOTHER query's identical in-flight source call
+  /// (FetchGovernor cross-query coalescing; concurrent dispatch only).
+  bool cross_coalesced = false;
   /// Failed fast by an open circuit breaker (no source call made).
   bool breaker_skipped = false;
   /// Attempt latencies + backoffs for this fetch.

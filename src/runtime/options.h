@@ -11,6 +11,8 @@
 
 namespace limcap::runtime {
 
+class FetchGovernor;
+
 /// Configuration of the asynchronous source-access runtime: how each
 /// fetch round's frontier of source queries is dispatched, retried, and
 /// accounted. The defaults reproduce the legacy serial evaluator exactly
@@ -49,6 +51,13 @@ struct RuntimeOptions {
   /// evaluator sets this from ExecOptions::continue_on_source_error;
   /// concurrent dispatch has already issued the batch and ignores it.
   bool stop_on_error = false;
+  /// Server-wide governor shared by every query of a multi-query server
+  /// (must outlive the execution; not owned). Adds server-wide in-flight
+  /// caps on top of this scheduler's own, and — under concurrent
+  /// dispatch — cross-query coalescing of identical in-flight source
+  /// queries. Null (the default) means this execution is ungoverned;
+  /// single-query results are bit-identical either way.
+  FetchGovernor* governor = nullptr;
 
   /// The policy for `view`: its override, or the default.
   const RetryPolicy& PolicyFor(const std::string& view) const {

@@ -4,6 +4,9 @@
 #include <algorithm>
 #include <memory>
 #include <set>
+#include <utility>
+
+#include "paperdata/paper_examples.h"
 
 namespace limcap::workload {
 
@@ -16,7 +19,9 @@ using relational::Relation;
 using relational::Row;
 using relational::Schema;
 
-std::string AttributeName(std::size_t i) { return "A" + std::to_string(i); }
+std::string AttributeName(const CatalogSpec& spec, std::size_t i) {
+  return spec.attribute_prefix + std::to_string(i);
+}
 
 BindingPattern RandomPattern(std::size_t arity, double bound_probability,
                              Rng* rng) {
@@ -54,7 +59,7 @@ GeneratedInstance GenerateInstance(const CatalogSpec& spec) {
       spec.topology == CatalogSpec::Topology::kChain ? spec.num_views + 1
                                                      : spec.num_attributes;
   for (std::size_t i = 0; i < attribute_count; ++i) {
-    instance.attributes.push_back(AttributeName(i));
+    instance.attributes.push_back(AttributeName(spec, i));
   }
 
   for (std::size_t v = 0; v < spec.num_views; ++v) {
@@ -62,13 +67,13 @@ GeneratedInstance GenerateInstance(const CatalogSpec& spec) {
     BindingPattern pattern;
     switch (spec.topology) {
       case CatalogSpec::Topology::kChain: {
-        schema_attributes = {AttributeName(v), AttributeName(v + 1)};
+        schema_attributes = {AttributeName(spec, v), AttributeName(spec, v + 1)};
         pattern = *BindingPattern::Parse("bf");
         break;
       }
       case CatalogSpec::Topology::kStar: {
         std::size_t spoke = 1 + rng.Below(attribute_count - 1);
-        schema_attributes = {AttributeName(0), AttributeName(spoke)};
+        schema_attributes = {AttributeName(spec, 0), AttributeName(spec, spoke)};
         pattern = RandomPattern(2, spec.bound_probability, &rng);
         break;
       }
@@ -81,7 +86,7 @@ GeneratedInstance GenerateInstance(const CatalogSpec& spec) {
           chosen.insert(rng.Below(attribute_count));
         }
         for (std::size_t a : chosen) {
-          schema_attributes.push_back(AttributeName(a));
+          schema_attributes.push_back(AttributeName(spec, a));
         }
         pattern =
             RandomPattern(schema_attributes.size(), spec.bound_probability,
@@ -91,7 +96,7 @@ GeneratedInstance GenerateInstance(const CatalogSpec& spec) {
     }
 
     SourceView view = *SourceView::Make(
-        "v" + std::to_string(v + 1),
+        spec.view_prefix + "v" + std::to_string(v + 1),
         Schema::MakeUnsafe(schema_attributes), pattern);
 
     Relation data(view.schema());
@@ -207,6 +212,133 @@ Result<planner::Query> GenerateQuery(const GeneratedInstance& instance,
   }
   return Status::NotFound(
       "could not generate a valid query for the requested shape");
+}
+
+const char* MixedRequestClassName(MixedRequest::Class query_class) {
+  switch (query_class) {
+    case MixedRequest::Class::kPaper:
+      return "paper";
+    case MixedRequest::Class::kChain:
+      return "chain";
+    case MixedRequest::Class::kRandom:
+      return "random";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Copies every view of `instance` into the merged workload: the same
+/// SourceView (so queries generated against the sub-instance validate
+/// against the merged catalog too) backed by a copy of the ground-truth
+/// extent. Register fails on a name collision, which the prefixes are
+/// there to prevent.
+Status MergeInstance(const GeneratedInstance& instance,
+                     MixedWorkload* workload) {
+  for (const SourceView& view : instance.views) {
+    const Relation& data = instance.full_data.at(view.name());
+    workload->full_data.emplace(view.name(), data);
+    LIMCAP_RETURN_NOT_OK(workload->catalog.Register(
+        std::make_unique<InMemorySource>(
+            InMemorySource::MakeUnsafe(view, data))));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<MixedWorkload> GenerateMixedWorkload(const MixedWorkloadSpec& spec) {
+  if (spec.paper_weight <= 0 && spec.chain_weight <= 0 &&
+      spec.random_weight <= 0) {
+    return Status::InvalidArgument("every class weight is zero");
+  }
+  MixedWorkload workload;
+  Rng rng(spec.seed);
+
+  // Paper class: Example 2.1's sources, domains, and (constant) query.
+  // The repeated identical query is the plan cache's warm path.
+  planner::Query paper_query;
+  if (spec.paper_weight > 0) {
+    paperdata::PaperExample example = paperdata::MakeExample21();
+    for (const capability::SourceView& view : example.views) {
+      LIMCAP_ASSIGN_OR_RETURN(capability::Source * source,
+                              example.catalog.Find(view.name()));
+      auto* in_memory = dynamic_cast<capability::InMemorySource*>(source);
+      if (in_memory == nullptr) {
+        return Status::Internal("paper example source is not in-memory");
+      }
+      workload.full_data.emplace(view.name(), in_memory->data());
+      LIMCAP_RETURN_NOT_OK(workload.catalog.Register(
+          std::make_unique<InMemorySource>(
+              InMemorySource::MakeUnsafe(view, in_memory->data()))));
+    }
+    for (const auto& [attribute, domain] : example.domains.overrides()) {
+      workload.domains.SetDomain(attribute, domain);
+    }
+    paper_query = example.query;
+  }
+
+  // Chain and random sub-catalogs, name-prefixed apart from each other
+  // and from the paper's v1..v4 / Song..Price namespace. Each class keeps
+  // its own attribute pool, so its domains stay disjoint too (binding
+  // assumption 1: values never cross domains between classes).
+  GeneratedInstance chain_instance;
+  if (spec.chain_weight > 0) {
+    CatalogSpec chain_spec = spec.chain;
+    chain_spec.topology = CatalogSpec::Topology::kChain;
+    chain_spec.view_prefix = "c";
+    chain_spec.attribute_prefix = "CA";
+    chain_spec.seed ^= spec.seed;
+    chain_instance = GenerateInstance(chain_spec);
+    LIMCAP_RETURN_NOT_OK(MergeInstance(chain_instance, &workload));
+  }
+  GeneratedInstance random_instance;
+  if (spec.random_weight > 0) {
+    CatalogSpec random_spec = spec.random;
+    random_spec.topology = CatalogSpec::Topology::kRandom;
+    random_spec.view_prefix = "r";
+    random_spec.attribute_prefix = "RA";
+    random_spec.seed ^= ~spec.seed;
+    random_instance = GenerateInstance(random_spec);
+    LIMCAP_RETURN_NOT_OK(MergeInstance(random_instance, &workload));
+  }
+
+  // Seeded arrival order: one weighted class draw per slot, then a fresh
+  // query for the generated classes (seed drawn from the same stream, so
+  // the whole sequence replays from spec.seed alone).
+  const double total = std::max(0.0, spec.paper_weight) +
+                       std::max(0.0, spec.chain_weight) +
+                       std::max(0.0, spec.random_weight);
+  workload.requests.reserve(spec.num_requests);
+  for (std::size_t i = 0; i < spec.num_requests; ++i) {
+    MixedRequest request;
+    const double pick = rng.NextDouble() * total;
+    if (pick < std::max(0.0, spec.paper_weight)) {
+      request.query_class = MixedRequest::Class::kPaper;
+      request.query = paper_query;
+    } else {
+      const bool chain =
+          pick < std::max(0.0, spec.paper_weight) +
+                     std::max(0.0, spec.chain_weight);
+      request.query_class = chain ? MixedRequest::Class::kChain
+                                  : MixedRequest::Class::kRandom;
+      const GeneratedInstance& instance =
+          chain ? chain_instance : random_instance;
+      QuerySpec query_spec = chain ? spec.chain_query : spec.random_query;
+      // GenerateQuery's internal retries are per-seed; reseed a few times
+      // before giving up on the shape entirely.
+      Result<planner::Query> query =
+          Status::NotFound("no query attempt made");
+      for (int reseed = 0; reseed < 8 && !query.ok(); ++reseed) {
+        query_spec.seed = rng.Next();
+        query = GenerateQuery(instance, query_spec);
+      }
+      if (!query.ok()) return query.status();
+      request.query = *std::move(query);
+    }
+    workload.requests.push_back(std::move(request));
+  }
+  return workload;
 }
 
 }  // namespace limcap::workload

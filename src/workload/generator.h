@@ -31,6 +31,13 @@ struct CatalogSpec {
   };
 
   Topology topology = Topology::kRandom;
+  /// Name prefixes, so instances generated from several specs can merge
+  /// into one catalog (the mixed serving workload) without collisions:
+  /// views are named "<view_prefix>v1".., attributes
+  /// "<attribute_prefix>0"... The defaults reproduce the historical
+  /// names ("v1", "A0").
+  std::string view_prefix;
+  std::string attribute_prefix = "A";
   std::size_t num_views = 10;
   /// Size of the global attribute pool (A0..A{n-1}).
   std::size_t num_attributes = 8;
@@ -78,6 +85,62 @@ struct QuerySpec {
 /// valid query exists for the requested shape after bounded retries.
 Result<planner::Query> GenerateQuery(const GeneratedInstance& instance,
                                      const QuerySpec& spec);
+
+/// One request of a mixed serving workload: which query class it belongs
+/// to and the query itself.
+struct MixedRequest {
+  enum class Class {
+    kPaper,   ///< the paper's Example 2.1 query (constant — cache-warm)
+    kChain,   ///< a fresh query over the chain sub-catalog
+    kRandom,  ///< a fresh query over the random-topology sub-catalog
+  };
+  Class query_class = Class::kPaper;
+  planner::Query query;
+};
+
+const char* MixedRequestClassName(MixedRequest::Class query_class);
+
+/// Shape of a mixed serving workload: three query classes interleaved in
+/// a seeded arrival order over ONE merged catalog, so a single
+/// ServeSession can answer all of them. A zero weight drops a class and
+/// its sources entirely.
+struct MixedWorkloadSpec {
+  std::size_t num_requests = 64;
+  /// Drives the arrival order, the per-request query seeds, and (xor'd
+  /// in) the sub-catalog seeds — one knob reproduces the whole workload.
+  uint64_t seed = 1;
+  double paper_weight = 1.0;
+  double chain_weight = 1.0;
+  double random_weight = 1.0;
+  /// Sub-catalog shapes. Topologies and name prefixes are forced by the
+  /// generator (kChain with "c"/"CA", kRandom with "r"/"RA") so the
+  /// merged catalog has no name collisions with the paper's v1..v4.
+  CatalogSpec chain;
+  CatalogSpec random;
+  QuerySpec chain_query{1, 3, 1, 7};
+  QuerySpec random_query{2, 2, 1, 7};
+};
+
+/// A mixed workload, fully materialized: the merged catalog (paper
+/// Example 2.1 sources + chain views + random-topology views), merged
+/// domains, ground-truth extents, and the seeded request sequence.
+/// Every request validates against `catalog`. Queries round-trip through
+/// planner::ParseQuery / Query::ToString, so the limcap_serve client can
+/// regenerate the identical sequence from the same spec and send it as
+/// text.
+struct MixedWorkload {
+  capability::SourceCatalog catalog;
+  planner::DomainMap domains;
+  /// Ground-truth extents of every merged view, for oracles.
+  std::map<std::string, relational::Relation> full_data;
+  /// Arrival order.
+  std::vector<MixedRequest> requests;
+};
+
+/// Generates a mixed workload, deterministically from spec.seed. Fails
+/// when every weight is zero or a sub-generator cannot produce a valid
+/// query for the requested shape.
+Result<MixedWorkload> GenerateMixedWorkload(const MixedWorkloadSpec& spec);
 
 }  // namespace limcap::workload
 

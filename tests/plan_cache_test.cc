@@ -275,6 +275,25 @@ TEST(PlanCacheTest, CapacityZeroDisables) {
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.Lookup(1, Entry(1, "a")->signature), nullptr);
   EXPECT_EQ(cache.stats().inserts, 0u);
+  // The consulted-but-disabled lookup still counts: hit + miss must equal
+  // the number of Lookup calls (a reject-gated query against a disabled
+  // cache used to vanish from the stats entirely).
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(PlanCacheTest, StatsSnapshotCarriesSizeAndCapacity) {
+  PlanCache cache(/*capacity=*/2);
+  EXPECT_EQ(cache.stats().size, 0u);
+  EXPECT_EQ(cache.stats().capacity, 2u);
+  cache.Insert(Entry(1, "a"));
+  cache.Insert(Entry(1, "b"));
+  cache.Insert(Entry(1, "c"));  // evicts "a"
+  const PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.size, 2u);
+  EXPECT_EQ(stats.capacity, 2u);
+  EXPECT_EQ(stats.inserts, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
 }
 
 TEST(PlanCacheTest, InvalidateDropsExactlyOneGeneration) {

@@ -2,6 +2,7 @@
 
 #include "exec/oracle.h"
 #include "exec/query_answerer.h"
+#include "planner/query_parser.h"
 #include "workload/generator.h"
 
 namespace limcap::workload {
@@ -129,6 +130,86 @@ TEST(GeneratorTest, ChainQueryEndToEnd) {
   auto complete = exec::CompleteAnswer(query, instance.full_data);
   ASSERT_TRUE(complete.ok());
   EXPECT_TRUE(report->exec.answer == *complete);
+}
+
+// ---------------------------------------------------------------------------
+// Mixed serving workload.
+
+TEST(MixedWorkloadTest, DeterministicAndInterleavesAllClasses) {
+  MixedWorkloadSpec spec;
+  spec.seed = 5;
+  spec.num_requests = 48;
+  auto a = GenerateMixedWorkload(spec);
+  auto b = GenerateMixedWorkload(spec);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  // Same spec, same arrival sequence — byte for byte. This is what lets
+  // limcap_serve_client regenerate the daemon's workload from a seed.
+  ASSERT_EQ(a->requests.size(), b->requests.size());
+  std::size_t paper = 0, chain = 0, random = 0;
+  for (std::size_t i = 0; i < a->requests.size(); ++i) {
+    EXPECT_EQ(a->requests[i].query_class, b->requests[i].query_class);
+    EXPECT_EQ(a->requests[i].query.ToString(),
+              b->requests[i].query.ToString());
+    switch (a->requests[i].query_class) {
+      case MixedRequest::Class::kPaper:
+        ++paper;
+        break;
+      case MixedRequest::Class::kChain:
+        ++chain;
+        break;
+      case MixedRequest::Class::kRandom:
+        ++random;
+        break;
+    }
+  }
+  // Equal default weights over 48 draws: every class shows up.
+  EXPECT_GT(paper, 0u);
+  EXPECT_GT(chain, 0u);
+  EXPECT_GT(random, 0u);
+
+  // The merged catalog holds all three source families, names disjoint.
+  EXPECT_TRUE(a->catalog.Contains("v1"));   // paper Example 2.1
+  EXPECT_TRUE(a->catalog.Contains("cv1"));  // chain, prefixed
+  EXPECT_TRUE(a->catalog.Contains("rv1"));  // random topology, prefixed
+}
+
+TEST(MixedWorkloadTest, QueriesValidateAndRoundTripAsText) {
+  MixedWorkloadSpec spec;
+  spec.seed = 12;
+  spec.num_requests = 24;
+  auto workload = GenerateMixedWorkload(spec);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  for (const MixedRequest& request : workload->requests) {
+    EXPECT_TRUE(request.query.Validate(workload->catalog).ok())
+        << request.query.ToString();
+    // The serve wire protocol ships queries as paper-notation text.
+    const std::string text = request.query.ToString();
+    auto parsed = planner::ParseQuery(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status() << " for " << text;
+    EXPECT_EQ(parsed->ToString(), text);
+  }
+}
+
+TEST(MixedWorkloadTest, ZeroWeightDropsClassAndItsSources) {
+  MixedWorkloadSpec spec;
+  spec.seed = 9;
+  spec.num_requests = 16;
+  spec.random_weight = 0;
+  auto workload = GenerateMixedWorkload(spec);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  EXPECT_FALSE(workload->catalog.Contains("rv1"));
+  for (const MixedRequest& request : workload->requests) {
+    EXPECT_NE(request.query_class, MixedRequest::Class::kRandom);
+  }
+
+  MixedWorkloadSpec none;
+  none.paper_weight = 0;
+  none.chain_weight = 0;
+  none.random_weight = 0;
+  EXPECT_EQ(GenerateMixedWorkload(none).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 }  // namespace

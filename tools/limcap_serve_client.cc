@@ -1,0 +1,293 @@
+// limcap_serve_client: drives a running limcap_serve daemon with the
+// generated workload and reports latency/throughput.
+//
+//   limcap_serve_client --port N [--scenario mixed|paper] [--seed N]
+//                       [--count N] [--concurrency C] [--deadline-ms D]
+//                       [--status] [--shutdown]
+//
+// The client regenerates the daemon's scenario from the same --seed —
+// the workload generator is deterministic, so "mixed" with matching
+// seeds produces exactly the queries the daemon's merged catalog can
+// answer — and sends them as paper-notation text over C concurrent
+// connections (one synchronous request stream per connection).
+//
+// Output: one JSON summary line on stdout —
+//   {"sent":N,"ok":..,"shed":..,"failed":..,"p50_ms":..,"p99_ms":..,
+//    "qps":..,"wall_ms":..[,"status":{...}][,"bye":true]}
+// "shed" counts kLoadShed refusals (admission control working as
+// designed), "failed" everything else non-OK. --status appends a server
+// status snapshot; --shutdown sends a shutdown frame afterwards and
+// waits for the server's "bye" (exit 1 if it never comes).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "mediator/serve_protocol.h"
+#include "paperdata/paper_examples.h"
+#include "workload/generator.h"
+
+namespace {
+
+using limcap::Json;
+using limcap::StatusCode;
+using limcap::mediator::ReadFrame;
+using limcap::mediator::WriteFrame;
+
+constexpr const char* kUsage =
+    "usage: limcap_serve_client --port N [--scenario mixed|paper]\n"
+    "                           [--seed N] [--count N] [--concurrency C]\n"
+    "                           [--deadline-ms D] [--status] [--shutdown]\n";
+
+int Connect(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in address;
+  std::memset(&address, 0, sizeof(address));
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+struct Outcome {
+  bool responded = false;
+  bool ok = false;
+  bool shed = false;
+  double latency_ms = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 0;
+  std::string scenario = "mixed";
+  uint64_t seed = 1;
+  std::size_t count = 64;
+  std::size_t concurrency = 4;
+  double deadline_ms = 0;
+  bool want_status = false;
+  bool want_shutdown = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "limcap_serve_client: " << arg << " needs an argument\n"
+                  << kUsage;
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      port = std::atoi(next());
+    } else if (arg == "--scenario") {
+      scenario = next();
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--count") {
+      count = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--concurrency") {
+      concurrency = std::max<std::size_t>(1, std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--deadline-ms") {
+      deadline_ms = std::atof(next());
+    } else if (arg == "--status") {
+      want_status = true;
+    } else if (arg == "--shutdown") {
+      want_shutdown = true;
+    } else if (arg == "--help") {
+      std::cout << kUsage;
+      return 0;
+    } else {
+      std::cerr << "limcap_serve_client: unknown flag " << arg << "\n"
+                << kUsage;
+      return 2;
+    }
+  }
+  if (port <= 0) {
+    std::cerr << "limcap_serve_client: --port is required\n" << kUsage;
+    return 2;
+  }
+
+  // The request sequence, as wire text.
+  std::vector<std::string> queries;
+  if (scenario == "mixed") {
+    limcap::workload::MixedWorkloadSpec spec;
+    spec.seed = seed;
+    spec.num_requests = count;
+    auto workload = limcap::workload::GenerateMixedWorkload(spec);
+    if (!workload.ok()) {
+      std::cerr << "limcap_serve_client: workload generation failed: "
+                << workload.status().ToString() << "\n";
+      return 2;
+    }
+    queries.reserve(count);
+    for (const limcap::workload::MixedRequest& request : workload->requests) {
+      queries.push_back(request.query.ToString());
+    }
+  } else if (scenario == "paper") {
+    const std::string text = limcap::paperdata::MakeExample21().query.ToString();
+    queries.assign(count, text);
+  } else {
+    std::cerr << "limcap_serve_client: unknown scenario \"" << scenario
+              << "\"\n" << kUsage;
+    return 2;
+  }
+
+  // One synchronous request stream per connection; request i rides
+  // connection i % C, so C requests are in flight server-side.
+  std::vector<Outcome> outcomes(queries.size());
+  std::atomic<bool> io_failed{false};
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> streams;
+  streams.reserve(concurrency);
+  for (std::size_t c = 0; c < concurrency; ++c) {
+    streams.emplace_back([&, c] {
+      const int fd = Connect(port);
+      if (fd < 0) {
+        io_failed = true;
+        return;
+      }
+      for (std::size_t i = c; i < queries.size(); i += concurrency) {
+        Json request = Json::MakeObject();
+        request.Set("type", "query");
+        request.Set("id", static_cast<uint64_t>(i));
+        request.Set("query", queries[i]);
+        if (deadline_ms > 0) request.Set("deadline_ms", deadline_ms);
+        const auto start = std::chrono::steady_clock::now();
+        if (!WriteFrame(fd, request.Dump()).ok()) {
+          io_failed = true;
+          break;
+        }
+        limcap::Result<std::string> frame = ReadFrame(fd);
+        if (!frame.ok()) {
+          io_failed = true;
+          break;
+        }
+        limcap::Result<Json> reply = Json::Parse(*frame);
+        if (!reply.ok()) {
+          io_failed = true;
+          break;
+        }
+        Outcome& outcome = outcomes[i];
+        outcome.responded = true;
+        outcome.latency_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+        outcome.ok = reply->GetBool("ok", false);
+        outcome.shed =
+            !outcome.ok &&
+            static_cast<int>(reply->GetNumber("code", 0)) ==
+                static_cast<int>(StatusCode::kLoadShed);
+      }
+      ::close(fd);
+    });
+  }
+  for (std::thread& stream : streams) stream.join();
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - wall_start)
+                             .count();
+
+  std::size_t ok = 0, shed = 0, failed = 0, responded = 0;
+  std::vector<double> latencies;
+  latencies.reserve(outcomes.size());
+  for (const Outcome& outcome : outcomes) {
+    if (!outcome.responded) continue;
+    ++responded;
+    latencies.push_back(outcome.latency_ms);
+    if (outcome.ok) {
+      ++ok;
+    } else if (outcome.shed) {
+      ++shed;
+    } else {
+      ++failed;
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  auto percentile = [&](double p) {
+    if (latencies.empty()) return 0.0;
+    const std::size_t index = std::min(
+        latencies.size() - 1,
+        static_cast<std::size_t>(p * static_cast<double>(latencies.size())));
+    return latencies[index];
+  };
+
+  Json summary = Json::MakeObject();
+  summary.Set("sent", static_cast<uint64_t>(queries.size()));
+  summary.Set("responded", static_cast<uint64_t>(responded));
+  summary.Set("ok", static_cast<uint64_t>(ok));
+  summary.Set("shed", static_cast<uint64_t>(shed));
+  summary.Set("failed", static_cast<uint64_t>(failed));
+  summary.Set("p50_ms", percentile(0.50));
+  summary.Set("p99_ms", percentile(0.99));
+  summary.Set("wall_ms", wall_ms);
+  summary.Set("qps", wall_ms > 0 ? 1000.0 * static_cast<double>(responded) /
+                                       wall_ms
+                                 : 0.0);
+
+  bool control_failed = false;
+  if (want_status || want_shutdown) {
+    const int fd = Connect(port);
+    if (fd < 0) {
+      control_failed = true;
+    } else {
+      if (want_status) {
+        Json request = Json::MakeObject();
+        request.Set("type", "status");
+        request.Set("id", static_cast<uint64_t>(queries.size()));
+        if (WriteFrame(fd, request.Dump()).ok()) {
+          limcap::Result<std::string> frame = ReadFrame(fd);
+          limcap::Result<Json> reply =
+              frame.ok() ? Json::Parse(*frame)
+                         : limcap::Result<Json>(frame.status());
+          if (reply.ok()) {
+            summary.Set("status", *std::move(reply));
+          } else {
+            control_failed = true;
+          }
+        } else {
+          control_failed = true;
+        }
+      }
+      if (want_shutdown) {
+        Json request = Json::MakeObject();
+        request.Set("type", "shutdown");
+        request.Set("id", static_cast<uint64_t>(queries.size()) + 1);
+        bool bye = false;
+        if (WriteFrame(fd, request.Dump()).ok()) {
+          limcap::Result<std::string> frame = ReadFrame(fd);
+          if (frame.ok()) {
+            limcap::Result<Json> reply = Json::Parse(*frame);
+            bye = reply.ok() && reply->GetString("type") == "bye";
+          }
+        }
+        summary.Set("bye", bye);
+        if (!bye) control_failed = true;
+      }
+      ::close(fd);
+    }
+  }
+
+  std::printf("%s\n", summary.Dump().c_str());
+  if (io_failed || control_failed || responded != queries.size()) return 1;
+  return 0;
+}
