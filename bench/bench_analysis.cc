@@ -105,6 +105,28 @@ BENCHMARK(BM_AnalyzeProgram)
     ->Arg(400)
     ->Unit(benchmark::kMillisecond);
 
+/// The binding-flow pass alone (this PR's tentpole): the staged
+/// forward/backward fixpoint over the adorned program plus certificate
+/// construction. Budget: ≤100ms on the 400-view chain (asserted by the
+/// reporter invariants in bench_report).
+void BM_AnalyzeBindingFlow(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ChainProgram setup = MakeChainProgram(n, /*tuples_per_view=*/1);
+  for (auto _ : state) {
+    auto result = limcap::analysis::AnalyzeBindingFlow(
+        setup.program, setup.instance.views, setup.instance.domains);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["views"] = static_cast<double>(n);
+  state.counters["rules"] = static_cast<double>(setup.program.rules().size());
+}
+BENCHMARK(BM_AnalyzeBindingFlow)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(200)
+    ->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
 /// The thing the analyzer gates: actually answering the query. Run with
 /// real data so the comparison is honest — analysis time should be a
 /// small fraction of this.

@@ -246,6 +246,16 @@ AnalysisResult AnalyzeProgram(const Program& program,
                                    source_map, &bag);
   }
 
+  if (options.check_binding_flow) {
+    BindingFlowOptions flow_options;
+    flow_options.goal_predicate = options.goal_predicate;
+    result.binding_flow =
+        AnalyzeBindingFlow(program, views, options.domains, flow_options);
+    result.binding_flow_ran = true;
+    AppendBindingFlowDiagnostics(program, result.binding_flow, source_map,
+                                 &bag);
+  }
+
   bag.Sort();
   return result;
 }

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/binding_flow.h"
 #include "analysis/diagnostics.h"
 #include "analysis/executability.h"
 #include "capability/source_view.h"
@@ -28,6 +29,9 @@ struct AnalysisOptions {
   bool check_goal_reachability = true;
   bool note_singleton_variables = true;
   bool note_recursion = true;
+  /// The binding-flow pass (LC030-LC032) is opt-in: `limcap_lint --deep`
+  /// and the execution gate enable it; plain lint output stays stable.
+  bool check_binding_flow = false;
 };
 
 /// Everything the analyzer found.
@@ -37,6 +41,9 @@ struct AnalysisResult {
   /// Per-rule executability verdicts (empty when the pass was disabled).
   ExecutabilityResult executability;
   bool executability_ran = false;
+  /// Binding-flow channel verdicts (empty when the pass was disabled).
+  BindingFlowResult binding_flow;
+  bool binding_flow_ran = false;
 
   bool ok() const { return !diagnostics.has_errors(); }
 };

@@ -1,0 +1,882 @@
+#include "analysis/binding_flow.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+
+namespace limcap::analysis {
+
+namespace {
+
+using capability::BindingPattern;
+using capability::SourceView;
+using datalog::Atom;
+using datalog::Program;
+using datalog::Rule;
+using datalog::Term;
+
+using ChannelKey = std::pair<std::string, std::size_t>;
+
+/// The forward (reachability) fixpoint, staged to mirror the
+/// evaluator's fetch/eval alternation.
+struct ForwardState {
+  /// Distinct ground tuples derivable per predicate while the predicate
+  /// is still constant-only (facts plus ground rule heads).
+  std::map<std::string, std::set<std::string>> constants;
+  /// Predicates some firing rule derives with a variable head term.
+  std::set<std::string> var_derived;
+  /// Mentioned views with at least one active channel.
+  std::set<std::string> populated_views;
+  /// Active channels, mapped to the wave of first activation.
+  std::map<ChannelKey, std::size_t> active;
+  /// Per-rule: the rule abstractly fires at the fixpoint.
+  std::vector<bool> fired;
+  /// Mentioned catalog views, in catalog order.
+  std::vector<const SourceView*> mentioned;
+};
+
+bool Populated(const ForwardState& state, const std::string& predicate) {
+  return state.var_derived.count(predicate) > 0 ||
+         state.constants.count(predicate) > 0 ||
+         state.populated_views.count(predicate) > 0;
+}
+
+AbstractBinding ValueOf(const ForwardState& state,
+                        const std::string& predicate) {
+  if (state.var_derived.count(predicate) > 0 ||
+      state.populated_views.count(predicate) > 0) {
+    return AbstractBinding::kVariable;
+  }
+  if (state.constants.count(predicate) > 0) return AbstractBinding::kConstant;
+  return AbstractBinding::kBottom;
+}
+
+std::string GroundTuple(const Atom& atom) {
+  std::string out;
+  for (const Term& term : atom.terms) {
+    if (!out.empty()) out += ",";
+    out += term.ToString();
+  }
+  return out;
+}
+
+/// Applies a firing rule's head effect; idempotent.
+void JoinHead(const Atom& head, ForwardState* state) {
+  bool ground = true;
+  for (const Term& term : head.terms) {
+    if (term.is_variable()) {
+      ground = false;
+      break;
+    }
+  }
+  if (ground) {
+    state->constants[head.predicate].insert(GroundTuple(head));
+  } else {
+    state->var_derived.insert(head.predicate);
+  }
+}
+
+/// One rule-closure stage: fires every fireable rule to a fixpoint
+/// without activating new channels.
+void CloseRules(const Program& program, ForwardState* state) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t r = 0; r < program.rules().size(); ++r) {
+      if (state->fired[r]) continue;
+      const Rule& rule = program.rules()[r];
+      bool fireable = true;
+      for (const Atom& atom : rule.body) {
+        if (!Populated(*state, atom.predicate)) {
+          fireable = false;
+          break;
+        }
+      }
+      if (!fireable) continue;
+      state->fired[r] = true;
+      JoinHead(rule.head, state);
+      changed = true;
+    }
+  }
+}
+
+bool ChannelFormable(const ForwardState& state, const SourceView& view,
+                     const BindingPattern& pattern,
+                     const planner::DomainMap& domains) {
+  for (std::size_t pos : pattern.BoundPositions()) {
+    const std::string domain = domains.DomainOf(view.schema().attribute(pos));
+    if (!Populated(state, domain)) return false;
+  }
+  return true;
+}
+
+ForwardState ComputeForward(const Program& program,
+                            const std::vector<SourceView>& views,
+                            const planner::DomainMap& domains) {
+  ForwardState state;
+  state.fired.assign(program.rules().size(), false);
+
+  const std::set<std::string> predicates = program.AllPredicates();
+  for (const SourceView& view : views) {
+    if (predicates.count(view.name()) > 0) state.mentioned.push_back(&view);
+  }
+
+  // Wave k: close rules over what is populated, then activate every
+  // channel whose bound domains are populated — the queries the
+  // evaluator could form in fetch round k.
+  std::size_t wave = 0;
+  while (true) {
+    CloseRules(program, &state);
+    std::vector<ChannelKey> newly;
+    for (const SourceView* view : state.mentioned) {
+      for (std::size_t t = 0; t < view->templates().size(); ++t) {
+        const ChannelKey key{view->name(), t};
+        if (state.active.count(key) > 0) continue;
+        if (ChannelFormable(state, *view, view->templates()[t], domains)) {
+          newly.push_back(key);
+        }
+      }
+    }
+    if (newly.empty()) break;
+    for (const ChannelKey& key : newly) {
+      state.active.emplace(key, wave);
+      state.populated_views.insert(key.first);
+    }
+    ++wave;
+  }
+  return state;
+}
+
+/// Parent pointer recorded during the backward closure: how a needed
+/// predicate feeds its consumer on the way to the goal.
+struct ParentLink {
+  WitnessStep::Link link = WitnessStep::Link::kGoal;
+  std::size_t rule_index = 0;
+  std::string via_view;
+  std::size_t via_template = 0;
+  std::string consumer;
+};
+
+bool IsGoal(const std::string& predicate, const std::string& goal) {
+  return predicate == goal ||
+         (predicate.size() > goal.size() + 1 &&
+          predicate.compare(0, goal.size(), goal) == 0 &&
+          predicate[goal.size()] == '$');
+}
+
+struct BackwardState {
+  std::set<std::string> needed;
+  std::map<std::string, ParentLink> parent;
+};
+
+BackwardState ComputeBackward(const Program& program,
+                              const ForwardState& forward,
+                              const planner::DomainMap& domains,
+                              const std::string& goal) {
+  BackwardState state;
+  std::deque<std::string> work;
+  for (const std::string& predicate : program.AllPredicates()) {
+    if (IsGoal(predicate, goal)) {
+      state.needed.insert(predicate);
+      work.push_back(predicate);
+    }
+  }
+  std::unordered_map<std::string, const SourceView*> view_by_name;
+  for (const SourceView* view : forward.mentioned) {
+    view_by_name.emplace(view->name(), view);
+  }
+  auto need = [&](const std::string& predicate, ParentLink link) {
+    if (state.needed.count(predicate) > 0) return;
+    state.needed.insert(predicate);
+    state.parent.emplace(predicate, std::move(link));
+    work.push_back(predicate);
+  };
+  while (!work.empty()) {
+    const std::string q = work.front();
+    work.pop_front();
+    for (std::size_t r = 0; r < program.rules().size(); ++r) {
+      if (!forward.fired[r]) continue;
+      const Rule& rule = program.rules()[r];
+      if (rule.head.predicate != q) continue;
+      for (const Atom& atom : rule.body) {
+        ParentLink link;
+        link.link = WitnessStep::Link::kRule;
+        link.rule_index = r;
+        link.consumer = q;
+        need(atom.predicate, std::move(link));
+      }
+    }
+    auto it = view_by_name.find(q);
+    if (it != view_by_name.end()) {
+      const SourceView& view = *it->second;
+      for (std::size_t t = 0; t < view.templates().size(); ++t) {
+        if (forward.active.count({view.name(), t}) == 0) continue;
+        for (std::size_t pos : view.templates()[t].BoundPositions()) {
+          ParentLink link;
+          link.link = WitnessStep::Link::kChannel;
+          link.via_view = view.name();
+          link.via_template = t;
+          link.consumer = q;
+          need(domains.DomainOf(view.schema().attribute(pos)),
+               std::move(link));
+        }
+      }
+    }
+  }
+  return state;
+}
+
+std::vector<std::string> SortedPopulated(const ForwardState& state) {
+  std::set<std::string> populated;
+  for (const auto& [predicate, tuples] : state.constants) {
+    populated.insert(predicate);
+  }
+  populated.insert(state.var_derived.begin(), state.var_derived.end());
+  populated.insert(state.populated_views.begin(),
+                   state.populated_views.end());
+  return {populated.begin(), populated.end()};
+}
+
+std::vector<WitnessStep> BuildWitness(const BackwardState& backward,
+                                      const std::string& start) {
+  std::vector<WitnessStep> steps;
+  std::string cur = start;
+  while (true) {
+    auto it = backward.parent.find(cur);
+    if (it == backward.parent.end()) {
+      WitnessStep step;
+      step.predicate = cur;
+      step.link = WitnessStep::Link::kGoal;
+      steps.push_back(std::move(step));
+      return steps;
+    }
+    WitnessStep step;
+    step.predicate = cur;
+    step.link = it->second.link;
+    step.rule_index = it->second.rule_index;
+    step.via_view = it->second.via_view;
+    step.via_template = it->second.via_template;
+    steps.push_back(std::move(step));
+    cur = it->second.consumer;
+  }
+}
+
+std::uint64_t SaturatingMul(std::uint64_t a, std::uint64_t b) {
+  if (a != 0 && b > std::numeric_limits<std::uint64_t>::max() / a) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return a * b;
+}
+
+std::uint64_t SaturatingAdd(std::uint64_t a, std::uint64_t b) {
+  if (b > std::numeric_limits<std::uint64_t>::max() - a) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return a + b;
+}
+
+std::string ChannelLabel(const ChannelVerdict& verdict) {
+  return "channel " + verdict.view + "[" +
+         std::to_string(verdict.template_index) + "] '" + verdict.adornment +
+         "'";
+}
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  for (char c : in) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* AbstractBindingToString(AbstractBinding binding) {
+  switch (binding) {
+    case AbstractBinding::kBottom:
+      return "bottom";
+    case AbstractBinding::kConstant:
+      return "constant";
+    case AbstractBinding::kVariable:
+      return "variable";
+  }
+  return "bottom";
+}
+
+std::vector<std::pair<std::string, std::size_t>>
+BindingFlowResult::PrunedChannels() const {
+  std::vector<std::pair<std::string, std::size_t>> pruned;
+  for (const ChannelVerdict& verdict : channels) {
+    if (!verdict.relevant) {
+      pruned.emplace_back(verdict.view, verdict.template_index);
+    }
+  }
+  return pruned;
+}
+
+BindingFlowResult AnalyzeBindingFlow(const Program& program,
+                                     const std::vector<SourceView>& views,
+                                     const planner::DomainMap& domains,
+                                     const BindingFlowOptions& options) {
+  BindingFlowResult result;
+  const ForwardState forward = ComputeForward(program, views, domains);
+  const BackwardState backward =
+      ComputeBackward(program, forward, domains, options.goal_predicate);
+
+  result.needed_predicates = backward.needed;
+  for (const std::string& predicate : SortedPopulated(forward)) {
+    result.predicate_values[predicate] = ValueOf(forward, predicate);
+  }
+
+  const std::vector<std::string> populated = SortedPopulated(forward);
+  const std::vector<std::string> needed_sorted(backward.needed.begin(),
+                                               backward.needed.end());
+
+  for (const SourceView* view : forward.mentioned) {
+    for (std::size_t t = 0; t < view->templates().size(); ++t) {
+      const BindingPattern& pattern = view->templates()[t];
+      ChannelVerdict verdict;
+      verdict.view = view->name();
+      verdict.template_index = t;
+      verdict.adornment = pattern.ToString();
+
+      auto active = forward.active.find({view->name(), t});
+      if (active == forward.active.end()) {
+        // Never formable: certify with the forward-closed populated set
+        // and the first missing bound domain.
+        verdict.certificate.kind = PruningCertificate::Kind::kUnreachability;
+        verdict.certificate.closed_set = populated;
+        for (std::size_t pos : pattern.BoundPositions()) {
+          const std::string domain =
+              domains.DomainOf(view->schema().attribute(pos));
+          if (!Populated(forward, domain)) {
+            verdict.certificate.missing_domain = domain;
+            break;
+          }
+        }
+        result.channels.push_back(std::move(verdict));
+        continue;
+      }
+
+      verdict.reachable = true;
+      verdict.frontier_depth = active->second;
+      verdict.reachable_pattern.reserve(view->schema().arity());
+      bool all_constant = true;
+      std::uint64_t bound = 1;
+      for (std::size_t pos = 0; pos < view->schema().arity(); ++pos) {
+        if (!pattern.IsBound(pos)) {
+          verdict.reachable_pattern += 'f';
+          continue;
+        }
+        const std::string domain =
+            domains.DomainOf(view->schema().attribute(pos));
+        const AbstractBinding value = ValueOf(forward, domain);
+        if (value == AbstractBinding::kConstant) {
+          verdict.reachable_pattern += 'c';
+          bound = SaturatingMul(bound, forward.constants.at(domain).size());
+        } else {
+          verdict.reachable_pattern += 'v';
+          all_constant = false;
+        }
+      }
+      verdict.fetch_bound_finite = all_constant;
+      if (all_constant) verdict.fetch_bound = bound;
+
+      if (backward.needed.count(view->name()) > 0) {
+        verdict.relevant = true;
+        verdict.certificate.kind = PruningCertificate::Kind::kWitness;
+        verdict.certificate.steps = BuildWitness(backward, view->name());
+      } else {
+        verdict.certificate.kind = PruningCertificate::Kind::kIrrelevance;
+        verdict.certificate.closed_set = needed_sorted;
+      }
+      result.channels.push_back(std::move(verdict));
+    }
+  }
+
+  // Per-source aggregation over reachable channels.
+  for (const SourceView* view : forward.mentioned) {
+    SourceBounds bounds;
+    bounds.view = view->name();
+    bounds.frontier_depth = ChannelVerdict::kNoDepth;
+    bounds.fetch_bound_finite = true;
+    bool any = false;
+    for (const ChannelVerdict& verdict : result.channels) {
+      if (verdict.view != view->name() || !verdict.reachable) continue;
+      any = true;
+      bounds.frontier_depth =
+          std::min(bounds.frontier_depth, verdict.frontier_depth);
+      if (verdict.fetch_bound_finite) {
+        bounds.fetch_bound =
+            SaturatingAdd(bounds.fetch_bound, verdict.fetch_bound);
+      } else {
+        bounds.fetch_bound_finite = false;
+      }
+    }
+    if (any) result.sources.push_back(std::move(bounds));
+  }
+  return result;
+}
+
+void AppendBindingFlowDiagnostics(const Program& program,
+                                  const BindingFlowResult& result,
+                                  const datalog::ProgramSourceMap* source_map,
+                                  DiagnosticBag* bag) {
+  // Anchor a channel diagnostic at the first body atom mentioning its
+  // view (the alpha rule in builder programs).
+  auto channel_location = [&](const std::string& view) {
+    Location location;
+    for (std::size_t r = 0; r < program.rules().size(); ++r) {
+      const Rule& rule = program.rules()[r];
+      for (std::size_t i = 0; i < rule.body.size(); ++i) {
+        if (rule.body[i].predicate != view) continue;
+        location.rule = static_cast<int>(r);
+        location.atom = static_cast<int>(i);
+        location.context = rule.ToString();
+        if (source_map != nullptr && r < source_map->rules.size() &&
+            i < source_map->rules[r].body.size()) {
+          location.line = source_map->rules[r].body[i].line;
+          location.column = source_map->rules[r].body[i].column;
+        }
+        return location;
+      }
+    }
+    return location;
+  };
+
+  for (const ChannelVerdict& verdict : result.channels) {
+    if (!verdict.reachable) {
+      Diagnostic& d = bag->Report(
+          Code::kUnreachableChannel,
+          ChannelLabel(verdict) + " is unreachable: bound domain '" +
+              verdict.certificate.missing_domain +
+              "' is never populated under the query's input bindings",
+          channel_location(verdict.view));
+      d.notes.push_back(
+          "refutation: forward-closed populated set of " +
+          std::to_string(verdict.certificate.closed_set.size()) +
+          " predicate(s) excludes '" + verdict.certificate.missing_domain +
+          "'");
+    } else if (!verdict.relevant) {
+      Diagnostic& d = bag->Report(
+          Code::kStaticallyIrrelevantChannel,
+          ChannelLabel(verdict) + " is statically irrelevant: reachable " +
+              "pattern '" + verdict.reachable_pattern +
+              "' can never feed the goal",
+          channel_location(verdict.view));
+      d.notes.push_back(
+          "refutation: backward-closed needed set of " +
+          std::to_string(verdict.certificate.closed_set.size()) +
+          " predicate(s) excludes '" + verdict.view + "'");
+    }
+  }
+  for (const SourceBounds& bounds : result.sources) {
+    std::string message = "source " + bounds.view + ": frontier depth " +
+                          std::to_string(bounds.frontier_depth);
+    if (bounds.fetch_bound_finite) {
+      message += ", at most " + std::to_string(bounds.fetch_bound) +
+                 " source quer" + (bounds.fetch_bound == 1 ? "y" : "ies");
+    } else {
+      message += ", unbounded source queries";
+    }
+    bag->Report(Code::kStaticBounds, std::move(message),
+                channel_location(bounds.view));
+  }
+}
+
+Status VerifyCertificate(const Program& program,
+                         const std::vector<SourceView>& views,
+                         const planner::DomainMap& domains,
+                         const BindingFlowOptions& options,
+                         const ChannelVerdict& verdict) {
+  const ForwardState forward = ComputeForward(program, views, domains);
+  const PruningCertificate& certificate = verdict.certificate;
+
+  std::unordered_map<std::string, const SourceView*> view_by_name;
+  for (const SourceView* view : forward.mentioned) {
+    view_by_name.emplace(view->name(), view);
+  }
+  auto find_view = [&](const std::string& name) -> const SourceView* {
+    auto it = view_by_name.find(name);
+    return it == view_by_name.end() ? nullptr : it->second;
+  };
+
+  switch (certificate.kind) {
+    case PruningCertificate::Kind::kNone:
+      return Status::InvalidArgument("certificate missing");
+
+    case PruningCertificate::Kind::kWitness: {
+      if (certificate.steps.empty()) {
+        return Status::InvalidArgument("witness: empty chain");
+      }
+      if (certificate.steps.front().predicate != verdict.view) {
+        return Status::InvalidArgument(
+            "witness: chain does not start at the channel's view");
+      }
+      if (forward.active.count({verdict.view, verdict.template_index}) == 0) {
+        return Status::InvalidArgument(
+            "witness: the certified channel is not reachable");
+      }
+      for (std::size_t i = 0; i + 1 < certificate.steps.size(); ++i) {
+        const WitnessStep& step = certificate.steps[i];
+        const std::string& next = certificate.steps[i + 1].predicate;
+        if (step.link == WitnessStep::Link::kRule) {
+          if (step.rule_index >= program.rules().size()) {
+            return Status::InvalidArgument("witness: rule index out of range");
+          }
+          const Rule& rule = program.rules()[step.rule_index];
+          if (!forward.fired[step.rule_index]) {
+            return Status::InvalidArgument(
+                "witness: rule " + std::to_string(step.rule_index) +
+                " can never fire");
+          }
+          if (rule.head.predicate != next) {
+            return Status::InvalidArgument(
+                "witness: rule " + std::to_string(step.rule_index) +
+                " does not derive '" + next + "'");
+          }
+          bool in_body = false;
+          for (const Atom& atom : rule.body) {
+            if (atom.predicate == step.predicate) {
+              in_body = true;
+              break;
+            }
+          }
+          if (!in_body) {
+            return Status::InvalidArgument(
+                "witness: '" + step.predicate + "' not in body of rule " +
+                std::to_string(step.rule_index));
+          }
+        } else if (step.link == WitnessStep::Link::kChannel) {
+          const SourceView* view = find_view(step.via_view);
+          if (view == nullptr ||
+              step.via_template >= view->templates().size()) {
+            return Status::InvalidArgument("witness: unknown channel link");
+          }
+          if (step.via_view != next) {
+            return Status::InvalidArgument(
+                "witness: channel link does not feed '" + next + "'");
+          }
+          if (forward.active.count({step.via_view, step.via_template}) == 0) {
+            return Status::InvalidArgument(
+                "witness: channel " + step.via_view + "[" +
+                std::to_string(step.via_template) + "] is not reachable");
+          }
+          bool feeds = false;
+          for (std::size_t pos :
+               view->templates()[step.via_template].BoundPositions()) {
+            if (domains.DomainOf(view->schema().attribute(pos)) ==
+                step.predicate) {
+              feeds = true;
+              break;
+            }
+          }
+          if (!feeds) {
+            return Status::InvalidArgument(
+                "witness: '" + step.predicate +
+                "' is not a bound domain of the channel link");
+          }
+        } else {
+          return Status::InvalidArgument(
+              "witness: goal link before end of chain");
+        }
+      }
+      const WitnessStep& last = certificate.steps.back();
+      if (last.link != WitnessStep::Link::kGoal ||
+          !IsGoal(last.predicate, options.goal_predicate)) {
+        return Status::InvalidArgument(
+            "witness: chain does not terminate at the goal");
+      }
+      return Status::OK();
+    }
+
+    case PruningCertificate::Kind::kIrrelevance: {
+      const std::set<std::string> closed(certificate.closed_set.begin(),
+                                         certificate.closed_set.end());
+      if (closed.count(verdict.view) > 0) {
+        return Status::InvalidArgument(
+            "irrelevance: closed set contains the channel's view");
+      }
+      for (const std::string& predicate : program.AllPredicates()) {
+        if (IsGoal(predicate, options.goal_predicate) &&
+            closed.count(predicate) == 0) {
+          return Status::InvalidArgument(
+              "irrelevance: goal '" + predicate + "' missing from closed set");
+        }
+      }
+      for (std::size_t r = 0; r < program.rules().size(); ++r) {
+        if (!forward.fired[r]) continue;
+        const Rule& rule = program.rules()[r];
+        if (closed.count(rule.head.predicate) == 0) continue;
+        for (const Atom& atom : rule.body) {
+          if (closed.count(atom.predicate) == 0) {
+            return Status::InvalidArgument(
+                "irrelevance: not closed under rule " + std::to_string(r) +
+                " ('" + atom.predicate + "' missing)");
+          }
+        }
+      }
+      for (const SourceView* view : forward.mentioned) {
+        if (closed.count(view->name()) == 0) continue;
+        for (std::size_t t = 0; t < view->templates().size(); ++t) {
+          if (forward.active.count({view->name(), t}) == 0) continue;
+          for (std::size_t pos : view->templates()[t].BoundPositions()) {
+            const std::string domain =
+                domains.DomainOf(view->schema().attribute(pos));
+            if (closed.count(domain) == 0) {
+              return Status::InvalidArgument(
+                  "irrelevance: not closed under channel " + view->name() +
+                  "[" + std::to_string(t) + "] ('" + domain + "' missing)");
+            }
+          }
+        }
+      }
+      return Status::OK();
+    }
+
+    case PruningCertificate::Kind::kUnreachability: {
+      const std::set<std::string> closed(certificate.closed_set.begin(),
+                                         certificate.closed_set.end());
+      const SourceView* view = find_view(verdict.view);
+      if (view == nullptr ||
+          verdict.template_index >= view->templates().size()) {
+        return Status::InvalidArgument("unreachability: unknown channel");
+      }
+      if (closed.count(certificate.missing_domain) > 0) {
+        return Status::InvalidArgument(
+            "unreachability: '" + certificate.missing_domain +
+            "' is in the closed set");
+      }
+      bool is_bound_domain = false;
+      for (std::size_t pos :
+           view->templates()[verdict.template_index].BoundPositions()) {
+        if (domains.DomainOf(view->schema().attribute(pos)) ==
+            certificate.missing_domain) {
+          is_bound_domain = true;
+          break;
+        }
+      }
+      if (!is_bound_domain) {
+        return Status::InvalidArgument(
+            "unreachability: '" + certificate.missing_domain +
+            "' is not a bound domain of the channel");
+      }
+      for (std::size_t r = 0; r < program.rules().size(); ++r) {
+        const Rule& rule = program.rules()[r];
+        bool fireable = true;
+        for (const Atom& atom : rule.body) {
+          if (closed.count(atom.predicate) == 0) {
+            fireable = false;
+            break;
+          }
+        }
+        if (fireable && closed.count(rule.head.predicate) == 0) {
+          return Status::InvalidArgument(
+              "unreachability: not closed under rule " + std::to_string(r));
+        }
+      }
+      for (const SourceView* mentioned : forward.mentioned) {
+        for (std::size_t t = 0; t < mentioned->templates().size(); ++t) {
+          bool formable = true;
+          for (std::size_t pos :
+               mentioned->templates()[t].BoundPositions()) {
+            if (closed.count(domains.DomainOf(
+                    mentioned->schema().attribute(pos))) == 0) {
+              formable = false;
+              break;
+            }
+          }
+          if (formable && closed.count(mentioned->name()) == 0) {
+            return Status::InvalidArgument(
+                "unreachability: not closed under channel " +
+                mentioned->name() + "[" + std::to_string(t) + "]");
+          }
+        }
+      }
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown certificate kind");
+}
+
+namespace {
+
+std::string WitnessChainText(const std::vector<WitnessStep>& steps) {
+  std::string out;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const WitnessStep& step = steps[i];
+    out += step.predicate;
+    if (i + 1 == steps.size()) break;
+    if (step.link == WitnessStep::Link::kRule) {
+      out += " -(rule " + std::to_string(step.rule_index) + ")-> ";
+    } else {
+      out += " -(channel " + step.via_view + "[" +
+             std::to_string(step.via_template) + "])-> ";
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderBindingFlowText(const BindingFlowResult& result) {
+  std::size_t relevant = 0, irrelevant = 0, unreachable = 0;
+  for (const ChannelVerdict& verdict : result.channels) {
+    if (!verdict.reachable) {
+      ++unreachable;
+    } else if (!verdict.relevant) {
+      ++irrelevant;
+    } else {
+      ++relevant;
+    }
+  }
+  std::ostringstream out;
+  out << "binding flow: " << result.channels.size() << " channel(s), "
+      << relevant << " relevant, " << irrelevant << " irrelevant, "
+      << unreachable << " unreachable\n";
+  for (const ChannelVerdict& verdict : result.channels) {
+    out << ChannelLabel(verdict) << ": ";
+    if (!verdict.reachable) {
+      out << "unreachable\n  refutation: bound domain '"
+          << verdict.certificate.missing_domain
+          << "' is never populated; populated = {";
+      for (std::size_t i = 0; i < verdict.certificate.closed_set.size();
+           ++i) {
+        if (i > 0) out << ", ";
+        out << verdict.certificate.closed_set[i];
+      }
+      out << "}\n";
+      continue;
+    }
+    out << "pattern=" << verdict.reachable_pattern << " depth="
+        << verdict.frontier_depth;
+    if (verdict.fetch_bound_finite) {
+      out << " fetches<=" << verdict.fetch_bound;
+    } else {
+      out << " fetches=unbounded";
+    }
+    if (verdict.relevant) {
+      out << " relevant\n  witness: "
+          << WitnessChainText(verdict.certificate.steps) << "\n";
+    } else {
+      out << " irrelevant\n  refutation: needed = {";
+      for (std::size_t i = 0; i < verdict.certificate.closed_set.size();
+           ++i) {
+        if (i > 0) out << ", ";
+        out << verdict.certificate.closed_set[i];
+      }
+      out << "}; '" << verdict.view << "' is outside it\n";
+    }
+  }
+  for (const SourceBounds& bounds : result.sources) {
+    out << "source " << bounds.view << ": frontier depth "
+        << bounds.frontier_depth << ", ";
+    if (bounds.fetch_bound_finite) {
+      out << "fetches<=" << bounds.fetch_bound << "\n";
+    } else {
+      out << "fetches=unbounded\n";
+    }
+  }
+  return out.str();
+}
+
+std::string RenderBindingFlowJson(const BindingFlowResult& result) {
+  std::ostringstream out;
+  out << "{\"channels\":[";
+  bool first = true;
+  for (const ChannelVerdict& verdict : result.channels) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"view\":\"" << JsonEscape(verdict.view) << "\""
+        << ",\"template\":" << verdict.template_index << ",\"adornment\":\""
+        << verdict.adornment << "\"" << ",\"reachable\":"
+        << (verdict.reachable ? "true" : "false") << ",\"relevant\":"
+        << (verdict.relevant ? "true" : "false");
+    if (verdict.reachable) {
+      out << ",\"pattern\":\"" << verdict.reachable_pattern << "\""
+          << ",\"frontier_depth\":" << verdict.frontier_depth;
+      if (verdict.fetch_bound_finite) {
+        out << ",\"fetch_bound\":" << verdict.fetch_bound;
+      }
+    }
+    out << ",\"certificate\":{";
+    switch (verdict.certificate.kind) {
+      case PruningCertificate::Kind::kNone:
+        out << "\"kind\":\"none\"";
+        break;
+      case PruningCertificate::Kind::kWitness: {
+        out << "\"kind\":\"witness\",\"steps\":[";
+        bool first_step = true;
+        for (const WitnessStep& step : verdict.certificate.steps) {
+          if (!first_step) out << ",";
+          first_step = false;
+          out << "{\"predicate\":\"" << JsonEscape(step.predicate) << "\"";
+          switch (step.link) {
+            case WitnessStep::Link::kRule:
+              out << ",\"link\":\"rule\",\"rule\":" << step.rule_index;
+              break;
+            case WitnessStep::Link::kChannel:
+              out << ",\"link\":\"channel\",\"view\":\""
+                  << JsonEscape(step.via_view) << "\",\"template\":"
+                  << step.via_template;
+              break;
+            case WitnessStep::Link::kGoal:
+              out << ",\"link\":\"goal\"";
+              break;
+          }
+          out << "}";
+        }
+        out << "]";
+        break;
+      }
+      case PruningCertificate::Kind::kIrrelevance:
+      case PruningCertificate::Kind::kUnreachability: {
+        out << "\"kind\":\""
+            << (verdict.certificate.kind ==
+                        PruningCertificate::Kind::kIrrelevance
+                    ? "irrelevance"
+                    : "unreachability")
+            << "\",\"closed_set\":[";
+        bool first_predicate = true;
+        for (const std::string& predicate : verdict.certificate.closed_set) {
+          if (!first_predicate) out << ",";
+          first_predicate = false;
+          out << "\"" << JsonEscape(predicate) << "\"";
+        }
+        out << "]";
+        if (!verdict.certificate.missing_domain.empty()) {
+          out << ",\"missing_domain\":\""
+              << JsonEscape(verdict.certificate.missing_domain) << "\"";
+        }
+        break;
+      }
+    }
+    out << "}}";
+  }
+  out << "],\"sources\":[";
+  first = true;
+  for (const SourceBounds& bounds : result.sources) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"view\":\"" << JsonEscape(bounds.view) << "\""
+        << ",\"frontier_depth\":" << bounds.frontier_depth;
+    if (bounds.fetch_bound_finite) {
+      out << ",\"fetch_bound\":" << bounds.fetch_bound;
+    }
+    out << "}";
+  }
+  out << "],\"needed\":[";
+  first = true;
+  for (const std::string& predicate : result.needed_predicates) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(predicate) << "\"";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace limcap::analysis

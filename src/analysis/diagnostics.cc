@@ -86,9 +86,15 @@ Severity DefaultSeverity(Code code) {
     case Code::kGoalUnreachableRule:
     case Code::kUnproduciblePredicate:
     case Code::kUnfetchableView:
+    // Binding-flow channel verdicts are warnings for the same reason:
+    // full programs legitimately carry channels the query never feeds;
+    // dropping them is the kPrune gate's optimization, not a bug.
+    case Code::kStaticallyIrrelevantChannel:
+    case Code::kUnreachableChannel:
       return Severity::kWarning;
     case Code::kSingletonVariable:
     case Code::kRecursiveProgram:
+    case Code::kStaticBounds:
       return Severity::kNote;
   }
   return Severity::kError;

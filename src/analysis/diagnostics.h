@@ -56,6 +56,21 @@ enum class Code {
   /// A source view none of whose templates can ever be queried: some
   /// required-bound attribute's domain predicate is never populated.
   kUnfetchableView = 23,
+  /// Binding-flow verdict (03x family): a fetch channel (view,
+  /// template) is reachable — the evaluator will form queries for it —
+  /// but nothing it returns can ever feed the goal. Strictly stronger
+  /// than `can_fire`; carries a machine-checkable irrelevance
+  /// certificate (the closed needed-set the channel's view is outside).
+  kStaticallyIrrelevantChannel = 30,
+  /// A fetch channel whose required-bound domains are never populated
+  /// under the query's input bindings: no query can ever be formed for
+  /// it. Carries an unreachability refutation (the forward-closed
+  /// populated set missing a bound domain).
+  kUnreachableChannel = 31,
+  /// Static per-source bounds: frontier depth (first fetch wave a query
+  /// for the source can be formed) and, when all feeding domains are
+  /// constant-only, an upper bound on the number of distinct queries.
+  kStaticBounds = 32,
 };
 
 /// "LC001", "LC020", ...

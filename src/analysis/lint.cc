@@ -58,13 +58,15 @@ Result<LintReport> Lint(const LintRequest& request) {
                           capability::ParseCatalog(request.catalog_text));
 
   LintReport report;
+  AnalysisOptions options = request.options;
+  if (request.deep) options.check_binding_flow = true;
   if (request.has_program) {
     datalog::ProgramSourceMap source_map;
     LIMCAP_ASSIGN_OR_RETURN(
         report.program,
         datalog::ParseProgram(request.program_text, &source_map));
     report.analysis = AnalyzeProgram(report.program, parsed.views,
-                                     request.options, &source_map);
+                                     options, &source_map);
   } else if (request.has_query) {
     LIMCAP_ASSIGN_OR_RETURN(planner::Query query,
                             planner::ParseQuery(request.query_text));
@@ -78,7 +80,7 @@ Result<LintReport> Lint(const LintRequest& request) {
         planner::BuildProgram(query, parsed.views, request.options.domains,
                               request.builder));
     report.analysis =
-        AnalyzeProgram(report.program, parsed.views, request.options);
+        AnalyzeProgram(report.program, parsed.views, options);
   } else {
     report.analysis = LintCatalogOnly(parsed.views, request.options.domains);
   }
@@ -89,13 +91,23 @@ Result<LintReport> Lint(const LintRequest& request) {
   const std::string fingerprint =
       capability::FingerprintToString(parsed.catalog.fingerprint());
   if (request.json) {
-    // Splice the fingerprint in as the first field of the rendered
-    // object: {"catalog_fingerprint":"0x...","diagnostics":...}.
+    // Splice the fingerprint (and, under --deep, the binding-flow
+    // certificate dump) in as leading fields of the rendered object:
+    // {"catalog_fingerprint":"0x...","binding_flow":{...},
+    //  "diagnostics":...}.
+    std::string head = "{\"catalog_fingerprint\":\"" + fingerprint + "\",";
+    if (request.deep && report.analysis.binding_flow_ran) {
+      head += "\"binding_flow\":" +
+              RenderBindingFlowJson(report.analysis.binding_flow) + ",";
+    }
     std::string rendered = report.analysis.diagnostics.RenderJson();
-    report.rendered = "{\"catalog_fingerprint\":\"" + fingerprint + "\"," +
-                      rendered.substr(1);
+    report.rendered = head + rendered.substr(1);
   } else {
     report.rendered = report.analysis.diagnostics.RenderText();
+    if (request.deep && report.analysis.binding_flow_ran) {
+      report.rendered += "== binding flow (deep) ==\n" +
+                         RenderBindingFlowText(report.analysis.binding_flow);
+    }
     report.rendered += "catalog fingerprint: " + fingerprint + "\n";
   }
   return report;

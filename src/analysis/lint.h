@@ -35,6 +35,10 @@ struct LintRequest {
   planner::BuilderOptions builder;
   /// Render machine-readable JSON instead of text.
   bool json = false;
+  /// `--deep`: also run the binding-flow pass (LC030-LC032) and append
+  /// the per-channel certificate dump to the rendered report. No effect
+  /// in catalog-only mode (binding flow needs a program).
+  bool deep = false;
 };
 
 struct LintReport {

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <utility>
 
+#include "analysis/binding_flow.h"
 #include "capability/catalog_fingerprint.h"
 #include "capability/catalog_text.h"
 #include "obs/export.h"
@@ -45,6 +46,21 @@ void RenderProgram(const planner::PlanResult& plan,
     }
   }
   out << "\n";
+}
+
+void RenderBindingFlow(const planner::PlanResult& plan,
+                       const std::vector<capability::SourceView>& views,
+                       const planner::DomainMap& domains,
+                       const std::string& goal, std::ostringstream& out) {
+  // Run the binding-flow pass on the optimized program here (instead of
+  // relying on the answer's gate mode) so the section renders under
+  // every StaticAnalysisMode, including kOff.
+  Section(out, "Binding flow");
+  analysis::BindingFlowOptions options;
+  options.goal_predicate = goal;
+  out << analysis::RenderBindingFlowText(analysis::AnalyzeBindingFlow(
+             plan.optimized_program, views, domains, options))
+      << "\n";
 }
 
 void RenderPlanCache(const AnswerReport& answer,
@@ -119,6 +135,9 @@ Result<ExplainReport> Explain(const ExplainRequest& request) {
   out << report.query.ToString() << "\n\n";
   RenderRelevance(report.answer.plan, out);
   RenderProgram(report.answer.plan, out);
+  RenderBindingFlow(report.answer.plan, parsed.catalog.Views(),
+                    planner::DomainMap(), options.builder.goal_predicate,
+                    out);
   RenderPlanCache(report.answer, options.plan_cache->stats(), out);
   RenderExecution(report.answer, out);
 

@@ -39,6 +39,20 @@ std::string_view StaticAnalysisModeTag(StaticAnalysisMode mode) {
   return "off";
 }
 
+/// The execution options a path hands its evaluator: under kPrune, the
+/// gate's (or a warm cache hit's replayed) binding-flow verdicts become
+/// the evaluator's pruned-channel list, so statically irrelevant fetch
+/// channels are never scheduled. Other modes execute unchanged.
+ExecOptions WithStaticPrunes(const ExecOptions& options,
+                             const AnswerReport& report) {
+  ExecOptions out = options;
+  if (options.static_analysis == StaticAnalysisMode::kPrune &&
+      report.analysis_ran && report.analysis.binding_flow_ran) {
+    out.pruned_channels = report.analysis.binding_flow.PrunedChannels();
+  }
+  return out;
+}
+
 }  // namespace
 
 void AnnotateDegradedConnections(
@@ -69,6 +83,26 @@ Result<datalog::Program> ApplyStaticAnalysisGate(
   report->analysis = analysis::AnalyzeProgram(program, views,
                                               analysis_options);
   report->analysis_ran = true;
+  {
+    // The binding-flow pass runs under its own span so the timeline
+    // separates the channel-relevance fixpoint from the older passes.
+    // Its LC030-LC032 findings are warnings/notes, so kReject semantics
+    // are unchanged; under kPrune its verdicts drop the statically
+    // irrelevant channels before scheduling (see below).
+    obs::ScopedSpan flow_span(options.tracer, "analysis.binding_flow");
+    analysis::BindingFlowOptions flow_options;
+    flow_options.goal_predicate = options.builder.goal_predicate;
+    report->analysis.binding_flow =
+        analysis::AnalyzeBindingFlow(program, views, domains, flow_options);
+    report->analysis.binding_flow_ran = true;
+    analysis::AppendBindingFlowDiagnostics(
+        program, report->analysis.binding_flow, nullptr,
+        &report->analysis.diagnostics);
+    report->analysis.diagnostics.Sort();
+    flow_span.Counter(
+        "prunable_channels",
+        double(report->analysis.binding_flow.PrunedChannels().size()));
+  }
   gate_span.Counter("diagnostics",
                     double(report->analysis.diagnostics.size()));
   if (options.metrics != nullptr) {
@@ -191,7 +225,8 @@ Result<AnswerReport> QueryAnswerer::Answer(const planner::Query& query,
     }
   }
 
-  SourceDrivenEvaluator evaluator(catalog_, domains_, session_options);
+  const ExecOptions exec_options = WithStaticPrunes(session_options, report);
+  SourceDrivenEvaluator evaluator(catalog_, domains_, exec_options);
   LIMCAP_ASSIGN_OR_RETURN(report.exec, evaluator.Execute(program, query));
   AnnotateDegradedConnections(report.plan.relevance.queryable_connections,
                               &report.exec.fetch_report);
@@ -249,7 +284,9 @@ Result<AnswerReport> QueryAnswerer::AnswerHybrid(
         datalog::Program program,
         ApplyStaticAnalysisGate(subplan.optimized_program, catalog_->Views(),
                                 domains_, session_options, &report));
-    SourceDrivenEvaluator evaluator(catalog_, domains_, session_options);
+    const ExecOptions exec_options =
+        WithStaticPrunes(session_options, report);
+    SourceDrivenEvaluator evaluator(catalog_, domains_, exec_options);
     LIMCAP_ASSIGN_OR_RETURN(report.exec, evaluator.Execute(program, sub));
     AnnotateDegradedConnections(dependent, &report.exec.fetch_report);
   } else {
@@ -331,7 +368,8 @@ Result<AnswerReport> QueryAnswerer::AnswerWithCache(
   LIMCAP_ASSIGN_OR_RETURN(
       program, ApplyStaticAnalysisGate(program, catalog_->Views(), domains_,
                                        session_options, &report));
-  SourceDrivenEvaluator evaluator(catalog_, domains_, session_options);
+  const ExecOptions exec_options = WithStaticPrunes(session_options, report);
+  SourceDrivenEvaluator evaluator(catalog_, domains_, exec_options);
   LIMCAP_ASSIGN_OR_RETURN(report.exec, evaluator.Execute(program, query));
   AnnotateDegradedConnections(report.plan.relevance.queryable_connections,
                               &report.exec.fetch_report);
@@ -355,7 +393,8 @@ Result<AnswerReport> QueryAnswerer::AnswerUnoptimized(
       datalog::Program program,
       ApplyStaticAnalysisGate(report.plan.full_program, catalog_->Views(),
                               domains_, session_options, &report));
-  SourceDrivenEvaluator evaluator(catalog_, domains_, session_options);
+  const ExecOptions exec_options = WithStaticPrunes(session_options, report);
+  SourceDrivenEvaluator evaluator(catalog_, domains_, exec_options);
   LIMCAP_ASSIGN_OR_RETURN(report.exec, evaluator.Execute(program, query));
   AnnotateDegradedConnections(report.plan.relevance.queryable_connections,
                               &report.exec.fetch_report);

@@ -65,6 +65,12 @@ Result<ExecResult> SourceDrivenEvaluator::Execute(
       datalog::Evaluator::Create(program, &result.store, eval_options));
 
   // Identify the views the program reads and prepare their fetch state.
+  // Channels the static gate proved irrelevant (or unreachable) are
+  // dropped before scheduling: the binding-flow soundness property
+  // (analysis/binding_flow.h) guarantees the answer is unchanged.
+  const std::set<std::pair<std::string, std::size_t>> pruned(
+      options_.pruned_channels.begin(), options_.pruned_channels.end());
+  std::size_t pruned_specs = 0;
   std::set<std::string> mentioned = program.AllPredicates();
   std::vector<FetchSpec> specs;
   for (const std::string& name : catalog_->ViewNames()) {
@@ -73,6 +79,10 @@ Result<ExecResult> SourceDrivenEvaluator::Execute(
     const capability::SourceView& view = source->view();
     auto shared_view = std::make_shared<const capability::SourceView>(view);
     for (std::size_t t = 0; t < view.templates().size(); ++t) {
+      if (pruned.count({name, t}) > 0) {
+        ++pruned_specs;
+        continue;
+      }
       FetchSpec spec;
       spec.source = source;
       spec.template_index = t;
@@ -84,6 +94,13 @@ Result<ExecResult> SourceDrivenEvaluator::Execute(
         spec.bound_domains.push_back(domains_.DomainOf(attribute));
       }
       specs.push_back(std::move(spec));
+    }
+  }
+  if (pruned_specs > 0) {
+    exec_span.Counter("pruned_channels", double(pruned_specs));
+    if (options_.metrics != nullptr) {
+      options_.metrics->Add(obs::metric::kAnalysisPrunedChannels,
+                            double(pruned_specs));
     }
   }
 

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <limits>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "capability/access_log.h"
 #include "capability/source_catalog.h"
@@ -98,6 +100,12 @@ struct ExecOptions {
   /// record time instead of lazily on first read. Costs one decode pass
   /// per logged tuple on the execution path; useful for verbose tracing.
   bool eager_render_log = false;
+  /// Fetch channels — (view name, template index) pairs — the evaluator
+  /// must not schedule queries for. Filled by QueryAnswerer under
+  /// StaticAnalysisMode::kPrune from the binding-flow verdicts
+  /// (analysis/binding_flow.h): every listed channel is statically
+  /// irrelevant or unreachable, so dropping it is answer-preserving.
+  std::vector<std::pair<std::string, std::size_t>> pruned_channels;
   /// Compiled-plan cache (optional, non-owning, must outlive the call).
   /// When set, QueryAnswerer::Answer looks its (catalog fingerprint,
   /// query signature) key up before planning: a hit skips FIND_REL,

@@ -104,18 +104,17 @@ Result<exec::AnswerReport> Mediator::Answer(
   LIMCAP_RETURN_NOT_OK(expanded.Validate(*catalog_, domains_));
   exec::ExecOptions session_options = options;
   // Wire the session plan cache in (keeping a caller-supplied cache when
-  // one was passed). If the catalog mutated since the last answer, the
-  // stale generation's entries can never be hit again — drop them now.
-  // This generation check mutates session state, so it stays on this
-  // single-threaded path; ServeSession does it once at startup.
+  // one was passed). Either way, report the catalog's current
+  // fingerprint to the cache: when the catalog mutated since the last
+  // answer — a source registered, or Deregister retired one — the stale
+  // generation's entries can never be hit again, and the cache drops
+  // them. The generation state lives in the (thread-safe) cache itself,
+  // so caller-supplied caches (e.g. a ServeSession's) are reclaimed too,
+  // not just the mediator's own.
   if (session_options.plan_cache == nullptr) {
     session_options.plan_cache = plan_cache_.get();
-    uint64_t fp = catalog_->fingerprint();
-    if (fp != plan_cache_catalog_fp_) {
-      plan_cache_->Invalidate(plan_cache_catalog_fp_);
-      plan_cache_catalog_fp_ = fp;
-    }
   }
+  session_options.plan_cache->NoteCatalogGeneration(catalog_->fingerprint());
   // One context per answer: it owns the session dictionary every layer
   // of the pipeline encodes against (so the report stays decodable after
   // execution ends and no layer re-translates a tuple) and the query's

@@ -54,8 +54,7 @@ class Mediator {
            planner::DomainMap domains)
       : catalog_(catalog),
         domains_(std::move(domains)),
-        plan_cache_(std::make_unique<planner::PlanCache>()),
-        plan_cache_catalog_fp_(catalog->fingerprint()) {}
+        plan_cache_(std::make_unique<planner::PlanCache>()) {}
 
   /// Registers a view after validating it: non-empty definitions, source
   /// views exist, every exported attribute appears in every definition,
@@ -110,7 +109,6 @@ class Mediator {
   /// current contents and stats.
   void SetPlanCacheCapacity(std::size_t capacity) {
     plan_cache_ = std::make_unique<planner::PlanCache>(capacity);
-    plan_cache_catalog_fp_ = catalog_->fingerprint();
   }
 
   const capability::SourceCatalog* catalog() const { return catalog_; }
@@ -125,13 +123,11 @@ class Mediator {
   mutable obs::MetricsRegistry session_metrics_;
   /// Session plan cache, behind a pointer (the cache itself is pinned:
   /// it owns a mutex). Mutable for the same reason as the metrics.
+  /// Generation reclamation — dropping entries of a retired catalog
+  /// fingerprint when a source joins or leaves — lives in the cache
+  /// itself (PlanCache::NoteCatalogGeneration), which Answer() calls
+  /// before every answer, for caller-supplied caches too.
   mutable std::unique_ptr<planner::PlanCache> plan_cache_;
-  /// The catalog fingerprint the cache was last used under. When the
-  /// catalog mutates between answers (a source joined or left), Answer()
-  /// invalidates the stale generation's entries — correctness never
-  /// depends on this (the fingerprint is part of the key), it reclaims
-  /// the dead entries' memory promptly.
-  mutable uint64_t plan_cache_catalog_fp_ = 0;
 };
 
 }  // namespace limcap::mediator

@@ -26,6 +26,10 @@ inline constexpr std::string_view kPlanCacheEvictions =
 // Static analysis.
 inline constexpr std::string_view kAnalysisDiagnostics =
     "analysis.diagnostics";
+// Fetch channels the binding-flow verdicts let the evaluator drop
+// before scheduling (StaticAnalysisMode::kPrune only).
+inline constexpr std::string_view kAnalysisPrunedChannels =
+    "analysis.pruned_channels";
 // Datalog evaluation.
 inline constexpr std::string_view kEvalRounds = "eval.rounds";
 inline constexpr std::string_view kEvalActivations = "eval.rule_activations";

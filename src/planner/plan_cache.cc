@@ -220,6 +220,20 @@ void PlanCache::Insert(std::shared_ptr<const CachedPlan> entry) {
 
 std::size_t PlanCache::Invalidate(uint64_t catalog_fingerprint) {
   std::lock_guard<std::mutex> lock(mutex_);
+  return InvalidateLocked(catalog_fingerprint);
+}
+
+std::size_t PlanCache::NoteCatalogGeneration(uint64_t catalog_fingerprint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (has_generation_ && generation_ == catalog_fingerprint) return 0;
+  std::size_t dropped = 0;
+  if (has_generation_) dropped = InvalidateLocked(generation_);
+  generation_ = catalog_fingerprint;
+  has_generation_ = true;
+  return dropped;
+}
+
+std::size_t PlanCache::InvalidateLocked(uint64_t catalog_fingerprint) {
   std::size_t dropped = 0;
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->second->catalog_fingerprint == catalog_fingerprint) {

@@ -142,6 +142,17 @@ class PlanCache {
   /// untouched.
   std::size_t Invalidate(uint64_t catalog_fingerprint);
 
+  /// Generation tracking: callers that answer against a live catalog
+  /// (the mediator, serve sessions) report the catalog's current
+  /// fingerprint before each answer. When the fingerprint changed since
+  /// the last call — a source registered, or Deregister retired one —
+  /// the previous generation's entries are invalidated (they can never
+  /// be looked up again; keeping them only wastes capacity). Entries of
+  /// *other* fingerprints are untouched, so standalone users may still
+  /// share one cache across catalogs. Returns how many entries were
+  /// dropped.
+  std::size_t NoteCatalogGeneration(uint64_t catalog_fingerprint);
+
   void Clear();
 
   std::size_t size() const;
@@ -160,8 +171,15 @@ class PlanCache {
   using LruList =
       std::list<std::pair<std::string, std::shared_ptr<const CachedPlan>>>;
 
+  /// Invalidate() body, callable with mutex_ already held.
+  std::size_t InvalidateLocked(uint64_t catalog_fingerprint);
+
   const std::size_t capacity_;
   mutable std::mutex mutex_;
+  /// NoteCatalogGeneration state: the live catalog fingerprint, valid
+  /// once has_generation_ is set.
+  uint64_t generation_ = 0;
+  bool has_generation_ = false;
   /// Front = most recently used.
   LruList lru_;
   std::unordered_map<std::string, LruList::iterator> by_key_;

@@ -1,0 +1,2 @@
+% Chain connection {v1, v2} answers; {v1, v3, v4} is doomed by v3.
+<{A = a0}, {C}, {{v1, v2}, {v1, v3, v4}}>

@@ -107,6 +107,89 @@ TEST(LintGoldenTest, UnreachableViewInQueryMode) {
   EXPECT_TRUE(report->analysis.diagnostics.has_errors());
 }
 
+// --deep: the binding-flow pass (LC030-LC032) plus its certificate dump.
+
+TEST(LintGoldenTest, DeepExample21Query) {
+  LintRequest request;
+  request.catalog_text = ReadFile(Example("example21.cat"));
+  request.has_query = true;
+  request.query_text = ReadFile(Example("example21.q"));
+  request.deep = true;
+  auto report = Lint(request);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_EQ(report->rendered, ReadFile(Golden("deep_example21_query.out")));
+  EXPECT_TRUE(report->analysis.binding_flow_ran);
+  EXPECT_FALSE(report->analysis.diagnostics.has_errors());
+}
+
+TEST(LintGoldenTest, DeepExample21QueryJson) {
+  LintRequest request;
+  request.catalog_text = ReadFile(Example("example21.cat"));
+  request.has_query = true;
+  request.query_text = ReadFile(Example("example21.q"));
+  request.deep = true;
+  request.json = true;
+  auto report = Lint(request);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_EQ(report->rendered,
+            ReadFile(Golden("deep_example21_query.json.out")));
+  // Schema: the deep dump is a leading field of the JSON object, before
+  // the diagnostics array.
+  EXPECT_NE(report->rendered.find("\"binding_flow\":{\"channels\":["),
+            std::string::npos);
+  EXPECT_NE(report->rendered.find("\"kind\":\"witness\""),
+            std::string::npos);
+}
+
+TEST(LintGoldenTest, DeepBfChainQuery) {
+  // The bf-chain fixture exercises all three verdicts at once: the
+  // chain's channels are relevant, v3 is unreachable (LC031 + an LC020
+  // error from the unbindable atom), v4 statically irrelevant (LC030).
+  LintRequest request;
+  request.catalog_text = ReadFile(Golden("bf_chain.cat"));
+  request.has_query = true;
+  request.query_text = ReadFile(Golden("bf_chain.q"));
+  request.deep = true;
+  auto report = Lint(request);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_EQ(report->rendered, ReadFile(Golden("deep_bf_chain.out")));
+  EXPECT_TRUE(report->analysis.diagnostics.has_errors());
+}
+
+TEST(LintGoldenTest, DeepBfChainQueryJson) {
+  LintRequest request;
+  request.catalog_text = ReadFile(Golden("bf_chain.cat"));
+  request.has_query = true;
+  request.query_text = ReadFile(Golden("bf_chain.q"));
+  request.deep = true;
+  request.json = true;
+  auto report = Lint(request);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_EQ(report->rendered, ReadFile(Golden("deep_bf_chain.json.out")));
+  EXPECT_NE(report->rendered.find("\"kind\":\"unreachability\""),
+            std::string::npos);
+  EXPECT_NE(report->rendered.find("\"kind\":\"irrelevance\""),
+            std::string::npos);
+  EXPECT_NE(report->rendered.find("\"missing_domain\":\"domD\""),
+            std::string::npos);
+}
+
+TEST(LintGoldenTest, ShallowRunsCarryNoDeepSection) {
+  LintRequest request;
+  request.catalog_text = ReadFile(Example("example21.cat"));
+  request.has_query = true;
+  request.query_text = ReadFile(Example("example21.q"));
+  auto report = Lint(request);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->analysis.binding_flow_ran);
+  EXPECT_EQ(report->rendered.find("binding flow"), std::string::npos);
+
+  request.json = true;
+  auto json = Lint(request);
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(json->rendered.find("\"binding_flow\""), std::string::npos);
+}
+
 TEST(LintGoldenTest, CatalogOnlyMode) {
   LintRequest request;
   request.catalog_text = ReadFile(Golden("isbn_view.cat"));

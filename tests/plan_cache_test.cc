@@ -526,6 +526,74 @@ TEST(MediatorPlanCacheTest, CatalogMutationInvalidatesStaleEntries) {
   EXPECT_EQ(back->exec.answer.size(), cold->exec.answer.size());
 }
 
+TEST(MediatorPlanCacheTest, SourceDepartureReclaimsCallerSuppliedCache) {
+  // Regression: generation reclamation used to live in the mediator's
+  // own state, so a caller-supplied cache (a ServeSession's, say) kept
+  // the retired generation's entries forever. The cache itself now
+  // tracks the live fingerprint, so departure → re-answer reclaims
+  // entries wherever the cache came from.
+  PaperExample example = paperdata::MakeExample21();
+  mediator::Mediator mediator(&example.catalog, example.domains);
+  ASSERT_TRUE(mediator.Define(CdInfoView()).ok());
+  mediator::MediatorQuery query{
+      "cd_info", {{"Song", Value::String("t1")}}, {"Price"}};
+
+  PlanCache shared;
+  ExecOptions options;
+  options.plan_cache = &shared;
+
+  AddSource(&example.catalog, "v9", {"Cd", "Label"}, "bf");
+  auto cold = mediator.Answer(query, options);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  EXPECT_FALSE(cold->cache.hit);
+  EXPECT_EQ(shared.size(), 1u);
+
+  // The source departs: the next answer runs under the old fingerprint,
+  // and the v9-era entry is dropped from the *caller's* cache.
+  ASSERT_TRUE(example.catalog.Deregister("v9").ok());
+  auto after = mediator.Answer(query, options);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_FALSE(after->cache.hit);
+  EXPECT_EQ(shared.stats().invalidations, 1u);
+  EXPECT_EQ(shared.size(), 1u);  // only the post-departure entry remains
+  EXPECT_EQ(after->exec.answer.size(), cold->exec.answer.size());
+  // The mediator's own cache was never touched.
+  EXPECT_EQ(mediator.plan_cache().size(), 0u);
+
+  // Re-answering under the stable fingerprint is a warm hit again.
+  auto warm = mediator.Answer(query, options);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cache.hit);
+  EXPECT_EQ(OrderedFingerprint(warm->exec), OrderedFingerprint(after->exec));
+}
+
+TEST(PlanCacheTest, NoteCatalogGenerationDropsOnlyThePreviousGeneration) {
+  PlanCache cache;
+  auto entry = [](uint64_t fingerprint, const char* canonical) {
+    auto plan = std::make_shared<CachedPlan>();
+    plan->catalog_fingerprint = fingerprint;
+    plan->signature.canonical = canonical;
+    plan->signature.hash = StableHash64(canonical);
+    return plan;
+  };
+  cache.Insert(entry(1, "q1"));
+  cache.Insert(entry(2, "q2"));
+  cache.Insert(entry(3, "q3"));
+
+  // First report just records the generation.
+  EXPECT_EQ(cache.NoteCatalogGeneration(1), 0u);
+  // Same fingerprint again: nothing to do.
+  EXPECT_EQ(cache.NoteCatalogGeneration(1), 0u);
+  EXPECT_EQ(cache.size(), 3u);
+  // Generation moves 1 → 2: exactly generation 1's entry is dropped;
+  // fingerprint 3 (a different catalog sharing the cache) survives.
+  EXPECT_EQ(cache.NoteCatalogGeneration(2), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.NoteCatalogGeneration(3), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+}
+
 TEST(MediatorPlanCacheTest, CapacityZeroDisablesSessionCache) {
   PaperExample example = paperdata::MakeExample21();
   mediator::Mediator mediator(&example.catalog, example.domains);

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "analysis/binding_flow.h"
 #include "capability/catalog_text.h"
 #include "common/value_dictionary.h"
 #include "exec/baseline_executor.h"
@@ -322,6 +323,59 @@ TEST_P(RandomInstanceProperties, AllKernelsShareBClosure) {
       EXPECT_EQ(planner::ComputeBClosure(kernels[i], queryable_views), first)
           << connection.ToString();
     }
+  }
+}
+
+TEST_P(RandomInstanceProperties, BindingFlowCertificatesVerify) {
+  // Every verdict of the binding-flow pass carries a machine-checkable
+  // certificate, and the independent checker accepts all of them.
+  QueryAnswerer answerer(&instance_.catalog, instance_.domains);
+  auto report = answerer.AnswerUnoptimized(query_);
+  ASSERT_TRUE(report.ok()) << report.status();
+  analysis::BindingFlowResult flow = analysis::AnalyzeBindingFlow(
+      report->plan.full_program, instance_.catalog.Views(),
+      instance_.domains);
+  for (const analysis::ChannelVerdict& verdict : flow.channels) {
+    Status status = analysis::VerifyCertificate(
+        report->plan.full_program, instance_.catalog.Views(),
+        instance_.domains, analysis::BindingFlowOptions(), verdict);
+    EXPECT_TRUE(status.ok())
+        << verdict.view << "[" << verdict.template_index
+        << "]: " << status.message() << "; query " << query_.ToString();
+  }
+}
+
+TEST_P(RandomInstanceProperties, IrrelevantChannelsAreEvaluationInert) {
+  // Soundness of the prune verdict: a channel the binding-flow pass
+  // calls irrelevant contributes nothing — dropping it (alone, or all of
+  // them together) leaves the answer bit-for-bit unchanged.
+  QueryAnswerer answerer(&instance_.catalog, instance_.domains);
+  auto baseline = answerer.AnswerUnoptimized(query_);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+  analysis::BindingFlowResult flow = analysis::AnalyzeBindingFlow(
+      baseline->plan.full_program, instance_.catalog.Views(),
+      instance_.domains);
+  const auto pruned_channels = flow.PrunedChannels();
+
+  exec::ExecOptions all;
+  all.pruned_channels = pruned_channels;
+  auto all_pruned = answerer.AnswerUnoptimized(query_, all);
+  ASSERT_TRUE(all_pruned.ok()) << all_pruned.status();
+  EXPECT_EQ(Rows(all_pruned->exec.answer), Rows(baseline->exec.answer))
+      << query_.ToString();
+  EXPECT_LE(all_pruned->exec.log.total_queries(),
+            baseline->exec.log.total_queries());
+
+  std::size_t checked = 0;
+  for (const auto& channel : pruned_channels) {
+    if (++checked > 4) break;  // keep the sweep bounded
+    exec::ExecOptions one;
+    one.pruned_channels = {channel};
+    auto report = answerer.AnswerUnoptimized(query_, one);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_EQ(Rows(report->exec.answer), Rows(baseline->exec.answer))
+        << "pruning " << channel.first << "[" << channel.second
+        << "] changed the answer; query " << query_.ToString();
   }
 }
 

@@ -2,12 +2,18 @@
 // queries against a source catalog, before anything touches a source.
 //
 //   limcap_lint --catalog FILE [--query FILE | --program FILE]
-//               [--goal NAME] [--runtime FILE] [--json]
+//               [--goal NAME] [--runtime FILE] [--json] [--deep]
 //
 // Modes (by which inputs are given):
 //   --catalog only              cold-start view reachability
 //   --catalog + --query         build the full Π(Q, V) and verify it
 //   --catalog + --program       verify a hand-written Datalog program
+//
+// --deep additionally runs the binding-flow abstract interpretation
+// (LC030-LC032: statically irrelevant/unreachable fetch channels and
+// per-source static bounds) and appends the per-channel pruning
+// certificates — relevance witness chains and irrelevance/
+// unreachability refutations — to the report.
 //
 // --runtime FILE additionally parses a source-access runtime config
 // (runtime/runtime_config.h), checks that every per-view policy and
@@ -35,7 +41,7 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: limcap_lint --catalog FILE [--query FILE | --program FILE]\n"
-    "                   [--goal NAME] [--runtime FILE] [--json]\n";
+    "                   [--goal NAME] [--runtime FILE] [--json] [--deep]\n";
 
 bool ReadFile(const std::string& path, std::string* out) {
   std::ifstream in(path);
@@ -121,6 +127,8 @@ int main(int argc, char** argv) {
       if (!next(&runtime_path)) return 2;
     } else if (arg == "--json") {
       request.json = true;
+    } else if (arg == "--deep") {
+      request.deep = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << kUsage;
       return 0;
