@@ -10,14 +10,18 @@
 //     writer targeting the same BENCH_<name>.json naming scheme unless
 //     the caller already passed --benchmark_out.
 //
-// LIMCAP_BENCH_OUT_DIR overrides the output directory (default: the
-// working directory).
+// LIMCAP_BENCH_OUT_DIR overrides the output directory (default:
+// bench/out/ under the working directory, created on demand — keeps
+// local runs from littering the repo root; the four committed
+// paper-example baselines at the root are regenerated deliberately
+// with LIMCAP_BENCH_OUT_DIR=.).
 
 #ifndef LIMCAP_BENCH_BENCH_REPORT_H_
 #define LIMCAP_BENCH_BENCH_REPORT_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <utility>
 #include <vector>
@@ -29,6 +33,13 @@ inline std::string OutputPath(const std::string& bench_name) {
   if (const char* dir = std::getenv("LIMCAP_BENCH_OUT_DIR")) {
     path = dir;
     if (!path.empty() && path.back() != '/') path += '/';
+  } else {
+    path = "bench/out/";
+    std::error_code ec;
+    std::filesystem::create_directories(path, ec);
+    // On failure (read-only cwd) fall back to the working directory
+    // rather than losing the report.
+    if (ec) path.clear();
   }
   return path + "BENCH_" + bench_name + ".json";
 }

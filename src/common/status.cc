@@ -28,6 +28,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Deadline exceeded";
     case StatusCode::kLoadShed:
       return "Load shed";
+    case StatusCode::kProtocolError:
+      return "Protocol error";
   }
   return "Unknown";
 }

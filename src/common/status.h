@@ -35,6 +35,12 @@ enum class StatusCode {
   /// (a *source* could not be reached) so clients can tell "retry this
   /// server later" from "this answer is degraded".
   kLoadShed = 11,
+  /// The serve wire protocol was violated: a frame declared a payload
+  /// larger than the cap, or the peer closed the connection mid-frame.
+  /// Distinct from kInternal (our bug) and kInvalidArgument (a
+  /// well-framed but malformed request) so servers can close the
+  /// connection cleanly instead of hanging on a half-read frame.
+  kProtocolError = 12,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -90,6 +96,9 @@ class Status {
   }
   static Status LoadShed(std::string msg) {
     return Status(StatusCode::kLoadShed, std::move(msg));
+  }
+  static Status ProtocolError(std::string msg) {
+    return Status(StatusCode::kProtocolError, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

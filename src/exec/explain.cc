@@ -101,6 +101,40 @@ void RenderExecution(const AnswerReport& answer, std::ostringstream& out) {
 
 }  // namespace
 
+std::string RenderExplainText(const ExplainRenderInputs& inputs) {
+  std::ostringstream out;
+  out << inputs.preamble;
+  Section(out, "Query");
+  out << inputs.query->ToString() << "\n\n";
+  RenderRelevance(inputs.answer->plan, out);
+  RenderProgram(inputs.answer->plan, out);
+  RenderBindingFlow(inputs.answer->plan, *inputs.views, *inputs.domains,
+                    inputs.goal_predicate, out);
+  RenderPlanCache(*inputs.answer, inputs.cache_stats, out);
+  RenderExecution(*inputs.answer, out);
+
+  Section(out, "Timeline");
+  obs::SpanTreeOptions tree_options;
+  tree_options.include_wall = inputs.include_timing;
+  out << obs::RenderSpanTree(*inputs.tracer, tree_options) << "\n";
+
+  Section(out, "Metrics");
+  out << inputs.metrics->RenderText() << "\n";
+
+  Section(out, "Answer");
+  out << inputs.answer->exec.answer.size() << " row(s): "
+      << inputs.answer->exec.answer.ToString() << "\n";
+  if (inputs.answer->exec.fetch_report.degraded()) {
+    out << "WARNING: partial answer — failed views: ";
+    for (const std::string& view :
+         inputs.answer->exec.fetch_report.failed_views) {
+      out << view << " ";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
 Result<ExplainReport> Explain(const ExplainRequest& request) {
   LIMCAP_ASSIGN_OR_RETURN(capability::ParsedCatalog parsed,
                           capability::ParseCatalog(request.catalog_text));
@@ -130,38 +164,19 @@ Result<ExplainReport> Explain(const ExplainRequest& request) {
     LIMCAP_ASSIGN_OR_RETURN(report.answer,
                             answerer.Answer(report.query, options));
   }
-  std::ostringstream out;
-  Section(out, "Query");
-  out << report.query.ToString() << "\n\n";
-  RenderRelevance(report.answer.plan, out);
-  RenderProgram(report.answer.plan, out);
-  RenderBindingFlow(report.answer.plan, parsed.catalog.Views(),
-                    planner::DomainMap(), options.builder.goal_predicate,
-                    out);
-  RenderPlanCache(report.answer, options.plan_cache->stats(), out);
-  RenderExecution(report.answer, out);
-
-  Section(out, "Timeline");
-  obs::SpanTreeOptions tree_options;
-  tree_options.include_wall = request.include_timing;
-  out << obs::RenderSpanTree(report.tracer, tree_options) << "\n";
-
-  Section(out, "Metrics");
-  out << report.metrics.RenderText() << "\n";
-
-  Section(out, "Answer");
-  out << report.answer.exec.answer.size() << " row(s): "
-      << report.answer.exec.answer.ToString() << "\n";
-  if (report.answer.exec.fetch_report.degraded()) {
-    out << "WARNING: partial answer — failed views: ";
-    for (const std::string& view :
-         report.answer.exec.fetch_report.failed_views) {
-      out << view << " ";
-    }
-    out << "\n";
-  }
-
-  report.rendered = out.str();
+  const std::vector<capability::SourceView> views = parsed.catalog.Views();
+  const planner::DomainMap domains;
+  ExplainRenderInputs render;
+  render.answer = &report.answer;
+  render.query = &report.query;
+  render.views = &views;
+  render.domains = &domains;
+  render.goal_predicate = options.builder.goal_predicate;
+  render.cache_stats = options.plan_cache->stats();
+  render.tracer = &report.tracer;
+  render.metrics = &report.metrics;
+  render.include_timing = request.include_timing;
+  report.rendered = RenderExplainText(render);
   report.chrome_trace = obs::ChromeTraceJson(report.tracer);
   return report;
 }

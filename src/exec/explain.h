@@ -55,6 +55,34 @@ struct ExplainReport {
 /// report.
 Result<ExplainReport> Explain(const ExplainRequest& request);
 
+/// Everything the text renderer reads, decoupled from how the answer was
+/// produced — Explain() feeds it a live run, the replay path
+/// (src/replay/) feeds it a run reconstructed from a captured artifact,
+/// and both render byte-identically given equal inputs. All pointers are
+/// non-owning and must outlive the call.
+struct ExplainRenderInputs {
+  const AnswerReport* answer = nullptr;
+  const planner::Query* query = nullptr;
+  /// Catalog views in registration order (for the binding-flow section).
+  const std::vector<capability::SourceView>* views = nullptr;
+  const planner::DomainMap* domains = nullptr;
+  std::string goal_predicate = "ans";
+  planner::PlanCache::Stats cache_stats;
+  const obs::Tracer* tracer = nullptr;
+  const obs::MetricsRegistry* metrics = nullptr;
+  /// Include wall-clock numbers in the timeline (golden tests pin the
+  /// deterministic form with this off).
+  bool include_timing = true;
+  /// Rendered verbatim before the Query section; empty renders nothing.
+  /// The replay path puts its "Replay" section (manifest echo, recorded
+  /// vs. replayed fingerprints) here.
+  std::string preamble;
+};
+
+/// Renders the full report text: Query, Relevance, Optimized program,
+/// Binding flow, Plan cache, Execution, Timeline, Metrics, Answer.
+std::string RenderExplainText(const ExplainRenderInputs& inputs);
+
 }  // namespace limcap::exec
 
 #endif  // LIMCAP_EXEC_EXPLAIN_H_

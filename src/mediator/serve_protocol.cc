@@ -59,7 +59,7 @@ Status ReadAll(int fd, char* data, std::size_t size, bool* clean_eof) {
         *clean_eof = true;
         return Status::OK();
       }
-      return Status::Internal("connection closed mid-frame");
+      return Status::ProtocolError("connection closed mid-frame");
     }
     got += static_cast<std::size_t>(n);
   }
@@ -86,7 +86,7 @@ Result<std::string> DecodeFrame(std::string_view buffer,
   }
   const uint32_t length = GetLength(buffer.data());
   if (length > kMaxFramePayload) {
-    return Status::InvalidArgument(
+    return Status::ProtocolError(
         "frame payload length " + std::to_string(length) +
         " exceeds the " + std::to_string(kMaxFramePayload) + " byte cap");
   }
@@ -117,7 +117,10 @@ Result<std::string> ReadFrame(int fd) {
   }
   const uint32_t length = GetLength(prefix);
   if (length > kMaxFramePayload) {
-    return Status::InvalidArgument(
+    // Do NOT read the declared payload: a hostile or corrupted prefix
+    // would have us blocking on up-to-4 GiB that may never arrive. The
+    // caller closes the connection on kProtocolError instead.
+    return Status::ProtocolError(
         "frame payload length " + std::to_string(length) +
         " exceeds the " + std::to_string(kMaxFramePayload) + " byte cap");
   }

@@ -49,13 +49,16 @@ std::string EncodeFrame(std::string_view payload);
 /// Extracts the first complete frame of `buffer`. Returns the payload
 /// and sets `*consumed` to the bytes to drop from the front; returns
 /// OutOfRange when the buffer does not yet hold a complete frame
-/// (read more and retry), InvalidArgument on an oversized length prefix.
+/// (read more and retry), kProtocolError on an oversized length prefix
+/// (the stream is unrecoverable: close it).
 Result<std::string> DecodeFrame(std::string_view buffer,
                                 std::size_t* consumed);
 
 /// Blocking fd-level framing (sockets, pipes). ReadFrame returns
-/// NotFound on clean EOF at a frame boundary, Internal on a short read
-/// mid-frame or an I/O error. Both retry on EINTR.
+/// NotFound on clean EOF at a frame boundary, kProtocolError on a short
+/// read mid-frame or an oversized length prefix (never blocks waiting
+/// for an over-cap payload), Internal on an I/O error. Both retry on
+/// EINTR.
 Status WriteFrame(int fd, std::string_view payload);
 Result<std::string> ReadFrame(int fd);
 

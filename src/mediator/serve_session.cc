@@ -1,8 +1,13 @@
 #include "mediator/serve_session.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <future>
 #include <utility>
+
+#include "capability/catalog_fingerprint.h"
+#include "common/json.h"
 
 namespace limcap::mediator {
 
@@ -26,6 +31,7 @@ ServeSession::ServeSession(const Mediator* mediator, ServeOptions options)
   options_.exec.session_dict = nullptr;
   options_.exec.tracer = nullptr;
   options_.exec.metrics = nullptr;
+  options_.exec.runtime.recorder = nullptr;  // one TraceRecorder per request
   if (options_.exec.plan_cache == nullptr) {
     options_.exec.plan_cache = &mediator_->plan_cache();
   }
@@ -117,6 +123,11 @@ void ServeSession::Process(Pending pending) {
       response.trace = std::make_unique<obs::Tracer>();
       exec_options.tracer = response.trace.get();
     }
+    // One capture sink per request: the scheduler calls it from this
+    // worker (the request's driver thread) only, in batch order.
+    replay::TraceRecorder recorder;
+    const bool recording = !options_.record_dir.empty();
+    if (recording) exec_options.runtime.recorder = &recorder;
     const auto exec_start = std::chrono::steady_clock::now();
     {
       // The request-level root span; the whole answer sub-tree (plan,
@@ -134,6 +145,15 @@ void ServeSession::Process(Pending pending) {
       }
     }
     response.exec_ms = MsSince(exec_start);
+    if (recording && response.report.ok()) {
+      replay::ReplayManifest manifest = replay::MakeReplayManifest(
+          pending.request.query, *mediator_->catalog(), mediator_->domains(),
+          exec_options);
+      manifest.scenario = options_.record_scenario;
+      manifest.workload_seed = options_.record_seed;
+      replay::StampExecution(response.report->exec, &manifest);
+      RecordRequest(recorder, std::move(manifest));
+    }
   }
 
   {
@@ -152,6 +172,71 @@ void ServeSession::Process(Pending pending) {
   if (pending.done) pending.done(std::move(response));
 }
 
+void ServeSession::RecordRequest(const replay::TraceRecorder& recorder,
+                                 replay::ReplayManifest manifest) {
+  std::lock_guard<std::mutex> lock(record_mutex_);
+  char id[24];
+  std::snprintf(id, sizeof(id), "req-%05zu", record_sequence_);
+  ++record_sequence_;
+  const std::string name = std::string(id) + ".lcap";
+  manifest.request_id = id;
+
+  RecordEntry entry;
+  entry.file = name;
+  entry.request_id = manifest.request_id;
+  entry.fingerprint =
+      capability::FingerprintToString(manifest.recorded_fingerprint);
+  entry.calls = recorder.call_count();
+  entry.answer_rows = manifest.answer_rows;
+  entry.degraded = manifest.degraded;
+
+  const std::string bytes = recorder.EncodeArtifactBytes(std::move(manifest));
+  if (record_bytes_used_ + bytes.size() > options_.record_budget_bytes) {
+    ++record_dropped_;
+    return;
+  }
+  const std::string path = options_.record_dir + "/" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  if (!out) {
+    ++record_dropped_;
+    return;
+  }
+  record_bytes_used_ += bytes.size();
+  entry.bytes = bytes.size();
+  record_index_.push_back(std::move(entry));
+}
+
+void ServeSession::WriteRecordIndex() {
+  std::lock_guard<std::mutex> lock(record_mutex_);
+  if (options_.record_dir.empty() || record_index_written_) return;
+  record_index_written_ = true;
+  Json index = Json::MakeObject();
+  index.Set("version", Json(static_cast<double>(replay::kReplayArtifactVersion)));
+  index.Set("scenario", Json(options_.record_scenario));
+  index.Set("seed", Json(std::to_string(options_.record_seed)));
+  index.Set("bytes_used", Json(static_cast<double>(record_bytes_used_)));
+  index.Set("dropped", Json(static_cast<double>(record_dropped_)));
+  Json artifacts = Json::MakeArray();
+  for (const RecordEntry& entry : record_index_) {
+    Json item = Json::MakeObject();
+    item.Set("file", Json(entry.file));
+    item.Set("request_id", Json(entry.request_id));
+    item.Set("fingerprint", Json(entry.fingerprint));
+    item.Set("bytes", Json(static_cast<double>(entry.bytes)));
+    item.Set("calls", Json(static_cast<double>(entry.calls)));
+    item.Set("answer_rows", Json(static_cast<double>(entry.answer_rows)));
+    item.Set("degraded", Json(entry.degraded));
+    artifacts.Append(std::move(item));
+  }
+  index.Set("artifacts", std::move(artifacts));
+  std::ofstream out(options_.record_dir + "/record_index.json",
+                    std::ios::binary | std::ios::trunc);
+  const std::string dump = index.Dump();
+  out.write(dump.data(), static_cast<std::streamsize>(dump.size()));
+}
+
 void ServeSession::Shutdown() {
   {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -164,6 +249,9 @@ void ServeSession::Shutdown() {
   }
   work_available_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  // Once-only on drain: every worker has delivered, so the index is the
+  // complete capture set.
+  WriteRecordIndex();
 }
 
 bool ServeSession::draining() const {
@@ -176,6 +264,11 @@ ServeSession::Stats ServeSession::stats() const {
   Stats snapshot = stats_;
   snapshot.queue_depth = queue_.size();
   snapshot.governor = governor_.stats();
+  {
+    std::lock_guard<std::mutex> record_lock(record_mutex_);
+    snapshot.recorded = record_index_.size();
+    snapshot.record_dropped = record_dropped_;
+  }
   return snapshot;
 }
 

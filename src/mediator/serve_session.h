@@ -14,6 +14,7 @@
 #include "exec/query_context.h"
 #include "mediator/mediator.h"
 #include "obs/trace.h"
+#include "replay/trace_recorder.h"
 #include "runtime/fetch_governor.h"
 
 namespace limcap::mediator {
@@ -39,6 +40,22 @@ struct ServeOptions {
   /// ok) over the full plan/eval/fetch sub-tree. Per-request tracers
   /// keep the Tracer single-threaded contract intact under concurrency.
   bool trace_requests = false;
+  /// Capture/replay: when non-empty, every successfully executed
+  /// request's source traffic is captured (one replay::TraceRecorder per
+  /// request, so the single-threaded recorder contract holds across
+  /// workers) and written to this existing directory as
+  /// `req-NNNNN.lcap`; a `record_index.json` is written exactly once
+  /// when the session drains. Recording never changes dispatch,
+  /// results, or the simulated clock.
+  std::string record_dir;
+  /// Disk budget for recorded artifacts. A request whose artifact would
+  /// push the recorded-bytes total past this cap is dropped whole
+  /// (counted in Stats::record_dropped) — never truncated, because a
+  /// partial capture replays as a planner divergence.
+  std::size_t record_budget_bytes = 256u << 20;  // 256 MiB
+  /// Provenance stamped into each recorded manifest (not replay input).
+  std::string record_scenario;
+  uint64_t record_seed = 0;
 };
 
 /// One query request. The query is an already-expanded connection query
@@ -120,6 +137,8 @@ class ServeSession {
     uint64_t failed = 0;     ///< responses with an error report
     std::size_t in_flight = 0;
     std::size_t queue_depth = 0;
+    uint64_t recorded = 0;        ///< `.lcap` artifacts written
+    uint64_t record_dropped = 0;  ///< captures dropped (budget/IO)
     runtime::FetchGovernor::Stats governor;
   };
   Stats stats() const;
@@ -143,6 +162,12 @@ class ServeSession {
   /// Runs one accepted request end-to-end on this worker thread and
   /// delivers its callback.
   void Process(Pending pending);
+  /// Serializes one request's capture and writes `req-NNNNN.lcap` under
+  /// the disk budget (whole-artifact admission, never truncation).
+  void RecordRequest(const replay::TraceRecorder& recorder,
+                     replay::ReplayManifest manifest);
+  /// Writes `record_index.json` exactly once; called on drain.
+  void WriteRecordIndex();
 
   const Mediator* mediator_;
   ServeOptions options_;
@@ -157,6 +182,25 @@ class ServeSession {
   Stats stats_;
   obs::MetricsRegistry server_metrics_;
   std::vector<std::thread> workers_;
+
+  /// Recording state, behind its own mutex so artifact serialization
+  /// and file writes never block admission. Lock order: mutex_ before
+  /// record_mutex_ (stats()); RecordRequest takes record_mutex_ only.
+  struct RecordEntry {
+    std::string file;
+    std::string request_id;
+    std::string fingerprint;
+    std::size_t bytes = 0;
+    std::size_t calls = 0;
+    uint64_t answer_rows = 0;
+    bool degraded = false;
+  };
+  mutable std::mutex record_mutex_;
+  std::size_t record_sequence_ = 0;
+  std::size_t record_bytes_used_ = 0;
+  uint64_t record_dropped_ = 0;
+  std::vector<RecordEntry> record_index_;
+  bool record_index_written_ = false;
 };
 
 }  // namespace limcap::mediator

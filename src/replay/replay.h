@@ -1,0 +1,75 @@
+#ifndef LIMCAP_REPLAY_REPLAY_H_
+#define LIMCAP_REPLAY_REPLAY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "capability/source_catalog.h"
+#include "exec/explain.h"
+#include "exec/query_answerer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "planner/domain_map.h"
+#include "planner/query.h"
+#include "replay/replay_artifact.h"
+#include "replay/replay_source.h"
+
+namespace limcap::replay {
+
+/// A decoded artifact turned back into runnable inputs: the catalog
+/// rebuilt as ReplaySources holding the recorded traffic, the parsed
+/// query, and the domain map. `sources` borrows from `catalog` (for
+/// stats); the bundle is move-only like the catalog it owns.
+struct ReplayBundle {
+  ReplayManifest manifest;
+  capability::SourceCatalog catalog;
+  std::vector<ReplaySource*> sources;
+  planner::Query query;
+  planner::DomainMap domains;
+};
+
+/// Rebuilds the bundle. Fails when the query does not parse, a view spec
+/// is malformed, or the rebuilt catalog's fingerprint differs from the
+/// manifest's (the artifact is internally inconsistent).
+Result<ReplayBundle> LoadBundle(const ReplayArtifact& artifact);
+
+/// One offline re-execution of a captured run.
+struct ReplayRunReport {
+  ReplayBundle bundle;
+  exec::AnswerReport answer;
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  /// StableHash64 of the replayed OrderedFingerprint, against the
+  /// manifest's recorded one.
+  uint64_t replayed_fingerprint = 0;
+  bool fingerprint_match = false;
+  /// Aggregated ReplaySource stats: every source call the replay made
+  /// was served from the recording (`calls`), `misses` counts planner
+  /// divergences (must be 0 for a faithful replay), `replayed_faults`
+  /// counts re-raised recorded errors.
+  std::size_t replay_calls = 0;
+  std::size_t replay_misses = 0;
+  std::size_t replayed_faults = 0;
+  /// The full explain report (Query through Answer) behind a "Replay"
+  /// preamble echoing the manifest and the fingerprint verdict. No file
+  /// paths appear, so the text is golden-testable.
+  std::string rendered;
+};
+
+/// Re-executes `artifact` offline: zero live sources, recorded faults
+/// re-raised, recorded latencies on the simulated clock. Returns an
+/// error only when the bundle cannot be rebuilt or the execution itself
+/// fails; a fingerprint MISMATCH is reported in the result (callers gate
+/// on `fingerprint_match`), because the rendered divergence report is
+/// exactly what the user asked to see.
+Result<ReplayRunReport> ReplayArtifactData(const ReplayArtifact& artifact,
+                                           bool include_timing = false);
+
+/// ReadArtifactFile + ReplayArtifactData.
+Result<ReplayRunReport> ReplayFile(const std::string& path,
+                                   bool include_timing = false);
+
+}  // namespace limcap::replay
+
+#endif  // LIMCAP_REPLAY_REPLAY_H_

@@ -1,0 +1,119 @@
+#include "replay/replay_source.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace limcap::replay {
+
+namespace {
+
+void AppendValueKey(std::string* key, const Value& value) {
+  key->push_back(static_cast<char>('0' + static_cast<int>(value.kind())));
+  key->push_back(':');
+  switch (value.kind()) {
+    case Value::Kind::kNull:
+      break;
+    case Value::Kind::kInt64:
+      *key += std::to_string(value.int64());
+      break;
+    case Value::Kind::kDouble: {
+      // Hexfloat: the exact bits, so 0.1 recorded and 0.1 replayed key
+      // identically while genuinely different doubles never collide.
+      char buffer[48];
+      std::snprintf(buffer, sizeof(buffer), "%a", value.dbl());
+      *key += buffer;
+      break;
+    }
+    case Value::Kind::kString:
+      *key += value.str();
+      break;
+  }
+}
+
+/// The canonical value-level identity of a source query. Positions are
+/// ascending schema positions (SourceQuery's invariant), values are
+/// exact, so the key is independent of binding order, dictionaries, and
+/// variable names.
+std::string CanonicalKey(const std::vector<uint32_t>& positions,
+                         const std::vector<Value>& values) {
+  std::string key;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    key += std::to_string(positions[i]);
+    key.push_back('=');
+    AppendValueKey(&key, values[i]);
+    key.push_back('\x1f');
+  }
+  return key;
+}
+
+}  // namespace
+
+void ReplaySource::AddCall(const runtime::FetchRecorder::Fetch& fetch) {
+  Call call;
+  call.attempts = fetch.attempts;
+  recorded_[CanonicalKey(fetch.positions, fetch.values)].calls.push_back(
+      std::move(call));
+}
+
+Result<relational::Relation> ReplaySource::ExecuteTimed(
+    const capability::SourceQuery& query, Timing* timing) {
+  std::vector<Value> values;
+  values.reserve(query.ids.size());
+  for (ValueId id : query.ids) values.push_back(query.dict->Get(id));
+  const std::string key = CanonicalKey(query.positions, values);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = recorded_.find(key);
+  if (it == recorded_.end()) {
+    ++stats_.misses;
+    return Status::NotFound(
+        "replay miss: no recorded answer for " +
+        view_.FormatQuery(query.DecodedBindings(view_)) +
+        " (the recording holds " + std::to_string(recorded_.size()) +
+        " distinct quer" + (recorded_.size() == 1 ? "y" : "ies") +
+        " for this source) — the replayed planner issued a source query "
+        "the recorded run never made; that is a behavior divergence to "
+        "investigate, not a fallback to serve");
+  }
+  Recorded& rec = it->second;
+  const Call& call = rec.calls[rec.call_index];
+  const runtime::FetchRecorder::Attempt& attempt =
+      call.attempts[std::min(rec.attempt_index, call.attempts.size() - 1)];
+  // Advance: next attempt of this call, else first attempt of the next
+  // recorded call, else stick on the last attempt (a replay retry loop
+  // may probe once more than a synthesized single-attempt record holds).
+  if (rec.attempt_index + 1 < call.attempts.size()) {
+    ++rec.attempt_index;
+  } else if (rec.call_index + 1 < rec.calls.size()) {
+    ++rec.call_index;
+    rec.attempt_index = 0;
+  } else {
+    rec.attempt_index = call.attempts.size();
+  }
+
+  ++stats_.calls;
+  timing->added_latency_ms = attempt.added_latency_ms;
+  if (attempt.discarded) {
+    // The live run never saw this attempt's outcome (it blew the
+    // deadline and was discarded); the scheduler will discard this one
+    // too — same latency, same policy — so the content is irrelevant.
+    return relational::Relation(view_.schema(), query.dict);
+  }
+  if (!attempt.ok) {
+    ++stats_.replayed_faults;
+    return Status(attempt.code, attempt.message);
+  }
+  relational::Relation tuples(view_.schema(), query.dict);
+  for (const relational::Row& row : attempt.rows) {
+    tuples.InsertUnsafe(row);
+  }
+  return tuples;
+}
+
+ReplaySource::Stats ReplaySource::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace limcap::replay

@@ -1,0 +1,77 @@
+#ifndef LIMCAP_REPLAY_REPLAY_SOURCE_H_
+#define LIMCAP_REPLAY_REPLAY_SOURCE_H_
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "capability/source_view.h"
+#include "replay/replay_artifact.h"
+#include "runtime/timed_source.h"
+
+namespace limcap::replay {
+
+/// A Source serving one view's recorded traffic back: results are keyed
+/// by the canonical value-level query (ascending schema positions +
+/// exact values — order- and rename-invariant by construction, the same
+/// identity the scheduler's cross-query coalescing uses), recorded
+/// faults are re-raised with their original status, and recorded latency
+/// perturbations are replayed through the TimedSource interface so the
+/// simulated clock evolves exactly as it did live.
+///
+/// A query with no recorded answer fails loudly (NotFound with a
+/// diagnostic): the planner under replay diverged from the planner under
+/// record, which is a finding, not a condition to paper over with empty
+/// results. `stats().misses` counts these; replay reports assert zero.
+class ReplaySource : public runtime::TimedSource {
+ public:
+  explicit ReplaySource(capability::SourceView view)
+      : view_(std::move(view)) {}
+
+  /// Registers one recorded call (dispatch order). Calls with the same
+  /// canonical query queue up and are served in order; once exhausted,
+  /// the last attempt is re-served (a replay retry loop may probe one
+  /// more time than a synthesized single-attempt record holds).
+  void AddCall(const runtime::FetchRecorder::Fetch& fetch);
+
+  const capability::SourceView& view() const override { return view_; }
+
+  Result<relational::Relation> ExecuteTimed(
+      const capability::SourceQuery& query, Timing* timing) override;
+
+  struct Stats {
+    /// Execute calls served from the recording.
+    std::size_t calls = 0;
+    /// Execute calls with no recorded answer (each also returned the
+    /// loud NotFound diagnostic).
+    std::size_t misses = 0;
+    /// Served attempts that re-raised a recorded fault status.
+    std::size_t replayed_faults = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Call {
+    std::vector<runtime::FetchRecorder::Attempt> attempts;
+  };
+  struct Recorded {
+    std::vector<Call> calls;
+    std::size_t call_index = 0;
+    std::size_t attempt_index = 0;
+  };
+
+  capability::SourceView view_;
+  /// Canonical-query key → recorded calls + replay cursor. The mutex
+  /// covers the cursors and stats: the scheduler may Execute one source
+  /// from several workers at once (each with a private dictionary, so
+  /// the relation building below never races on interning).
+  mutable std::mutex mutex_;
+  std::map<std::string, Recorded> recorded_;
+  Stats stats_;
+};
+
+}  // namespace limcap::replay
+
+#endif  // LIMCAP_REPLAY_REPLAY_SOURCE_H_

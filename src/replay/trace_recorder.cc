@@ -1,0 +1,48 @@
+#include "replay/trace_recorder.h"
+
+#include "capability/catalog_fingerprint.h"
+#include "exec/fingerprint.h"
+
+namespace limcap::replay {
+
+ReplayManifest MakeReplayManifest(const planner::Query& query,
+                                  const capability::SourceCatalog& catalog,
+                                  const planner::DomainMap& domains,
+                                  const exec::ExecOptions& options) {
+  ReplayManifest manifest;
+  manifest.query_text = query.ToString();
+  for (const capability::SourceView& view : catalog.Views()) {
+    ReplayViewSpec spec;
+    spec.name = view.name();
+    spec.attributes = view.schema().attributes();
+    for (const capability::BindingPattern& pattern : view.templates()) {
+      spec.templates.push_back(pattern.ToString());
+    }
+    manifest.views.push_back(std::move(spec));
+  }
+  manifest.domains = domains.overrides();
+  manifest.catalog_fingerprint = catalog.fingerprint();
+  manifest.options = options;
+  // The non-owning wires are this run's, not the replay's: the replay
+  // attaches its own dictionary/cache/tracer and must see no governor or
+  // recorder (and a manifest must not dangle into the recorded process).
+  manifest.options.session_dict = nullptr;
+  manifest.options.pruned_channels.clear();
+  manifest.options.plan_cache = nullptr;
+  manifest.options.tracer = nullptr;
+  manifest.options.metrics = nullptr;
+  manifest.options.runtime.governor = nullptr;
+  manifest.options.runtime.recorder = nullptr;
+  return manifest;
+}
+
+void StampExecution(const exec::ExecResult& exec, ReplayManifest* manifest) {
+  manifest->recorded_fingerprint =
+      capability::StableHash64(exec::OrderedFingerprint(exec));
+  manifest->answer_rows = exec.answer.size();
+  manifest->source_queries = exec.log.total_queries();
+  manifest->rounds = exec.rounds;
+  manifest->degraded = exec.fetch_report.degraded();
+}
+
+}  // namespace limcap::replay

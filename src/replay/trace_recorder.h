@@ -1,0 +1,65 @@
+#ifndef LIMCAP_REPLAY_TRACE_RECORDER_H_
+#define LIMCAP_REPLAY_TRACE_RECORDER_H_
+
+#include <string>
+#include <vector>
+
+#include "capability/source_catalog.h"
+#include "exec/query_answerer.h"
+#include "planner/domain_map.h"
+#include "planner/query.h"
+#include "replay/replay_artifact.h"
+#include "runtime/fetch_recorder.h"
+
+namespace limcap::replay {
+
+/// The concrete capture sink: wire one into
+/// `ExecOptions::runtime.recorder` before answering, and every dispatched
+/// source call lands here in batch order. One recorder serves one
+/// execution (the scheduler calls it from the driver thread only, so no
+/// synchronization is needed); a multi-query server creates one per
+/// request.
+class TraceRecorder : public runtime::FetchRecorder {
+ public:
+  void RecordFetch(runtime::FetchRecorder::Fetch fetch) override {
+    calls_.push_back(std::move(fetch));
+  }
+
+  const std::vector<runtime::FetchRecorder::Fetch>& calls() const {
+    return calls_;
+  }
+  std::size_t call_count() const { return calls_.size(); }
+  void Clear() { calls_.clear(); }
+
+  /// Serializes the capture behind `manifest` (stamping body integrity).
+  std::string EncodeArtifactBytes(ReplayManifest manifest) const {
+    return EncodeArtifact(std::move(manifest), calls_);
+  }
+
+  /// Writes the `.lcap` file.
+  Status WriteArtifact(const std::string& path,
+                       const ReplayManifest& manifest) const {
+    return WriteArtifactFile(path, manifest, calls_);
+  }
+
+ private:
+  std::vector<runtime::FetchRecorder::Fetch> calls_;
+};
+
+/// Builds the manifest's input half from what is about to run: the query
+/// text, the catalog's views and fingerprint, the domain overrides, and
+/// the serializable ExecOptions subset. Stamp the result half with
+/// StampExecution after the answer.
+ReplayManifest MakeReplayManifest(const planner::Query& query,
+                                  const capability::SourceCatalog& catalog,
+                                  const planner::DomainMap& domains,
+                                  const exec::ExecOptions& options);
+
+/// Stamps the result half: the recorded OrderedFingerprint's hash and
+/// the human-facing echo (answer rows, source queries, rounds,
+/// degraded).
+void StampExecution(const exec::ExecResult& exec, ReplayManifest* manifest);
+
+}  // namespace limcap::replay
+
+#endif  // LIMCAP_REPLAY_TRACE_RECORDER_H_

@@ -1,0 +1,80 @@
+#ifndef LIMCAP_RUNTIME_FETCH_RECORDER_H_
+#define LIMCAP_RUNTIME_FETCH_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "relational/relation.h"
+
+namespace limcap::runtime {
+
+/// Added latency stamped onto synthesized attempt records whose real
+/// latency was never observed (cross-query-coalesced fetches that timed
+/// out): large enough to exceed any finite per-attempt deadline, so a
+/// replay of the record times out exactly like the original did.
+inline constexpr double kForcedTimeoutLatencyMs = 1e12;
+
+/// The recording half of the capture/replay subsystem's contract with the
+/// runtime (the replay half lives in src/replay/, which the runtime must
+/// not depend on — hence this abstract sink). When RuntimeOptions::recorder
+/// is set, the FetchScheduler feeds it one Fetch per dispatched source
+/// call: the canonical query, and per retry attempt the injected latency
+/// and the outcome (rows decoded to values, so the record is independent
+/// of any session dictionary).
+///
+/// Everything else — retries, backoff jitter, breaker admission,
+/// coalescing, the simulated timeline — is deterministic given
+/// RuntimeOptions and the seed, so it is re-derived on replay rather than
+/// recorded (the Execution Reconstruction recipe: record only the
+/// nondeterministic boundary, which for this mediator is exactly the
+/// source-interaction surface).
+class FetchRecorder {
+ public:
+  /// One attempt of a fetch's retry loop, as observed at the source-call
+  /// boundary.
+  struct Attempt {
+    /// Fault-injected extra latency (TimedSource::Timing); replayed
+    /// verbatim so the simulated clock evolves identically.
+    double added_latency_ms = 0;
+    /// The attempt's simulated latency exceeded the per-attempt deadline:
+    /// the scheduler discarded the outcome unread, so none is recorded.
+    bool discarded = false;
+    /// The attempt returned rows (below). When false and not discarded,
+    /// `code`/`message` carry the error the source raised.
+    bool ok = false;
+    StatusCode code = StatusCode::kOk;
+    std::string message;
+    /// Returned rows decoded to values, in the source's return order
+    /// (which fixes the interning order, and with it the fingerprint).
+    std::vector<relational::Row> rows;
+  };
+
+  /// One dispatched (source, query) call with its full attempt history.
+  struct Fetch {
+    std::string source;
+    /// The canonical SourceQuery: ascending view-schema positions plus
+    /// the bound values, decoded from the dispatching dictionary.
+    std::vector<uint32_t> positions;
+    std::vector<Value> values;
+    std::vector<Attempt> attempts;
+    /// Answered by another query's identical in-flight call (FetchGovernor
+    /// cross-query coalescing): the single attempt is a synthesized
+    /// summary of the shared outcome, not observed source traffic.
+    bool cross_coalesced = false;
+  };
+
+  virtual ~FetchRecorder() = default;
+
+  /// Called on the driver thread at the merge point, in batch order, once
+  /// per dispatched leader. Coalesced followers and breaker-refused
+  /// fetches make no source call and are not recorded — replay re-derives
+  /// them from the recorded outcomes and the shared seed.
+  virtual void RecordFetch(Fetch fetch) = 0;
+};
+
+}  // namespace limcap::runtime
+
+#endif  // LIMCAP_RUNTIME_FETCH_RECORDER_H_

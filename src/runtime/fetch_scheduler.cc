@@ -13,6 +13,7 @@
 #include "common/hash.h"
 #include "common/rng.h"
 #include "runtime/fetch_governor.h"
+#include "runtime/fetch_recorder.h"
 #include "runtime/timed_source.h"
 
 namespace limcap::runtime {
@@ -88,6 +89,9 @@ struct FetchScheduler::Leader {
   /// Set by the worker when the governor answered this fetch with
   /// another query's identical in-flight source call.
   bool cross_coalesced = false;
+  /// Per-attempt capture, filled by ExecuteLeader when a recorder is
+  /// wired in (options_.recorder); flushed by the driver at the merge.
+  std::vector<FetchRecorder::Attempt> recorded;
 
   // Outcome block, written by ExecuteLeader.
   Result<relational::Relation> tuples = Status::Internal("not executed");
@@ -127,6 +131,21 @@ void FetchScheduler::ExecuteLeader(Leader* leader) const {
         timed != nullptr ? timed->ExecuteTimed(leader->query, &timing)
                          : leader->source->Execute(leader->query);
     const double latency = leader->base_latency_ms + timing.added_latency_ms;
+    if (options_.recorder != nullptr) {
+      FetchRecorder::Attempt record;
+      record.added_latency_ms = timing.added_latency_ms;
+      record.discarded = latency > policy.deadline_ms;
+      if (!record.discarded) {
+        record.ok = answer.ok();
+        if (answer.ok()) {
+          record.rows = answer->DecodedRows();
+        } else {
+          record.code = answer.status().code();
+          record.message = answer.status().message();
+        }
+      }
+      leader->recorded.push_back(std::move(record));
+    }
     if (latency > policy.deadline_ms) {
       // The answer (good or bad) arrived past the deadline: discard it.
       // The attempt costs exactly the deadline — the caller hung up then.
@@ -293,6 +312,46 @@ double FetchScheduler::SimulateTimeline(std::vector<Leader>* leaders,
   return makespan_end - batch_start;
 }
 
+void FetchScheduler::RecordLeaderFetch(const Leader& leader) const {
+  FetchRecorder::Fetch fetch;
+  fetch.source = leader.source_name;
+  fetch.positions = leader.query.positions;
+  fetch.values.reserve(leader.query.ids.size());
+  // leader.query.dict is the private per-fetch dictionary under
+  // concurrent dispatch and the session dictionary under serial — either
+  // way, decoding here yields the canonical value-level query.
+  for (ValueId id : leader.query.ids) {
+    fetch.values.push_back(leader.query.dict->Get(id));
+  }
+  if (leader.cross_coalesced) {
+    // This fetch made no source call: another query's identical in-flight
+    // call answered it, and only the shared final outcome is observable.
+    // Synthesize a single attempt carrying that outcome so a solo replay
+    // of this query reconstructs an equivalent fetch. Attempt counts and
+    // durations may differ from the sharing run — neither is part of the
+    // OrderedFingerprint.
+    fetch.cross_coalesced = true;
+    FetchRecorder::Attempt record;
+    if (leader.tuples.ok()) {
+      record.ok = true;
+      record.rows = leader.tuples->DecodedRows();
+    } else if (leader.tuples.status().code() ==
+               StatusCode::kDeadlineExceeded) {
+      // The shared call timed out every attempt; force the same on
+      // replay by overshooting any finite deadline.
+      record.discarded = true;
+      record.added_latency_ms = kForcedTimeoutLatencyMs;
+    } else {
+      record.code = leader.tuples.status().code();
+      record.message = leader.tuples.status().message();
+    }
+    fetch.attempts.push_back(std::move(record));
+  } else {
+    fetch.attempts = leader.recorded;
+  }
+  options_.recorder->RecordFetch(std::move(fetch));
+}
+
 std::vector<FetchResult> FetchScheduler::ExecuteBatch(
     const std::vector<FetchRequest>& requests) {
   std::vector<FetchResult> results(requests.size());
@@ -445,6 +504,7 @@ std::vector<FetchResult> FetchScheduler::ExecuteBatch(
     if (leader.tuples.ok() && leader.tuples->dict_ptr() != dict_) {
       leader.tuples = leader.tuples->WithDictionary(dict_);
     }
+    if (options_.recorder != nullptr) RecordLeaderFetch(leader);
     if (leader.cross_coalesced) {
       // Another query's source call answered this fetch: account the
       // saved work, not attempts (this execution made none).

@@ -105,6 +105,9 @@ class FetchScheduler {
   /// Worker-side: runs one fetch's retry loop against the source.
   void ExecuteLeader(Leader* leader) const;
   void RunLeadersConcurrently(std::vector<Leader>* leaders);
+  /// Driver-side: hands one dispatched leader's canonical query and
+  /// attempt history to options_.recorder (which is non-null).
+  void RecordLeaderFetch(const Leader& leader) const;
   /// Driver-side: lays the executed leaders on the simulated timeline
   /// under the in-flight caps; returns the batch makespan.
   double SimulateTimeline(std::vector<Leader>* leaders, double batch_start);

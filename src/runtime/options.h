@@ -12,6 +12,7 @@
 namespace limcap::runtime {
 
 class FetchGovernor;
+class FetchRecorder;
 
 /// Configuration of the asynchronous source-access runtime: how each
 /// fetch round's frontier of source queries is dispatched, retried, and
@@ -58,6 +59,12 @@ struct RuntimeOptions {
   /// queries. Null (the default) means this execution is ungoverned;
   /// single-query results are bit-identical either way.
   FetchGovernor* governor = nullptr;
+  /// Optional capture sink (src/replay/): when set, every dispatched
+  /// source call's canonical query and per-attempt outcomes/latencies are
+  /// recorded through it, on the driver thread in batch order. Not owned;
+  /// must outlive the execution. Recording never changes dispatch,
+  /// results, or the simulated clock.
+  FetchRecorder* recorder = nullptr;
 
   /// The policy for `view`: its override, or the default.
   const RetryPolicy& PolicyFor(const std::string& view) const {

@@ -31,7 +31,8 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
 }
 
 TEST(StatusTest, AllCodesHaveNames) {
-  for (int code = 0; code <= 8; ++code) {
+  for (int code = 0;
+       code <= static_cast<int>(StatusCode::kProtocolError); ++code) {
     EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(code)),
                  "Unknown");
   }

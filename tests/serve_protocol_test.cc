@@ -52,10 +52,42 @@ TEST(ServeProtocolTest, IncompleteAndOversizedFramesAreDistinguished) {
           .status()
           .code(),
       StatusCode::kOutOfRange);
-  // A corrupt prefix claiming gigabytes is rejected outright.
+  // A corrupt prefix claiming gigabytes is a protocol violation — the
+  // stream cannot be resynchronized, so the caller must close it.
   const std::string oversized = {'\x7f', '\x00', '\x00', '\x00'};
   EXPECT_EQ(DecodeFrame(oversized, &consumed).status().code(),
-            StatusCode::kInvalidArgument);
+            StatusCode::kProtocolError);
+}
+
+TEST(ServeProtocolTest, FrameCapBoundaryIsExact) {
+  std::size_t consumed = 0;
+  // Exactly at the cap: legal. DecodeFrame sees the full frame.
+  const std::string max_payload(kMaxFramePayload, 'x');
+  const std::string max_frame = EncodeFrame(max_payload);
+  auto at_cap = DecodeFrame(max_frame, &consumed);
+  ASSERT_TRUE(at_cap.ok()) << at_cap.status();
+  EXPECT_EQ(at_cap->size(), kMaxFramePayload);
+
+  // One byte past the cap: kProtocolError from the prefix alone,
+  // before any payload byte is examined (or, fd-side, read).
+  const uint32_t over = static_cast<uint32_t>(kMaxFramePayload) + 1;
+  std::string over_prefix(4, '\0');
+  over_prefix[0] = static_cast<char>(over >> 24);
+  over_prefix[1] = static_cast<char>(over >> 16);
+  over_prefix[2] = static_cast<char>(over >> 8);
+  over_prefix[3] = static_cast<char>(over);
+  EXPECT_EQ(DecodeFrame(over_prefix, &consumed).status().code(),
+            StatusCode::kProtocolError);
+
+  // Fd-side: the oversized prefix alone (no payload will ever come)
+  // must fail immediately instead of blocking on 16 MiB + 1 bytes —
+  // the "clean close, not a hang" property.
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_EQ(::write(fds[1], over_prefix.data(), 4), 4);
+  EXPECT_EQ(ReadFrame(fds[0]).status().code(), StatusCode::kProtocolError);
+  ::close(fds[1]);
+  ::close(fds[0]);
 }
 
 TEST(ServeProtocolTest, FdFramingRoundTripsAndReportsCleanEof) {
@@ -74,13 +106,21 @@ TEST(ServeProtocolTest, FdFramingRoundTripsAndReportsCleanEof) {
   EXPECT_EQ(ReadFrame(fds[0]).status().code(), StatusCode::kNotFound);
   ::close(fds[0]);
 
-  // A connection dying mid-frame is an error, not a clean EOF.
+  // A connection dying mid-frame is a protocol violation, not a clean
+  // EOF and not our bug (kInternal): the peer broke the framing.
   ASSERT_EQ(::pipe(fds), 0);
   const std::string frame = EncodeFrame("truncated");
   ASSERT_EQ(::write(fds[1], frame.data(), 7),
             static_cast<ssize_t>(7));
   ::close(fds[1]);
-  EXPECT_EQ(ReadFrame(fds[0]).status().code(), StatusCode::kInternal);
+  EXPECT_EQ(ReadFrame(fds[0]).status().code(), StatusCode::kProtocolError);
+  ::close(fds[0]);
+
+  // Truncation inside the 4-byte prefix itself is the same violation.
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_EQ(::write(fds[1], frame.data(), 2), static_cast<ssize_t>(2));
+  ::close(fds[1]);
+  EXPECT_EQ(ReadFrame(fds[0]).status().code(), StatusCode::kProtocolError);
   ::close(fds[0]);
 }
 

@@ -5,15 +5,25 @@
 //
 //   limcap_explain --catalog FILE --query FILE [--runtime FILE]
 //                  [--goal NAME] [--no-timing] [--trace-out FILE]
+//   limcap_explain --replay FILE.lcap [--no-timing] [--trace-out FILE]
 //
 // --no-timing omits wall-clock numbers from the timeline, making the
 // report deterministic (the golden tests run this mode). --trace-out
 // additionally writes the span tree as Chrome trace_event JSON, loadable
 // in chrome://tracing or Perfetto.
 //
-// Exit status: 0 = answered (a partial answer still counts), 1 = the
-// execution failed, 2 = the inputs are unusable (bad flags, unreadable
-// file, parse failure).
+// --replay re-executes a `.lcap` capture (limcap_serve --record, or
+// replay::TraceRecorder) entirely offline: the catalog is rebuilt from
+// the manifest, every source query is answered from the recording (a
+// miss is a planner divergence and fails the run), recorded faults are
+// re-raised and recorded latencies replayed on the simulated clock, and
+// the report opens with a Replay section giving the recorded-vs-replayed
+// fingerprint verdict.
+//
+// Exit status: 0 = answered (a partial answer still counts; for --replay
+// the fingerprints must also MATCH with zero misses), 1 = the execution
+// failed or the replay diverged, 2 = the inputs are unusable (bad flags,
+// unreadable file, parse failure).
 
 #include <fstream>
 #include <iostream>
@@ -22,12 +32,15 @@
 
 #include "common/result.h"
 #include "exec/explain.h"
+#include "obs/export.h"
+#include "replay/replay.h"
 
 namespace {
 
 constexpr const char* kUsage =
     "usage: limcap_explain --catalog FILE --query FILE [--runtime FILE]\n"
-    "                      [--goal NAME] [--no-timing] [--trace-out FILE]\n";
+    "                      [--goal NAME] [--no-timing] [--trace-out FILE]\n"
+    "       limcap_explain --replay FILE.lcap [--no-timing]\n";
 
 bool ReadFile(const std::string& path, std::string* out) {
   std::ifstream in(path);
@@ -46,6 +59,7 @@ int main(int argc, char** argv) {
   std::string query_path;
   std::string runtime_path;
   std::string trace_path;
+  std::string replay_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -68,6 +82,8 @@ int main(int argc, char** argv) {
       if (!next(&request.options.builder.goal_predicate)) return 2;
     } else if (arg == "--no-timing") {
       request.include_timing = false;
+    } else if (arg == "--replay") {
+      if (!next(&replay_path)) return 2;
     } else if (arg == "--trace-out") {
       if (!next(&trace_path)) return 2;
     } else if (arg == "--help" || arg == "-h") {
@@ -78,6 +94,43 @@ int main(int argc, char** argv) {
                 << kUsage;
       return 2;
     }
+  }
+
+  if (!replay_path.empty()) {
+    if (!catalog_path.empty() || !query_path.empty() ||
+        !runtime_path.empty()) {
+      std::cerr << "limcap_explain: --replay rebuilds catalog, query and "
+                   "runtime from the artifact; drop --catalog/--query/"
+                   "--runtime\n"
+                << kUsage;
+      return 2;
+    }
+    limcap::Result<limcap::replay::ReplayRunReport> replayed =
+        limcap::replay::ReplayFile(replay_path, request.include_timing);
+    if (!replayed.ok()) {
+      std::cerr << "limcap_explain: " << replayed.status().ToString() << "\n";
+      // A broken/inconsistent artifact is an input problem; a failed
+      // re-execution is not.
+      const limcap::StatusCode code = replayed.status().code();
+      return (code == limcap::StatusCode::kInvalidArgument ||
+              code == limcap::StatusCode::kNotFound)
+                 ? 2
+                 : 1;
+    }
+    std::cout << replayed->rendered;
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      if (!out) {
+        std::cerr << "limcap_explain: cannot write trace '" << trace_path
+                  << "'\n";
+        return 2;
+      }
+      out << limcap::obs::ChromeTraceJson(replayed->tracer);
+    }
+    // A divergent replay is a finding, not a fallback: the report above
+    // shows it, the exit status makes harnesses fail on it.
+    return (replayed->fingerprint_match && replayed->replay_misses == 0) ? 0
+                                                                         : 1;
   }
 
   if (catalog_path.empty() || query_path.empty()) {

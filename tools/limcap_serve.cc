@@ -8,6 +8,13 @@
 //   limcap_serve [--port N] [--scenario mixed|paper] [--seed N]
 //                [--workers N] [--max-queue N] [--max-in-flight N]
 //                [--per-source-in-flight N] [--no-coalesce]
+//                [--record DIR] [--record-budget BYTES]
+//
+// --record DIR captures every successfully answered request's source
+// traffic as DIR/req-NNNNN.lcap (replay::ReplayArtifact, replayable
+// offline with `limcap_explain --replay`), plus a record_index.json
+// written once on drain. --record-budget bounds the total artifact
+// bytes (default 256 MiB); over-budget captures are dropped whole.
 //
 // --port 0 (the default) binds an ephemeral port. Once listening the
 // daemon prints "LISTENING <port>" on stdout and flushes, so a harness
@@ -32,6 +39,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <memory>
 #include <mutex>
@@ -65,7 +73,8 @@ using limcap::mediator::WriteFrame;
 constexpr const char* kUsage =
     "usage: limcap_serve [--port N] [--scenario mixed|paper] [--seed N]\n"
     "                    [--workers N] [--max-queue N] [--max-in-flight N]\n"
-    "                    [--per-source-in-flight N] [--no-coalesce]\n";
+    "                    [--per-source-in-flight N] [--no-coalesce]\n"
+    "                    [--record DIR] [--record-budget BYTES]\n";
 
 /// Self-pipe for signal-safe shutdown: the handler writes one byte, the
 /// poll loop wakes. Also written by connection readers on a "shutdown"
@@ -111,7 +120,15 @@ void ReaderLoop(std::shared_ptr<Connection> connection,
                 ServeSession* session) {
   for (;;) {
     limcap::Result<std::string> frame = ReadFrame(connection->fd);
-    if (!frame.ok()) return;  // clean EOF, peer reset, or our shutdown
+    if (!frame.ok()) {
+      if (frame.status().code() == limcap::StatusCode::kProtocolError) {
+        // Tell the peer why before closing: a framing violation is
+        // unrecoverable on this stream (we cannot resynchronize), but
+        // it should not look like a silent hang-up.
+        WriteReply(connection, ErrorReply(0, frame.status()));
+      }
+      return;  // clean EOF, peer reset, protocol violation, or shutdown
+    }
     limcap::Result<Json> message = Json::Parse(*frame);
     if (!message.ok()) {
       WriteReply(connection, ErrorReply(0, message.status()));
@@ -186,6 +203,10 @@ int main(int argc, char** argv) {
           std::strtoul(next(), nullptr, 10);
     } else if (arg == "--no-coalesce") {
       serve_options.governor.cross_query_coalesce = false;
+    } else if (arg == "--record") {
+      serve_options.record_dir = next();
+    } else if (arg == "--record-budget") {
+      serve_options.record_budget_bytes = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--help") {
       std::cout << kUsage;
       return 0;
@@ -222,6 +243,18 @@ int main(int argc, char** argv) {
     std::cerr << "limcap_serve: unknown scenario \"" << scenario << "\"\n"
               << kUsage;
     return 2;
+  }
+
+  if (!serve_options.record_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(serve_options.record_dir, ec);
+    if (ec) {
+      std::cerr << "limcap_serve: cannot create record dir "
+                << serve_options.record_dir << ": " << ec.message() << "\n";
+      return 2;
+    }
+    serve_options.record_scenario = scenario;
+    serve_options.record_seed = seed;
   }
 
   Mediator mediator(catalog, domains);
@@ -307,6 +340,8 @@ int main(int argc, char** argv) {
   summary.Set("completed", stats.completed);
   summary.Set("failed", stats.failed);
   summary.Set("cross_query_coalesced", stats.governor.cross_query_coalesced);
+  summary.Set("recorded", stats.recorded);
+  summary.Set("record_dropped", stats.record_dropped);
   std::printf("%s\n", summary.Dump().c_str());
   return 0;
 }

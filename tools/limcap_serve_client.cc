@@ -3,7 +3,7 @@
 //
 //   limcap_serve_client --port N [--scenario mixed|paper] [--seed N]
 //                       [--count N] [--concurrency C] [--deadline-ms D]
-//                       [--status] [--shutdown]
+//                       [--max-shed F] [--status] [--shutdown]
 //
 // The client regenerates the daemon's scenario from the same --seed —
 // the workload generator is deterministic, so "mixed" with matching
@@ -18,6 +18,11 @@
 // designed), "failed" everything else non-OK. --status appends a server
 // status snapshot; --shutdown sends a shutdown frame afterwards and
 // waits for the server's "bye" (exit 1 if it never comes).
+//
+// --max-shed F (a fraction in [0,1], default off) turns the shed rate
+// into a pass/fail gate for harnesses: when shed/sent exceeds F the
+// client exits 3, so a CI job can assert "under this load, admission
+// control sheds at most F" without parsing the summary.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -51,7 +56,8 @@ using limcap::mediator::WriteFrame;
 constexpr const char* kUsage =
     "usage: limcap_serve_client --port N [--scenario mixed|paper]\n"
     "                           [--seed N] [--count N] [--concurrency C]\n"
-    "                           [--deadline-ms D] [--status] [--shutdown]\n";
+    "                           [--deadline-ms D] [--max-shed F]\n"
+    "                           [--status] [--shutdown]\n";
 
 int Connect(int port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -85,6 +91,7 @@ int main(int argc, char** argv) {
   std::size_t count = 64;
   std::size_t concurrency = 4;
   double deadline_ms = 0;
+  double max_shed = -1;  // negative = gate off
   bool want_status = false;
   bool want_shutdown = false;
 
@@ -110,6 +117,8 @@ int main(int argc, char** argv) {
       concurrency = std::max<std::size_t>(1, std::strtoul(next(), nullptr, 10));
     } else if (arg == "--deadline-ms") {
       deadline_ms = std::atof(next());
+    } else if (arg == "--max-shed") {
+      max_shed = std::atof(next());
     } else if (arg == "--status") {
       want_status = true;
     } else if (arg == "--shutdown") {
@@ -287,7 +296,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  const double shed_rate =
+      queries.empty() ? 0.0
+                      : static_cast<double>(shed) /
+                            static_cast<double>(queries.size());
+  const bool shed_exceeded = max_shed >= 0 && shed_rate > max_shed;
+  if (max_shed >= 0) {
+    summary.Set("shed_rate", shed_rate);
+    summary.Set("max_shed", max_shed);
+    summary.Set("max_shed_exceeded", shed_exceeded);
+  }
+
   std::printf("%s\n", summary.Dump().c_str());
   if (io_failed || control_failed || responded != queries.size()) return 1;
+  if (shed_exceeded) return 3;
   return 0;
 }
