@@ -21,6 +21,14 @@
 // carry. Self-checks: pruning preserves the answer, saves >=10% of the
 // fetches on at least one workload, and the analysis itself stays under
 // 100 ms on the 400-view chain.
+//
+// A third section measures the adaptive dispatch layer
+// (RuntimeOptions::adaptive): dynamic relevance skips on a decoyed join
+// that static analysis cannot prune (self-check: adaptive fetches <
+// static fetches with skips > 0 and the same answer), and hedged
+// requests on a one-source walk under seeded latency spikes
+// (self-check: the hedged run's simulated makespan beats the unhedged
+// run's with at least one hedge fired and the same answer).
 // Output is one JSON row per configuration.
 
 #include <chrono>
@@ -31,7 +39,9 @@
 #include <vector>
 
 #include "analysis/binding_flow.h"
+#include "capability/catalog_text.h"
 #include "capability/in_memory_source.h"
+#include "common/value.h"
 #include "exec/query_answerer.h"
 #include "planner/program_builder.h"
 #include "runtime/fault_injection.h"
@@ -75,12 +85,14 @@ void EmitRow(const std::string& bench, const Run& run) {
       "\"batches\": %zu, \"attempts\": %zu, \"retries\": %zu, "
       "\"coalesced\": %zu, \"simulated_makespan_ms\": %.1f, "
       "\"simulated_sequential_ms\": %.1f, \"speedup\": %.2f, "
+      "\"skipped_dynamic\": %zu, \"hedged\": %zu, \"hedge_wins\": %zu, "
       "\"degraded\": %s, \"wall_ms\": %.1f}\n",
       bench.c_str(), run.report->exec.answer.size(),
       run.report->exec.log.total_queries(), fetch.batches,
       fetch.total_attempts, fetch.total_retries, fetch.coalesced_hits,
       fetch.simulated_makespan_ms, fetch.simulated_sequential_ms,
-      fetch.SequentialSpeedup(), fetch.degraded() ? "true" : "false",
+      fetch.SequentialSpeedup(), fetch.skipped_dynamic, fetch.hedged,
+      fetch.hedge_wins, fetch.degraded() ? "true" : "false",
       run.wall_ms);
   reporter.AddRow(bench)
       .Set("answer_rows", double(run.report->exec.answer.size()))
@@ -92,6 +104,9 @@ void EmitRow(const std::string& bench, const Run& run) {
       .Set("simulated_makespan_ms", fetch.simulated_makespan_ms)
       .Set("simulated_sequential_ms", fetch.simulated_sequential_ms)
       .Set("speedup", fetch.SequentialSpeedup())
+      .Set("skipped_dynamic", double(fetch.skipped_dynamic))
+      .Set("hedged", double(fetch.hedged))
+      .Set("hedge_wins", double(fetch.hedge_wins))
       .Set("degraded", fetch.degraded() ? "true" : "false")
       .Set("wall_ms", run.wall_ms);
 }
@@ -417,6 +432,199 @@ int main() {
                    "FAIL: binding-flow analysis took %.2f ms (budget 100)\n",
                    analysis_ms);
       ++failures;
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // Adaptive dispatch, part 1: dynamic relevance beyond static pruning.
+  // A two-connection join where the second connection feeds decoy Cd
+  // values into the shared domain: STATICALLY every v2/x combination is
+  // relevant (the channels all reach the goal), so kPrune keeps them
+  // all — but at dispatch time the frozen alpha extents certify most
+  // combos useless. The fetch gap between the static run and the
+  // adaptive run is therefore pure runtime relevance.
+  {
+    constexpr std::size_t kJunk = 60;
+    std::string text = "source v1(Song, Cd) [bf] { (t1, c1) }\n";
+    text += "source v2(Cd, Price) [bf] { (c1, p5) }\n";
+    text += "source w(Song, Cd) [bf] {";
+    for (std::size_t j = 0; j < kJunk; ++j) {
+      text += " (t1, j" + std::to_string(j) + ")";
+    }
+    text += " }\nsource x(Cd, Price) [bf] { (c1, p7) }\n";
+    auto parsed = limcap::capability::ParseCatalog(text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "FAIL: junk-feeder catalog: %s\n",
+                   parsed.status().ToString().c_str());
+      ++failures;
+    } else {
+      const limcap::planner::Query junk_query(
+          {{"Song", limcap::Value::String("t1")}}, {"Price"},
+          {limcap::planner::Connection({"v1", "v2"}),
+           limcap::planner::Connection({"w", "x"})});
+      const limcap::planner::DomainMap no_domains;
+      limcap::exec::ExecOptions static_options;
+      Run static_run = AnswerOnce(parsed->catalog, no_domains, junk_query,
+                                  static_options);
+      limcap::exec::ExecOptions adaptive_options;
+      adaptive_options.runtime.adaptive.enabled = true;
+      Run adaptive_run = AnswerOnce(parsed->catalog, no_domains, junk_query,
+                                    adaptive_options);
+      bool runs_ok = true;
+      for (const Run* run : {&static_run, &adaptive_run}) {
+        if (!run->report.ok()) {
+          std::fprintf(stderr, "FAIL: junk-feeder run: %s\n",
+                       run->report.status().ToString().c_str());
+          ++failures;
+          runs_ok = false;
+        }
+      }
+      if (runs_ok) {
+        EmitRow("junkfeeder_static", static_run);
+        EmitRow("junkfeeder_adaptive", adaptive_run);
+        const bool answers_match = static_run.report->exec.answer ==
+                                   adaptive_run.report->exec.answer;
+        reporter.Invariant("adaptive dispatch preserves the junk-feeder "
+                           "answer",
+                           answers_match);
+        if (!answers_match) {
+          std::fprintf(stderr,
+                       "FAIL: adaptive dispatch changed the answer\n");
+          ++failures;
+        }
+        const std::size_t static_fetches =
+            static_run.report->exec.log.total_queries();
+        const std::size_t adaptive_fetches =
+            adaptive_run.report->exec.log.total_queries();
+        const std::size_t skips =
+            adaptive_run.report->exec.fetch_report.skipped_dynamic;
+        const double savings =
+            static_fetches > 0
+                ? 1.0 - double(adaptive_fetches) / double(static_fetches)
+                : 0.0;
+        std::printf("{\"bench\": \"junkfeeder_summary\", "
+                    "\"source_queries_static\": %zu, "
+                    "\"source_queries_adaptive\": %zu, "
+                    "\"dynamic_skips\": %zu, \"fetch_savings\": %.3f}\n",
+                    static_fetches, adaptive_fetches, skips, savings);
+        reporter.AddRow("junkfeeder_summary")
+            .Set("source_queries_static", double(static_fetches))
+            .Set("source_queries_adaptive", double(adaptive_fetches))
+            .Set("dynamic_skips", double(skips))
+            .Set("fetch_savings", savings);
+        reporter.Invariant("dynamic relevance skips fetches static "
+                           "analysis keeps",
+                           skips > 0 && adaptive_fetches < static_fetches);
+        if (skips == 0 || adaptive_fetches >= static_fetches) {
+          std::fprintf(stderr,
+                       "FAIL: adaptive dispatch saved nothing beyond "
+                       "static analysis (%zu vs %zu fetches, %zu skips)\n",
+                       adaptive_fetches, static_fetches, skips);
+          ++failures;
+        }
+      }
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // Adaptive dispatch, part 2: hedged requests under latency spikes. A
+  // one-source walk (hub's rows form a linked chain over one shared
+  // domain, one fetch per round) warms the per-source latency profile
+  // across rounds; seeded spikes then blow individual calls past the
+  // learned p95, and the hedge caps them near p95 + base. Same seeded
+  // spikes both runs — hedging is the only difference.
+  {
+    constexpr std::size_t kHops = 100;
+    limcap::runtime::FaultSpec spikes;
+    spikes.latency_spike_rate = 0.03;
+    spikes.latency_spike_ms = 450;
+    spikes.seed = 9;
+    auto spiky_catalog = [&spikes] {
+      SourceCatalog catalog;
+      auto hub = limcap::capability::SourceView::MakeUnsafe(
+          "hub", {"K", "K2"}, "bf");
+      limcap::relational::Relation rows(hub.schema());
+      for (std::size_t i = 0; i < kHops; ++i) {
+        rows.InsertUnsafe({limcap::Value::String("k" + std::to_string(i)),
+                           limcap::Value::String("k" + std::to_string(i + 1))});
+      }
+      auto inner = std::make_unique<InMemorySource>(
+          InMemorySource::MakeUnsafe(std::move(hub), std::move(rows)));
+      catalog.RegisterUnsafe(
+          std::make_unique<limcap::runtime::FaultInjectingSource>(
+              std::move(inner), spikes));
+      return catalog;
+    };
+    // Both attributes draw from one domain, so each fetched K2 re-enters
+    // the frontier as next round's K.
+    limcap::planner::DomainMap walk_domains;
+    walk_domains.SetDomain("K", "domNode");
+    walk_domains.SetDomain("K2", "domNode");
+    const limcap::planner::Query walk_query(
+        {{"K", limcap::Value::String("k0")}}, {"K2"},
+        {limcap::planner::Connection({"hub"})});
+
+    limcap::exec::ExecOptions unhedged_options;
+    unhedged_options.runtime.adaptive.enabled = true;
+    unhedged_options.runtime.adaptive.hedge = false;
+    // Dynamic pruning correctly certifies the walk's tail useless (only
+    // hub(k0, _) rows can reach the answer); keep it fetching anyway —
+    // this section wants a long same-source call stream to warm the
+    // latency profile, and measures hedging alone.
+    unhedged_options.runtime.adaptive.dynamic_pruning = false;
+    SourceCatalog unhedged_catalog = spiky_catalog();
+    Run unhedged = AnswerOnce(unhedged_catalog, walk_domains, walk_query,
+                              unhedged_options);
+    limcap::exec::ExecOptions hedged_options = unhedged_options;
+    hedged_options.runtime.adaptive.hedge = true;
+    SourceCatalog hedged_catalog = spiky_catalog();
+    Run hedged = AnswerOnce(hedged_catalog, walk_domains, walk_query,
+                            hedged_options);
+    bool runs_ok = true;
+    for (const Run* run : {&unhedged, &hedged}) {
+      if (!run->report.ok()) {
+        std::fprintf(stderr, "FAIL: spiky walk run: %s\n",
+                     run->report.status().ToString().c_str());
+        ++failures;
+        runs_ok = false;
+      }
+    }
+    if (runs_ok) {
+      EmitRow("spiky_walk_unhedged", unhedged);
+      EmitRow("spiky_walk_hedged", hedged);
+      const bool answers_match =
+          unhedged.report->exec.answer == hedged.report->exec.answer;
+      reporter.Invariant("hedging preserves the walk answer", answers_match);
+      if (!answers_match) {
+        std::fprintf(stderr, "FAIL: hedging changed the answer\n");
+        ++failures;
+      }
+      const double unhedged_ms =
+          unhedged.report->exec.fetch_report.simulated_makespan_ms;
+      const double hedged_ms =
+          hedged.report->exec.fetch_report.simulated_makespan_ms;
+      const std::size_t hedge_count =
+          hedged.report->exec.fetch_report.hedged;
+      std::printf("{\"bench\": \"spiky_walk_summary\", "
+                  "\"unhedged_makespan_ms\": %.1f, "
+                  "\"hedged_makespan_ms\": %.1f, \"hedged_fetches\": %zu, "
+                  "\"makespan_saved_ms\": %.1f}\n",
+                  unhedged_ms, hedged_ms, hedge_count,
+                  unhedged_ms - hedged_ms);
+      reporter.AddRow("spiky_walk_summary")
+          .Set("unhedged_makespan_ms", unhedged_ms)
+          .Set("hedged_makespan_ms", hedged_ms)
+          .Set("hedged_fetches", double(hedge_count))
+          .Set("makespan_saved_ms", unhedged_ms - hedged_ms);
+      reporter.Invariant("hedging wins makespan under latency spikes",
+                         hedge_count > 0 && hedged_ms < unhedged_ms);
+      if (hedge_count == 0 || hedged_ms >= unhedged_ms) {
+        std::fprintf(stderr,
+                     "FAIL: hedging saved nothing under spikes "
+                     "(%.1f vs %.1f ms, %zu hedged)\n",
+                     hedged_ms, unhedged_ms, hedge_count);
+        ++failures;
+      }
     }
   }
 

@@ -1,10 +1,13 @@
 #include "exec/explain.h"
 
+#include <cstdio>
 #include <sstream>
 #include <utility>
 
 #include "analysis/binding_flow.h"
+#include "analysis/dynamic_relevance.h"
 #include "capability/catalog_fingerprint.h"
+#include "common/text_table.h"
 #include "capability/catalog_text.h"
 #include "obs/export.h"
 #include "planner/plan_cache.h"
@@ -99,6 +102,45 @@ void RenderExecution(const AnswerReport& answer, std::ostringstream& out) {
   out << exec.fetch_report.ToString() << "\n";
 }
 
+std::string Ms(double ms) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1f", ms);
+  return buffer;
+}
+
+void RenderAdaptive(const AnswerReport& answer, bool adaptive,
+                    std::ostringstream& out) {
+  Section(out, "Adaptive dispatch");
+  if (!adaptive) {
+    out << "off\n\n";
+    return;
+  }
+  const ExecResult& exec = answer.exec;
+  const runtime::FetchReport& fetch = exec.fetch_report;
+  out << "skipped (dynamic relevance): " << fetch.skipped_dynamic
+      << "  hedged: " << fetch.hedged << " (" << fetch.hedge_wins
+      << " rescued)  batched: " << fetch.batched_calls << "\n";
+  if (!exec.skip_certificates.empty()) {
+    out << analysis::RenderSkipCertificates(exec.skip_certificates);
+  }
+  if (!exec.adaptive_profiles.empty()) {
+    TextTable table({"Source", "Fetches", "EWMA ms", "p95 ms", "Rows",
+                     "Fail rate", "Score"});
+    for (const auto& [source, profile] : exec.adaptive_profiles) {
+      char fail[32];
+      std::snprintf(fail, sizeof(fail), "%.2f", profile.failure_rate);
+      char score[32];
+      std::snprintf(score, sizeof(score), "%.3f", profile.Score());
+      table.AddRow({source, std::to_string(profile.observations),
+                    Ms(profile.ewma_latency_ms),
+                    Ms(profile.LatencyQuantileMs(0.95)),
+                    Ms(profile.ewma_rows), fail, score});
+    }
+    out << table.ToString();
+  }
+  out << "\n";
+}
+
 }  // namespace
 
 std::string RenderExplainText(const ExplainRenderInputs& inputs) {
@@ -112,6 +154,7 @@ std::string RenderExplainText(const ExplainRenderInputs& inputs) {
                     inputs.goal_predicate, out);
   RenderPlanCache(*inputs.answer, inputs.cache_stats, out);
   RenderExecution(*inputs.answer, out);
+  RenderAdaptive(*inputs.answer, inputs.adaptive, out);
 
   Section(out, "Timeline");
   obs::SpanTreeOptions tree_options;
@@ -146,8 +189,12 @@ Result<ExplainReport> Explain(const ExplainRequest& request) {
 
   ExecOptions options = request.options;
   if (!request.runtime_text.empty()) {
+    // The config file has no adaptive stanza; an explicitly requested
+    // adaptive mode (--adaptive) survives the config load.
+    const runtime::AdaptiveOptions adaptive = options.runtime.adaptive;
     LIMCAP_ASSIGN_OR_RETURN(
         options.runtime, runtime::ParseRuntimeConfig(request.runtime_text));
+    if (adaptive.enabled) options.runtime.adaptive = adaptive;
   }
   options.tracer = &report.tracer;
   options.metrics = &report.metrics;
@@ -176,6 +223,7 @@ Result<ExplainReport> Explain(const ExplainRequest& request) {
   render.tracer = &report.tracer;
   render.metrics = &report.metrics;
   render.include_timing = request.include_timing;
+  render.adaptive = options.runtime.adaptive.enabled;
   report.rendered = RenderExplainText(render);
   report.chrome_trace = obs::ChromeTraceJson(report.tracer);
   return report;

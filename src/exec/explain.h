@@ -73,6 +73,9 @@ struct ExplainRenderInputs {
   /// Include wall-clock numbers in the timeline (golden tests pin the
   /// deterministic form with this off).
   bool include_timing = true;
+  /// Whether the run used the runtime-adaptive dispatch layer; drives
+  /// the "Adaptive dispatch" section (which renders "off" otherwise).
+  bool adaptive = false;
   /// Rendered verbatim before the Query section; empty renders nothing.
   /// The replay path puts its "Replay" section (manifest echo, recorded
   /// vs. replayed fingerprints) here.

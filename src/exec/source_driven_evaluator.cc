@@ -7,8 +7,10 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/dynamic_relevance.h"
 #include "capability/source.h"
 #include "relational/schema.h"
+#include "runtime/adaptive_dispatcher.h"
 #include "runtime/fetch_scheduler.h"
 
 namespace limcap::exec {
@@ -73,16 +75,37 @@ Result<ExecResult> SourceDrivenEvaluator::Execute(
   std::size_t pruned_specs = 0;
   std::set<std::string> mentioned = program.AllPredicates();
   std::vector<FetchSpec> specs;
+  // Channel metadata for the dynamic relevance checker: every (view,
+  // template) of every mentioned view, statically pruned ones included
+  // (their alpha rules still exist; the taint analysis must know their
+  // binding shape), with spec_to_channel mapping the fetchable subset.
+  std::vector<analysis::DynamicChannelInfo> channels;
+  std::vector<std::size_t> spec_to_channel;
   for (const std::string& name : catalog_->ViewNames()) {
     if (mentioned.count(name) == 0) continue;
     LIMCAP_ASSIGN_OR_RETURN(Source * source, catalog_->Find(name));
     const capability::SourceView& view = source->view();
     auto shared_view = std::make_shared<const capability::SourceView>(view);
     for (std::size_t t = 0; t < view.templates().size(); ++t) {
-      if (pruned.count({name, t}) > 0) {
+      analysis::DynamicChannelInfo channel;
+      channel.view = name;
+      channel.template_index = t;
+      for (std::size_t i = 0; i < view.schema().arity(); ++i) {
+        channel.attributes.push_back(view.schema().attribute(i));
+        channel.domains.push_back(
+            domains_.DomainOf(view.schema().attribute(i)));
+      }
+      for (std::size_t i : view.templates()[t].BoundPositions()) {
+        channel.bound_positions.push_back(static_cast<uint32_t>(i));
+      }
+      channel.fetchable = pruned.count({name, t}) == 0;
+      if (!channel.fetchable) {
         ++pruned_specs;
+        channels.push_back(std::move(channel));
         continue;
       }
+      channels.push_back(std::move(channel));
+      spec_to_channel.push_back(channels.size() - 1);
       FetchSpec spec;
       spec.source = source;
       spec.template_index = t;
@@ -132,6 +155,26 @@ Result<ExecResult> SourceDrivenEvaluator::Execute(
   runtime_options.stop_on_error = !options_.continue_on_source_error;
   runtime::FetchScheduler scheduler(runtime_options, dict,
                                     options_.tracer);
+
+  // The runtime-adaptive layer (off by default). The checker re-derives
+  // relevance against the actually-materialized bindings each round; it
+  // needs the round's FULL frontier for its frozen fixpoint, so dynamic
+  // pruning is disabled under the eager strategy (which truncates the
+  // frontier before it is fully enumerated).
+  const bool eager = options_.strategy == FetchStrategy::kEager;
+  std::unique_ptr<runtime::AdaptiveDispatcher> dispatcher;
+  std::unique_ptr<analysis::DynamicRelevanceChecker> checker;
+  if (runtime_options.adaptive.enabled) {
+    dispatcher = std::make_unique<runtime::AdaptiveDispatcher>(runtime_options,
+                                                               &scheduler);
+    if (runtime_options.adaptive.dynamic_pruning && !eager) {
+      analysis::DynamicRelevanceOptions checker_options;
+      checker_options.goal_predicate = options_.builder.goal_predicate;
+      checker_options.alpha_suffix = options_.builder.alpha_suffix;
+      checker = std::make_unique<analysis::DynamicRelevanceChecker>(
+          &program, channels, &result.store, checker_options);
+    }
+  }
 
   // Folds one answered (or failed) fetch into the store and the trace.
   // Called in frontier order on this thread, which is what makes
@@ -225,7 +268,6 @@ Result<ExecResult> SourceDrivenEvaluator::Execute(
   };
 
   const std::string& goal = options_.builder.goal_predicate;
-  const bool eager = options_.strategy == FetchStrategy::kEager;
   bool done = false;
   while (!done) {
     // The round number is the span's position among "exec.round"
@@ -251,6 +293,16 @@ Result<ExecResult> SourceDrivenEvaluator::Execute(
       collect_unasked(s, &frontier);
       // Eager strategy: one query per round, then go derive.
       if (eager && !frontier.empty()) break;
+    }
+    if (checker != nullptr) {
+      // The frozen fixpoint must see the FULL frontier's pending
+      // channels — entries a budget truncation drops below still count
+      // as pending (conservative: their predicates stay unfrozen).
+      std::vector<bool> has_pending(channels.size(), false);
+      for (const PendingFetch& pending : frontier) {
+        has_pending[spec_to_channel[pending.spec_index]] = true;
+      }
+      checker->BeginRound(has_pending);
     }
     if (eager && frontier.size() > 1) frontier.resize(1);
     // Source-access budget: dispatch only up to the budget's remainder;
@@ -280,9 +332,25 @@ Result<ExecResult> SourceDrivenEvaluator::Execute(
       // dictionary cloning under concurrent dispatch, re-keying, the
       // log's optional eager render — is ingest, not hot path.
       const uint64_t before_batch = dict->translation_count();
+      runtime::AdaptiveDispatcher::SkipProbe probe;
+      if (checker != nullptr) {
+        probe = [&](std::size_t i) {
+          auto certificate = checker->TrySkip(
+              spec_to_channel[frontier[i].spec_index], frontier[i].combo);
+          if (!certificate.has_value()) return false;
+          result.skip_certificates.push_back(*std::move(certificate));
+          return true;
+        };
+      }
       std::vector<runtime::FetchResult> fetched =
-          scheduler.ExecuteBatch(requests);
+          dispatcher != nullptr
+              ? dispatcher->ExecuteFrontier(requests, probe)
+              : scheduler.ExecuteBatch(requests);
       for (std::size_t i = 0; i < frontier.size(); ++i) {
+        // A dynamically skipped fetch leaves no trace: no source call,
+        // no access record, no store insert, no budget spend — only its
+        // certificate (the combo stays marked asked; the skip is final).
+        if (fetched[i].skipped_dynamic) continue;
         LIMCAP_RETURN_NOT_OK(commit(specs[frontier[i].spec_index],
                                     std::move(frontier[i].combo),
                                     fetched[i]));
@@ -303,6 +371,20 @@ Result<ExecResult> SourceDrivenEvaluator::Execute(
   }
 
   result.fetch_report = scheduler.report();
+  if (dispatcher != nullptr) {
+    dispatcher->PublishShared();
+    for (const auto& [source, count] : dispatcher->skipped_per_source()) {
+      result.fetch_report.per_source[source].skipped_dynamic += count;
+      result.fetch_report.skipped_dynamic += count;
+    }
+    result.adaptive_profiles = dispatcher->profiles();
+  }
+  if (checker != nullptr) {
+    // The checker's inputs ride along so certificates stay re-verifiable
+    // after the evaluator is gone (ExecResult::adaptive_program doc).
+    result.adaptive_program = program;
+    result.adaptive_channels = checker->channels();
+  }
   result.datalog_stats = evaluator->stats();
   result.post_ingest_translations =
       dict->translation_count() - translations_at_start - ingest_allowance;
@@ -337,6 +419,10 @@ void RecordExecMetrics(const ExecResult& result,
   metrics->Add(obs::metric::kFetchRetries, double(fetch.total_retries));
   metrics->Add(obs::metric::kFetchTimeouts, double(fetch.total_timeouts));
   metrics->Add(obs::metric::kFetchCoalesced, double(fetch.coalesced_hits));
+  metrics->Add(obs::metric::kFetchSkippedDynamic,
+               double(fetch.skipped_dynamic));
+  metrics->Add(obs::metric::kFetchHedged, double(fetch.hedged));
+  metrics->Add(obs::metric::kFetchBatched, double(fetch.batched_calls));
   metrics->Add(obs::metric::kFetchMakespanMs, fetch.simulated_makespan_ms);
   metrics->Add(obs::metric::kFetchFailedViews,
                double(fetch.failed_views.size()));

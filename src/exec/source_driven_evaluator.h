@@ -3,10 +3,12 @@
 
 #include <cstddef>
 #include <limits>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "analysis/dynamic_relevance.h"
 #include "capability/access_log.h"
 #include "capability/source_catalog.h"
 #include "common/result.h"
@@ -19,6 +21,7 @@
 #include "planner/program_builder.h"
 #include "planner/query.h"
 #include "relational/relation.h"
+#include "runtime/adaptive_state.h"
 #include "runtime/fetch_report.h"
 #include "runtime/options.h"
 
@@ -150,6 +153,23 @@ struct ExecResult {
   /// The dictionary `answer`, `store` and the log's interned records
   /// encode against (shared with the store).
   ValueDictionaryPtr session_dict;
+  /// One machine-checkable certificate per fetch the adaptive
+  /// dispatcher's dynamic relevance check suppressed (empty unless
+  /// RuntimeOptions::adaptive is on), in suppression order. Each is
+  /// re-checkable via analysis::VerifySkipCertificate.
+  std::vector<analysis::SkipCertificate> skip_certificates;
+  /// The dynamic relevance checker's inputs (filled only when adaptive
+  /// dynamic pruning ran): the executed program and the channel
+  /// metadata. Together with `store` they let anyone rebuild a checker
+  /// and independently re-verify every skip certificate — frozen-ness
+  /// and frozen extents are monotone across rounds, so the final store
+  /// upholds every certificate issued mid-run.
+  datalog::Program adaptive_program;
+  std::vector<analysis::DynamicChannelInfo> adaptive_channels;
+  /// The per-source latency/rows/failure profiles the adaptive
+  /// dispatcher learned over this execution (empty when adaptive is
+  /// off); rendered by explain's "Adaptive dispatch" section.
+  std::map<std::string, runtime::SourceProfile> adaptive_profiles;
   /// Value↔id translations the session dictionary performed on the hot
   /// path after plan compilation, excluding source ingest (each source's
   /// Execute and any re-keying of foreign-dictionary answers) and the

@@ -36,6 +36,7 @@ ServeSession::ServeSession(const Mediator* mediator, ServeOptions options)
     options_.exec.plan_cache = &mediator_->plan_cache();
   }
   options_.exec.runtime.governor = &governor_;
+  options_.exec.runtime.adaptive_state = &adaptive_state_;
   const std::size_t workers = std::max<std::size_t>(1, options_.workers);
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {

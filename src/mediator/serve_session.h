@@ -15,6 +15,7 @@
 #include "mediator/mediator.h"
 #include "obs/trace.h"
 #include "replay/trace_recorder.h"
+#include "runtime/adaptive_state.h"
 #include "runtime/fetch_governor.h"
 
 namespace limcap::mediator {
@@ -149,6 +150,11 @@ class ServeSession {
   obs::MetricsRegistry server_metrics() const;
 
   runtime::FetchGovernor& governor() { return governor_; }
+  /// What the session's queries collectively learned about the sources
+  /// (populated only when the exec template enables adaptive dispatch).
+  const runtime::AdaptiveState& adaptive_state() const {
+    return adaptive_state_;
+  }
   const Mediator& mediator() const { return *mediator_; }
 
  private:
@@ -172,6 +178,11 @@ class ServeSession {
   const Mediator* mediator_;
   ServeOptions options_;
   runtime::FetchGovernor governor_;
+  /// Session-wide aggregation of what each query's adaptive dispatcher
+  /// learned about the sources (inert unless RuntimeOptions::adaptive is
+  /// on). Publish-only: queries write their profiles here, dispatch never
+  /// reads it — per-query answers stay bit-identical to solo execution.
+  runtime::AdaptiveState adaptive_state_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_available_;

@@ -49,6 +49,11 @@ inline constexpr std::string_view kFetchBreakerSkips = "fetch.breaker_skips";
 inline constexpr std::string_view kFetchFailedViews = "fetch.failed_views";
 inline constexpr std::string_view kFetchMakespanMs =
     "fetch.simulated_makespan_ms";
+// Adaptive dispatch (all zero unless RuntimeOptions::adaptive is on).
+inline constexpr std::string_view kFetchSkippedDynamic =
+    "fetch.skipped_dynamic";
+inline constexpr std::string_view kFetchHedged = "fetch.hedged";
+inline constexpr std::string_view kFetchBatched = "fetch.batched";
 // Session caches.
 inline constexpr std::string_view kCacheHits = "cache.hits";
 inline constexpr std::string_view kCacheMisses = "cache.misses";

@@ -139,6 +139,7 @@ Result<ReplayRunReport> ReplayArtifactData(const ReplayArtifact& artifact,
   render.tracer = &report.tracer;
   render.metrics = &report.metrics;
   render.include_timing = include_timing;
+  render.adaptive = options.runtime.adaptive.enabled;
   render.preamble = RenderReplaySection(report);
   report.rendered = exec::RenderExplainText(render);
   return report;

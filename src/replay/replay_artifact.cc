@@ -143,6 +143,24 @@ Json RuntimeOptionsToJson(const runtime::RuntimeOptions& runtime) {
   }
   latency.Set("per_source", std::move(per_source_ms));
   json.Set("latency", std::move(latency));
+  if (runtime.adaptive.enabled) {
+    // Written only when on, so pre-adaptive artifacts stay byte-stable.
+    Json adaptive = Json::MakeObject();
+    adaptive.Set("enabled", true);
+    adaptive.Set("dynamic_pruning", runtime.adaptive.dynamic_pruning);
+    adaptive.Set("reorder", runtime.adaptive.reorder);
+    adaptive.Set("batch", runtime.adaptive.batch);
+    adaptive.Set("hedge", runtime.adaptive.hedge);
+    adaptive.Set("hedge_quantile", DoubleToHex(runtime.adaptive.hedge_quantile));
+    adaptive.Set("hedge_min_samples",
+                 static_cast<uint64_t>(runtime.adaptive.hedge_min_samples));
+    adaptive.Set("hedge_min_delay",
+                 DoubleToHex(runtime.adaptive.hedge_min_delay_ms));
+    adaptive.Set("batch_marginal_fraction",
+                 DoubleToHex(runtime.adaptive.batch_marginal_fraction));
+    adaptive.Set("ewma_alpha", DoubleToHex(runtime.adaptive.ewma_alpha));
+    json.Set("adaptive", std::move(adaptive));
+  }
   return json;
 }
 
@@ -172,6 +190,28 @@ Result<runtime::RuntimeOptions> RuntimeOptionsFromJson(const Json& json) {
       LIMCAP_ASSIGN_OR_RETURN(runtime.latency.per_source_ms[name],
                               DoubleFromHex(ms_json.AsString()));
     }
+  }
+  if (json.Get("adaptive").is_object()) {
+    const Json& adaptive = json.Get("adaptive");
+    runtime.adaptive.enabled = adaptive.GetBool("enabled");
+    runtime.adaptive.dynamic_pruning =
+        adaptive.GetBool("dynamic_pruning", true);
+    runtime.adaptive.reorder = adaptive.GetBool("reorder", true);
+    runtime.adaptive.batch = adaptive.GetBool("batch", true);
+    runtime.adaptive.hedge = adaptive.GetBool("hedge", true);
+    LIMCAP_ASSIGN_OR_RETURN(
+        runtime.adaptive.hedge_quantile,
+        DoubleFromHex(adaptive.GetString("hedge_quantile")));
+    runtime.adaptive.hedge_min_samples =
+        static_cast<std::size_t>(adaptive.GetNumber("hedge_min_samples", 8));
+    LIMCAP_ASSIGN_OR_RETURN(
+        runtime.adaptive.hedge_min_delay_ms,
+        DoubleFromHex(adaptive.GetString("hedge_min_delay")));
+    LIMCAP_ASSIGN_OR_RETURN(
+        runtime.adaptive.batch_marginal_fraction,
+        DoubleFromHex(adaptive.GetString("batch_marginal_fraction")));
+    LIMCAP_ASSIGN_OR_RETURN(runtime.adaptive.ewma_alpha,
+                            DoubleFromHex(adaptive.GetString("ewma_alpha")));
   }
   return runtime;
 }

@@ -1,0 +1,149 @@
+#include "runtime/adaptive_dispatcher.h"
+
+#include <algorithm>
+#include <limits>
+#include <tuple>
+#include <utility>
+
+namespace limcap::runtime {
+
+namespace {
+
+std::string SourceNameOf(const FetchRequest& request) {
+  return request.source->view().name();
+}
+
+}  // namespace
+
+AdaptiveDispatcher::AdaptiveDispatcher(const RuntimeOptions& runtime,
+                                       FetchScheduler* scheduler)
+    : runtime_(runtime), scheduler_(scheduler) {}
+
+double AdaptiveDispatcher::ScoreFor(const std::string& source) const {
+  // This execution's own observations ONLY — like the hedge delay, the
+  // score must be a pure function of this query, never of concurrent
+  // traffic: the permutation it drives sets the dictionary interning
+  // order, which OrderedFingerprint is sensitive to. The shared
+  // AdaptiveState is written (PublishShared) but never read here.
+  auto it = profiles_.find(source);
+  if (it != profiles_.end() && it->second.observations > 0) {
+    return it->second.Score();
+  }
+  // Cold source: score it by the configured base latency alone, so
+  // known-cheap sources still sort before known-expensive ones.
+  return 1.0 / std::max(runtime_.latency.LatencyOf(source), 1e-6);
+}
+
+double AdaptiveDispatcher::HedgeDelayFor(const std::string& source) const {
+  const AdaptiveOptions& adaptive = runtime_.adaptive;
+  if (!adaptive.hedge) return std::numeric_limits<double>::infinity();
+  // Hedge delays come from this execution's OWN observations only: the
+  // shared state aggregates other queries' progress, which would make a
+  // query's timing depend on concurrent traffic.
+  auto it = profiles_.find(source);
+  if (it == profiles_.end() ||
+      it->second.observations < adaptive.hedge_min_samples) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::max(it->second.LatencyQuantileMs(adaptive.hedge_quantile),
+                  adaptive.hedge_min_delay_ms);
+}
+
+std::vector<FetchResult> AdaptiveDispatcher::ExecuteFrontier(
+    std::vector<FetchRequest> requests, const SkipProbe& probe) {
+  const AdaptiveOptions& adaptive = runtime_.adaptive;
+  const std::size_t n = requests.size();
+  std::vector<FetchResult> results(n);
+
+  // 1. Dynamic relevance: suppress the requests the checker certifies.
+  std::vector<std::size_t> dispatch;
+  dispatch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (adaptive.dynamic_pruning && probe && probe(i)) {
+      FetchResult& skip = results[i];
+      skip.tuples =
+          Status::Unavailable("suppressed by dynamic relevance check");
+      skip.skipped_dynamic = true;
+      ++skipped_;
+      ++skipped_per_source_[SourceNameOf(requests[i])];
+      continue;
+    }
+    dispatch.push_back(i);
+  }
+
+  // 2. Cost-aware ordering: stable-permute the survivors by learned
+  // score. The key is a pure function of (score, source name, original
+  // index), so the permutation is identical across dispatch modes.
+  if (adaptive.reorder && dispatch.size() > 1) {
+    std::vector<std::pair<double, std::size_t>> keyed;
+    keyed.reserve(dispatch.size());
+    for (std::size_t index : dispatch) {
+      keyed.emplace_back(ScoreFor(SourceNameOf(requests[index])), index);
+    }
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [&](const std::pair<double, std::size_t>& a,
+                         const std::pair<double, std::size_t>& b) {
+                       if (a.first != b.first) return a.first > b.first;
+                       const std::string& sa = SourceNameOf(requests[a.second]);
+                       const std::string& sb = SourceNameOf(requests[b.second]);
+                       if (sa != sb) return sa < sb;
+                       return a.second < b.second;
+                     });
+    for (std::size_t k = 0; k < keyed.size(); ++k) {
+      dispatch[k] = keyed[k].second;
+    }
+  }
+
+  // 3. Build the dispatched batch in permuted order, arming hedge delays
+  // and marking batched members (consecutive requests to one source with
+  // the same bound positions model one merged source call: members after
+  // the first are discounted the non-marginal share of the base latency).
+  std::vector<FetchRequest> batch;
+  batch.reserve(dispatch.size());
+  for (std::size_t k = 0; k < dispatch.size(); ++k) {
+    FetchRequest request = requests[dispatch[k]];
+    const std::string source = SourceNameOf(request);
+    request.hedge_delay_ms = HedgeDelayFor(source);
+    request.batch_discount_ms = 0;
+    if (adaptive.batch && k > 0) {
+      const FetchRequest& prev = requests[dispatch[k - 1]];
+      if (prev.source == request.source &&
+          prev.query.positions == request.query.positions) {
+        request.batch_discount_ms =
+            runtime_.latency.LatencyOf(source) *
+            std::max(0.0, 1.0 - adaptive.batch_marginal_fraction);
+      }
+    }
+    batch.push_back(std::move(request));
+  }
+
+  std::vector<FetchResult> executed = scheduler_->ExecuteBatch(batch);
+
+  // 4. Un-permute, then learn in canonical (caller) order so the
+  // profiles — and hence later rounds' hedge delays and scores — are
+  // independent of the permutation actually dispatched.
+  for (std::size_t k = 0; k < dispatch.size(); ++k) {
+    results[dispatch[k]] = std::move(executed[k]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const FetchResult& result = results[i];
+    if (result.skipped_dynamic) continue;
+    // Only fetches that drove a source call teach us about the source:
+    // coalesced followers and breaker fast-fails carry no new signal.
+    if (result.attempts == 0) continue;
+    const bool failed = !result.tuples.ok();
+    const double rows =
+        failed ? 0.0 : static_cast<double>(result.tuples.value().size());
+    profiles_[SourceNameOf(requests[i])].Observe(result.duration_ms, rows,
+                                                 failed, adaptive.ewma_alpha);
+  }
+  return results;
+}
+
+void AdaptiveDispatcher::PublishShared() {
+  if (published_ || runtime_.adaptive_state == nullptr) return;
+  runtime_.adaptive_state->Absorb(profiles_);
+  published_ = true;
+}
+
+}  // namespace limcap::runtime

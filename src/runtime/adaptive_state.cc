@@ -1,0 +1,99 @@
+#include "runtime/adaptive_state.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace limcap::runtime {
+
+namespace {
+
+std::size_t BucketOf(double latency_ms) {
+  if (latency_ms < 1.0) return 0;
+  std::size_t bucket = 0;
+  double edge = 1.0;
+  while (bucket + 1 < SourceProfile::kBuckets && latency_ms >= edge) {
+    edge *= 2;
+    ++bucket;
+  }
+  return bucket;
+}
+
+}  // namespace
+
+void SourceProfile::Observe(double latency_ms, double rows, bool failed,
+                            double alpha) {
+  const double a = observations == 0 ? 1.0 : std::clamp(alpha, 0.0, 1.0);
+  ewma_latency_ms += a * (latency_ms - ewma_latency_ms);
+  ewma_rows += a * (rows - ewma_rows);
+  failure_rate += a * ((failed ? 1.0 : 0.0) - failure_rate);
+  ++latency_buckets[BucketOf(latency_ms)];
+  ++observations;
+}
+
+double SourceProfile::LatencyQuantileMs(double quantile) const {
+  if (observations == 0) return 0;
+  const double target =
+      std::clamp(quantile, 0.0, 1.0) * static_cast<double>(observations);
+  uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += latency_buckets[i];
+    if (static_cast<double>(seen) >= target) {
+      // Upper edge of bucket i: 2^i ms (bucket 0 = sub-millisecond).
+      return i == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(i));
+    }
+  }
+  return std::ldexp(1.0, static_cast<int>(kBuckets));
+}
+
+double SourceProfile::Score() const {
+  // +1 keeps row-free but necessary fetches orderable; the epsilon floor
+  // keeps a zero-latency model from dividing by zero.
+  return (ewma_rows + 1.0) * (1.0 - failure_rate) /
+         std::max(ewma_latency_ms, 1e-6);
+}
+
+void AdaptiveState::Absorb(
+    const std::map<std::string, SourceProfile>& profiles) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [source, profile] : profiles) {
+    if (profile.observations == 0) continue;
+    Aggregate& agg = aggregates_[source];
+    const double n = static_cast<double>(profile.observations);
+    agg.observations += profile.observations;
+    // EWMAs stand in for the execution's means here; the aggregate only
+    // seeds cold-start ordering, so fidelity beyond "roughly this fast,
+    // roughly this useful" buys nothing.
+    agg.latency_sum_ms += profile.ewma_latency_ms * n;
+    agg.rows_sum += profile.ewma_rows * n;
+    agg.failures += profile.failure_rate * n;
+    for (std::size_t i = 0; i < SourceProfile::kBuckets; ++i) {
+      agg.latency_buckets[i] += profile.latency_buckets[i];
+    }
+  }
+}
+
+std::map<std::string, SourceProfile> AdaptiveState::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, SourceProfile> out;
+  for (const auto& [source, agg] : aggregates_) {
+    if (agg.observations == 0) continue;
+    SourceProfile profile;
+    const double n = static_cast<double>(agg.observations);
+    profile.observations = agg.observations;
+    profile.ewma_latency_ms = agg.latency_sum_ms / n;
+    profile.ewma_rows = agg.rows_sum / n;
+    profile.failure_rate = agg.failures / n;
+    for (std::size_t i = 0; i < SourceProfile::kBuckets; ++i) {
+      profile.latency_buckets[i] = agg.latency_buckets[i];
+    }
+    out.emplace(source, profile);
+  }
+  return out;
+}
+
+std::size_t AdaptiveState::source_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return aggregates_.size();
+}
+
+}  // namespace limcap::runtime

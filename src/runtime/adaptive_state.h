@@ -1,0 +1,72 @@
+#ifndef LIMCAP_RUNTIME_ADAPTIVE_STATE_H_
+#define LIMCAP_RUNTIME_ADAPTIVE_STATE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace limcap::runtime {
+
+/// Online per-source statistics the adaptive dispatcher learns from
+/// FetchReport-grade observations: latency / useful-rows / failure EWMAs
+/// plus a power-of-two latency histogram for the hedge quantile. One
+/// observation = one completed fetch (an attempt sequence), in canonical
+/// request order on the driver thread.
+struct SourceProfile {
+  std::size_t observations = 0;
+  /// EWMA of the fetch's simulated duration (all attempts + backoffs).
+  double ewma_latency_ms = 0;
+  /// EWMA of rows the fetch returned (0 for failures).
+  double ewma_rows = 0;
+  /// EWMA of the failure indicator (1 = permanently failed).
+  double failure_rate = 0;
+  /// Power-of-two latency buckets: bucket i counts observed durations in
+  /// [2^(i-1), 2^i) ms; bucket 0 counts sub-millisecond fetches.
+  static constexpr std::size_t kBuckets = 32;
+  uint64_t latency_buckets[kBuckets] = {};
+
+  void Observe(double latency_ms, double rows, bool failed, double alpha);
+  /// Upper edge of the first bucket at/after which `quantile` of the
+  /// observed latencies lie — the hedge arming delay. 0 when empty.
+  double LatencyQuantileMs(double quantile) const;
+  /// Expected useful rows per simulated millisecond; the dispatch score.
+  double Score() const;
+};
+
+/// Cross-query aggregate of SourceProfiles, shared by every execution of
+/// a ServeSession (RuntimeOptions::adaptive_state). Thread-safe and
+/// publish-only from the dispatcher's point of view: scores and hedge
+/// delays come from each execution's private profiles, which keeps every
+/// query's dispatch — and hence its OrderedFingerprint — a pure function
+/// of its own request stream. The aggregate feeds session observability.
+class AdaptiveState {
+ public:
+  /// Folds one execution's final per-source profiles in (order-free
+  /// commutative merge: counts and sums, not EWMAs, so the aggregate is
+  /// independent of query completion order).
+  void Absorb(const std::map<std::string, SourceProfile>& profiles);
+
+  /// Snapshot of the aggregate as per-source profiles (EWMA fields carry
+  /// plain means). Missing sources simply aren't in the map.
+  std::map<std::string, SourceProfile> Snapshot() const;
+
+  std::size_t source_count() const;
+
+ private:
+  struct Aggregate {
+    std::size_t observations = 0;
+    double latency_sum_ms = 0;
+    double rows_sum = 0;
+    double failures = 0;
+    uint64_t latency_buckets[SourceProfile::kBuckets] = {};
+  };
+  mutable std::mutex mutex_;
+  std::map<std::string, Aggregate> aggregates_;
+};
+
+}  // namespace limcap::runtime
+
+#endif  // LIMCAP_RUNTIME_ADAPTIVE_STATE_H_

@@ -38,6 +38,12 @@ std::string FetchReport::ToString() const {
     out += "cross-query coalesced: " + std::to_string(cross_query_coalesced) +
            " fetches reused other queries' in-flight calls\n";
   }
+  if (skipped_dynamic + hedged + batched_calls > 0) {
+    out += "adaptive: " + std::to_string(skipped_dynamic) +
+           " skipped (dynamic relevance), " + std::to_string(hedged) +
+           " hedged (" + std::to_string(hedge_wins) + " rescued), " +
+           std::to_string(batched_calls) + " batched\n";
+  }
   if (degraded()) {
     out += "DEGRADED: failed views:";
     for (const std::string& view : failed_views) out += " " + view;

@@ -38,6 +38,15 @@ struct FetchReport {
     std::size_t cross_query_coalesced = 0;
     /// Fetches failed fast by an open circuit breaker.
     std::size_t breaker_skips = 0;
+    /// Fetches suppressed by the adaptive dispatcher's dynamic relevance
+    /// check (no source call made; certified answer-preserving).
+    std::size_t skipped_dynamic = 0;
+    /// Fetches a hedge fired for, and the subset whose hedge rescued a
+    /// would-be deadline overrun.
+    std::size_t hedged = 0;
+    std::size_t hedge_wins = 0;
+    /// Batched members (after the first) of merged source calls.
+    std::size_t batched_calls = 0;
     /// Simulated milliseconds this source spent serving attempts and
     /// backoffs.
     double simulated_busy_ms = 0;
@@ -55,6 +64,13 @@ struct FetchReport {
   /// Fetches this execution saved by reusing other queries' in-flight
   /// source calls (FetchGovernor cross-query coalescing).
   std::size_t cross_query_coalesced = 0;
+  /// Adaptive-dispatch totals (all zero unless RuntimeOptions::adaptive
+  /// is on): dynamically skipped fetches, hedged fetches (and the subset
+  /// whose hedge rescued a deadline), and batched source-call members.
+  std::size_t skipped_dynamic = 0;
+  std::size_t hedged = 0;
+  std::size_t hedge_wins = 0;
+  std::size_t batched_calls = 0;
   /// Simulated end-to-end fetch time under the configured concurrency
   /// caps: Σ over batches of the batch's critical path.
   double simulated_makespan_ms = 0;

@@ -83,6 +83,11 @@ struct FetchScheduler::Leader {
   uint64_t jitter_seed = 0;
   bool allowed = true;   ///< false: failed fast by the circuit breaker
   bool executed = false; ///< false: skipped (breaker, or stop_on_error)
+  // Adaptive hints, copied from the FetchRequest (inert by default).
+  double hedge_delay_ms = std::numeric_limits<double>::infinity();
+  double batch_discount_ms = 0;
+  bool hedged = false;
+  bool hedge_win = false;
   /// Value-level identity for FetchGovernor cross-query coalescing;
   /// empty when no governor is coalescing this batch.
   std::string cross_key;
@@ -130,7 +135,23 @@ void FetchScheduler::ExecuteLeader(Leader* leader) const {
     Result<relational::Relation> answer =
         timed != nullptr ? timed->ExecuteTimed(leader->query, &timing)
                          : leader->source->Execute(leader->query);
-    const double latency = leader->base_latency_ms + timing.added_latency_ms;
+    const double full_latency =
+        leader->base_latency_ms + timing.added_latency_ms;
+    // Hedged request (timing-model level): once the primary overshoots
+    // the learned hedge delay, a duplicate call to the same deterministic
+    // source is modeled — the answer is the same, only its arrival moves
+    // up to hedge_delay + base. No second physical Execute is issued, so
+    // attempt counts, fault draws, governor permits and breaker
+    // accounting are exactly those of the single call.
+    double latency = full_latency;
+    if (full_latency > leader->hedge_delay_ms) {
+      leader->hedged = true;
+      latency = std::min(full_latency,
+                         leader->hedge_delay_ms + leader->base_latency_ms);
+      if (full_latency > policy.deadline_ms && latency <= policy.deadline_ms) {
+        leader->hedge_win = true;
+      }
+    }
     if (options_.recorder != nullptr) {
       FetchRecorder::Attempt record;
       record.added_latency_ms = timing.added_latency_ms;
@@ -157,7 +178,11 @@ void FetchScheduler::ExecuteLeader(Leader* leader) const {
           FormatMs(policy.deadline_ms) + " ms deadline");
       continue;
     }
-    leader->duration_ms += latency;
+    // Batched member: the shared source call already paid the per-call
+    // overhead, so this fetch's simulated cost drops by the discount.
+    // Timing only — the deadline check above saw the undiscounted
+    // latency, and the answer is untouched.
+    leader->duration_ms += std::max(0.0, latency - leader->batch_discount_ms);
     outcome = std::move(answer);
     if (outcome.ok()) break;
   }
@@ -392,6 +417,8 @@ std::vector<FetchResult> FetchScheduler::ExecuteBatch(
     leader.query = requests[i].query;
     leader.policy = &options_.PolicyFor(leader.source_name);
     leader.base_latency_ms = options_.latency.LatencyOf(leader.source_name);
+    leader.hedge_delay_ms = requests[i].hedge_delay_ms;
+    leader.batch_discount_ms = requests[i].batch_discount_ms;
     leader.jitter_seed =
         JitterSeed(options_.seed, leader.source_name, requests[i].query);
     leaders.push_back(std::move(leader));
@@ -426,6 +453,20 @@ std::vector<FetchResult> FetchScheduler::ExecuteBatch(
         leader.cross_key =
             CrossQueryKey(leader.source_name, leader.query.positions,
                           leader.query.ids, *dict_);
+        // A hedged fetch's *outcome* (kept vs discarded past the
+        // deadline) depends on its hedge delay, which is per-query
+        // learned state — two queries with different delays can see
+        // different outcomes for the same value-level source query. Key
+        // them apart so a follower only ever inherits an outcome its own
+        // hedge configuration would have produced; un-hedged fetches
+        // (delay = infinity) keep the pre-hedging key byte for byte.
+        if (leader.hedge_delay_ms !=
+            std::numeric_limits<double>::infinity()) {
+          char hedge[40];
+          std::snprintf(hedge, sizeof(hedge), "\x1fhedge=%a",
+                        leader.hedge_delay_ms);
+          leader.cross_key += hedge;
+        }
       }
       auto private_dict = std::make_shared<ValueDictionary>();
       for (ValueId& id : leader.query.ids) {
@@ -534,6 +575,21 @@ std::vector<FetchResult> FetchScheduler::ExecuteBatch(
     result.retries = leader.retries;
     result.timeouts = leader.timeouts;
     result.duration_ms = leader.duration_ms;
+    result.hedged = leader.hedged;
+    result.hedge_win = leader.hedge_win;
+    result.batched = leader.batch_discount_ms > 0;
+    if (leader.hedged) {
+      ++stats.hedged;
+      ++report_.hedged;
+      if (leader.hedge_win) {
+        ++stats.hedge_wins;
+        ++report_.hedge_wins;
+      }
+    }
+    if (result.batched) {
+      ++stats.batched_calls;
+      ++report_.batched_calls;
+    }
     stats.attempts += leader.attempts;
     stats.retries += leader.retries;
     stats.timeouts += leader.timeouts;

@@ -1,6 +1,7 @@
 #ifndef LIMCAP_RUNTIME_FETCH_SCHEDULER_H_
 #define LIMCAP_RUNTIME_FETCH_SCHEDULER_H_
 
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -20,6 +21,20 @@ namespace limcap::runtime {
 struct FetchRequest {
   capability::Source* source = nullptr;
   capability::SourceQuery query;
+  /// Adaptive-dispatch hints (runtime/adaptive_dispatcher.h). The inert
+  /// defaults reproduce plain dispatch exactly; only timing is ever
+  /// affected — answers stay a pure function of the query.
+  ///
+  /// Hedge: when a fetch's simulated latency overshoots this delay, a
+  /// duplicate call to the same source is modeled after the delay and
+  /// the first arrival wins, so the effective latency becomes
+  /// min(full, hedge_delay + base). Infinity = never hedge.
+  double hedge_delay_ms = std::numeric_limits<double>::infinity();
+  /// Batched member (after the first) of one merged source call: its
+  /// simulated duration is discounted by this much (the saved per-call
+  /// overhead), clamped at zero. Deadlines still see the undiscounted
+  /// latency — batching cannot rescue a timeout.
+  double batch_discount_ms = 0;
 };
 
 /// One request's outcome. `tuples` is encoded against the session
@@ -36,6 +51,17 @@ struct FetchResult {
   bool cross_coalesced = false;
   /// Failed fast by an open circuit breaker (no source call made).
   bool breaker_skipped = false;
+  /// Suppressed by the adaptive dispatcher's dynamic relevance check (no
+  /// source call made; carries a skip certificate on the evaluator side).
+  /// Synthesized by AdaptiveDispatcher — the scheduler never sets it.
+  bool skipped_dynamic = false;
+  /// A hedge fired for this fetch (some attempt overshot its hedge
+  /// delay); `hedge_win` additionally means the hedge rescued an attempt
+  /// that would have exceeded its deadline.
+  bool hedged = false;
+  bool hedge_win = false;
+  /// Member (after the first) of one batched source call.
+  bool batched = false;
   /// Attempt latencies + backoffs for this fetch.
   double duration_ms = 0;
   /// Position on the execution's simulated timeline.

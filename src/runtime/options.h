@@ -11,8 +11,56 @@
 
 namespace limcap::runtime {
 
+class AdaptiveState;
 class FetchGovernor;
 class FetchRecorder;
+
+/// Configuration of the runtime-adaptive dispatch layer
+/// (runtime/adaptive_dispatcher.h) between the source-driven evaluator
+/// and the fetch scheduler. Everything is off by default: the default
+/// path is bit-identical to the pre-adaptive runtime. With `enabled`,
+/// three independently toggleable mechanisms apply per batch:
+///
+///   * dynamic relevance pruning — fetches the analysis-side checker
+///     proves useless against the actually-materialized bindings are
+///     skipped (each with a machine-checkable certificate);
+///   * cost-aware ordering + batching — dispatch is permuted by an
+///     online expected-useful-rows-per-ms score, and consecutive
+///     requests to the same (source, bound positions) are marked as one
+///     batched source call on the simulated timeline;
+///   * hedged requests — a fetch whose simulated latency overshoots the
+///     source's learned p95 is duplicated after that delay and the first
+///     arrival wins (timing-model level: permits and breaker accounting
+///     stay exact, and no second physical Execute is issued).
+///
+/// All three change timing, ordering, and fetch counts — never answers;
+/// the adaptive property suite pins OrderedFingerprint bit-identity
+/// across serial / parallel-eval / concurrent-fetch / serve dispatch.
+struct AdaptiveOptions {
+  bool enabled = false;
+  /// Dynamic relevance checks at dispatch time (skip certificates).
+  bool dynamic_pruning = true;
+  /// Cost-aware frontier ordering by learned per-source score.
+  bool reorder = true;
+  /// Merge consecutive same-(source, positions) requests into one
+  /// batched source call on the simulated timeline.
+  bool batch = true;
+  /// Hedge stragglers after the learned per-source p95 delay.
+  bool hedge = true;
+  /// Quantile of the learned latency histogram that arms a hedge.
+  double hedge_quantile = 0.95;
+  /// Observations of a source required before hedging it (cold sources
+  /// have no p95 worth trusting).
+  std::size_t hedge_min_samples = 8;
+  /// Floor on the hedge delay, so a uniformly fast source is never
+  /// hedged at effectively zero delay.
+  double hedge_min_delay_ms = 1.0;
+  /// Simulated cost of a follow-up call inside one batched source call,
+  /// as a fraction of the source's base latency.
+  double batch_marginal_fraction = 0.25;
+  /// Smoothing factor of the per-source latency/rows/failure EWMAs.
+  double ewma_alpha = 0.2;
+};
 
 /// Configuration of the asynchronous source-access runtime: how each
 /// fetch round's frontier of source queries is dispatched, retried, and
@@ -65,6 +113,17 @@ struct RuntimeOptions {
   /// must outlive the execution. Recording never changes dispatch,
   /// results, or the simulated clock.
   FetchRecorder* recorder = nullptr;
+  /// Runtime-adaptive dispatch (dynamic pruning / ordering / batching /
+  /// hedging); see AdaptiveOptions. Off by default.
+  AdaptiveOptions adaptive;
+  /// Cross-query learned source statistics (thread-safe, not owned, must
+  /// outlive the execution). A ServeSession wires its own; each query's
+  /// dispatcher publishes its learned per-source profiles here when it
+  /// finishes. Publish-only by design: dispatch decisions never read the
+  /// shared state, because the ordering they drive sets the dictionary
+  /// interning order and a cross-query input would break serve-vs-solo
+  /// OrderedFingerprint bit-identity. Null = no session aggregation.
+  AdaptiveState* adaptive_state = nullptr;
 
   /// The policy for `view`: its override, or the default.
   const RetryPolicy& PolicyFor(const std::string& view) const {

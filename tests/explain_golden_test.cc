@@ -3,15 +3,17 @@
 // wall-clock timing off, and the rendered text is compared byte-for-byte
 // with a checked-in expectation. Everything in that report is
 // deterministic — plan, program, Table-2 access log, simulated times,
-// counters — so any diff is a real behavior change. Regenerate with
+// counters — so any diff is a real behavior change. Regenerate all of
+// them in place with
 //
-//   build/tools/limcap_explain --no-timing
-//       --catalog examples/catalogs/example21.cat
-//       --query examples/catalogs/example21.q
-//       > tests/golden/explain_example21.out     (one line)
+//   LIMCAP_REGEN_GOLDEN=1 build/tests/explain_golden_test
+//
+// (equivalently, pipe `build/tools/limcap_explain --no-timing` by hand;
+// the adaptive golden adds `--adaptive`).
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -45,25 +47,67 @@ std::string Example(const std::string& name) {
   return std::string(LIMCAP_EXAMPLES_DIR) + "/" + name;
 }
 
-Result<ExplainReport> ExplainExample(const std::string& stem) {
+Result<ExplainReport> ExplainExample(const std::string& stem,
+                                     bool adaptive = false) {
   ExplainRequest request;
   request.catalog_text = ReadFile(Example(stem + ".cat"));
   request.query_text = ReadFile(Example(stem + ".q"));
   request.include_timing = false;
+  request.options.runtime.adaptive.enabled = adaptive;
   return Explain(request);
 }
 
-void ExpectExplainGolden(const std::string& stem) {
-  auto report = ExplainExample(stem);
+/// Byte-for-byte comparison against tests/golden/<name>; with
+/// LIMCAP_REGEN_GOLDEN set, rewrites the golden instead and skips.
+void ExpectGoldenText(const std::string& rendered, const std::string& name) {
+  const std::string golden_path = Golden(name);
+  if (std::getenv("LIMCAP_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << rendered;
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+  EXPECT_EQ(rendered, ReadFile(golden_path))
+      << "regenerate with LIMCAP_REGEN_GOLDEN=1 build/tests/"
+         "explain_golden_test";
+}
+
+void ExpectExplainGolden(const std::string& stem, bool adaptive = false) {
+  auto report = ExplainExample(stem, adaptive);
   ASSERT_TRUE(report.ok()) << report.status();
-  EXPECT_EQ(report->rendered, ReadFile(Golden("explain_" + stem + ".out")))
-      << "regenerate with limcap_explain --no-timing (see file header)";
+  ExpectGoldenText(report->rendered,
+                   "explain_" + stem + (adaptive ? "_adaptive" : "") +
+                       ".out");
 }
 
 TEST(ExplainGoldenTest, Example21) { ExpectExplainGolden("example21"); }
 TEST(ExplainGoldenTest, Example41) { ExpectExplainGolden("example41"); }
 TEST(ExplainGoldenTest, Example51) { ExpectExplainGolden("example51"); }
 TEST(ExplainGoldenTest, Example52) { ExpectExplainGolden("example52"); }
+
+// The adaptive report: same plan and answer, plus the "Adaptive
+// dispatch" section (skip certificates, learned per-source profiles).
+TEST(ExplainGoldenTest, Example21Adaptive) {
+  ExpectExplainGolden("example21", /*adaptive=*/true);
+}
+
+// Adaptive explain is deterministic end-to-end: two runs render
+// byte-identical reports (the wall for --no-timing adaptive output).
+TEST(ExplainGoldenTest, AdaptiveExplainIsDeterministic) {
+  auto first = ExplainExample("example41", /*adaptive=*/true);
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto second = ExplainExample("example41", /*adaptive=*/true);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(first->rendered, second->rendered);
+  EXPECT_NE(first->rendered.find("Adaptive dispatch"), std::string::npos);
+  EXPECT_NE(first->rendered.find("skipped (dynamic relevance)"),
+            std::string::npos);
+  // And the non-adaptive report says the layer is off.
+  auto plain = ExplainExample("example41");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_NE(plain->rendered.find("== Adaptive dispatch ==\noff"),
+            std::string::npos);
+}
 
 TEST(ExplainGoldenTest, ChromeTraceIsSaneJson) {
   auto report = ExplainExample("example21");

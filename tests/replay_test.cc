@@ -18,6 +18,7 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -372,6 +373,131 @@ TEST(ReplayArtifactTest, CatalogFingerprintMismatchIsRejected) {
 // ---------------------------------------------------------------------------
 // Golden: the --replay report
 // ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// Adaptive dispatch: recording an adaptive run captures only the
+// dispatched calls, and the replay re-derives the same skips, hedges
+// and ordering from the manifest's adaptive options.
+// ---------------------------------------------------------------------------
+
+TEST(ReplayRoundTripTest, AdaptiveDispatchReplays) {
+  paperdata::PaperExample example = paperdata::MakeExample21();
+  exec::ExecOptions options;
+  options.runtime.adaptive.enabled = true;
+  ExpectRoundTrip(example.catalog, example.domains, example.query, options);
+}
+
+TEST(ReplayRoundTripTest, AdaptiveFaultInjectedRunReplays) {
+  workload::GeneratedInstance instance = ChainInstance(11);
+  Result<planner::Query> query = SourceExercisingQuery(instance);
+  ASSERT_TRUE(query.ok()) << query.status();
+
+  FaultSpec faults;
+  faults.fail_first_per_query = 1;
+  SourceCatalog flaky = WrapAll(instance, faults);
+
+  exec::ExecOptions options;
+  options.continue_on_source_error = true;
+  options.runtime.retry.max_attempts = 3;
+  options.runtime.adaptive.enabled = true;
+  ExpectRoundTrip(flaky, instance.domains, *query, options);
+}
+
+// ---------------------------------------------------------------------------
+// Committed-corpus regression gate: small `.lcap` artifacts checked in
+// under tests/corpus/. Each must (a) still replay bit-identically with
+// today's code, and (b) match a fresh live recording of the same
+// scenario — so any behavior drift in planning, scheduling or adaptive
+// dispatch fails here before it ships. Regenerate intentionally with
+//   LIMCAP_REGEN_GOLDEN=1 build/tests/replay_test \
+//       --gtest_filter='ReplayCorpusTest.*'
+// ---------------------------------------------------------------------------
+
+#ifndef LIMCAP_CORPUS_DIR
+#error "LIMCAP_CORPUS_DIR must be defined by the build"
+#endif
+
+void ExpectCorpusGate(const std::string& file,
+                      const std::function<Result<std::string>()>& record) {
+  const std::string path = std::string(LIMCAP_CORPUS_DIR) + "/" + file;
+  if (std::getenv("LIMCAP_REGEN_GOLDEN") != nullptr) {
+    Result<std::string> bytes = record();
+    ASSERT_TRUE(bytes.ok()) << bytes.status();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << *bytes;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  // The committed artifact still replays faithfully...
+  Result<ReplayRunReport> replayed = ReplayFile(path);
+  ASSERT_TRUE(replayed.ok()) << replayed.status();
+  EXPECT_TRUE(replayed->fingerprint_match) << replayed->rendered;
+  EXPECT_EQ(replayed->replay_misses, 0u);
+  // ...and today's code still produces that exact run live.
+  Result<std::string> bytes = record();
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+  Result<ReplayArtifact> live = DecodeArtifact(*bytes);
+  ASSERT_TRUE(live.ok()) << live.status();
+  EXPECT_EQ(live->manifest.recorded_fingerprint,
+            replayed->bundle.manifest.recorded_fingerprint)
+      << file << ": live execution diverged from the committed corpus; "
+      << "regenerate with LIMCAP_REGEN_GOLDEN=1 if the change is intended";
+}
+
+TEST(ReplayCorpusTest, Example21Serial) {
+  ExpectCorpusGate("example21.lcap", [] {
+    paperdata::PaperExample example = paperdata::MakeExample21();
+    return RecordRun(example.catalog, example.domains, example.query, {},
+                     nullptr);
+  });
+}
+
+TEST(ReplayCorpusTest, Example41ConcurrentFetch) {
+  ExpectCorpusGate("example41_concurrent.lcap", [] {
+    paperdata::PaperExample example = paperdata::MakeExample41();
+    exec::ExecOptions options;
+    options.runtime.concurrent = true;
+    options.runtime.max_in_flight = 8;
+    options.runtime.per_source_max_in_flight = 8;
+    return RecordRun(example.catalog, example.domains, example.query,
+                     options, nullptr);
+  });
+}
+
+TEST(ReplayCorpusTest, Example21Degraded) {
+  ExpectCorpusGate("example21_degraded.lcap", [] {
+    paperdata::PaperExample example = paperdata::MakeExample21();
+    SourceCatalog flaky;
+    for (const SourceView& view : example.views) {
+      auto* source = dynamic_cast<InMemorySource*>(
+          example.catalog.Find(view.name()).value());
+      auto copy = std::make_unique<InMemorySource>(
+          InMemorySource::MakeUnsafe(view, source->data()));
+      if (view.name() == "v4") {
+        FaultSpec spec;
+        spec.fail_first_calls = 1u << 20;  // v4 down for the whole run
+        flaky.RegisterUnsafe(std::make_unique<FaultInjectingSource>(
+            std::move(copy), spec));
+      } else {
+        flaky.RegisterUnsafe(std::move(copy));
+      }
+    }
+    exec::ExecOptions options;
+    options.continue_on_source_error = true;
+    return RecordRun(flaky, example.domains, example.query, options,
+                     nullptr);
+  });
+}
+
+TEST(ReplayCorpusTest, Example21Adaptive) {
+  ExpectCorpusGate("example21_adaptive.lcap", [] {
+    paperdata::PaperExample example = paperdata::MakeExample21();
+    exec::ExecOptions options;
+    options.runtime.adaptive.enabled = true;
+    return RecordRun(example.catalog, example.domains, example.query,
+                     options, nullptr);
+  });
+}
 
 TEST(ReplayGoldenTest, Example21RenderedReport) {
   paperdata::PaperExample example = paperdata::MakeExample21();

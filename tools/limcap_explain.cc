@@ -4,13 +4,16 @@
 // with per-source metrics, and the answer.
 //
 //   limcap_explain --catalog FILE --query FILE [--runtime FILE]
-//                  [--goal NAME] [--no-timing] [--trace-out FILE]
+//                  [--goal NAME] [--adaptive] [--no-timing]
+//                  [--trace-out FILE]
 //   limcap_explain --replay FILE.lcap [--no-timing] [--trace-out FILE]
 //
 // --no-timing omits wall-clock numbers from the timeline, making the
-// report deterministic (the golden tests run this mode). --trace-out
-// additionally writes the span tree as Chrome trace_event JSON, loadable
-// in chrome://tracing or Perfetto.
+// report deterministic (the golden tests run this mode). --adaptive
+// turns on the runtime-adaptive dispatcher (dynamic relevance pruning,
+// cost-aware ordering, hedged requests) and its report section.
+// --trace-out additionally writes the span tree as Chrome trace_event
+// JSON, loadable in chrome://tracing or Perfetto.
 //
 // --replay re-executes a `.lcap` capture (limcap_serve --record, or
 // replay::TraceRecorder) entirely offline: the catalog is rebuilt from
@@ -39,7 +42,8 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: limcap_explain --catalog FILE --query FILE [--runtime FILE]\n"
-    "                      [--goal NAME] [--no-timing] [--trace-out FILE]\n"
+    "                      [--goal NAME] [--adaptive] [--no-timing]\n"
+    "                      [--trace-out FILE]\n"
     "       limcap_explain --replay FILE.lcap [--no-timing]\n";
 
 bool ReadFile(const std::string& path, std::string* out) {
@@ -82,6 +86,8 @@ int main(int argc, char** argv) {
       if (!next(&request.options.builder.goal_predicate)) return 2;
     } else if (arg == "--no-timing") {
       request.include_timing = false;
+    } else if (arg == "--adaptive") {
+      request.options.runtime.adaptive.enabled = true;
     } else if (arg == "--replay") {
       if (!next(&replay_path)) return 2;
     } else if (arg == "--trace-out") {

@@ -74,6 +74,7 @@ constexpr const char* kUsage =
     "usage: limcap_serve [--port N] [--scenario mixed|paper] [--seed N]\n"
     "                    [--workers N] [--max-queue N] [--max-in-flight N]\n"
     "                    [--per-source-in-flight N] [--no-coalesce]\n"
+    "                    [--adaptive]\n"
     "                    [--record DIR] [--record-budget BYTES]\n";
 
 /// Self-pipe for signal-safe shutdown: the handler writes one byte, the
@@ -203,6 +204,8 @@ int main(int argc, char** argv) {
           std::strtoul(next(), nullptr, 10);
     } else if (arg == "--no-coalesce") {
       serve_options.governor.cross_query_coalesce = false;
+    } else if (arg == "--adaptive") {
+      serve_options.exec.runtime.adaptive.enabled = true;
     } else if (arg == "--record") {
       serve_options.record_dir = next();
     } else if (arg == "--record-budget") {
